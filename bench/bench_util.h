@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "harness/experiment.h"
+
+/// \file bench_util.h
+/// \brief Shared helpers for the per-figure benchmark binaries.
+///
+/// Every binary accepts `--scale=<f>` (default 1.0) to grow/shrink the
+/// event counts relative to the laptop-friendly defaults, plus
+/// `--schemes=a,b,c` to restrict the evaluated approaches. The paper's
+/// full-size runs (100 M events/node, 1 M windows) correspond to roughly
+/// `--scale=50`; the defaults reproduce the *shapes* in minutes.
+
+namespace deco {
+namespace bench {
+
+/// \brief Prints the standard table header for per-scheme rows.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-14s %12s %12s %12s %14s %12s %12s %12s\n", "scheme",
+              "tput(Mev/s)", "lat-mean(ms)", "lat-p99(ms)", "net(MB)",
+              "bytes/event", "windows", "corrections");
+}
+
+/// \brief Prints one run as a table row.
+inline void PrintRow(const RunReport& report) {
+  std::printf("%-14s %12.3f %12.3f %12.3f %14.3f %12.2f %12llu %12llu\n",
+              report.scheme.c_str(), report.throughput_eps / 1e6,
+              report.latency.mean() / 1e6,
+              static_cast<double>(report.latency.Percentile(0.99)) / 1e6,
+              static_cast<double>(report.network.total_bytes) / 1e6,
+              report.BytesPerEvent(),
+              static_cast<unsigned long long>(report.windows_emitted),
+              static_cast<unsigned long long>(report.correction_steps));
+  std::fflush(stdout);
+}
+
+/// \brief Runs one experiment, printing an error row on failure.
+inline bool RunAndPrint(const ExperimentConfig& config) {
+  auto result = RunExperiment(config);
+  if (!result.ok()) {
+    std::printf("%-14s ERROR: %s\n", SchemeToString(config.scheme),
+                result.status().ToString().c_str());
+    return false;
+  }
+  PrintRow(*result);
+  return true;
+}
+
+/// \brief Parses `--schemes=` into a scheme list, with a default.
+inline std::vector<Scheme> ParseSchemes(const Flags& flags,
+                                        std::vector<Scheme> fallback) {
+  const std::string arg = flags.GetString("schemes", "");
+  if (arg.empty()) return fallback;
+  std::vector<Scheme> schemes;
+  std::string token;
+  std::stringstream ss(arg);
+  while (std::getline(ss, token, ',')) {
+    auto scheme = SchemeFromString(token);
+    if (scheme.ok()) schemes.push_back(*scheme);
+  }
+  return schemes.empty() ? fallback : schemes;
+}
+
+/// \brief Scales an event count by `--scale`.
+inline uint64_t Scaled(const Flags& flags, uint64_t base) {
+  const double scale = flags.GetDouble("scale", 1.0);
+  const double scaled = static_cast<double>(base) * scale;
+  return scaled < 1.0 ? 1 : static_cast<uint64_t>(scaled);
+}
+
+}  // namespace bench
+}  // namespace deco

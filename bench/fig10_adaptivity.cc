@@ -1,0 +1,80 @@
+// Reproduces Figures 10a-10d of the paper: adaptivity of Approx, Deco_mon,
+// Deco_sync and Deco_async to the event-rate-change parameter on a
+// three-node cluster (two locals + root). Sweeps the change range and
+// reports throughput (10a), network utilization (10b), correction steps per
+// 100 windows (10c), and correctness vs. the Central ground truth (10d).
+// Expected shapes: Approx has optimal throughput/network but degrading
+// correctness; Deco_async tracks Approx at small changes and falls behind
+// Deco_sync at large ones; corrections grow with the change range; every
+// Deco scheme stays at 100% correctness.
+
+#include "bench/bench_util.h"
+
+using namespace deco;
+
+namespace {
+
+ExperimentConfig BaseConfig(Scheme scheme, double change, uint64_t events) {
+  ExperimentConfig config;
+  config.scheme = scheme;
+  config.query.window = WindowSpec::CountTumbling(50'000);
+  config.query.aggregate = AggregateKind::kSum;
+  config.num_locals = 2;
+  config.streams_per_local = 4;
+  config.events_per_local = events;
+  config.base_rate = 1e6;
+  config.rate_change = change;
+  config.batch_size = 8192;
+  config.seed = 42;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const uint64_t events = bench::Scaled(flags, 2'000'000);
+  const std::vector<Scheme> schemes = bench::ParseSchemes(
+      flags, {Scheme::kApprox, Scheme::kDecoMon, Scheme::kDecoSync,
+              Scheme::kDecoAsync});
+  const std::vector<double> changes{0.001, 0.01, 0.05, 0.2, 0.5, 1.0};
+
+  std::printf("Figure 10a-10d: adaptivity to event rate change "
+              "(2 locals, window 50k, events/node=%llu)\n",
+              static_cast<unsigned long long>(events));
+  std::printf(
+      "\n%-12s %-10s %12s %12s %16s %14s\n", "scheme", "change",
+      "tput(Mev/s)", "net(MB)", "corrections/100w", "correctness");
+
+  for (Scheme scheme : schemes) {
+    for (double change : changes) {
+      // Ground truth for the correctness column (Fig 10d).
+      ExperimentConfig truth_config =
+          BaseConfig(Scheme::kCentral, change, events);
+      auto truth = RunExperiment(truth_config);
+      if (!truth.ok()) continue;
+
+      ExperimentConfig config = BaseConfig(scheme, change, events);
+      auto result = RunExperiment(config);
+      if (!result.ok()) {
+        std::printf("%-12s %-10.3f ERROR: %s\n", SchemeToString(scheme),
+                    change, result.status().ToString().c_str());
+        continue;
+      }
+      const CorrectnessReport correctness =
+          CompareConsumption(truth->consumption, result->consumption);
+      const double corrections_per_100 =
+          result->windows_emitted == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(result->correction_steps) /
+                    static_cast<double>(result->windows_emitted);
+      std::printf("%-12s %-10.3f %12.3f %12.3f %16.1f %14.4f\n",
+                  result->scheme.c_str(), change,
+                  result->throughput_eps / 1e6,
+                  static_cast<double>(result->network.total_bytes) / 1e6,
+                  corrections_per_100, correctness.correctness);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

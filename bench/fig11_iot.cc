@@ -1,0 +1,72 @@
+// Reproduces Figure 11 of the paper: performance in a realistic IoT setup
+// with Raspberry Pi 4B local nodes (weak CPU, 1 Gbit/s Ethernet with a
+// measured ~49 MB/s effective ceiling) and an Intel root node. We emulate
+// the Pi with a per-node CPU throttle and an egress bandwidth cap on the
+// fabric (DESIGN.md substitution table). Expected shape: the centralized
+// schemes pin at the NIC ceiling (their throughput is bytes-bound) while
+// Deco_async, which ships partial results, is CPU-bound and scales linearly
+// with the number of Pis (11d).
+
+#include "bench/bench_util.h"
+
+using namespace deco;
+
+namespace {
+
+ExperimentConfig PiConfig(Scheme scheme, size_t locals, uint64_t events) {
+  ExperimentConfig config;
+  config.scheme = scheme;
+  config.query.window = WindowSpec::CountTumbling(100'000);
+  config.query.aggregate = AggregateKind::kSum;
+  config.num_locals = locals;
+  config.streams_per_local = 4;
+  config.events_per_local = events;
+  config.base_rate = 1e6;
+  config.rate_change = 0.01;
+  config.batch_size = 8192;
+  config.seed = 42;
+  // Raspberry Pi emulation: weak cores and the measured NIC ceiling.
+  config.cpu_events_per_sec = 4'000'000;
+  config.egress_bytes_per_sec = 49'000'000;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const uint64_t events = bench::Scaled(flags, 2'000'000);
+  const std::vector<Scheme> schemes = bench::ParseSchemes(
+      flags, {Scheme::kCentral, Scheme::kScotty, Scheme::kDisco,
+              Scheme::kDecoAsync});
+
+  std::printf("Figure 11a-11c: Raspberry Pi cluster emulation "
+              "(2 Pis + root, CPU cap 4M ev/s, NIC cap 49 MB/s)\n");
+  bench::PrintHeader("Fig 11a/11b/11c");
+  for (Scheme scheme : schemes) {
+    bench::RunAndPrint(PiConfig(
+        scheme, 2, scheme == Scheme::kDisco ? events / 4 : events));
+  }
+
+  std::printf("\nFigure 11d: throughput vs. number of Pis\n");
+  std::printf("%-14s", "scheme");
+  const std::vector<int64_t> node_counts = flags.GetIntList("nodes",
+                                                            {1, 2, 3, 4});
+  for (int64_t n : node_counts) std::printf(" %9lld Pis", (long long)n);
+  std::printf("   (M events/s)\n");
+  for (Scheme scheme : {Scheme::kScotty, Scheme::kDecoAsync}) {
+    std::printf("%-14s", SchemeToString(scheme));
+    for (int64_t n : node_counts) {
+      auto result = RunExperiment(
+          PiConfig(scheme, static_cast<size_t>(n), events));
+      if (result.ok()) {
+        std::printf(" %13.3f", result->throughput_eps / 1e6);
+      } else {
+        std::printf(" %13s", "ERR");
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

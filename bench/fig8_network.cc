@@ -1,0 +1,73 @@
+// Reproduces Figure 8 of the paper: network utilization of the approaches.
+// 8a: a 2-node cluster (one local, one root). 8b: growing the topology from
+// 1 to 8 local nodes. The paper pushes 100M events per local node; the
+// default here is 2M (--scale to grow). Expected shape: Deco_async ships a
+// tiny fraction of the centralized schemes' bytes (up to 99% saving); Disco
+// costs the most (verbose string wire format); all centralized schemes grow
+// linearly with node count.
+
+#include "bench/bench_util.h"
+
+using namespace deco;
+
+namespace {
+
+ExperimentConfig BaseConfig(uint64_t events, size_t locals) {
+  ExperimentConfig config;
+  config.query.window = WindowSpec::CountTumbling(100'000);
+  config.query.aggregate = AggregateKind::kSum;
+  config.num_locals = locals;
+  config.streams_per_local = 4;
+  config.events_per_local = events;
+  config.base_rate = 1e6;
+  config.rate_change = 0.01;
+  config.batch_size = 8192;
+  config.seed = 42;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const uint64_t events = bench::Scaled(flags, 2'000'000);
+  const std::vector<Scheme> schemes = bench::ParseSchemes(
+      flags, {Scheme::kCentral, Scheme::kScotty, Scheme::kDisco,
+              Scheme::kDecoAsync});
+
+  std::printf("Figure 8: network utilization, events/node=%llu\n",
+              static_cast<unsigned long long>(events));
+  bench::PrintHeader("Fig 8a: single local node data transfer");
+  for (Scheme scheme : schemes) {
+    ExperimentConfig config = BaseConfig(
+        scheme == Scheme::kDisco ? events / 4 : events, 1);
+    config.scheme = scheme;
+    bench::RunAndPrint(config);
+  }
+
+  std::printf("\n=== Fig 8b: total network bytes vs. local node count ===\n");
+  std::printf("%-14s", "scheme");
+  const std::vector<int64_t> node_counts =
+      flags.GetIntList("nodes", {1, 2, 3, 4, 6, 8});
+  for (int64_t n : node_counts) std::printf(" %10lldn", (long long)n);
+  std::printf("   (MB total)\n");
+  for (Scheme scheme : schemes) {
+    std::printf("%-14s", SchemeToString(scheme));
+    for (int64_t n : node_counts) {
+      ExperimentConfig config = BaseConfig(
+          scheme == Scheme::kDisco ? events / 8 : events / 2,
+          static_cast<size_t>(n));
+      config.scheme = scheme;
+      auto result = RunExperiment(config);
+      if (result.ok()) {
+        std::printf(" %11.2f",
+                    static_cast<double>(result->network.total_bytes) / 1e6);
+      } else {
+        std::printf(" %11s", "ERR");
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

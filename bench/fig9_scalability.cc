@@ -1,0 +1,49 @@
+// Reproduces Figure 9 of the paper: throughput (9a) and latency (9b) while
+// the number of local nodes grows from 1 upward. As in the paper, the
+// window size grows with the node count to eliminate small-window effects.
+// Expected shape: Deco_async's throughput scales roughly linearly with the
+// node count (each node aggregates its own share) while the centralized
+// schemes stay flat (the root is the bottleneck); Deco's latency rises
+// slowly, the centralized schemes' stays constant.
+
+#include "bench/bench_util.h"
+
+using namespace deco;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const uint64_t window_per_node = bench::Scaled(flags, 50'000);
+  const uint64_t events_per_node = bench::Scaled(flags, 2'000'000);
+  const std::vector<int64_t> node_counts =
+      flags.GetIntList("nodes", {1, 2, 4, 8, 16});
+  const std::vector<Scheme> schemes = bench::ParseSchemes(
+      flags, {Scheme::kCentral, Scheme::kScotty, Scheme::kDisco,
+              Scheme::kDecoAsync});
+
+  std::printf("Figure 9: scalability with local node count "
+              "(window = %llu * nodes, events/node = %llu)\n",
+              static_cast<unsigned long long>(window_per_node),
+              static_cast<unsigned long long>(events_per_node));
+
+  for (int64_t nodes : node_counts) {
+    std::printf("\n--- %lld local node(s) ---\n", (long long)nodes);
+    bench::PrintHeader("Fig 9a/9b");
+    for (Scheme scheme : schemes) {
+      ExperimentConfig config;
+      config.scheme = scheme;
+      config.query.window = WindowSpec::CountTumbling(
+          window_per_node * static_cast<uint64_t>(nodes));
+      config.query.aggregate = AggregateKind::kSum;
+      config.num_locals = static_cast<size_t>(nodes);
+      config.streams_per_local = 4;
+      config.events_per_local =
+          scheme == Scheme::kDisco ? events_per_node / 8 : events_per_node;
+      config.base_rate = 1e6;
+      config.rate_change = 0.01;
+      config.batch_size = 8192;
+      config.seed = 42;
+      bench::RunAndPrint(config);
+    }
+  }
+  return 0;
+}

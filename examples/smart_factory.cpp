@@ -1,0 +1,91 @@
+// The paper's motivating scenario (§1): a smart factory where local nodes
+// spread across the floor collect assembly-line measurements, and quality
+// control needs exact per-batch statistics — "the minimum, maximum, or
+// average quality of products within batches" — as count-based windows
+// (one window = one batch of products).
+//
+// Assembly lines speed up and slow down with demand, so event rates drift;
+// an approximate split of the batch across lines mis-assigns products to
+// batches, which rigorous quality control cannot accept. This example runs
+// the same batch query with Approx and Deco_sync and shows that only Deco
+// keeps the batches exact while still avoiding raw-event shipping.
+
+#include <cmath>
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+using namespace deco;
+
+namespace {
+
+ExperimentConfig FactoryConfig(Scheme scheme, AggregateKind aggregate) {
+  ExperimentConfig config;
+  config.scheme = scheme;
+  // One batch = 20k products; quality score per product.
+  config.query.window = WindowSpec::CountTumbling(20'000);
+  config.query.aggregate = aggregate;
+  // Four assembly halls, each with six line sensors.
+  config.num_locals = 4;
+  config.streams_per_local = 6;
+  config.events_per_local = 400'000;
+  config.base_rate = 50'000;
+  config.rate_skew = 0.15;    // halls run at different speeds
+  config.rate_change = 0.10;  // demand-driven speed changes (10%)
+  config.seed = 2024;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Smart factory: batch quality statistics over 4 halls x 6 "
+              "line sensors\n");
+  std::printf("Batch = 20,000 products; line speeds drift by 10%%.\n\n");
+
+  for (AggregateKind aggregate :
+       {AggregateKind::kAvg, AggregateKind::kMin}) {
+    std::printf("--- %s quality per batch ---\n",
+                std::string(AggregateKindToString(aggregate)).c_str());
+
+    RunReport truth = std::move(
+        RunExperiment(FactoryConfig(Scheme::kCentral, aggregate))).value();
+    RunReport deco = std::move(
+        RunExperiment(FactoryConfig(Scheme::kDecoSync, aggregate))).value();
+    RunReport approx = std::move(
+        RunExperiment(FactoryConfig(Scheme::kApprox, aggregate))).value();
+
+    std::printf("first batches (truth vs deco-sync vs approx):\n");
+    auto same = [](double a, double b) {
+      return std::abs(a - b) <= 1e-9 * std::max(1.0, std::abs(b));
+    };
+    for (size_t i = 0; i < 5 && i < truth.windows.size(); ++i) {
+      const double t = truth.windows[i].value;
+      const double d =
+          i < deco.windows.size() ? deco.windows[i].value : 0.0;
+      const double a =
+          i < approx.windows.size() ? approx.windows[i].value : 0.0;
+      std::printf("  batch %zu: %.4f | %.4f (%s) | %.4f (%s)\n", i, t, d,
+                  same(d, t) ? "exact" : "WRONG", a,
+                  same(a, t) ? "exact" : "WRONG");
+    }
+
+    const CorrectnessReport deco_correct =
+        CompareConsumption(truth.consumption, deco.consumption);
+    const CorrectnessReport approx_correct =
+        CompareConsumption(truth.consumption, approx.consumption);
+    std::printf("batch-assignment correctness: deco-sync %.2f%%, "
+                "approx %.2f%%\n",
+                100 * deco_correct.correctness,
+                100 * approx_correct.correctness);
+    std::printf("network: central %.2f MB, deco-sync %.2f MB, "
+                "approx %.2f MB\n\n",
+                truth.network.total_bytes / 1e6,
+                deco.network.total_bytes / 1e6,
+                approx.network.total_bytes / 1e6);
+  }
+  std::printf("Deco keeps every batch bit-exact while shipping a small "
+              "fraction of the bytes;\nApprox mis-assigns products to "
+              "batches as soon as line speeds drift.\n");
+  return 0;
+}

@@ -1,0 +1,225 @@
+#include "agg/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deco {
+
+Result<AggregateKind> AggregateKindFromString(std::string_view name) {
+  if (name == "sum") return AggregateKind::kSum;
+  if (name == "count") return AggregateKind::kCount;
+  if (name == "min") return AggregateKind::kMin;
+  if (name == "max") return AggregateKind::kMax;
+  if (name == "avg") return AggregateKind::kAvg;
+  if (name == "median") return AggregateKind::kMedian;
+  if (name == "quantile") return AggregateKind::kQuantile;
+  return Status::InvalidArgument("unknown aggregate: " + std::string(name));
+}
+
+std::string_view AggregateKindToString(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kSum:
+      return "sum";
+    case AggregateKind::kCount:
+      return "count";
+    case AggregateKind::kMin:
+      return "min";
+    case AggregateKind::kMax:
+      return "max";
+    case AggregateKind::kAvg:
+      return "avg";
+    case AggregateKind::kMedian:
+      return "median";
+    case AggregateKind::kQuantile:
+      return "quantile";
+  }
+  return "unknown";
+}
+
+size_t Partial::WireSize() const {
+  // kind + sum + count + min + max + values size + values.
+  return 1 + 8 + 8 + 8 + 8 + 8 + values.size() * sizeof(double);
+}
+
+void EncodePartial(const Partial& partial, BinaryWriter* writer) {
+  writer->PutU8(static_cast<uint8_t>(partial.kind));
+  writer->PutDouble(partial.sum);
+  writer->PutU64(partial.count);
+  writer->PutDouble(partial.min);
+  writer->PutDouble(partial.max);
+  writer->PutU64(partial.values.size());
+  for (double v : partial.values) writer->PutDouble(v);
+}
+
+Result<Partial> DecodePartial(BinaryReader* reader) {
+  Partial p;
+  DECO_ASSIGN_OR_RETURN(uint8_t kind, reader->GetU8());
+  if (kind > static_cast<uint8_t>(AggregateKind::kQuantile)) {
+    return Status::InvalidArgument("bad aggregate kind byte");
+  }
+  p.kind = static_cast<AggregateKind>(kind);
+  DECO_ASSIGN_OR_RETURN(p.sum, reader->GetDouble());
+  DECO_ASSIGN_OR_RETURN(p.count, reader->GetU64());
+  DECO_ASSIGN_OR_RETURN(p.min, reader->GetDouble());
+  DECO_ASSIGN_OR_RETURN(p.max, reader->GetDouble());
+  DECO_ASSIGN_OR_RETURN(uint64_t n, reader->GetU64());
+  if (n > reader->remaining() / sizeof(double)) {
+    return Status::OutOfRange("partial value list exceeds buffer");
+  }
+  p.values.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    DECO_ASSIGN_OR_RETURN(double v, reader->GetDouble());
+    p.values.push_back(v);
+  }
+  return p;
+}
+
+Partial AggregateFunction::CreatePartial() const {
+  Partial p;
+  p.kind = kind();
+  return p;
+}
+
+Status AggregateFunction::Merge(Partial* dst, const Partial& src) const {
+  if (dst->kind != src.kind) {
+    return Status::InvalidArgument("cannot merge partials of different kinds");
+  }
+  dst->sum += src.sum;
+  dst->count += src.count;
+  dst->min = std::min(dst->min, src.min);
+  dst->max = std::max(dst->max, src.max);
+  if (!src.values.empty()) {
+    dst->values.insert(dst->values.end(), src.values.begin(),
+                       src.values.end());
+  }
+  return Status::OK();
+}
+
+namespace {
+
+class SumAggregate final : public AggregateFunction {
+ public:
+  AggregateKind kind() const override { return AggregateKind::kSum; }
+  Decomposability decomposability() const override {
+    return Decomposability::kDistributive;
+  }
+  void Accumulate(Partial* p, double v) const override {
+    p->sum += v;
+    p->count += 1;
+  }
+  double Finalize(const Partial& p) const override { return p.sum; }
+};
+
+class CountAggregate final : public AggregateFunction {
+ public:
+  AggregateKind kind() const override { return AggregateKind::kCount; }
+  Decomposability decomposability() const override {
+    return Decomposability::kDistributive;
+  }
+  void Accumulate(Partial* p, double) const override { p->count += 1; }
+  double Finalize(const Partial& p) const override {
+    return static_cast<double>(p.count);
+  }
+};
+
+class MinAggregate final : public AggregateFunction {
+ public:
+  AggregateKind kind() const override { return AggregateKind::kMin; }
+  Decomposability decomposability() const override {
+    return Decomposability::kDistributive;
+  }
+  void Accumulate(Partial* p, double v) const override {
+    p->min = std::min(p->min, v);
+    p->count += 1;
+  }
+  double Finalize(const Partial& p) const override { return p.min; }
+};
+
+class MaxAggregate final : public AggregateFunction {
+ public:
+  AggregateKind kind() const override { return AggregateKind::kMax; }
+  Decomposability decomposability() const override {
+    return Decomposability::kDistributive;
+  }
+  void Accumulate(Partial* p, double v) const override {
+    p->max = std::max(p->max, v);
+    p->count += 1;
+  }
+  double Finalize(const Partial& p) const override { return p.max; }
+};
+
+class AvgAggregate final : public AggregateFunction {
+ public:
+  AggregateKind kind() const override { return AggregateKind::kAvg; }
+  Decomposability decomposability() const override {
+    return Decomposability::kAlgebraic;
+  }
+  void Accumulate(Partial* p, double v) const override {
+    p->sum += v;
+    p->count += 1;
+  }
+  double Finalize(const Partial& p) const override {
+    if (p.count == 0) return std::nan("");
+    return p.sum / static_cast<double>(p.count);
+  }
+};
+
+// Shared implementation for median / arbitrary quantile. Holistic: keeps
+// every value; `Finalize` uses nth_element with linear interpolation.
+class QuantileAggregate final : public AggregateFunction {
+ public:
+  QuantileAggregate(AggregateKind kind, double q) : kind_(kind), q_(q) {}
+
+  AggregateKind kind() const override { return kind_; }
+  Decomposability decomposability() const override {
+    return Decomposability::kHolistic;
+  }
+  void Accumulate(Partial* p, double v) const override {
+    p->values.push_back(v);
+    p->count += 1;
+  }
+  double Finalize(const Partial& p) const override {
+    if (p.values.empty()) return std::nan("");
+    std::vector<double> sorted = p.values;
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q_ * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+ private:
+  AggregateKind kind_;
+  double q_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<AggregateFunction>> MakeAggregate(AggregateKind kind,
+                                                         double quantile_q) {
+  switch (kind) {
+    case AggregateKind::kSum:
+      return std::unique_ptr<AggregateFunction>(new SumAggregate());
+    case AggregateKind::kCount:
+      return std::unique_ptr<AggregateFunction>(new CountAggregate());
+    case AggregateKind::kMin:
+      return std::unique_ptr<AggregateFunction>(new MinAggregate());
+    case AggregateKind::kMax:
+      return std::unique_ptr<AggregateFunction>(new MaxAggregate());
+    case AggregateKind::kAvg:
+      return std::unique_ptr<AggregateFunction>(new AvgAggregate());
+    case AggregateKind::kMedian:
+      return std::unique_ptr<AggregateFunction>(
+          new QuantileAggregate(AggregateKind::kMedian, 0.5));
+    case AggregateKind::kQuantile:
+      if (!(quantile_q > 0.0 && quantile_q < 1.0)) {
+        return Status::InvalidArgument("quantile q must be in (0, 1)");
+      }
+      return std::unique_ptr<AggregateFunction>(
+          new QuantileAggregate(AggregateKind::kQuantile, quantile_q));
+  }
+  return Status::InvalidArgument("unknown aggregate kind");
+}
+
+}  // namespace deco

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "event/serde.h"
+
+/// \file aggregate.h
+/// \brief Aggregation functions and partial aggregates (paper §2.3).
+///
+/// Following Gray et al. (Data Cube) and Jesus et al., functions are
+/// classified as:
+///  - distributive / self-decomposable: `sum`, `count`, `min`, `max` — the
+///    partial state is one machine word and merging is associative;
+///  - algebraic / decomposable: `avg` — computed from a fixed-size tuple of
+///    distributive partials (sum, count);
+///  - holistic / non-decomposable: `median`, quantiles — the partial state
+///    is the full multiset of values; Deco processes these centrally
+///    (footnote 2 of the paper), which the harness enforces.
+///
+/// The decomposable framework is: create a `Partial`, `Accumulate` events
+/// into it on local nodes, ship it, `Merge` partials on the root, and
+/// `Finalize` to a scalar when the global window closes.
+
+namespace deco {
+
+/// \brief Which aggregation a query computes.
+enum class AggregateKind : uint8_t {
+  kSum = 0,
+  kCount = 1,
+  kMin = 2,
+  kMax = 3,
+  kAvg = 4,
+  kMedian = 5,
+  kQuantile = 6,
+};
+
+/// \brief Gray et al. classification of an aggregate.
+enum class Decomposability : uint8_t {
+  kDistributive = 0,  ///< partial merge yields exact results (sum, min, ...)
+  kAlgebraic = 1,     ///< finite tuple of distributive partials (avg)
+  kHolistic = 2,      ///< needs all raw values (median, quantile)
+};
+
+/// \brief Parses "sum", "count", "min", "max", "avg", "median", "quantile".
+Result<AggregateKind> AggregateKindFromString(std::string_view name);
+
+/// \brief Canonical lowercase name of a kind.
+std::string_view AggregateKindToString(AggregateKind kind);
+
+/// \brief Mergeable partial aggregation state.
+///
+/// One struct covers all supported kinds; only the fields relevant to
+/// `kind` are meaningful. Holistic kinds carry the raw value multiset,
+/// which is exactly why they cannot be decentralized cheaply.
+struct Partial {
+  AggregateKind kind = AggregateKind::kSum;
+  double sum = 0.0;
+  uint64_t count = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::vector<double> values;  ///< holistic kinds only
+
+  /// \brief Serialized size in bytes (matches `EncodePartial`).
+  size_t WireSize() const;
+};
+
+/// \brief Writes a partial into `writer` in the binary wire format.
+void EncodePartial(const Partial& partial, BinaryWriter* writer);
+
+/// \brief Reads a partial previously written by `EncodePartial`.
+Result<Partial> DecodePartial(BinaryReader* reader);
+
+/// \brief An aggregation function: stateless strategy object over `Partial`.
+///
+/// Implementations are immutable and thread-safe; one instance can serve
+/// every node in a topology.
+class AggregateFunction {
+ public:
+  virtual ~AggregateFunction() = default;
+
+  virtual AggregateKind kind() const = 0;
+  virtual Decomposability decomposability() const = 0;
+
+  /// \brief True when partial aggregation on local nodes is exact, i.e. the
+  /// function is distributive or algebraic.
+  bool IsDecomposable() const {
+    return decomposability() != Decomposability::kHolistic;
+  }
+
+  /// \brief Fresh identity partial.
+  virtual Partial CreatePartial() const;
+
+  /// \brief Folds one value into a partial.
+  virtual void Accumulate(Partial* partial, double value) const = 0;
+
+  /// \brief Merges `src` into `dst`. Associative and commutative for all
+  /// supported kinds.
+  virtual Status Merge(Partial* dst, const Partial& src) const;
+
+  /// \brief Produces the scalar result of a closed window.
+  virtual double Finalize(const Partial& partial) const = 0;
+};
+
+/// \brief Factory for the built-in aggregate functions.
+///
+/// \param kind which aggregate to construct
+/// \param quantile_q for `kQuantile`: the quantile in (0, 1); ignored
+///        otherwise
+Result<std::unique_ptr<AggregateFunction>> MakeAggregate(
+    AggregateKind kind, double quantile_q = 0.5);
+
+}  // namespace deco

@@ -1,0 +1,84 @@
+#include "baseline/root_merger.h"
+
+#include <cassert>
+
+namespace deco {
+
+// Invariants:
+//  - a node is `in_heap` iff it has at least one unconsumed buffered event
+//    (PopNext eagerly drops fully consumed batches);
+//  - `stalled_` counts nodes that are neither EOS nor in the heap.
+
+RootMerger::RootMerger(size_t num_nodes)
+    : nodes_(num_nodes), stalled_(num_nodes) {}
+
+const Event& RootMerger::Head(size_t node) const {
+  const Batch& batch = nodes_[node].batches.front();
+  return batch.events[batch.next];
+}
+
+void RootMerger::PushHeadToHeap(size_t node) {
+  heap_.push(HeapEntry{Head(node), node});
+  nodes_[node].in_heap = true;
+}
+
+void RootMerger::Append(size_t node, EventVec events,
+                        double create_wall_nanos) {
+  if (events.empty()) return;
+  NodeQueue& q = nodes_[node];
+  const bool had_head = !q.batches.empty();
+  buffered_ += events.size();
+  q.batches.push_back(Batch{std::move(events), create_wall_nanos, 0});
+  if (!had_head) {
+    PushHeadToHeap(node);
+    if (!q.eos) {
+      assert(stalled_ > 0);
+      --stalled_;
+    }
+  }
+}
+
+void RootMerger::MarkEos(size_t node) {
+  NodeQueue& q = nodes_[node];
+  if (q.eos) return;
+  q.eos = true;
+  if (q.batches.empty()) {
+    // The node was counted as stalled; it no longer holds the merge back.
+    assert(stalled_ > 0);
+    --stalled_;
+  }
+}
+
+bool RootMerger::PopNext(Event* event, double* create_wall_nanos,
+                         size_t* from_node) {
+  if (stalled_ > 0 || heap_.empty()) return false;
+  const HeapEntry top = heap_.top();
+  heap_.pop();
+  NodeQueue& q = nodes_[top.node];
+  q.in_heap = false;
+  Batch& batch = q.batches.front();
+  *event = top.head;
+  *create_wall_nanos = batch.create_wall_nanos;
+  *from_node = top.node;
+  ++batch.next;
+  --buffered_;
+  if (batch.next == batch.events.size()) {
+    q.batches.pop_front();
+  }
+  if (!q.batches.empty()) {
+    PushHeadToHeap(top.node);
+  } else if (!q.eos) {
+    ++stalled_;
+  }
+  return true;
+}
+
+bool RootMerger::Drained() const {
+  if (buffered_ > 0) return false;
+  for (const NodeQueue& q : nodes_) {
+    if (!q.eos) return false;
+  }
+  return true;
+}
+
+}  // namespace deco

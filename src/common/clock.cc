@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace deco {
+
+SystemClock* SystemClock::Default() {
+  static SystemClock clock;
+  return &clock;
+}
+
+}  // namespace deco

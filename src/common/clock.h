@@ -1,0 +1,74 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+/// \file clock.h
+/// \brief Clock abstraction: a monotonic nanosecond source that can be the
+/// real system clock or a manually advanced test clock.
+///
+/// Everything time-dependent in the library (event timestamps, timeouts,
+/// latency measurement, rate control) reads time through a `Clock*` so that
+/// unit tests can run deterministically with `ManualClock`.
+
+namespace deco {
+
+/// Nanoseconds since an arbitrary epoch (monotonic).
+using TimeNanos = int64_t;
+
+inline constexpr TimeNanos kNanosPerMicro = 1'000;
+inline constexpr TimeNanos kNanosPerMilli = 1'000'000;
+inline constexpr TimeNanos kNanosPerSecond = 1'000'000'000;
+
+/// \brief Monotonic time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// \brief Current monotonic time in nanoseconds.
+  virtual TimeNanos NowNanos() const = 0;
+
+  /// \brief Convenience: current time in whole milliseconds.
+  TimeNanos NowMillis() const { return NowNanos() / kNanosPerMilli; }
+};
+
+/// \brief Real monotonic clock backed by `std::chrono::steady_clock`.
+class SystemClock final : public Clock {
+ public:
+  TimeNanos NowNanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// \brief Process-wide shared instance.
+  static SystemClock* Default();
+};
+
+/// \brief Manually advanced clock for deterministic tests.
+///
+/// Thread-safe: `Advance` and `NowNanos` may race; readers observe a
+/// monotonically non-decreasing value.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimeNanos start = 0) : now_(start) {}
+
+  TimeNanos NowNanos() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  /// \brief Moves time forward by `delta` nanoseconds (must be >= 0).
+  void Advance(TimeNanos delta) {
+    now_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+
+  /// \brief Jumps to an absolute time (must not move backwards).
+  void SetNanos(TimeNanos t) { now_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<TimeNanos> now_;
+};
+
+}  // namespace deco

@@ -1,0 +1,70 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace deco {
+
+Flags Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags.values_[arg.substr(2)] = "";
+      } else {
+        flags.values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      flags.positional_.push_back(std::move(arg));
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (it->second.empty() || it->second == "true" || it->second == "1") {
+    return true;
+  }
+  return false;
+}
+
+std::vector<int64_t> Flags::GetIntList(const std::string& key,
+                                       std::vector<int64_t> fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  std::vector<int64_t> out;
+  std::stringstream ss(it->second);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) out.push_back(std::strtoll(token.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+}  // namespace deco

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+/// \file flags.h
+/// \brief Tiny `--key=value` command-line parser for benchmark and example
+/// binaries. Not a general-purpose flags library; just enough to let every
+/// bench accept scale knobs.
+
+namespace deco {
+
+/// \brief Parses `--key=value` / `--flag` style arguments.
+///
+/// Unknown keys are kept (benchmark binaries forward leftover args to
+/// google-benchmark). Typed getters return the stored value or the supplied
+/// default.
+class Flags {
+ public:
+  /// \brief Parses argv; arguments not of the form `--k[=v]` are collected
+  /// as positional.
+  static Flags Parse(int argc, char** argv);
+
+  /// \brief True if the flag was present at all (with or without value).
+  bool Has(const std::string& key) const;
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// \brief Comma-separated list of integers, e.g. `--nodes=1,2,4,8`.
+  std::vector<int64_t> GetIntList(const std::string& key,
+                                  std::vector<int64_t> fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace deco

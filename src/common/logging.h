@@ -1,0 +1,66 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// \brief Minimal leveled logger with a process-global level and stream-style
+/// usage: `DECO_LOG(INFO) << "started node " << id;`.
+///
+/// Logging is off the hot path everywhere in the library; per-event code
+/// never logs. The default level is WARNING so tests and benchmarks stay
+/// quiet unless something is wrong.
+
+namespace deco {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// \brief Sets the process-global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+
+/// \brief Returns the current process-global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// \brief One log statement; flushes to stderr on destruction. FATAL aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DECO_LOG_DEBUG ::deco::LogLevel::kDebug
+#define DECO_LOG_INFO ::deco::LogLevel::kInfo
+#define DECO_LOG_WARNING ::deco::LogLevel::kWarning
+#define DECO_LOG_ERROR ::deco::LogLevel::kError
+#define DECO_LOG_FATAL ::deco::LogLevel::kFatal
+
+/// \brief Emits a log line at the given level (DEBUG/INFO/WARNING/ERROR/
+/// FATAL) when it meets the global minimum; the check happens when the
+/// statement completes. FATAL always emits and aborts.
+#define DECO_LOG(level) \
+  ::deco::internal::LogMessage(DECO_LOG_##level, __FILE__, __LINE__)
+
+}  // namespace deco

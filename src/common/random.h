@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// \file random.h
+/// \brief Small, fast, seedable PRNG (xoshiro256**) used by the stream
+/// generators and failure injectors.
+///
+/// Benchmarks and tests always construct `Rng` with an explicit seed so runs
+/// are reproducible; there is intentionally no "random seed" helper.
+
+namespace deco {
+
+/// \brief xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm),
+/// reimplemented here. Not cryptographically secure.
+class Rng {
+ public:
+  /// \brief Seeds the generator deterministically from a 64-bit seed using
+  /// splitmix64 to fill the state.
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// \brief Re-seeds in place.
+  void Seed(uint64_t seed);
+
+  /// \brief Next raw 64-bit value.
+  uint64_t NextUint64();
+
+  /// \brief Uniform in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// multiply-shift rejection method to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// \brief Uniform integer in the closed interval [lo, hi].
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble();
+
+  /// \brief Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// \brief Standard normal via Box-Muller (one value per call; the pair's
+  /// second value is cached).
+  double NextGaussian();
+
+  /// \brief Bernoulli trial with probability `p` of returning true.
+  bool NextBool(double p);
+
+ private:
+  uint64_t state_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace deco

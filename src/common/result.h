@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+/// \file result.h
+/// \brief `Result<T>`: value-or-status, the return type of fallible
+/// value-producing APIs (Arrow-style).
+
+namespace deco {
+
+/// \brief Holds either a `T` or a non-OK `Status`.
+///
+/// Invariant: a `Result` never holds an OK status without a value; the
+/// status alternative always carries an error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result from a value (implicit on purpose, so
+  /// `return value;` works in functions returning `Result<T>`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status (implicit on purpose,
+  /// so `return Status::InvalidArgument(...)` works).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief Returns the error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// \brief Access the held value; undefined behaviour unless `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// \brief Returns the value, or `fallback` if this result is an error.
+  T value_or(T fallback) const& { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// \brief Assigns the value of a `Result` expression to `lhs`, or returns its
+/// error status from the current function.
+#define DECO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define DECO_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  DECO_ASSIGN_OR_RETURN_IMPL(DECO_CONCAT_(_deco_result_, __LINE__), lhs, expr)
+
+#define DECO_CONCAT_INNER_(a, b) a##b
+#define DECO_CONCAT_(a, b) DECO_CONCAT_INNER_(a, b)
+
+}  // namespace deco

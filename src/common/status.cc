@@ -1,0 +1,64 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace deco {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kAlreadyExists:
+      return "already-exists";
+    case StatusCode::kOutOfRange:
+      return "out-of-range";
+    case StatusCode::kTimeout:
+      return "timeout";
+    case StatusCode::kNetworkError:
+      return "network-error";
+    case StatusCode::kNodeFailed:
+      return "node-failed";
+    case StatusCode::kNotSupported:
+      return "not-supported";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kIOError:
+      return "io-error";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+namespace internal {
+
+void DieOnStatus(const Status& status, const char* file, int line,
+                 const char* expr) {
+  std::fprintf(stderr, "%s:%d: DECO_CHECK_OK(%s) failed: %s\n", file, line,
+               expr, status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace deco

@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+/// \file status.h
+/// \brief Arrow/RocksDB-style status object used as the error model across
+/// the Deco codebase.
+///
+/// Core library code does not throw exceptions. Every fallible public API
+/// returns either a `Status` or a `Result<T>` (see result.h). The OK path is
+/// allocation-free: an OK status carries no state beyond its code.
+
+namespace deco {
+
+/// \brief Machine-readable category of a `Status`.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kTimeout = 5,
+  kNetworkError = 6,
+  kNodeFailed = 7,
+  kNotSupported = 8,
+  kResourceExhausted = 9,
+  kCancelled = 10,
+  kIOError = 11,
+  kInternal = 12,
+};
+
+/// \brief Returns the canonical lowercase name of a status code, e.g.
+/// "invalid-argument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: a code plus an optional human-readable
+/// message.
+///
+/// `Status` is cheap to copy in the OK case and cheap to move always. Use
+/// the static factory functions (`Status::InvalidArgument(...)` etc.) to
+/// construct errors, and `Status::OK()` for success.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \brief The canonical success value.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status NetworkError(std::string msg) {
+    return Status(StatusCode::kNetworkError, std::move(msg));
+  }
+  static Status NodeFailed(std::string msg) {
+    return Status(StatusCode::kNodeFailed, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// \brief True iff the status carries no error.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsNetworkError() const { return code_ == StatusCode::kNetworkError; }
+  bool IsNodeFailed() const { return code_ == StatusCode::kNodeFailed; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// \brief Renders as "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// \brief Equality compares code and message.
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) {
+    return !(a == b);
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// \brief Propagates a non-OK status to the caller.
+#define DECO_RETURN_NOT_OK(expr)              \
+  do {                                        \
+    ::deco::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+/// \brief Aborts the process if `expr` yields a non-OK status. Only for use
+/// in tests, examples and benchmark drivers where failure is unrecoverable.
+#define DECO_CHECK_OK(expr)                                            \
+  do {                                                                 \
+    ::deco::Status _st = (expr);                                       \
+    if (!_st.ok()) {                                                   \
+      ::deco::internal::DieOnStatus(_st, __FILE__, __LINE__, #expr);   \
+    }                                                                  \
+  } while (false)
+
+namespace internal {
+[[noreturn]] void DieOnStatus(const Status& status, const char* file, int line,
+                              const char* expr);
+}  // namespace internal
+
+}  // namespace deco

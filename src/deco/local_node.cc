@@ -1,0 +1,494 @@
+#include "deco/local_node.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "node/apportion.h"
+
+namespace deco {
+
+const char* DecoSchemeToString(DecoScheme scheme) {
+  switch (scheme) {
+    case DecoScheme::kMon:
+      return "deco-mon";
+    case DecoScheme::kSync:
+      return "deco-sync";
+    case DecoScheme::kAsync:
+      return "deco-async";
+  }
+  return "deco-?";
+}
+
+DecoLocalNode::DecoLocalNode(NetworkFabric* fabric, NodeId id, Clock* clock,
+                             const Topology& topology,
+                             const IngestConfig& ingest,
+                             const QueryConfig& query, DecoScheme scheme,
+                             DecoLocalOptions options)
+    : Actor(fabric, id, clock),
+      topology_(topology),
+      ingest_config_(ingest),
+      query_(query),
+      scheme_(scheme),
+      options_(options) {}
+
+bool DecoLocalNode::PullIntoRetained() {
+  if (source_->exhausted()) return false;
+  EventVec batch;
+  TimeNanos create_time = 0;
+  const size_t pulled =
+      source_->Pull(ingest_config_.batch_size, &batch, &create_time);
+  if (pulled == 0) return false;
+  for (const Event& e : batch) {
+    retained_.push_back(TimedEvent{e, static_cast<double>(create_time)});
+  }
+  return true;
+}
+
+size_t DecoLocalNode::TakeRegion(size_t want, std::vector<TimedEvent>* out) {
+  size_t served = 0;
+  while (served < want) {
+    if (cursor_ == retained_.size() && !PullIntoRetained()) break;
+    out->push_back(retained_[cursor_]);
+    ++cursor_;
+    ++served;
+  }
+  return served;
+}
+
+Status DecoLocalNode::BroadcastPeerRate(uint64_t w) {
+  RateReport report;
+  report.window_index = w;
+  report.event_rate = source_->TotalRate();
+  report.stream_position = source_->position();
+  BinaryWriter writer;
+  EncodeRateReport(report, &writer);
+  const std::string payload = writer.buffer();
+  // Record our own rate so the local apportionment covers all nodes.
+  auto& row = peer_rates_[w];
+  if (row.empty()) row.assign(topology_.num_locals(), 0.0);
+  row[self_ordinal_] = report.event_rate;
+  ++peer_rates_received_[w];
+  for (size_t n = 0; n < topology_.num_locals(); ++n) {
+    if (n == self_ordinal_) continue;
+    Message msg;
+    msg.type = MessageType::kRateExchange;
+    msg.dst = topology_.locals[n];
+    msg.window_index = w;
+    msg.epoch = epoch_;
+    msg.payload = payload;
+    DECO_RETURN_NOT_OK(Send(std::move(msg)));
+  }
+  return Status::OK();
+}
+
+bool DecoLocalNode::PeerRatesComplete(uint64_t w) const {
+  auto it = peer_rates_received_.find(w);
+  return it != peer_rates_received_.end() &&
+         it->second >= topology_.num_locals();
+}
+
+Status DecoLocalNode::SendRateReport(uint64_t w) {
+  RateReport report;
+  report.window_index = w;
+  report.event_rate = source_->TotalRate();
+  report.stream_position = source_->position();
+  BinaryWriter writer;
+  EncodeRateReport(report, &writer);
+  Message msg;
+  msg.type = MessageType::kEventRate;
+  msg.dst = topology_.root;
+  msg.window_index = w;
+  msg.epoch = epoch_;
+  msg.payload = writer.Release();
+  return Send(std::move(msg));
+}
+
+Status DecoLocalNode::ProduceWindow(uint64_t w, const SlicePlan& plan) {
+  // Front buffer (async layout only; empty plans ship nothing).
+  if (plan.front_buffer > 0) {
+    std::vector<TimedEvent> front;
+    TakeRegion(plan.front_buffer, &front);
+    EventBatchPayload payload;
+    payload.role = BatchRole::kFront;
+    payload.from_offset = 0;
+    payload.events.reserve(front.size());
+    Message msg;
+    double create_sum = 0.0;
+    for (const TimedEvent& te : front) {
+      payload.events.push_back(te.event);
+      create_sum += te.create_nanos;
+    }
+    if (!front.empty()) {
+      msg.MergeLatencyMeta(create_sum / static_cast<double>(front.size()),
+                           front.size());
+    }
+    BinaryWriter writer;
+    EncodeEventBatch(payload, &writer);
+    msg.type = MessageType::kEventBatch;
+    msg.dst = topology_.root;
+    msg.window_index = w;
+    msg.epoch = epoch_;
+    msg.payload = writer.Release();
+    DECO_RETURN_NOT_OK(Send(std::move(msg)));
+  }
+
+  // Slice: incremental local aggregation (the decentralized work).
+  {
+    std::vector<TimedEvent> slice_events;
+    slice_events.reserve(plan.slice);
+    TakeRegion(plan.slice, &slice_events);
+    SliceSummary summary;
+    summary.partial = func_->CreatePartial();
+    Message msg;
+    double create_sum = 0.0;
+    for (const TimedEvent& te : slice_events) {
+      func_->Accumulate(&summary.partial, te.event.value);
+      create_sum += te.create_nanos;
+    }
+    if (!slice_events.empty()) {
+      msg.MergeLatencyMeta(
+          create_sum / static_cast<double>(slice_events.size()),
+          slice_events.size());
+    }
+    summary.event_count = slice_events.size();
+    if (!slice_events.empty()) {
+      summary.min_ts = slice_events.front().event.timestamp;
+      const Event& last = slice_events.back().event;
+      summary.max_ts = last.timestamp;
+      summary.max_stream_id = last.stream_id;
+      summary.max_event_id = last.id;
+    }
+    summary.event_rate = source_->TotalRate();
+    BinaryWriter writer;
+    EncodeSliceSummary(summary, &writer);
+    msg.type = MessageType::kPartialResult;
+    msg.dst = topology_.root;
+    msg.window_index = w;
+    msg.epoch = epoch_;
+    msg.payload = writer.Release();
+    DECO_RETURN_NOT_OK(Send(std::move(msg)));
+  }
+
+  // End buffer: raw edge region for exact cut resolution at the root.
+  {
+    std::vector<TimedEvent> end;
+    TakeRegion(plan.end_buffer, &end);
+    EventBatchPayload payload;
+    payload.role = BatchRole::kEnd;
+    payload.events.reserve(end.size());
+    Message msg;
+    double create_sum = 0.0;
+    for (const TimedEvent& te : end) {
+      payload.events.push_back(te.event);
+      create_sum += te.create_nanos;
+    }
+    if (!end.empty()) {
+      msg.MergeLatencyMeta(create_sum / static_cast<double>(end.size()),
+                           end.size());
+    }
+    BinaryWriter writer;
+    EncodeEventBatch(payload, &writer);
+    msg.type = MessageType::kEventBatch;
+    msg.dst = topology_.root;
+    msg.window_index = w;
+    msg.epoch = epoch_;
+    msg.payload = writer.Release();
+    DECO_RETURN_NOT_OK(Send(std::move(msg)));
+  }
+
+  // End-of-stream marker once the budget is exhausted and fully shipped.
+  if (source_->exhausted() && cursor_ == retained_.size() && !eos_sent_) {
+    eos_sent_ = true;
+    Message msg;
+    msg.type = MessageType::kShutdown;
+    msg.dst = topology_.root;
+    msg.epoch = epoch_;
+    DECO_RETURN_NOT_OK(Send(std::move(msg)));
+  }
+  return Status::OK();
+}
+
+Status DecoLocalNode::HandleControl(const Message& msg) {
+  switch (msg.type) {
+    case MessageType::kWindowAssignment: {
+      BinaryReader reader(msg.payload);
+      DECO_ASSIGN_OR_RETURN(WindowAssignment assignment,
+                            DecodeWindowAssignment(&reader));
+      const EventKey wm{assignment.wm_ts, assignment.wm_stream,
+                        assignment.wm_id};
+      if (msg.epoch > epoch_) {
+        // Correction rollback (paper Â§4.3.2): the corrected window was
+        // assembled from the *complete* candidate streams, so every
+        // retained event at or below its watermark was consumed exactly
+        // once and must be dropped; everything after it is re-planned
+        // from scratch.
+        while (!retained_.empty() &&
+               EventKey::Of(retained_.front().event) <= wm) {
+          retained_.pop_front();
+        }
+        epoch_ = msg.epoch;
+        cursor_ = 0;
+        rolled_back_ = true;
+        need_slack_window_ = true;
+        eos_sent_ = false;  // re-announce once everything is re-produced
+        // The slack window re-establishes the carryover at the recentering
+        // target by itself; stale adjustments would overshoot it.
+        pending_size_adjust_ = 0;
+        resume_window_ = assignment.window_index;
+      } else {
+        // Normal verification watermark: drop covered events. Only events
+        // already produced into regions (index < cursor_) may be dropped —
+        // an event at or below the watermark that was never shipped would
+        // be lost for future correction resends. For a verified window the
+        // cut-bounding checks guarantee no such event exists, so the guard
+        // is a defensive invariant.
+        size_t dropped = 0;
+        while (!retained_.empty() && dropped < cursor_ &&
+               EventKey::Of(retained_.front().event) <= wm) {
+          retained_.pop_front();
+          ++dropped;
+        }
+        if (!retained_.empty() && dropped == cursor_ &&
+            EventKey::Of(retained_.front().event) <= wm) {
+          DECO_LOG(DEBUG) << "local " << id_
+                          << ": watermark reaches beyond produced events";
+        }
+        cursor_ -= dropped;
+      }
+      assigned_size_ = assignment.local_window_size;
+      assigned_delta_ = assignment.delta;
+      // Accumulate rather than overwrite: several assignments may arrive
+      // between two produced windows (the async pipeline runs ahead), and
+      // each carries an incremental recentering step.
+      pending_size_adjust_ += assignment.size_adjust;
+      last_assignment_window_ = assignment.window_index;
+      have_assignment_ = true;
+      return Status::OK();
+    }
+    case MessageType::kCorrectionRequest:
+      return HandleCorrectionRequest(msg);
+    case MessageType::kRateExchange: {
+      BinaryReader reader(msg.payload);
+      DECO_ASSIGN_OR_RETURN(RateReport report, DecodeRateReport(&reader));
+      DECO_ASSIGN_OR_RETURN(size_t ordinal, topology_.OrdinalOf(msg.src));
+      auto& row = peer_rates_[report.window_index];
+      if (row.empty()) row.assign(topology_.num_locals(), 0.0);
+      row[ordinal] = report.event_rate;
+      ++peer_rates_received_[report.window_index];
+      return Status::OK();
+    }
+    case MessageType::kShutdown:
+      done_ = true;
+      return Status::OK();
+    default:
+      DECO_LOG(WARNING) << "local node " << id_ << " ignoring "
+                        << MessageTypeToString(msg.type);
+      return Status::OK();
+  }
+}
+
+Status DecoLocalNode::HandleCorrectionRequest(const Message& msg) {
+  BinaryReader reader(msg.payload);
+  DECO_ASSIGN_OR_RETURN(CorrectionRequest request,
+                        DecodeCorrectionRequest(&reader));
+  CorrectionResponse response;
+  response.window_index = request.window_index;
+  Message out;
+  if (request.topup_events == 0) {
+    DECO_LOG(DEBUG) << "local " << id_ << ": correction w"
+                    << request.window_index << " resend retained="
+                    << retained_.size() << " cursor=" << cursor_
+                    << " pos=" << source_->position();
+    // Full retained region of the unverified windows.
+    response.from_offset = source_->position() - retained_.size();
+    response.events.reserve(retained_.size());
+    double create_sum = 0.0;
+    for (const TimedEvent& te : retained_) {
+      response.events.push_back(te.event);
+      create_sum += te.create_nanos;
+    }
+    if (!retained_.empty()) {
+      out.MergeLatencyMeta(
+          create_sum / static_cast<double>(retained_.size()),
+          retained_.size());
+    }
+  } else {
+    // Top-up: extend the retained region with fresh events.
+    response.from_offset = source_->position();
+    const size_t before = retained_.size();
+    while (retained_.size() - before < request.topup_events) {
+      if (!PullIntoRetained()) break;
+    }
+    const size_t added =
+        std::min<size_t>(retained_.size() - before, request.topup_events);
+    // Note: PullIntoRetained adds whole ingest batches; ship everything
+    // that was added so the root's candidate list mirrors `retained_`.
+    (void)added;
+    for (size_t i = before; i < retained_.size(); ++i) {
+      response.events.push_back(retained_[i].event);
+      out.MergeLatencyMeta(retained_[i].create_nanos, 1);
+    }
+  }
+  response.end_of_stream = source_->exhausted();
+  BinaryWriter writer;
+  EncodeCorrectionResponse(response, &writer);
+  out.type = MessageType::kCorrectionResult;
+  out.dst = topology_.root;
+  out.window_index = request.window_index;
+  // Echo the request's epoch: the same window index can be corrected more
+  // than once, and the root must be able to discard responses that belong
+  // to a superseded correction round.
+  out.epoch = msg.epoch;
+  out.payload = writer.Release();
+  return Send(std::move(out));
+}
+
+template <typename Pred>
+Status DecoLocalNode::BlockUntil(Pred predicate) {
+  while (!predicate() && !done_ && !stop_requested()) {
+    std::optional<Message> msg = Receive();
+    if (!msg.has_value()) {
+      done_ = true;
+      break;
+    }
+    DECO_RETURN_NOT_OK(HandleControl(*msg));
+  }
+  return Status::OK();
+}
+
+Status DecoLocalNode::Run() {
+  source_ = std::make_unique<IngestSource>(ingest_config_, clock_);
+  DECO_ASSIGN_OR_RETURN(func_,
+                        MakeAggregate(query_.aggregate, query_.quantile_q));
+  DECO_ASSIGN_OR_RETURN(self_ordinal_, topology_.OrdinalOf(id_));
+
+  // Initialization: report the observed rate so the root can apportion the
+  // first global window (all schemes; Deco_mon repeats this per window).
+  DECO_RETURN_NOT_OK(SendRateReport(0));
+  if (options_.peer_rate_exchange) DECO_RETURN_NOT_OK(BroadcastPeerRate(0));
+
+  uint64_t w = 0;
+  // Wait for the first assignment.
+  DECO_RETURN_NOT_OK(BlockUntil([&] { return have_assignment_; }));
+
+  while (!done_ && !stop_requested()) {
+    if (rolled_back_) {
+      w = resume_window_;
+      rolled_back_ = false;
+    }
+
+    // Drain pending control messages (async corrections / updates).
+    while (true) {
+      std::optional<Message> msg = TryReceive();
+      if (!msg.has_value()) break;
+      DECO_RETURN_NOT_OK(HandleControl(*msg));
+    }
+    if (done_ || stop_requested()) break;
+    if (rolled_back_) continue;
+
+    if (scheme_ == DecoScheme::kAsync) {
+      // Memory bound: do not run more than `max_unverified_windows` ahead
+      // of the root's verification.
+      const uint64_t last = last_assignment_window_;
+      if (w > last && w - last > options_.max_unverified_windows) {
+        DECO_RETURN_NOT_OK(BlockUntil([&] {
+          return rolled_back_ ||
+                 w - last_assignment_window_ <=
+                     options_.max_unverified_windows;
+        }));
+        if (done_ || stop_requested()) break;
+        if (rolled_back_) continue;
+      }
+    } else {
+      // Synchronous schemes: wait for this window's assignment.
+      DECO_RETURN_NOT_OK(BlockUntil([&] {
+        return rolled_back_ || last_assignment_window_ >= w;
+      }));
+      if (done_ || stop_requested()) break;
+      if (rolled_back_) continue;
+    }
+
+    if (source_->exhausted() && cursor_ == retained_.size()) {
+      // Everything produced and shipped; tell the root and stay responsive
+      // for corrections until it shuts us down.
+      if (!eos_sent_) {
+        eos_sent_ = true;
+        Message msg;
+        msg.type = MessageType::kShutdown;
+        msg.dst = topology_.root;
+        msg.epoch = epoch_;
+        DECO_RETURN_NOT_OK(Send(std::move(msg)));
+      }
+      DECO_LOG(DEBUG) << "local " << id_ << ": eos, staying responsive";
+      DECO_RETURN_NOT_OK(BlockUntil([&] { return rolled_back_; }));
+      if (rolled_back_) continue;  // correction: re-produce from retained
+      break;
+    }
+
+    uint64_t size = assigned_size_;
+    uint64_t delta = assigned_delta_;
+    if (scheme_ == DecoScheme::kAsync && w > last_assignment_window_) {
+      // The prediction is applied `lag` windows after the root computed
+      // it; drift accumulates roughly linearly with the lag, so widen the
+      // raw regions accordingly (bounded by the quarter window to keep
+      // the slice meaningful).
+      const uint64_t lag = w - last_assignment_window_;
+      delta = std::min(delta * lag, size / 4 + 1);
+    }
+    if (pending_size_adjust_ != 0) {
+      const int64_t adjusted =
+          static_cast<int64_t>(size) + pending_size_adjust_;
+      size = adjusted > 0 ? static_cast<uint64_t>(adjusted) : 0;
+      pending_size_adjust_ = 0;
+    }
+    if (options_.peer_rate_exchange) {
+      // Deco_monlocal: every local node computes the split itself from the
+      // exchanged peer rates (paper §5.1 microbenchmark).
+      DECO_RETURN_NOT_OK(
+          BlockUntil([&] { return rolled_back_ || PeerRatesComplete(w); }));
+      if (done_ || stop_requested()) break;
+      if (rolled_back_) continue;
+      DECO_ASSIGN_OR_RETURN(
+          std::vector<uint64_t> shares,
+          ApportionWindow(ProtocolWindowLength(query_.window),
+                          peer_rates_[w]));
+      // In peer mode the root's assignment carries this node's leftover
+      // (events already buffered at the root) in `local_window_size`.
+      const uint64_t leftover = assigned_size_;
+      size = shares[self_ordinal_] > leftover
+                 ? shares[self_ordinal_] - leftover
+                 : 0;
+      delta = std::max<uint64_t>(1, shares[self_ordinal_] /
+                                        options_.peer_delta_divisor);
+      peer_rates_.erase(w);
+      peer_rates_received_.erase(w);
+    }
+
+    SlicePlan plan;
+    if (scheme_ != DecoScheme::kAsync) {
+      plan = PlanSync(size, delta);
+    } else if (need_slack_window_) {
+      plan = PlanAsyncSlack(size, delta);
+      need_slack_window_ = false;
+    } else {
+      plan = PlanAsync(size, delta);
+    }
+    DECO_LOG(DEBUG) << "local " << id_ << ": window " << w << " plan f/s/e="
+                    << plan.front_buffer << "/" << plan.slice << "/"
+                    << plan.end_buffer;
+    DECO_RETURN_NOT_OK(ProduceWindow(w, plan));
+    ++w;
+
+    // Deco_mon: report the fresh rate for the next window before blocking
+    // (initialization step of window w+1, paper Fig. 3).
+    if (scheme_ == DecoScheme::kMon) {
+      DECO_RETURN_NOT_OK(SendRateReport(w));
+      if (options_.peer_rate_exchange) {
+        DECO_RETURN_NOT_OK(BroadcastPeerRate(w));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace deco

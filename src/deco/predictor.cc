@@ -1,0 +1,39 @@
+#include "deco/predictor.h"
+
+#include <algorithm>
+
+namespace deco {
+
+LocalWindowPredictor::LocalWindowPredictor(size_t history_m,
+                                           uint64_t delta_floor,
+                                           double delta_multiplier)
+    : history_m_(std::max<size_t>(1, history_m)),
+      delta_floor_(std::max<uint64_t>(1, delta_floor)),
+      delta_multiplier_(std::max(1.0, delta_multiplier)) {}
+
+void LocalWindowPredictor::ObserveActual(uint64_t actual_size) {
+  if (observations_ >= 1) {
+    const uint64_t delta = actual_size > last_actual_
+                               ? actual_size - last_actual_
+                               : last_actual_ - actual_size;
+    recent_deltas_.push_back(delta);
+    delta_sum_ += delta;
+    if (recent_deltas_.size() > history_m_) {
+      delta_sum_ -= recent_deltas_.front();
+      recent_deltas_.pop_front();
+    }
+  }
+  prev_actual_ = last_actual_;
+  last_actual_ = actual_size;
+  ++observations_;
+}
+
+uint64_t LocalWindowPredictor::Delta() const {
+  if (recent_deltas_.empty()) return delta_floor_;
+  const double avg = static_cast<double>(delta_sum_) /
+                     static_cast<double>(recent_deltas_.size());
+  return std::max(delta_floor_,
+                  static_cast<uint64_t>(avg * delta_multiplier_ + 0.5));
+}
+
+}  // namespace deco

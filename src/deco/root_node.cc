@@ -1,0 +1,511 @@
+#include "deco/root_node.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "deco/planner.h"
+#include "node/apportion.h"
+
+namespace deco {
+
+DecoRootNode::DecoRootNode(NetworkFabric* fabric, NodeId id, Clock* clock,
+                           const Topology& topology,
+                           const QueryConfig& query, DecoScheme scheme,
+                           RunReport* report, DecoRootOptions options)
+    : Actor(fabric, id, clock),
+      topology_(topology),
+      query_(query),
+      scheme_(scheme),
+      report_(report),
+      options_(options) {}
+
+bool DecoRootNode::RatesComplete(uint64_t w) const {
+  auto it = rates_received_.find(w);
+  if (it == rates_received_.end()) return false;
+  size_t live = 0;
+  for (size_t n = 0; n < topology_.num_locals(); ++n) {
+    if (!assembler_->IsRemoved(n) && !assembler_->IsEos(n)) ++live;
+  }
+  return it->second >= live;
+}
+
+Status DecoRootNode::Run() {
+  DECO_ASSIGN_OR_RETURN(func_,
+                        MakeAggregate(query_.aggregate, query_.quantile_q));
+  if (!func_->IsDecomposable()) {
+    return Status::NotSupported(
+        "Deco decentralizes only (self-)decomposable aggregates; holistic "
+        "functions are processed centrally (paper footnote 2) — use the "
+        "Central scheme");
+  }
+  const size_t m = topology_.num_locals();
+  assembler_ = std::make_unique<WindowAssembler>(
+      m, func_.get(), ProtocolWindowLength(query_.window));
+  assembler_->set_expect_front(scheme_ == DecoScheme::kAsync);
+  predictors_.assign(
+      m, LocalWindowPredictor(options_.predictor_history_m,
+                              options_.delta_floor,
+                              options_.delta_multiplier));
+  last_consumed_.assign(m, 0);
+  latest_rates_.assign(m, 0.0);
+  correction_responded_.assign(m, false);
+  last_heard_.assign(m, NowNanos());
+  report_->consumption = ConsumptionLog(m);
+  report_->scheme = DecoSchemeToString(scheme_);
+
+  while (!stop_requested() && !finished_) {
+    std::optional<Message> msg =
+        options_.node_timeout_nanos > 0
+            ? ReceiveWithTimeout(options_.node_timeout_nanos / 4)
+            : Receive();
+    if (msg.has_value()) {
+      DECO_RETURN_NOT_OK(Dispatch(*msg));
+    } else if (options_.node_timeout_nanos > 0) {
+      DECO_RETURN_NOT_OK(CheckNodeTimeouts());
+    } else {
+      break;  // mailbox closed
+    }
+    DECO_RETURN_NOT_OK(Progress());
+  }
+  return BroadcastShutdown();
+}
+
+Status DecoRootNode::Dispatch(const Message& msg) {
+  DECO_ASSIGN_OR_RETURN(size_t node, topology_.OrdinalOf(msg.src));
+  last_heard_[node] = NowNanos();
+  switch (msg.type) {
+    case MessageType::kEventRate: {
+      BinaryReader reader(msg.payload);
+      DECO_ASSIGN_OR_RETURN(RateReport report, DecodeRateReport(&reader));
+      auto& row = rates_[report.window_index];
+      if (row.empty()) row.assign(topology_.num_locals(), 0.0);
+      row[node] = report.event_rate;
+      latest_rates_[node] = report.event_rate;
+      ++rates_received_[report.window_index];
+      return Status::OK();
+    }
+    case MessageType::kPartialResult: {
+      if (msg.epoch != epoch_) return Status::OK();  // stale after rollback
+      BinaryReader reader(msg.payload);
+      DECO_ASSIGN_OR_RETURN(SliceSummary slice, DecodeSliceSummary(&reader));
+      if (slice.event_rate > 0.0) latest_rates_[node] = slice.event_rate;
+      return assembler_->AddSlice(msg.window_index, node, std::move(slice),
+                                  msg.lat_mean_create_nanos);
+    }
+    case MessageType::kEventBatch: {
+      if (msg.epoch != epoch_) return Status::OK();
+      BinaryReader reader(msg.payload);
+      DECO_ASSIGN_OR_RETURN(EventBatchPayload batch,
+                            DecodeEventBatch(&reader));
+      return assembler_->AddRaw(msg.window_index, node, batch.role,
+                                std::move(batch.events),
+                                msg.lat_mean_create_nanos);
+    }
+    case MessageType::kCorrectionResult: {
+      if (!assembler_->correcting() ||
+          msg.window_index != correction_window_ || msg.epoch != epoch_) {
+        DECO_LOG(DEBUG) << "root: dropping stale correction response from "
+                        << node << " (w" << msg.window_index << " epoch "
+                        << msg.epoch << " vs " << epoch_ << ")";
+        return Status::OK();  // late response from an older correction
+      }
+      DECO_LOG(DEBUG) << "root: correction response from " << node
+                      << " bytes=" << msg.payload.size();
+      BinaryReader reader(msg.payload);
+      DECO_ASSIGN_OR_RETURN(CorrectionResponse response,
+                            DecodeCorrectionResponse(&reader));
+      if (response.end_of_stream) assembler_->MarkCandidatesComplete(node);
+      correction_responded_[node] = true;
+      return assembler_->AddCandidates(node, response.events,
+                                       msg.lat_mean_create_nanos);
+    }
+    case MessageType::kShutdown:
+      if (msg.epoch != epoch_) return Status::OK();  // pre-rollback marker
+      DECO_LOG(DEBUG) << "root: node " << node << " eos";
+      assembler_->MarkEos(node);
+      return Status::OK();
+    default:
+      DECO_LOG(WARNING) << "deco root ignoring "
+                        << MessageTypeToString(msg.type);
+      return Status::OK();
+  }
+}
+
+Status DecoRootNode::Progress() {
+  if (assembler_->correcting()) {
+    // Wait for every live node's candidates before attempting the fallback.
+    for (size_t n = 0; n < topology_.num_locals(); ++n) {
+      if (assembler_->IsRemoved(n)) continue;
+      if (!correction_responded_[n]) return MaybeSendAssignments();
+    }
+    WindowAssembly assembly;
+    std::vector<size_t> need_more;
+    const auto outcome =
+        assembler_->TryAssembleCorrected(&assembly, &need_more);
+    switch (outcome) {
+      case WindowAssembler::CorrectionOutcome::kAssembled:
+        DECO_RETURN_NOT_OK(FinishWindow(assembly, /*corrected=*/true));
+        break;
+      case WindowAssembler::CorrectionOutcome::kNeedMore:
+        for (size_t n : need_more) {
+          correction_responded_[n] = false;
+          CorrectionRequest request;
+          request.window_index = correction_window_;
+          request.topup_events = options_.correction_topup;
+          BinaryWriter writer;
+          EncodeCorrectionRequest(request, &writer);
+          Message msg;
+          msg.type = MessageType::kCorrectionRequest;
+          msg.dst = topology_.locals[n];
+          msg.window_index = correction_window_;
+          msg.epoch = epoch_;
+          msg.payload = writer.Release();
+          DECO_RETURN_NOT_OK(Send(std::move(msg)));
+        }
+        break;
+      case WindowAssembler::CorrectionOutcome::kEndOfStream:
+        finished_ = true;
+        return Status::OK();
+    }
+    if (assembler_->correcting()) return MaybeSendAssignments();
+    // A corrected window completed: continue with the normal path so that
+    // end-of-stream (or the next ready window) is detected immediately.
+  }
+
+  // Normal path: assemble as many consecutive windows as possible.
+  while (true) {
+    WindowAssembly assembly;
+    const auto outcome = assembler_->TryAssemble(&assembly);
+    if (outcome == WindowAssembler::Outcome::kAssembled) {
+      DECO_RETURN_NOT_OK(FinishWindow(assembly, /*corrected=*/false));
+      continue;
+    }
+    if (outcome == WindowAssembler::Outcome::kNeedCorrection) {
+      DECO_RETURN_NOT_OK(StartCorrection());
+      return Status::OK();
+    }
+    if (outcome == WindowAssembler::Outcome::kEndOfStream) {
+      DECO_LOG(DEBUG) << "root: end of stream at window "
+                      << assembler_->next_window();
+      finished_ = true;
+      return Status::OK();
+    }
+    break;  // kNotReady
+  }
+  return MaybeSendAssignments();
+}
+
+Status DecoRootNode::StartCorrection() {
+  DECO_LOG(DEBUG) << "root: correction for window "
+                  << assembler_->next_window();
+  ++report_->correction_steps;
+  correction_window_ = assembler_->next_window();
+  assembler_->BeginCorrection();
+  // Roll the epoch forward: every in-flight data message for this or any
+  // later window is now stale (paper §4.3.2: local nodes recalculate all
+  // windows after the wrong one).
+  ++epoch_;
+  std::fill(correction_responded_.begin(), correction_responded_.end(),
+            false);
+  for (size_t n = 0; n < topology_.num_locals(); ++n) {
+    if (assembler_->IsRemoved(n)) continue;
+    CorrectionRequest request;
+    request.window_index = correction_window_;
+    request.topup_events = 0;  // full retained region
+    BinaryWriter writer;
+    EncodeCorrectionRequest(request, &writer);
+    Message msg;
+    msg.type = MessageType::kCorrectionRequest;
+    msg.dst = topology_.locals[n];
+    msg.window_index = correction_window_;
+    msg.epoch = epoch_;
+    msg.payload = writer.Release();
+    DECO_RETURN_NOT_OK(Send(std::move(msg)));
+  }
+  return Status::OK();
+}
+
+Status DecoRootNode::EmitProtocolWindow(const WindowAssembly& assembly,
+                                        bool corrected) {
+  if (query_.window.type != WindowType::kSliding) {
+    GlobalWindowRecord record;
+    record.window_index = report_->windows_emitted;
+    record.value = func_->Finalize(assembly.partial);
+    record.event_count = assembly.event_count;
+    record.corrected = corrected;
+    record.mean_latency_nanos =
+        static_cast<double>(NowNanos()) - assembly.create_mean;
+    report_->windows.push_back(record);
+    report_->latency.Record(static_cast<int64_t>(record.mean_latency_nanos));
+    report_->consumption.AddWindow(assembly.consumed);
+    report_->events_processed += assembly.event_count;
+    ++report_->windows_emitted;
+    return Status::OK();
+  }
+
+  // Sliding count query: the protocol ran on one pane of
+  // gcd(length, slide) events; compose overlapping windows from the pane
+  // ring (an extension beyond the paper, which falls back to centralized
+  // processing for sliding count windows).
+  const uint64_t pane = ProtocolWindowLength(query_.window);
+  const uint64_t panes_per_window = query_.window.length / pane;
+  const uint64_t panes_per_slide = query_.window.slide / pane;
+  panes_.push_back(Pane{assembly.partial, assembly.create_mean,
+                        assembly.create_count, corrected});
+  ++panes_seen_;
+  report_->events_processed += assembly.event_count;
+
+  const bool closes = panes_seen_ >= panes_per_window &&
+                      (panes_seen_ - panes_per_window) % panes_per_slide == 0;
+  if (!closes) return Status::OK();
+
+  Partial merged = func_->CreatePartial();
+  double create_mean = 0.0;
+  uint64_t create_count = 0;
+  bool any_corrected = false;
+  for (const Pane& p : panes_) {
+    DECO_RETURN_NOT_OK(func_->Merge(&merged, p.partial));
+    if (p.create_count > 0) {
+      const uint64_t total = create_count + p.create_count;
+      create_mean = (create_mean * static_cast<double>(create_count) +
+                     p.create_mean * static_cast<double>(p.create_count)) /
+                    static_cast<double>(total);
+      create_count = total;
+    }
+    any_corrected = any_corrected || p.corrected;
+  }
+  GlobalWindowRecord record;
+  record.window_index = report_->windows_emitted;
+  record.value = func_->Finalize(merged);
+  record.event_count = query_.window.length;
+  record.corrected = any_corrected;
+  record.mean_latency_nanos =
+      static_cast<double>(NowNanos()) - create_mean;
+  report_->windows.push_back(record);
+  report_->latency.Record(static_cast<int64_t>(record.mean_latency_nanos));
+  ++report_->windows_emitted;
+  for (uint64_t i = 0; i < panes_per_slide && !panes_.empty(); ++i) {
+    panes_.pop_front();
+  }
+  return Status::OK();
+}
+
+Status DecoRootNode::FinishWindow(const WindowAssembly& assembly,
+                                  bool corrected) {
+  if (GetLogLevel() <= LogLevel::kDebug) {
+    std::string leftovers;
+    for (size_t n = 0; n < topology_.num_locals(); ++n) {
+      leftovers += std::to_string(assembler_->leftover_size(n)) + "/" +
+                   std::to_string(assembly.consumed[n]) + " ";
+    }
+    DECO_LOG(DEBUG) << "root: finished window " << report_->windows_emitted
+                    << (corrected ? " (corrected)" : "")
+                    << " leftovers: " << leftovers;
+  }
+  DECO_RETURN_NOT_OK(EmitProtocolWindow(assembly, corrected));
+
+  // Feed the predictors with the paper's rate-derived actual sizes
+  // (Â§4.2.2): a verified window's consumed counts are capped to the plan
+  // by construction, so they cannot reflect true drift.
+  bool have_rates = true;
+  for (size_t n = 0; n < topology_.num_locals(); ++n) {
+    if (!assembler_->IsRemoved(n) && !(latest_rates_[n] > 0.0)) {
+      have_rates = false;
+      break;
+    }
+  }
+  std::vector<uint64_t> estimates = assembly.consumed;
+  if (have_rates) {
+    std::vector<double> weights(topology_.num_locals(), 0.0);
+    for (size_t n = 0; n < topology_.num_locals(); ++n) {
+      if (!assembler_->IsRemoved(n)) weights[n] = latest_rates_[n];
+    }
+    auto apportioned =
+        ApportionWindow(ProtocolWindowLength(query_.window), weights);
+    if (apportioned.ok()) estimates = std::move(apportioned).value();
+  }
+  for (size_t n = 0; n < topology_.num_locals(); ++n) {
+    if (assembler_->IsRemoved(n)) continue;
+    last_consumed_[n] = assembly.consumed[n];
+    predictors_[n].ObserveActual(estimates[n]);
+  }
+  last_watermark_ = assembly.watermark;
+  last_window_corrected_ = corrected;
+  return Status::OK();
+}
+
+Status DecoRootNode::MaybeSendAssignments() {
+  while (assignment_window_ <= assembler_->next_window() &&
+         !assembler_->correcting()) {
+    const uint64_t w = assignment_window_;
+    const size_t m = topology_.num_locals();
+    std::vector<uint64_t> sizes(m, 0);
+    std::vector<uint64_t> deltas(m, 0);
+
+    const bool bootstrap = w == 0;
+    const bool monitored = scheme_ == DecoScheme::kMon;
+    if (options_.peer_rate_exchange) {
+      // Deco_monlocal: sizes are computed by the local nodes themselves;
+      // the assignment only signals the window start and the watermark.
+    } else if (bootstrap || monitored) {
+      // Measured split: needs this window's rate reports from every node.
+      // After a correction the assignment is also the rollback signal, so
+      // it must go out even without fresh reports (falling back to the
+      // latest known rates): exhausted locals report nothing further.
+      const bool have_fresh = RatesComplete(w);
+      if (!have_fresh && !last_window_corrected_) return Status::OK();
+      DECO_ASSIGN_OR_RETURN(
+          sizes, ApportionWindow(ProtocolWindowLength(query_.window),
+                                 have_fresh ? rates_[w] : latest_rates_));
+      rates_.erase(w);
+      rates_received_.erase(w);
+      for (size_t n = 0; n < m; ++n) {
+        deltas[n] = predictors_[n].Ready()
+                        ? predictors_[n].Delta()
+                        : std::max<uint64_t>(
+                              options_.delta_floor,
+                              sizes[n] / options_.bootstrap_slack_divisor);
+      }
+    } else {
+      // Predicted split (Algorithm 1).
+      for (size_t n = 0; n < m; ++n) {
+        if (predictors_[n].Ready()) {
+          sizes[n] = predictors_[n].PredictedSize();
+          deltas[n] = predictors_[n].Delta();
+        } else {
+          sizes[n] = last_consumed_[n];
+          deltas[n] = std::max<uint64_t>(
+              options_.delta_floor,
+              sizes[n] / options_.bootstrap_slack_divisor);
+        }
+      }
+    }
+    // Size-relative delta floor: the cut position jitters by a few events
+    // even under perfectly stable rates (discrete interleaving), so the
+    // raw edge must never shrink below a small fraction of the local
+    // window regardless of how calm the rate history looks.
+    for (size_t n = 0; n < m; ++n) {
+      deltas[n] = std::max(deltas[n], sizes[n] / 256);
+    }
+
+    // Deco_async recentering. The root's carryover has two failure axes:
+    // its *distribution* across nodes drifts as a near-zero-sum random
+    // walk (per-window selection tilt), and its *aggregate* level drifts
+    // slowly (local nodes apply assignment versions at different times,
+    // so applied region sizes do not sum to the window exactly). The
+    // distribution is corrected aggressively (zero-sum component, gain
+    // 0.5); the aggregate gently (uniform component, gain 0.15), because
+    // it interacts with the pipeline lag and over-correcting oscillates.
+    std::vector<double> adjust(m, 0.0);
+    if (scheme_ == DecoScheme::kAsync) {
+      double total_dev = 0.0;
+      size_t live = 0;
+      for (size_t n = 0; n < m; ++n) {
+        if (assembler_->IsRemoved(n)) continue;
+        const uint64_t end = AsyncEndSize(sizes[n], deltas[n]);
+        const uint64_t front = AsyncFrontSize(sizes[n], deltas[n]);
+        const double target =
+            end > front ? static_cast<double>(end - front) / 2.0 : 1.0;
+        adjust[n] = target - static_cast<double>(assembler_->carry(n));
+        total_dev += adjust[n];
+        ++live;
+      }
+      if (live > 0) {
+        const double mean_dev = total_dev / static_cast<double>(live);
+        for (size_t n = 0; n < m; ++n) {
+          if (assembler_->IsRemoved(n)) continue;
+          adjust[n] = 0.5 * (adjust[n] - mean_dev) + 0.15 * mean_dev;
+        }
+      }
+    }
+
+    for (size_t n = 0; n < m; ++n) {
+      if (assembler_->IsRemoved(n)) continue;
+      // Events already buffered at the root (carryover from the previous
+      // window's raw edge) count toward this node's local window; the
+      // synchronous schemes must not re-plan them. Deco_async local nodes
+      // run ahead of these assignments, so their layout self-balances
+      // around the standing root-buffer slack instead.
+      if (options_.peer_rate_exchange) {
+        // Deco_monlocal: the locals compute their own sizes; ship the
+        // node's root-buffer carryover so it can subtract it.
+        sizes[n] = assembler_->leftover_size(n);
+      } else if (scheme_ != DecoScheme::kAsync) {
+        const uint64_t leftover = assembler_->leftover_size(n);
+        sizes[n] = sizes[n] > leftover ? sizes[n] - leftover : 0;
+      }
+      WindowAssignment assignment;
+      assignment.window_index = w;
+      assignment.local_window_size = sizes[n];
+      assignment.delta = deltas[n];
+      if (scheme_ == DecoScheme::kAsync) {
+        assignment.size_adjust = static_cast<int64_t>(adjust[n]);
+      }
+      assignment.wm_ts = last_watermark_.ts;
+      assignment.wm_stream = last_watermark_.stream;
+      assignment.wm_id = last_watermark_.id;
+      DECO_RETURN_NOT_OK(SendAssignment(n, assignment));
+    }
+    DECO_LOG(DEBUG) << "root: sent assignments for window " << w;
+    ++assignment_window_;
+  }
+  return Status::OK();
+}
+
+Status DecoRootNode::SendAssignment(size_t node,
+                                    const WindowAssignment& assignment) {
+  BinaryWriter writer;
+  EncodeWindowAssignment(assignment, &writer);
+  Message msg;
+  msg.type = MessageType::kWindowAssignment;
+  msg.dst = topology_.locals[node];
+  msg.window_index = assignment.window_index;
+  msg.epoch = epoch_;
+  msg.payload = writer.Release();
+  return Send(std::move(msg));
+}
+
+Status DecoRootNode::BroadcastShutdown() {
+  for (NodeId local : topology_.locals) {
+    Message msg;
+    msg.type = MessageType::kShutdown;
+    msg.dst = local;
+    msg.epoch = epoch_;
+    Status status = Send(std::move(msg));
+    if (!status.ok() && !status.IsNodeFailed()) return status;
+  }
+  return Status::OK();
+}
+
+Status DecoRootNode::CheckNodeTimeouts() {
+  const TimeNanos now = NowNanos();
+  bool removed_any = false;
+  for (size_t n = 0; n < topology_.num_locals(); ++n) {
+    if (assembler_->IsRemoved(n) || assembler_->IsEos(n)) continue;
+    // Only a node whose input the root is actually waiting for can be
+    // declared dead: synchronous local nodes legitimately go silent once
+    // they have shipped their window and are awaiting the next
+    // assignment.
+    const bool awaited = assembler_->correcting()
+                             ? !correction_responded_[n]
+                             : !assembler_->HasWindowInputs(n);
+    if (!awaited) {
+      last_heard_[n] = now;
+      continue;
+    }
+    if (now - last_heard_[n] > options_.node_timeout_nanos) {
+      DECO_LOG(WARNING) << "deco root: local node " << topology_.locals[n]
+                        << " timed out; removing and correcting";
+      assembler_->RemoveNode(n);
+      removed_any = true;
+    }
+  }
+  if (removed_any && !assembler_->correcting()) {
+    // Rebuild the current window from the surviving nodes (paper §4.3.4:
+    // "the root node then starts the correction step").
+    DECO_RETURN_NOT_OK(StartCorrection());
+  }
+  return Status::OK();
+}
+
+}  // namespace deco

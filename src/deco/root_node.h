@@ -1,0 +1,144 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "deco/assembler.h"
+#include "deco/local_node.h"
+#include "deco/predictor.h"
+#include "metrics/report.h"
+#include "node/actor.h"
+#include "node/query.h"
+#include "node/topology.h"
+
+/// \file root_node.h
+/// \brief Deco root node (paper §4.2): runs prediction, verification and
+/// correction for consecutive global windows, emits final results, and
+/// drives the per-scheme flow pattern:
+///
+///  - `kMon`  — waits for fresh rate reports each window and apportions
+///              the measured local window sizes (paper §4.2.1);
+///  - `kSync` — sends predicted sizes immediately after each verification
+///              (Algorithm 1/3);
+///  - `kAsync`— same, but local nodes never wait for them; on a prediction
+///              error the epoch is bumped so stale in-flight messages from
+///              rolled-back windows are discarded (Algorithm 5, §4.3.2).
+
+namespace deco {
+
+/// \brief Root-node tunables.
+struct DecoRootOptions {
+  /// Delta-history length `m` (paper §4.2.2, last paragraph).
+  size_t predictor_history_m = 4;
+
+  /// Minimum delta (raw edge width); >= 1 for exactness.
+  uint64_t delta_floor = 1;
+
+  /// Safety factor widening the averaged delta (1.0 = paper's literal
+  /// Eq. 2; larger trades a slightly wider raw edge for fewer
+  /// corrections).
+  double delta_multiplier = 2.0;
+
+  /// Bootstrap slack: before the predictor has history, delta is
+  /// `max(delta_floor, share / bootstrap_slack_divisor)`.
+  uint64_t bootstrap_slack_divisor = 8;
+
+  /// Top-up request size during corrections, in events.
+  uint64_t correction_topup = 4096;
+
+  /// Per-node silence timeout for failure detection; 0 disables
+  /// (paper §4.3.4). Wall-clock nanoseconds.
+  TimeNanos node_timeout_nanos = 0;
+
+  /// Deco_monlocal (paper §5.1 microbenchmark): local nodes apportion
+  /// window sizes among themselves; the root only verifies results and
+  /// signals window starts. Must match the local nodes'
+  /// `DecoLocalOptions::peer_rate_exchange`.
+  bool peer_rate_exchange = false;
+};
+
+/// \brief Deco root actor.
+class DecoRootNode final : public Actor {
+ public:
+  /// \param report filled on the actor thread; read after `Join`. Not
+  ///        owned.
+  DecoRootNode(NetworkFabric* fabric, NodeId id, Clock* clock,
+               const Topology& topology, const QueryConfig& query,
+               DecoScheme scheme, RunReport* report,
+               DecoRootOptions options = {});
+
+ protected:
+  Status Run() override;
+
+ private:
+  Status Dispatch(const Message& msg);
+  Status Progress();
+
+  /// Emits the assembled protocol window. For tumbling queries this is the
+  /// global window itself; for sliding count queries it is one pane, and
+  /// consecutive pane partials are composed into overlapping windows.
+  Status EmitProtocolWindow(const WindowAssembly& assembly, bool corrected);
+  Status StartCorrection();
+  Status FinishWindow(const WindowAssembly& assembly, bool corrected);
+  Status MaybeSendAssignments();
+  Status SendAssignment(size_t node, const WindowAssignment& assignment);
+  Status BroadcastShutdown();
+  Status CheckNodeTimeouts();
+
+  /// True when every live node's rate report for `w` has arrived.
+  bool RatesComplete(uint64_t w) const;
+
+  Topology topology_;
+  QueryConfig query_;
+  DecoScheme scheme_;
+  RunReport* report_;
+  DecoRootOptions options_;
+
+  std::unique_ptr<AggregateFunction> func_;
+  std::unique_ptr<WindowAssembler> assembler_;
+  std::vector<LocalWindowPredictor> predictors_;
+  std::vector<uint64_t> last_consumed_;
+
+  // Latest instantaneous event rate reported by each node (via rate
+  // reports and slice summaries). The paper derives "actual local window
+  // sizes" from these rates (Â§4.2.2); feeding the predictor with
+  // rate-apportioned estimates (instead of the verification-capped
+  // consumed counts) keeps the delta tracking true drift.
+  std::vector<double> latest_rates_;
+
+  // Rate reports per window (mon every window; others only window 0).
+  std::map<uint64_t, std::vector<double>> rates_;
+  std::map<uint64_t, size_t> rates_received_;
+
+  // Assignment gating: the next window whose assignment has not been sent.
+  uint64_t assignment_window_ = 0;
+  EventKey last_watermark_;
+
+  // Sliding-window pane composition (decentralized sliding extension).
+  struct Pane {
+    Partial partial;
+    double create_mean = 0.0;
+    uint64_t create_count = 0;
+    bool corrected = false;
+  };
+  std::deque<Pane> panes_;
+  uint64_t panes_seen_ = 0;
+
+  uint64_t epoch_ = 0;
+  bool finished_ = false;
+  // True when the most recently finished window needed a correction: the
+  // next assignment doubles as the rollback signal and must not be gated
+  // on fresh rate reports (exhausted locals never send them — deadlock).
+  bool last_window_corrected_ = false;
+
+  // Correction bookkeeping.
+  std::vector<bool> correction_responded_;
+  uint64_t correction_window_ = 0;
+
+  // Failure detection.
+  std::vector<TimeNanos> last_heard_;
+};
+
+}  // namespace deco

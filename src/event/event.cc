@@ -1,0 +1,14 @@
+#include "event/event.h"
+
+#include <sstream>
+
+namespace deco {
+
+std::string ToString(const Event& event) {
+  std::ostringstream os;
+  os << "(id=" << event.id << ", stream=" << event.stream_id
+     << ", v=" << event.value << ", ts=" << event.timestamp << ")";
+  return os.str();
+}
+
+}  // namespace deco

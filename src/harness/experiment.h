@@ -1,0 +1,102 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "deco/local_node.h"
+#include "deco/root_node.h"
+#include "metrics/report.h"
+#include "node/query.h"
+
+/// \file experiment.h
+/// \brief One-call experiment driver used by every benchmark, example and
+/// integration test: builds a star topology over the in-process fabric,
+/// runs one scheme on one workload, and returns the full `RunReport`.
+
+namespace deco {
+
+/// \brief Every approach evaluated in the paper (§5, "Evaluated
+/// Approaches") plus the Deco_monlocal microbenchmark variant.
+enum class Scheme : uint8_t {
+  kCentral = 0,
+  kScotty = 1,
+  kDisco = 2,
+  kApprox = 3,
+  kDecoMon = 4,
+  kDecoSync = 5,
+  kDecoAsync = 6,
+  kDecoMonLocal = 7,
+};
+
+const char* SchemeToString(Scheme scheme);
+Result<Scheme> SchemeFromString(const std::string& name);
+
+/// \brief True for the schemes that aggregate on local nodes.
+bool IsDecentralized(Scheme scheme);
+
+/// \brief Full description of one experiment run.
+struct ExperimentConfig {
+  Scheme scheme = Scheme::kDecoAsync;
+
+  /// The streamed query (window + aggregate). Deco schemes support
+  /// count-based tumbling windows with decomposable aggregates; Central /
+  /// Scotty / Disco additionally run sliding count windows; holistic
+  /// aggregates require Central (paper footnote 2).
+  QueryConfig query;
+
+  /// Topology: `num_locals` local nodes, each ingesting
+  /// `streams_per_local` sensor streams.
+  size_t num_locals = 2;
+  size_t streams_per_local = 4;
+
+  /// Events each local node produces before end-of-stream.
+  uint64_t events_per_local = 1'000'000;
+
+  /// Nominal per-local-node event rate (events/second of event time),
+  /// split evenly across its streams.
+  double base_rate = 1'000'000.0;
+
+  /// Per-local-node rate multiplier spread: local node `i` runs at
+  /// `base_rate * (1 + rate_skew * i)`. 0 = homogeneous.
+  double rate_skew = 0.0;
+
+  /// The paper's event-rate-change parameter (e.g. 0.01 for "1%").
+  double rate_change = 0.01;
+
+  /// Events between instantaneous-rate redraws; 0 = derive from the
+  /// window size (a few redraws per local window).
+  uint64_t rate_epoch_events = 0;
+
+  /// Ingestion batch granularity (events per data-plane message).
+  size_t batch_size = 4096;
+
+  /// IoT emulation (paper §5.3): per-local-node CPU cap in events/sec and
+  /// egress bandwidth cap in bytes/sec; 0 = unconstrained.
+  uint64_t cpu_events_per_sec = 0;
+  uint64_t egress_bytes_per_sec = 0;
+
+  /// One-way link latency between root and locals, nanoseconds.
+  TimeNanos link_latency_nanos = 0;
+
+  /// Probability of dropping any message (unreliable-network injection).
+  double drop_probability = 0.0;
+
+  /// Base PRNG seed; all stream seeds derive from it deterministically.
+  uint64_t seed = 42;
+
+  /// Deco tuning knobs.
+  DecoRootOptions root_options;
+  DecoLocalOptions local_options;
+
+  Status Validate() const;
+};
+
+/// \brief Runs one experiment to completion and returns its measurements.
+Result<RunReport> RunExperiment(const ExperimentConfig& config);
+
+/// \brief Builds the ingest configuration of local node `ordinal` under
+/// `config` (exposed for tests).
+IngestConfig MakeIngestConfig(const ExperimentConfig& config,
+                              size_t ordinal);
+
+}  // namespace deco

@@ -1,0 +1,61 @@
+#include "metrics/correctness.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace deco {
+
+void ConsumptionLog::AddWindow(const std::vector<uint64_t>& counts) {
+  assert(counts.size() == num_nodes_);
+  std::vector<uint64_t> cumulative(num_nodes_);
+  if (windows_.empty()) {
+    cumulative = counts;
+  } else {
+    const auto& prev = cumulative_.back();
+    for (size_t n = 0; n < num_nodes_; ++n) {
+      cumulative[n] = prev[n] + counts[n];
+    }
+  }
+  windows_.push_back(counts);
+  cumulative_.push_back(std::move(cumulative));
+}
+
+uint64_t ConsumptionLog::CumulativeBefore(size_t w, size_t n) const {
+  if (w == 0) return 0;
+  return cumulative_[w - 1][n];
+}
+
+uint64_t ConsumptionLog::TotalEvents() const {
+  if (windows_.empty()) return 0;
+  uint64_t total = 0;
+  for (uint64_t c : cumulative_.back()) total += c;
+  return total;
+}
+
+CorrectnessReport CompareConsumption(const ConsumptionLog& truth,
+                                     const ConsumptionLog& test) {
+  CorrectnessReport report;
+  assert(truth.num_nodes() == test.num_nodes());
+  const size_t windows = std::min(truth.num_windows(), test.num_windows());
+  report.windows_compared = windows;
+  for (size_t w = 0; w < windows; ++w) {
+    for (size_t n = 0; n < truth.num_nodes(); ++n) {
+      const uint64_t t_lo = truth.CumulativeBefore(w, n);
+      const uint64_t t_hi = t_lo + truth.window(w)[n];
+      const uint64_t s_lo = test.CumulativeBefore(w, n);
+      const uint64_t s_hi = s_lo + test.window(w)[n];
+      report.truth_events += t_hi - t_lo;
+      const uint64_t lo = std::max(t_lo, s_lo);
+      const uint64_t hi = std::min(t_hi, s_hi);
+      if (hi > lo) report.overlapping_events += hi - lo;
+    }
+  }
+  report.correctness =
+      report.truth_events == 0
+          ? 1.0
+          : static_cast<double>(report.overlapping_events) /
+                static_cast<double>(report.truth_events);
+  return report;
+}
+
+}  // namespace deco

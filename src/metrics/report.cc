@@ -1,0 +1,22 @@
+#include "metrics/report.h"
+
+#include <cstdio>
+
+namespace deco {
+
+std::string RunReport::Summary() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%-12s windows=%llu events=%llu tput=%.3fM ev/s lat(mean)=%.3f ms "
+      "lat(p99)=%.3f ms net=%.2f MB (%.2f B/ev) corrections=%llu",
+      scheme.c_str(), static_cast<unsigned long long>(windows_emitted),
+      static_cast<unsigned long long>(events_processed),
+      throughput_eps / 1e6, latency.mean() / 1e6,
+      static_cast<double>(latency.Percentile(0.99)) / 1e6,
+      static_cast<double>(network.total_bytes) / 1e6, BytesPerEvent(),
+      static_cast<unsigned long long>(correction_steps));
+  return buf;
+}
+
+}  // namespace deco

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/correctness.h"
+#include "metrics/histogram.h"
+#include "net/fabric.h"
+
+/// \file report.h
+/// \brief The measurement record one experiment run produces; every
+/// benchmark, example and integration test consumes this.
+
+namespace deco {
+
+/// \brief One emitted global window result, as reported by a scheme's root.
+struct GlobalWindowRecord {
+  uint64_t window_index = 0;
+  double value = 0.0;          ///< finalized aggregate
+  uint64_t event_count = 0;    ///< always l_global for complete windows
+  double mean_latency_nanos = 0.0;  ///< mean event processing-time latency
+  bool corrected = false;      ///< window needed a correction step
+};
+
+/// \brief Full measurement record of one run.
+struct RunReport {
+  std::string scheme;
+
+  /// Events the emitted windows cover.
+  uint64_t events_processed = 0;
+
+  /// Wall-clock duration of the measured phase, seconds.
+  double wall_seconds = 0.0;
+
+  /// `events_processed / wall_seconds`.
+  double throughput_eps = 0.0;
+
+  /// Per-window mean event latency samples, nanoseconds.
+  Histogram latency;
+
+  /// Fabric counters at the end of the run.
+  NetworkStats network;
+
+  /// Number of emitted global windows.
+  uint64_t windows_emitted = 0;
+
+  /// Correction steps executed (Deco schemes; 0 for baselines).
+  uint64_t correction_steps = 0;
+
+  /// Final values, in window order (for exact-equality checks vs Central).
+  std::vector<GlobalWindowRecord> windows;
+
+  /// Per-window, per-node consumed counts (for the correctness metric).
+  ConsumptionLog consumption;
+
+  /// \brief Network bytes sent per processed event.
+  double BytesPerEvent() const {
+    return events_processed == 0
+               ? 0.0
+               : static_cast<double>(network.total_bytes) /
+                     static_cast<double>(events_processed);
+  }
+
+  /// \brief One-line human-readable summary.
+  std::string Summary() const;
+};
+
+}  // namespace deco

@@ -1,0 +1,309 @@
+#include "net/fabric.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace deco {
+
+NetworkFabric::NetworkFabric(Clock* clock, uint64_t seed)
+    : clock_(clock), rng_(seed) {}
+
+NetworkFabric::~NetworkFabric() { Shutdown(); }
+
+NodeId NetworkFabric::RegisterNode(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(nodes_mu_);
+  auto state = std::make_unique<NodeState>();
+  state->name = name;
+  state->mailbox = std::make_unique<Mailbox>();
+  nodes_.push_back(std::move(state));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+size_t NetworkFabric::node_count() const {
+  std::shared_lock<std::shared_mutex> lock(nodes_mu_);
+  return nodes_.size();
+}
+
+std::string NetworkFabric::node_name(NodeId id) const {
+  std::shared_lock<std::shared_mutex> lock(nodes_mu_);
+  if (id >= nodes_.size()) return "<unknown>";
+  return nodes_[id]->name;
+}
+
+Status NetworkFabric::SetLinkConfig(NodeId src, NodeId dst,
+                                    const LinkConfig& config) {
+  if (src >= node_count() || dst >= node_count()) {
+    return Status::InvalidArgument("link endpoint not registered");
+  }
+  if (config.drop_probability < 0.0 || config.drop_probability > 1.0) {
+    return Status::InvalidArgument("drop probability must be in [0, 1]");
+  }
+  if (config.latency_nanos < 0) {
+    return Status::InvalidArgument("latency must be non-negative");
+  }
+  LinkState* link = GetOrCreateLink(src, dst);
+  {
+    std::lock_guard<std::mutex> lock(links_mu_);
+    link->config = config;
+  }
+  if (config.latency_nanos > 0) EnsureDeliveryThread();
+  return Status::OK();
+}
+
+Status NetworkFabric::SetNodeNetConfig(NodeId node,
+                                       const NodeNetConfig& config) {
+  std::unique_lock<std::shared_mutex> lock(nodes_mu_);
+  if (node >= nodes_.size()) {
+    return Status::InvalidArgument("node not registered");
+  }
+  if (config.egress_bytes_per_sec == 0) {
+    nodes_[node]->egress_bucket.reset();
+  } else {
+    nodes_[node]->egress_bucket =
+        std::make_unique<TokenBucket>(config.egress_bytes_per_sec, clock_);
+  }
+  return Status::OK();
+}
+
+Status NetworkFabric::SetNodeDown(NodeId node, bool down) {
+  std::shared_lock<std::shared_mutex> lock(nodes_mu_);
+  if (node >= nodes_.size()) {
+    return Status::InvalidArgument("node not registered");
+  }
+  nodes_[node]->down.store(down, std::memory_order_release);
+  return Status::OK();
+}
+
+bool NetworkFabric::IsNodeDown(NodeId node) const {
+  std::shared_lock<std::shared_mutex> lock(nodes_mu_);
+  if (node >= nodes_.size()) return true;
+  return nodes_[node]->down.load(std::memory_order_acquire);
+}
+
+NetworkFabric::LinkState* NetworkFabric::GetOrCreateLink(NodeId src,
+                                                         NodeId dst) {
+  std::lock_guard<std::mutex> lock(links_mu_);
+  auto& slot = links_[{src, dst}];
+  if (!slot) slot = std::make_unique<LinkState>();
+  return slot.get();
+}
+
+const NetworkFabric::LinkState* NetworkFabric::FindLink(NodeId src,
+                                                        NodeId dst) const {
+  std::lock_guard<std::mutex> lock(links_mu_);
+  auto it = links_.find({src, dst});
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+Status NetworkFabric::Send(Message msg) {
+  const size_t wire_size = msg.WireSize();
+  NodeState* src_state = nullptr;
+  NodeState* dst_state = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(nodes_mu_);
+    if (msg.src >= nodes_.size() || msg.dst >= nodes_.size()) {
+      return Status::InvalidArgument("message endpoint not registered");
+    }
+    src_state = nodes_[msg.src].get();
+    dst_state = nodes_[msg.dst].get();
+  }
+
+  if (src_state->down.load(std::memory_order_acquire)) {
+    // A crashed node emits nothing.
+    return Status::NodeFailed("sender is down");
+  }
+
+  // Egress shaping: block like a saturated NIC would.
+  if (src_state->egress_bucket) {
+    src_state->egress_bucket->AcquireBlocking(wire_size);
+  }
+
+  // Data-plane flow control: raw-event producers block while the receiver
+  // is congested, which propagates backpressure into ingestion and makes
+  // the measured throughput the *sustainable* one (paper §5, metrics).
+  if (msg.type == MessageType::kEventBatch) {
+    const size_t limit = flow_control_limit_.load(std::memory_order_relaxed);
+    if (limit > 0) {
+      while (dst_state->mailbox->size() > limit &&
+             !dst_state->down.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  }
+
+  src_state->messages_sent.fetch_add(1, std::memory_order_relaxed);
+  src_state->bytes_sent.fetch_add(wire_size, std::memory_order_relaxed);
+
+  LinkState* link = GetOrCreateLink(msg.src, msg.dst);
+  link->messages_sent.fetch_add(1, std::memory_order_relaxed);
+  link->bytes_sent.fetch_add(wire_size, std::memory_order_relaxed);
+
+  LinkConfig config;
+  {
+    std::lock_guard<std::mutex> lock(links_mu_);
+    config = link->config;
+  }
+
+  if (config.drop_probability > 0.0) {
+    bool drop;
+    {
+      std::lock_guard<std::mutex> lock(rng_mu_);
+      drop = rng_.NextBool(config.drop_probability);
+    }
+    if (drop) {
+      link->messages_dropped.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+
+  if (dst_state->down.load(std::memory_order_acquire)) {
+    // Bytes were spent but the destination host is gone.
+    link->messages_dropped.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  if (config.latency_nanos > 0) {
+    std::lock_guard<std::mutex> lock(delay_mu_);
+    if (shutting_down_) return Status::Cancelled("fabric shut down");
+    delayed_.push(DelayedDelivery{clock_->NowNanos() + config.latency_nanos,
+                                  delay_seq_++, std::move(msg)});
+    delay_cv_.notify_one();
+    return Status::OK();
+  }
+
+  Deliver(std::move(msg));
+  return Status::OK();
+}
+
+void NetworkFabric::Deliver(Message msg) {
+  const size_t wire_size = msg.WireSize();
+  NodeState* dst_state = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(nodes_mu_);
+    if (msg.dst >= nodes_.size()) return;
+    dst_state = nodes_[msg.dst].get();
+  }
+  if (dst_state->down.load(std::memory_order_acquire)) return;
+  dst_state->messages_received.fetch_add(1, std::memory_order_relaxed);
+  dst_state->bytes_received.fetch_add(wire_size, std::memory_order_relaxed);
+  dst_state->mailbox->Push(std::move(msg));
+}
+
+Mailbox* NetworkFabric::mailbox(NodeId id) {
+  std::shared_lock<std::shared_mutex> lock(nodes_mu_);
+  if (id >= nodes_.size()) return nullptr;
+  return nodes_[id]->mailbox.get();
+}
+
+LinkStats NetworkFabric::link_stats(NodeId src, NodeId dst) const {
+  LinkStats out;
+  const LinkState* link = FindLink(src, dst);
+  if (link == nullptr) return out;
+  out.messages_sent = link->messages_sent.load(std::memory_order_relaxed);
+  out.bytes_sent = link->bytes_sent.load(std::memory_order_relaxed);
+  out.messages_dropped =
+      link->messages_dropped.load(std::memory_order_relaxed);
+  return out;
+}
+
+NodeTrafficStats NetworkFabric::node_stats(NodeId id) const {
+  NodeTrafficStats out;
+  std::shared_lock<std::shared_mutex> lock(nodes_mu_);
+  if (id >= nodes_.size()) return out;
+  const NodeState& n = *nodes_[id];
+  out.messages_sent = n.messages_sent.load(std::memory_order_relaxed);
+  out.bytes_sent = n.bytes_sent.load(std::memory_order_relaxed);
+  out.messages_received = n.messages_received.load(std::memory_order_relaxed);
+  out.bytes_received = n.bytes_received.load(std::memory_order_relaxed);
+  return out;
+}
+
+NetworkStats NetworkFabric::Stats() const {
+  NetworkStats stats;
+  {
+    std::shared_lock<std::shared_mutex> lock(nodes_mu_);
+    stats.per_node.resize(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      const NodeState& n = *nodes_[i];
+      auto& entry = stats.per_node[i];
+      entry.messages_sent = n.messages_sent.load(std::memory_order_relaxed);
+      entry.bytes_sent = n.bytes_sent.load(std::memory_order_relaxed);
+      entry.messages_received =
+          n.messages_received.load(std::memory_order_relaxed);
+      entry.bytes_received =
+          n.bytes_received.load(std::memory_order_relaxed);
+      stats.total_messages += entry.messages_sent;
+      stats.total_bytes += entry.bytes_sent;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(links_mu_);
+    for (const auto& [key, link] : links_) {
+      stats.total_dropped +=
+          link->messages_dropped.load(std::memory_order_relaxed);
+    }
+  }
+  return stats;
+}
+
+void NetworkFabric::ResetStats() {
+  {
+    std::shared_lock<std::shared_mutex> lock(nodes_mu_);
+    for (auto& n : nodes_) {
+      n->messages_sent.store(0, std::memory_order_relaxed);
+      n->bytes_sent.store(0, std::memory_order_relaxed);
+      n->messages_received.store(0, std::memory_order_relaxed);
+      n->bytes_received.store(0, std::memory_order_relaxed);
+    }
+  }
+  std::lock_guard<std::mutex> lock(links_mu_);
+  for (auto& [key, link] : links_) {
+    link->messages_sent.store(0, std::memory_order_relaxed);
+    link->bytes_sent.store(0, std::memory_order_relaxed);
+    link->messages_dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+void NetworkFabric::EnsureDeliveryThread() {
+  std::lock_guard<std::mutex> lock(delay_mu_);
+  if (delivery_thread_running_ || shutting_down_) return;
+  delivery_thread_running_ = true;
+  delivery_thread_ = std::thread([this] { DeliveryLoop(); });
+}
+
+void NetworkFabric::DeliveryLoop() {
+  std::unique_lock<std::mutex> lock(delay_mu_);
+  while (!shutting_down_) {
+    if (delayed_.empty()) {
+      delay_cv_.wait(lock,
+                     [&] { return shutting_down_ || !delayed_.empty(); });
+      continue;
+    }
+    const TimeNanos now = clock_->NowNanos();
+    const TimeNanos due = delayed_.top().deliver_at;
+    if (due > now) {
+      delay_cv_.wait_for(lock, std::chrono::nanoseconds(due - now));
+      continue;
+    }
+    Message msg = std::move(const_cast<DelayedDelivery&>(delayed_.top()).msg);
+    delayed_.pop();
+    lock.unlock();
+    Deliver(std::move(msg));
+    lock.lock();
+  }
+}
+
+void NetworkFabric::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(delay_mu_);
+    if (shutting_down_) return;
+    shutting_down_ = true;
+  }
+  delay_cv_.notify_all();
+  if (delivery_thread_.joinable()) delivery_thread_.join();
+  std::shared_lock<std::shared_mutex> lock(nodes_mu_);
+  for (auto& n : nodes_) n->mailbox->Close();
+}
+
+}  // namespace deco

@@ -1,0 +1,196 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/queue.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "net/message.h"
+#include "net/shaping.h"
+
+/// \file fabric.h
+/// \brief In-process network fabric connecting node actors.
+///
+/// This is the repository's substitute for the paper's 25 Gbit/s Ethernet
+/// cluster (see DESIGN.md). Each registered node owns a mailbox; `Send`
+/// routes a message to the destination mailbox while:
+///  - accounting serialized bytes per link and per node (the paper's
+///    network-utilization metric),
+///  - enforcing per-node egress bandwidth caps via a token bucket
+///    (emulates the Raspberry Pi's 1 Gbit/s NIC; senders block, which is
+///    exactly NIC backpressure),
+///  - optionally adding per-link latency and probabilistic drops
+///    (unreliable-network failure injection, paper §4.3.4).
+///
+/// Per-link FIFO order is preserved, including under added latency.
+
+namespace deco {
+
+/// \brief Counters for one directed link.
+struct LinkStats {
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t messages_dropped = 0;
+};
+
+/// \brief Aggregate traffic counters for one node.
+struct NodeTrafficStats {
+  uint64_t messages_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t bytes_received = 0;
+};
+
+/// \brief Whole-network summary.
+struct NetworkStats {
+  uint64_t total_messages = 0;
+  uint64_t total_bytes = 0;
+  uint64_t total_dropped = 0;
+  std::vector<NodeTrafficStats> per_node;  // indexed by NodeId
+};
+
+/// \brief Mailbox type nodes receive from.
+using Mailbox = BlockingQueue<Message>;
+
+/// \brief The in-process network.
+///
+/// Lifecycle: register nodes and configure links, then exchange messages;
+/// `Shutdown` closes every mailbox and wakes all receivers. Registration
+/// after traffic has started is supported (node add/remove at runtime,
+/// paper §4.3.4) and takes an exclusive lock.
+class NetworkFabric {
+ public:
+  /// \param clock time source for shaping and latency; not owned
+  /// \param seed seed of the drop-injection PRNG
+  explicit NetworkFabric(Clock* clock, uint64_t seed = 7);
+  ~NetworkFabric();
+
+  NetworkFabric(const NetworkFabric&) = delete;
+  NetworkFabric& operator=(const NetworkFabric&) = delete;
+
+  /// \brief Adds a node and returns its id. Ids are dense and start at 0.
+  NodeId RegisterNode(const std::string& name);
+
+  /// \brief Number of registered nodes.
+  size_t node_count() const;
+
+  /// \brief Human-readable node name.
+  std::string node_name(NodeId id) const;
+
+  /// \brief Configures the directed link `src -> dst`. Unconfigured links
+  /// behave as zero-latency, lossless.
+  Status SetLinkConfig(NodeId src, NodeId dst, const LinkConfig& config);
+
+  /// \brief Configures a node's egress shaping. Replaces any previous cap.
+  Status SetNodeNetConfig(NodeId node, const NodeNetConfig& config);
+
+  /// \brief Marks a node as crashed (true) or recovered (false). Messages
+  /// to or from a down node are silently dropped, as with a dead host.
+  Status SetNodeDown(NodeId node, bool down);
+  bool IsNodeDown(NodeId node) const;
+
+  /// \brief Routes one message. Blocks while the sender's egress cap is
+  /// exceeded. Returns InvalidArgument for unknown endpoints; delivery to a
+  /// down node succeeds from the sender's perspective (bytes are spent) but
+  /// the message vanishes.
+  Status Send(Message msg);
+
+  /// \brief Sets the data-plane flow-control limit: senders of
+  /// `kEventBatch` messages block while the destination mailbox holds more
+  /// than this many messages. This is the backpressure mechanism of paper
+  /// §4.3.1 ("queues like Kafka"); 0 disables it. Default 512.
+  void SetFlowControlLimit(size_t limit) {
+    flow_control_limit_.store(limit, std::memory_order_relaxed);
+  }
+
+  /// \brief The receive queue of a node; nullptr for unknown ids.
+  Mailbox* mailbox(NodeId id);
+
+  /// \brief Point-in-time copy of a link's counters.
+  LinkStats link_stats(NodeId src, NodeId dst) const;
+
+  /// \brief Point-in-time copy of a node's counters.
+  NodeTrafficStats node_stats(NodeId id) const;
+
+  /// \brief Point-in-time network summary.
+  NetworkStats Stats() const;
+
+  /// \brief Resets all traffic counters (used between benchmark phases,
+  /// e.g. to exclude warm-up windows from measurements).
+  void ResetStats();
+
+  /// \brief Closes every mailbox and stops the delivery thread.
+  void Shutdown();
+
+ private:
+  struct NodeState {
+    std::string name;
+    std::unique_ptr<Mailbox> mailbox;
+    std::unique_ptr<TokenBucket> egress_bucket;  // null = unlimited
+    std::atomic<bool> down{false};
+    std::atomic<uint64_t> messages_sent{0};
+    std::atomic<uint64_t> bytes_sent{0};
+    std::atomic<uint64_t> messages_received{0};
+    std::atomic<uint64_t> bytes_received{0};
+  };
+
+  struct LinkState {
+    LinkConfig config;
+    std::atomic<uint64_t> messages_sent{0};
+    std::atomic<uint64_t> bytes_sent{0};
+    std::atomic<uint64_t> messages_dropped{0};
+  };
+
+  struct DelayedDelivery {
+    TimeNanos deliver_at;
+    uint64_t seq;
+    Message msg;
+    bool operator>(const DelayedDelivery& other) const {
+      if (deliver_at != other.deliver_at) {
+        return deliver_at > other.deliver_at;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  LinkState* GetOrCreateLink(NodeId src, NodeId dst);
+  const LinkState* FindLink(NodeId src, NodeId dst) const;
+  void Deliver(Message msg);
+  void EnsureDeliveryThread();
+  void DeliveryLoop();
+
+  Clock* clock_;
+  std::atomic<size_t> flow_control_limit_{512};
+
+  mutable std::shared_mutex nodes_mu_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+
+  mutable std::mutex links_mu_;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<LinkState>> links_;
+
+  std::mutex rng_mu_;
+  Rng rng_;
+
+  // Delayed-delivery machinery (only active once a latency link exists).
+  std::mutex delay_mu_;
+  std::condition_variable delay_cv_;
+  std::priority_queue<DelayedDelivery, std::vector<DelayedDelivery>,
+                      std::greater<DelayedDelivery>>
+      delayed_;
+  std::thread delivery_thread_;
+  bool delivery_thread_running_ = false;
+  bool shutting_down_ = false;
+  uint64_t delay_seq_ = 0;
+};
+
+}  // namespace deco

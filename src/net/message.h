@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file message.h
+/// \brief The message envelope exchanged between nodes (paper §3,
+/// communication model).
+///
+/// Every communication *flow* — up-flow (local → root) or down-flow
+/// (root → local) — is a sequence of messages. A message has a small fixed
+/// header and a scheme-specific payload; the fabric accounts
+/// `header + payload` bytes as network utilization, which is the quantity
+/// Figures 8, 10b and 11b of the paper report.
+
+namespace deco {
+
+/// Identifier of a node registered with the fabric.
+using NodeId = uint32_t;
+
+/// \brief Discriminates message payloads across all schemes.
+enum class MessageType : uint8_t {
+  /// Raw events (centralized ingest, Deco buffer shipping). Payload:
+  /// event batch in the sender's wire format.
+  kEventBatch = 0,
+
+  /// Partial aggregation result of a local slice plus statistics.
+  kPartialResult = 1,
+
+  /// Event-rate report from a local node (Deco_mon initialization step).
+  kEventRate = 2,
+
+  /// Root → local: (predicted) local window size, delta and watermark for
+  /// the next global window.
+  kWindowAssignment = 3,
+
+  /// Root → local: prediction was wrong; actual local window size inside
+  /// (correction step).
+  kCorrectionRequest = 4,
+
+  /// Local → root: corrected partial result plus the window's last event.
+  kCorrectionResult = 5,
+
+  /// Root → local: query definition (window spec, aggregate) at startup.
+  kQueryConfig = 6,
+
+  /// Local ↔ local: event-rate exchange (Deco_monlocal microbenchmark).
+  kRateExchange = 7,
+
+  /// Root → local: begin the next global window (synchronous schemes).
+  kStartWindow = 8,
+
+  /// Clean end-of-stream marker.
+  kShutdown = 9,
+};
+
+/// \brief Returns a short name for logging ("event-batch", ...).
+const char* MessageTypeToString(MessageType type);
+
+/// \brief Envelope carried by the fabric.
+struct Message {
+  MessageType type = MessageType::kEventBatch;
+  NodeId src = 0;
+  NodeId dst = 0;
+
+  /// Global window index the message refers to (0-based); schemes that do
+  /// not need it leave it 0.
+  uint64_t window_index = 0;
+
+  /// Protocol epoch. Deco_async bumps it on every correction so stale
+  /// messages from rolled-back windows can be discarded (paper §4.3.2).
+  uint64_t epoch = 0;
+
+  /// Serialized payload; format depends on `type` and the sender's wire
+  /// format (binary everywhere except the Disco baseline's text format).
+  std::string payload;
+
+  /// Measurement side-channel (see DESIGN.md §4.1): weighted mean
+  /// wall-clock creation time of the events this message covers, and their
+  /// count. Excluded from wire-byte accounting — in a real deployment each
+  /// node measures latency locally; the side channel replaces synchronized
+  /// clocks in the in-process fabric.
+  double lat_mean_create_nanos = 0.0;
+  uint64_t lat_event_count = 0;
+
+  /// \brief Folds another covered-event set into the latency side-channel.
+  void MergeLatencyMeta(double mean_create_nanos, uint64_t count) {
+    if (count == 0) return;
+    const uint64_t total = lat_event_count + count;
+    lat_mean_create_nanos =
+        (lat_mean_create_nanos * static_cast<double>(lat_event_count) +
+         mean_create_nanos * static_cast<double>(count)) /
+        static_cast<double>(total);
+    lat_event_count = total;
+  }
+
+  /// \brief Modeled on-the-wire size: fixed header + payload bytes.
+  size_t WireSize() const { return kHeaderBytes + payload.size(); }
+
+  /// Modeled header: type (1) + src (4) + dst (4) + window index (8) +
+  /// epoch (8) + payload length (4) — comparable to a compact RPC framing.
+  static constexpr size_t kHeaderBytes = 29;
+};
+
+}  // namespace deco

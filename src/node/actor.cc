@@ -1,0 +1,35 @@
+#include "node/actor.h"
+
+#include "common/logging.h"
+
+namespace deco {
+
+void Actor::Start() {
+  thread_ = std::thread([this] {
+    Status status = Run();
+    if (!status.ok()) {
+      DECO_LOG(ERROR) << "actor " << id_ << " ("
+                      << fabric_->node_name(id_)
+                      << ") failed: " << status.ToString();
+    }
+    std::lock_guard<std::mutex> lock(status_mu_);
+    status_ = std::move(status);
+  });
+}
+
+void Actor::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Actor::RequestStop() {
+  stop_.store(true, std::memory_order_release);
+  Mailbox* mailbox = fabric_->mailbox(id_);
+  if (mailbox != nullptr) mailbox->Close();
+}
+
+Status Actor::status() const {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return status_;
+}
+
+}  // namespace deco

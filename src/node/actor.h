@@ -1,0 +1,94 @@
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "net/fabric.h"
+
+/// \file actor.h
+/// \brief Thread-per-node actor base class.
+///
+/// Each node of the decentralized topology (Fig. 1 of the paper) is an
+/// `Actor`: a thread with a fabric mailbox. Subclasses implement `Run()`;
+/// the runtime starts all actors, lets the streams flow, and joins them.
+/// Actors communicate exclusively through the fabric — there is no shared
+/// mutable state between nodes, mirroring a real deployment.
+
+namespace deco {
+
+/// \brief Base class for root and local node implementations.
+class Actor {
+ public:
+  /// \param fabric the network; not owned, must outlive the actor
+  /// \param id this node's fabric id
+  /// \param clock wall-clock used for latency measurement and timeouts
+  Actor(NetworkFabric* fabric, NodeId id, Clock* clock)
+      : fabric_(fabric), id_(id), clock_(clock) {}
+
+  virtual ~Actor() = default;
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  /// \brief Spawns the actor thread.
+  void Start();
+
+  /// \brief Waits for `Run` to return.
+  void Join();
+
+  /// \brief Cooperative stop: sets the stop flag and closes the mailbox so
+  /// a blocked `Receive` wakes up.
+  void RequestStop();
+
+  /// \brief First error encountered by `Run`, or OK.
+  Status status() const;
+
+  NodeId id() const { return id_; }
+
+ protected:
+  /// \brief Actor body; runs on the actor thread. Return value is recorded
+  /// as `status()`.
+  virtual Status Run() = 0;
+
+  /// \brief Sends a message, filling in the source id.
+  Status Send(Message msg) {
+    msg.src = id_;
+    return fabric_->Send(std::move(msg));
+  }
+
+  /// \brief Blocking receive; empty once the mailbox is closed and drained.
+  std::optional<Message> Receive() { return fabric_->mailbox(id_)->Pop(); }
+
+  /// \brief Receive with timeout; empty on timeout or closure.
+  std::optional<Message> ReceiveWithTimeout(TimeNanos timeout_nanos) {
+    return fabric_->mailbox(id_)->PopWithTimeout(
+        std::chrono::nanoseconds(timeout_nanos));
+  }
+
+  /// \brief Non-blocking receive.
+  std::optional<Message> TryReceive() {
+    return fabric_->mailbox(id_)->TryPop();
+  }
+
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  TimeNanos NowNanos() const { return clock_->NowNanos(); }
+
+  NetworkFabric* fabric_;
+  NodeId id_;
+  Clock* clock_;
+
+ private:
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  mutable std::mutex status_mu_;
+  Status status_;
+};
+
+}  // namespace deco

@@ -1,0 +1,53 @@
+#include "node/apportion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace deco {
+
+Result<std::vector<uint64_t>> ApportionWindow(
+    uint64_t total, const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("apportion needs at least one weight");
+  }
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return Status::InvalidArgument("weights must be finite and >= 0");
+    }
+  }
+  const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  std::vector<uint64_t> shares(weights.size(), 0);
+  std::vector<std::pair<double, size_t>> fractions(weights.size());
+  uint64_t assigned = 0;
+  if (sum <= 0.0) {
+    // Degenerate: split evenly.
+    for (size_t i = 0; i < weights.size(); ++i) {
+      shares[i] = total / weights.size();
+      assigned += shares[i];
+      fractions[i] = {0.0, i};
+    }
+  } else {
+    for (size_t i = 0; i < weights.size(); ++i) {
+      const double exact =
+          static_cast<double>(total) * (weights[i] / sum);
+      shares[i] = static_cast<uint64_t>(std::floor(exact));
+      assigned += shares[i];
+      fractions[i] = {exact - std::floor(exact), i};
+    }
+  }
+  // Hand out the remainder to the largest fractional parts; ties go to the
+  // lower index for determinism.
+  std::stable_sort(fractions.begin(), fractions.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  uint64_t remainder = total - assigned;
+  for (size_t i = 0; remainder > 0; i = (i + 1) % fractions.size()) {
+    ++shares[fractions[i].second];
+    --remainder;
+  }
+  return shares;
+}
+
+}  // namespace deco

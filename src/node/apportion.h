@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file apportion.h
+/// \brief Rate-proportional split of a global window size onto local nodes
+/// (paper §4.1: `l_a = f_a / f_root * l_global`).
+
+namespace deco {
+
+/// \brief Splits `total` into integer shares proportional to `weights`,
+/// with `sum(shares) == total` exactly.
+///
+/// Uses the largest-remainder method: floor each share, then hand the
+/// remaining units to the largest fractional parts (ties broken by lower
+/// index, so the split is deterministic). Nodes with zero weight receive a
+/// share only from remainder distribution when all weights are zero, in
+/// which case the split is as even as possible.
+Result<std::vector<uint64_t>> ApportionWindow(
+    uint64_t total, const std::vector<double>& weights);
+
+}  // namespace deco

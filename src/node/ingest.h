@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+
+#include "common/clock.h"
+#include "net/shaping.h"
+#include "node/stream_set.h"
+
+/// \file ingest.h
+/// \brief Local-node ingestion front end: merged sensor streams, an event
+/// budget, and an optional CPU throttle.
+///
+/// The throttle models a weak device (paper §5.3, Raspberry Pi local
+/// nodes): pulling a batch blocks until the node's per-second event budget
+/// allows it, capping the node's processing rate the way a slow CPU would.
+
+namespace deco {
+
+/// \brief Configuration of one local node's ingestion.
+struct IngestConfig {
+  std::vector<StreamConfig> streams;
+
+  /// Total events this node produces before signalling end-of-stream.
+  uint64_t events_to_produce = 1'000'000;
+
+  /// Events pulled per batch; data-plane messages ship one batch.
+  size_t batch_size = 4096;
+
+  /// Processing cap in events/second; 0 = unthrottled (Xeon-class node).
+  uint64_t cpu_events_per_sec = 0;
+};
+
+/// \brief Budgeted, throttled, merged event source of a local node.
+class IngestSource {
+ public:
+  IngestSource(const IngestConfig& config, Clock* clock);
+
+  /// \brief Pulls up to `n` events (fewer near the budget end) and appends
+  /// them to `out`. Sets `*create_wall_nanos` to the pull's wall time — the
+  /// creation time used for processing-time latency (the paper's
+  /// "event-time when created equals processing-time when it arrives").
+  /// Returns the number of events pulled; 0 means the budget is exhausted.
+  size_t Pull(size_t n, EventVec* out, TimeNanos* create_wall_nanos);
+
+  /// \brief True once the event budget has been fully produced.
+  bool exhausted() const { return produced_ >= config_.events_to_produce; }
+
+  /// \brief Measured total event rate of the node's sensors, events/sec.
+  double TotalRate() const { return streams_.TotalRate(); }
+
+  /// \brief Cumulative events produced (the node's stream position).
+  uint64_t position() const { return produced_; }
+
+  const IngestConfig& config() const { return config_; }
+
+ private:
+  IngestConfig config_;
+  Clock* clock_;
+  StreamSet streams_;
+  std::unique_ptr<TokenBucket> throttle_;  // null = unthrottled
+  uint64_t produced_ = 0;
+};
+
+}  // namespace deco

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstdint>
+
+#include "agg/aggregate.h"
+#include "common/result.h"
+#include "event/event.h"
+#include "event/serde.h"
+
+/// \file protocol.h
+/// \brief Typed payloads of the messages exchanged by the schemes, with
+/// their binary codecs. One struct per `MessageType` that carries data.
+///
+/// Wire formats are versionless and little-endian; the fabric is
+/// homogeneous. The Disco baseline encodes event batches with the verbose
+/// text codec from event/serde.h instead (it only ever ships raw events).
+
+namespace deco {
+
+/// \brief `kPartialResult` payload: the partial aggregate of one local
+/// slice plus the statistics the root needs for verification (paper §4.2.2:
+/// "partial results ... and the statistics including the number of events
+/// and the first and the last event's timestamps" plus the event rate).
+struct SliceSummary {
+  Partial partial;
+
+  /// Events aggregated into the slice.
+  uint64_t event_count = 0;
+
+  /// Timestamps of the slice's first and last event (undefined when
+  /// `event_count == 0`).
+  EventTime min_ts = 0;
+  EventTime max_ts = 0;
+
+  /// Stream-id and event-id of the slice's last event, completing the
+  /// total-order key used for exact edge verification.
+  StreamId max_stream_id = 0;
+  EventId max_event_id = 0;
+
+  /// Local node's measured event rate over the slice, events/second of
+  /// event time (paper §4.3.3).
+  double event_rate = 0.0;
+};
+
+void EncodeSliceSummary(const SliceSummary& summary, BinaryWriter* writer);
+Result<SliceSummary> DecodeSliceSummary(BinaryReader* reader);
+
+/// \brief `kWindowAssignment` payload: root → local window-planning values
+/// for the next global window.
+struct WindowAssignment {
+  uint64_t window_index = 0;
+
+  /// Predicted (Deco_sync/async) or measured (Deco_mon) local window size.
+  uint64_t local_window_size = 0;
+
+  /// Delta buffer parameter (paper Eq. 2).
+  uint64_t delta = 0;
+
+  /// One-shot size adjustment (Deco_async): applied by the local node to
+  /// the first window it plans after receiving this assignment, then
+  /// discarded. The root uses it as a damped feedback term that recenters
+  /// the node's root-buffer carryover around delta/2, keeping the
+  /// self-balancing asynchronous layout verifiable.
+  int64_t size_adjust = 0;
+
+  /// Watermark as a full total-order key `(ts, stream, id)`: events at or
+  /// before it belong to verified windows and can be dropped. The full key
+  /// (not just the timestamp) makes the drop exact under timestamp ties.
+  EventTime wm_ts = INT64_MIN;
+  StreamId wm_stream = 0;
+  EventId wm_id = 0;
+};
+
+void EncodeWindowAssignment(const WindowAssignment& assignment,
+                            BinaryWriter* writer);
+Result<WindowAssignment> DecodeWindowAssignment(BinaryReader* reader);
+
+/// \brief `kEventRate` payload: a local node's rate report (Deco_mon
+/// initialization step, and Deco_monlocal peer exchange).
+struct RateReport {
+  uint64_t window_index = 0;
+  double event_rate = 0.0;
+
+  /// Total events this node has ingested so far (cumulative position).
+  uint64_t stream_position = 0;
+};
+
+void EncodeRateReport(const RateReport& report, BinaryWriter* writer);
+Result<RateReport> DecodeRateReport(BinaryReader* reader);
+
+/// \brief `kCorrectionRequest` payload: root → local fallback instructions
+/// for a mispredicted window (paper §4.3.1/§4.3.2).
+struct CorrectionRequest {
+  uint64_t window_index = 0;
+
+  /// When 0: send the full retained raw region of the current window.
+  /// When > 0: top-up — send this many further events from the stream.
+  uint64_t topup_events = 0;
+};
+
+void EncodeCorrectionRequest(const CorrectionRequest& request,
+                             BinaryWriter* writer);
+Result<CorrectionRequest> DecodeCorrectionRequest(BinaryReader* reader);
+
+/// \brief `kCorrectionResult` payload: local → root raw events for the
+/// centralized fallback of a mispredicted window.
+struct CorrectionResponse {
+  uint64_t window_index = 0;
+
+  /// Cumulative stream offset of `events.front()` at this node.
+  uint64_t from_offset = 0;
+
+  /// True when the node's stream budget is exhausted: no top-up can ever
+  /// return more events.
+  bool end_of_stream = false;
+
+  EventVec events;
+};
+
+void EncodeCorrectionResponse(const CorrectionResponse& response,
+                              BinaryWriter* writer);
+Result<CorrectionResponse> DecodeCorrectionResponse(BinaryReader* reader);
+
+/// \brief Role of a raw-event batch within the Deco window protocol.
+enum class BatchRole : uint8_t {
+  kData = 0,     ///< centralized forwarding (baselines)
+  kFront = 1,    ///< Deco_async Fbuffer region of a window
+  kEnd = 2,      ///< Deco_sync buffer / Deco_async Ebuffer region
+};
+
+/// \brief `kEventBatch` payload in the binary format, with the cumulative
+/// stream offset of the first event (used by the root to detect gaps and
+/// duplicates after corrections).
+struct EventBatchPayload {
+  uint64_t from_offset = 0;
+  bool end_of_stream = false;
+  BatchRole role = BatchRole::kData;
+  EventVec events;
+};
+
+void EncodeEventBatch(const EventBatchPayload& batch, BinaryWriter* writer);
+Result<EventBatchPayload> DecodeEventBatch(BinaryReader* reader);
+
+/// \brief Verbose text encoding of an event batch (Disco wire format):
+/// a `batch;from=..;eos=..` header line followed by one text event per
+/// line. Reproduces the paper's observation that Disco's string messages
+/// cost more network bytes than even raw binary forwarding.
+std::string EncodeEventBatchText(const EventBatchPayload& batch);
+Result<EventBatchPayload> DecodeEventBatchText(const std::string& text);
+
+}  // namespace deco

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "agg/aggregate.h"
+#include "common/result.h"
+#include "event/serde.h"
+#include "window/window.h"
+
+/// \file query.h
+/// \brief The streamed query a topology executes: a window definition plus
+/// an aggregation function. Shipped root → local at startup
+/// (`MessageType::kQueryConfig`).
+
+namespace deco {
+
+/// \brief Query definition shared by every scheme.
+struct QueryConfig {
+  WindowSpec window = WindowSpec::CountTumbling(1'000'000);
+  AggregateKind aggregate = AggregateKind::kSum;
+
+  /// Quantile parameter for `AggregateKind::kQuantile`.
+  double quantile_q = 0.5;
+
+  Status Validate() const {
+    return window.Validate();
+  }
+};
+
+/// \brief Length of the count window the decentralized protocol actually
+/// runs on. Tumbling windows map to themselves; sliding count windows are
+/// decomposed into non-overlapping *panes* of `gcd(length, slide)` events —
+/// each pane is processed as one protocol window and the root composes
+/// emitted windows from consecutive pane partials (an extension beyond the
+/// paper, which processes sliding count windows centrally).
+uint64_t ProtocolWindowLength(const WindowSpec& window);
+
+/// \brief Serializes a query config (binary wire format).
+void EncodeQueryConfig(const QueryConfig& config, BinaryWriter* writer);
+
+/// \brief Parses a query config.
+Result<QueryConfig> DecodeQueryConfig(BinaryReader* reader);
+
+}  // namespace deco

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "node/actor.h"
+
+/// \file runtime.h
+/// \brief Owns a topology's actors and drives their lifecycle.
+
+namespace deco {
+
+/// \brief Start/join/stop for a set of actors over one fabric.
+class Runtime {
+ public:
+  explicit Runtime(NetworkFabric* fabric) : fabric_(fabric) {}
+
+  ~Runtime() { StopAll(); }
+
+  /// \brief Takes ownership of an actor. Must be called before `StartAll`.
+  void AddActor(std::unique_ptr<Actor> actor) {
+    actors_.push_back(std::move(actor));
+  }
+
+  /// \brief Starts every actor thread.
+  void StartAll() {
+    for (auto& actor : actors_) actor->Start();
+  }
+
+  /// \brief Joins every actor; returns the first non-OK actor status.
+  Status JoinAll() {
+    for (auto& actor : actors_) actor->Join();
+    for (auto& actor : actors_) {
+      Status status = actor->status();
+      if (!status.ok()) return status;
+    }
+    return Status::OK();
+  }
+
+  /// \brief Requests cooperative stop on every actor and shuts the fabric
+  /// down (closing all mailboxes).
+  void StopAll() {
+    for (auto& actor : actors_) actor->RequestStop();
+  }
+
+  NetworkFabric* fabric() { return fabric_; }
+  const std::vector<std::unique_ptr<Actor>>& actors() const {
+    return actors_;
+  }
+
+ private:
+  NetworkFabric* fabric_;
+  std::vector<std::unique_ptr<Actor>> actors_;
+};
+
+}  // namespace deco

@@ -1,0 +1,35 @@
+#include "node/stream_set.h"
+
+#include <cassert>
+
+namespace deco {
+
+StreamSet::StreamSet(const std::vector<StreamConfig>& configs) {
+  assert(!configs.empty());
+  sources_.reserve(configs.size());
+  for (const StreamConfig& config : configs) {
+    sources_.push_back(std::make_unique<StreamSource>(config));
+    heap_.push(HeapEntry{sources_.back()->Next(), sources_.size() - 1});
+  }
+}
+
+Event StreamSet::Next() {
+  HeapEntry top = heap_.top();
+  heap_.pop();
+  heap_.push(HeapEntry{sources_[top.source]->Next(), top.source});
+  ++position_;
+  return top.event;
+}
+
+void StreamSet::NextBatch(size_t n, EventVec* out) {
+  out->reserve(out->size() + n);
+  for (size_t i = 0; i < n; ++i) out->push_back(Next());
+}
+
+double StreamSet::TotalRate() const {
+  double total = 0.0;
+  for (const auto& source : sources_) total += source->current_rate();
+  return total;
+}
+
+}  // namespace deco

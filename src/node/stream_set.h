@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "event/event.h"
+#include "stream/generator.h"
+
+/// \file stream_set.h
+/// \brief The merged event source of one local node.
+///
+/// A local node ingests `n` sensor streams (paper Fig. 1, datastream
+/// nodes). Each stream is ordered by timestamp; the node observes the
+/// k-way merge in the deterministic total order `(timestamp, stream_id,
+/// event_id)`. Merging locally means every local node emits a locally
+/// sorted stream, so the root's merge across local nodes equals a global
+/// sort — the Central ground truth (DESIGN.md §4.1).
+
+namespace deco {
+
+/// \brief k-way merged, infinite, locally sorted event source.
+class StreamSet {
+ public:
+  /// \param configs one per sensor stream; must be non-empty
+  explicit StreamSet(const std::vector<StreamConfig>& configs);
+
+  /// \brief Next event in merged order.
+  Event Next();
+
+  /// \brief Appends `n` merged events to `out`.
+  void NextBatch(size_t n, EventVec* out);
+
+  /// \brief Sum of the instantaneous configured rates of all streams,
+  /// events per second — what the local node reports to the root
+  /// (paper §4.3.3: "polls frequencies of data sources").
+  double TotalRate() const;
+
+  /// \brief Total events emitted by `Next`/`NextBatch` so far (the node's
+  /// cumulative stream position).
+  uint64_t position() const { return position_; }
+
+  size_t stream_count() const { return sources_.size(); }
+
+ private:
+  struct HeapEntry {
+    Event event;
+    size_t source;
+  };
+  struct HeapGreater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      EventTimestampLess less;
+      return less(b.event, a.event);
+    }
+  };
+
+  std::vector<std::unique_ptr<StreamSource>> sources_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapGreater> heap_;
+  uint64_t position_ = 0;
+};
+
+}  // namespace deco

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "net/message.h"
+
+/// \file topology.h
+/// \brief Star topology of the paper's deployments: one root, `m` local
+/// nodes (Fig. 1). Datastream nodes are modeled in-process on the local
+/// nodes (the paper deploys its data generators the same way, §5).
+
+namespace deco {
+
+/// \brief Node ids of one deployment.
+struct Topology {
+  NodeId root = 0;
+  std::vector<NodeId> locals;
+
+  /// \brief Ordinal (0-based dense index) of a local node id, or an error
+  /// for unknown ids.
+  Result<size_t> OrdinalOf(NodeId id) const {
+    for (size_t i = 0; i < locals.size(); ++i) {
+      if (locals[i] == id) return i;
+    }
+    return Status::NotFound("node id not a local node of this topology");
+  }
+
+  size_t num_locals() const { return locals.size(); }
+};
+
+}  // namespace deco

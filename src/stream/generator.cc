@@ -1,0 +1,64 @@
+#include "stream/generator.h"
+
+#include <cmath>
+
+namespace deco {
+
+double SensorValueModel::ValueAt(EventTime t) {
+  const double seconds =
+      static_cast<double>(t) / static_cast<double>(kNanosPerSecond);
+  const double base =
+      config_.amplitude *
+      std::sin(2.0 * M_PI * seconds / config_.period_seconds + config_.phase);
+  return base + config_.noise_stddev * rng_.NextGaussian();
+}
+
+StreamSource::StreamSource(const StreamConfig& config)
+    : config_(config),
+      rate_(config.rate, config.seed),
+      value_(config.value, config.seed ^ 0x9e3779b97f4a7c15ULL),
+      now_(config.start_time) {}
+
+Event StreamSource::Next() {
+  now_ += rate_.NextGapNanos();
+  Event e;
+  e.id = next_id_++;
+  e.stream_id = config_.stream_id;
+  e.timestamp = now_;
+  e.value = value_.ValueAt(now_);
+  return e;
+}
+
+void StreamSource::NextBatch(size_t n, EventVec* out) {
+  out->reserve(out->size() + n);
+  for (size_t i = 0; i < n; ++i) out->push_back(Next());
+}
+
+DisorderInjector::DisorderInjector(StreamSource* source,
+                                   double lateness_probability,
+                                   size_t max_displacement, uint64_t seed)
+    : source_(source),
+      probability_(lateness_probability),
+      max_displacement_(max_displacement),
+      rng_(seed) {}
+
+Event DisorderInjector::Next() {
+  // Release a held event once it has been displaced far enough.
+  if (!held_.empty() && since_hold_ >= max_displacement_) {
+    Event e = held_.front();
+    held_.erase(held_.begin());
+    since_hold_ = 0;
+    return e;
+  }
+  Event e = source_->Next();
+  if (rng_.NextBool(probability_)) {
+    // Postpone this event and emit the next one in its place.
+    held_.push_back(e);
+    since_hold_ = 0;
+    e = source_->Next();
+  }
+  ++since_hold_;
+  return e;
+}
+
+}  // namespace deco

@@ -1,0 +1,144 @@
+#include "stream/trace.h"
+
+#include "common/clock.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace deco {
+
+Status WriteTraceFile(const std::string& path, const EventVec& events) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open trace file for writing: " + path);
+  }
+  out << "# deco event trace: id,stream,value,timestamp\n";
+  for (const Event& e : events) {
+    out << e.id << ',' << e.stream_id << ',';
+    char value[64];
+    std::snprintf(value, sizeof(value), "%.17g", e.value);
+    out << value << ',' << e.timestamp << '\n';
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Event> ParseTraceLine(const std::string& line) {
+  if (line.empty() || line[0] == '#') {
+    return Status::NotFound("skip line");
+  }
+  std::stringstream ss(line);
+  std::string field;
+  Event e;
+  if (!std::getline(ss, field, ',')) {
+    return Status::InvalidArgument("trace line missing id: " + line);
+  }
+  e.id = std::strtoull(field.c_str(), nullptr, 10);
+  if (!std::getline(ss, field, ',')) {
+    return Status::InvalidArgument("trace line missing stream: " + line);
+  }
+  e.stream_id = static_cast<StreamId>(std::strtoul(field.c_str(), nullptr,
+                                                   10));
+  if (!std::getline(ss, field, ',')) {
+    return Status::InvalidArgument("trace line missing value: " + line);
+  }
+  char* end = nullptr;
+  e.value = std::strtod(field.c_str(), &end);
+  if (end == field.c_str()) {
+    return Status::InvalidArgument("trace line bad value: " + line);
+  }
+  if (!std::getline(ss, field, ',')) {
+    return Status::InvalidArgument("trace line missing timestamp: " + line);
+  }
+  e.timestamp = std::strtoll(field.c_str(), nullptr, 10);
+  return e;
+}
+
+Result<EventVec> ReadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open trace file: " + path);
+  }
+  EventVec events;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto parsed = ParseTraceLine(line);
+    if (parsed.ok()) {
+      events.push_back(*parsed);
+    } else if (!parsed.status().IsNotFound()) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) + ": " +
+          parsed.status().message());
+    }
+  }
+  return events;
+}
+
+TraceSource::TraceSource(EventVec events, StreamId stream_id,
+                         size_t start_offset)
+    : trace_(std::move(events)),
+      stream_id_(stream_id),
+      position_(trace_.empty() ? 0 : start_offset % trace_.size()) {}
+
+Result<TraceSource> TraceSource::Create(EventVec events, StreamId stream_id,
+                                        size_t start_offset) {
+  if (events.empty()) {
+    return Status::InvalidArgument("trace must not be empty");
+  }
+  if (!std::is_sorted(events.begin(), events.end(),
+                      [](const Event& a, const Event& b) {
+                        return a.timestamp < b.timestamp;
+                      })) {
+    return Status::InvalidArgument("trace must be sorted by timestamp");
+  }
+  return TraceSource(std::move(events), stream_id, start_offset);
+}
+
+Event TraceSource::Next() {
+  const Event& base = trace_[position_];
+  Event e;
+  e.id = emitted_++;
+  e.stream_id = stream_id_;
+  e.value = base.value;
+  e.timestamp = base.timestamp + time_shift_;
+  if (e.timestamp <= last_ts_) e.timestamp = last_ts_ + 1;
+  last_ts_ = e.timestamp;
+
+  ++position_;
+  if (position_ == trace_.size()) {
+    // Loop: shift subsequent replays past the last emitted timestamp plus
+    // one mean gap, keeping time strictly monotonic.
+    position_ = 0;
+    const EventTime span =
+        trace_.back().timestamp - trace_.front().timestamp;
+    const EventTime gap =
+        trace_.size() > 1
+            ? std::max<EventTime>(1, span / static_cast<EventTime>(
+                                             trace_.size() - 1))
+            : 1;
+    time_shift_ = last_ts_ + gap - trace_.front().timestamp;
+  }
+  return e;
+}
+
+void TraceSource::NextBatch(size_t n, EventVec* out) {
+  out->reserve(out->size() + n);
+  for (size_t i = 0; i < n; ++i) out->push_back(Next());
+}
+
+double TraceSource::MeanRate() const {
+  if (trace_.size() < 2) return 1.0;
+  const EventTime span = trace_.back().timestamp - trace_.front().timestamp;
+  if (span <= 0) return 1.0;
+  return static_cast<double>(trace_.size() - 1) *
+         static_cast<double>(kNanosPerSecond) / static_cast<double>(span);
+}
+
+}  // namespace deco

@@ -1,0 +1,90 @@
+#include "window/count_window.h"
+
+#include <numeric>
+
+namespace deco {
+
+CountTumblingWindower::CountTumblingWindower(WindowSpec spec,
+                                             const AggregateFunction* func)
+    : Windower(spec), func_(func), partial_(func->CreatePartial()) {}
+
+Status CountTumblingWindower::Add(const Event& event,
+                                  std::vector<WindowResult>* out) {
+  if (count_ == 0) first_ts_ = event.timestamp;
+  func_->Accumulate(&partial_, event.value);
+  last_ts_ = event.timestamp;
+  if (++count_ == spec_.length) {
+    WindowResult result;
+    result.window_index = next_index_++;
+    result.start_time = first_ts_;
+    result.end_time = last_ts_;
+    result.event_count = count_;
+    result.value = func_->Finalize(partial_);
+    result.partial = std::move(partial_);
+    out->push_back(std::move(result));
+    partial_ = func_->CreatePartial();
+    count_ = 0;
+  }
+  return Status::OK();
+}
+
+CountSlidingWindower::CountSlidingWindower(WindowSpec spec,
+                                           const AggregateFunction* func)
+    : Windower(spec), func_(func) {
+  pane_size_ = std::gcd(spec_.length, spec_.slide);
+  panes_per_window_ = spec_.length / pane_size_;
+  panes_per_slide_ = spec_.slide / pane_size_;
+  open_.partial = func_->CreatePartial();
+}
+
+void CountSlidingWindower::ClosePane() {
+  panes_.push_back(std::move(open_));
+  open_.partial = func_->CreatePartial();
+  open_.first_ts = 0;
+  open_.last_ts = 0;
+  open_count_ = 0;
+}
+
+Status CountSlidingWindower::Add(const Event& event,
+                                 std::vector<WindowResult>* out) {
+  if (open_count_ == 0) open_.first_ts = event.timestamp;
+  func_->Accumulate(&open_.partial, event.value);
+  open_.last_ts = event.timestamp;
+  ++open_count_;
+  ++total_events_;
+
+  if (open_count_ == pane_size_) ClosePane();
+
+  // A window of `length` events ending at event index `total_events_ - 1`
+  // closes when total_events_ >= length and (total_events_ - length) is a
+  // multiple of slide.
+  const bool window_closes =
+      total_events_ >= spec_.length &&
+      (total_events_ - spec_.length) % spec_.slide == 0;
+  if (!window_closes) return Status::OK();
+
+  if (panes_.size() < panes_per_window_) {
+    return Status::Internal("sliding pane store out of sync");
+  }
+  WindowResult result;
+  result.window_index = next_index_++;
+  result.partial = func_->CreatePartial();
+  const size_t first = panes_.size() - panes_per_window_;
+  for (size_t i = first; i < panes_.size(); ++i) {
+    DECO_RETURN_NOT_OK(func_->Merge(&result.partial, panes_[i].partial));
+  }
+  result.start_time = panes_[first].first_ts;
+  result.end_time = panes_.back().last_ts;
+  result.event_count = spec_.length;
+  result.value = func_->Finalize(result.partial);
+  out->push_back(std::move(result));
+
+  // The first `panes_per_slide_` panes of the emitted window precede the
+  // next window's start and are never needed again.
+  for (uint64_t i = 0; i < panes_per_slide_ && !panes_.empty(); ++i) {
+    panes_.pop_front();
+  }
+  return Status::OK();
+}
+
+}  // namespace deco

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <deque>
+
+#include "window/window.h"
+
+/// \file count_window.h
+/// \brief Count-based tumbling and sliding window operators.
+///
+/// The sliding operator uses Scotty-style stream slicing: the stream is cut
+/// into non-overlapping *panes* of `gcd(length, slide)` events; each pane
+/// keeps one partial aggregate and every closed window is the merge of the
+/// `length / pane` most recent panes. A single event is therefore
+/// aggregated once regardless of how many overlapping windows contain it.
+
+namespace deco {
+
+/// \brief Tumbling window of `length` events.
+class CountTumblingWindower final : public Windower {
+ public:
+  CountTumblingWindower(WindowSpec spec, const AggregateFunction* func);
+
+  Status Add(const Event& event, std::vector<WindowResult>* out) override;
+
+  /// \brief Number of events accumulated in the currently open window.
+  uint64_t open_count() const { return count_; }
+
+ private:
+  const AggregateFunction* func_;
+  Partial partial_;
+  uint64_t count_ = 0;
+  uint64_t next_index_ = 0;
+  EventTime first_ts_ = 0;
+  EventTime last_ts_ = 0;
+};
+
+/// \brief Sliding window of `length` events advancing by `slide` events,
+/// backed by shared panes.
+class CountSlidingWindower final : public Windower {
+ public:
+  CountSlidingWindower(WindowSpec spec, const AggregateFunction* func);
+
+  Status Add(const Event& event, std::vector<WindowResult>* out) override;
+
+ private:
+  // One closed pane: partial over `pane_size_` consecutive events.
+  struct Pane {
+    Partial partial;
+    EventTime first_ts = 0;
+    EventTime last_ts = 0;
+  };
+
+  void ClosePane();
+
+  const AggregateFunction* func_;
+  uint64_t pane_size_;        // gcd(length, slide)
+  uint64_t panes_per_window_;  // length / pane_size_
+  uint64_t panes_per_slide_;   // slide / pane_size_
+
+  std::deque<Pane> panes_;  // closed panes still needed by future windows
+  Pane open_;               // pane currently accumulating
+  uint64_t open_count_ = 0;
+  uint64_t total_events_ = 0;
+  uint64_t next_index_ = 0;
+};
+
+}  // namespace deco

@@ -1,0 +1,52 @@
+#include "window/session_window.h"
+
+namespace deco {
+
+SessionWindower::SessionWindower(WindowSpec spec,
+                                 const AggregateFunction* func)
+    : Windower(spec), func_(func), partial_(func->CreatePartial()) {}
+
+void SessionWindower::CloseSession(std::vector<WindowResult>* out) {
+  if (!open_) return;
+  WindowResult result;
+  result.window_index = next_index_++;
+  result.start_time = first_ts_;
+  result.end_time = last_ts_;
+  result.event_count = count_;
+  result.value = func_->Finalize(partial_);
+  result.partial = std::move(partial_);
+  out->push_back(std::move(result));
+  partial_ = func_->CreatePartial();
+  open_ = false;
+  count_ = 0;
+}
+
+Status SessionWindower::Add(const Event& event,
+                            std::vector<WindowResult>* out) {
+  if (open_ && event.timestamp - last_ts_ > spec_.session_gap) {
+    CloseSession(out);
+  }
+  if (!open_) {
+    open_ = true;
+    first_ts_ = event.timestamp;
+  }
+  func_->Accumulate(&partial_, event.value);
+  last_ts_ = event.timestamp;
+  ++count_;
+  return Status::OK();
+}
+
+Status SessionWindower::OnWatermark(Watermark watermark,
+                                    std::vector<WindowResult>* out) {
+  if (open_ && watermark.value - last_ts_ > spec_.session_gap) {
+    CloseSession(out);
+  }
+  return Status::OK();
+}
+
+Status SessionWindower::Flush(std::vector<WindowResult>* out) {
+  CloseSession(out);
+  return Status::OK();
+}
+
+}  // namespace deco

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "window/window.h"
+
+/// \file session_window.h
+/// \brief Session window operator (paper §2.1): a window closes after a gap
+/// of `session_gap` nanoseconds of event-time silence.
+
+namespace deco {
+
+/// \brief Event-time session windows over an in-order stream.
+///
+/// A session extends as long as consecutive events are at most
+/// `session_gap` apart. The session closes when an event arrives more than
+/// a gap after the previous one, when a watermark passes
+/// `last_event + gap`, or at `Flush` (end of stream).
+class SessionWindower final : public Windower {
+ public:
+  SessionWindower(WindowSpec spec, const AggregateFunction* func);
+
+  Status Add(const Event& event, std::vector<WindowResult>* out) override;
+  Status OnWatermark(Watermark watermark,
+                     std::vector<WindowResult>* out) override;
+  Status Flush(std::vector<WindowResult>* out) override;
+
+ private:
+  void CloseSession(std::vector<WindowResult>* out);
+
+  const AggregateFunction* func_;
+  Partial partial_;
+  bool open_ = false;
+  uint64_t count_ = 0;
+  EventTime first_ts_ = 0;
+  EventTime last_ts_ = 0;
+  uint64_t next_index_ = 0;
+};
+
+}  // namespace deco

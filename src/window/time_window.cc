@@ -1,0 +1,111 @@
+#include "window/time_window.h"
+
+#include <numeric>
+
+namespace deco {
+
+TimeTumblingWindower::TimeTumblingWindower(WindowSpec spec,
+                                           const AggregateFunction* func)
+    : Windower(spec), func_(func) {}
+
+Status TimeTumblingWindower::Add(const Event& event,
+                                 std::vector<WindowResult>* out) {
+  (void)out;
+  if (event.timestamp <= watermark_) {
+    // Late event: behind the watermark, its window already closed.
+    return Status::OK();
+  }
+  const int64_t length = static_cast<int64_t>(spec_.length);
+  const int64_t bucket = event.timestamp / length;
+  Bucket& b = buckets_[bucket];
+  if (b.count == 0) b.partial = func_->CreatePartial();
+  func_->Accumulate(&b.partial, event.value);
+  ++b.count;
+  return Status::OK();
+}
+
+Status TimeTumblingWindower::OnWatermark(Watermark watermark,
+                                         std::vector<WindowResult>* out) {
+  watermark_ = std::max(watermark_, watermark.value);
+  const int64_t length = static_cast<int64_t>(spec_.length);
+  // A bucket [k*length, (k+1)*length) closes once every timestamp < its end
+  // is covered by the watermark.
+  while (!buckets_.empty()) {
+    const auto it = buckets_.begin();
+    const int64_t end = (it->first + 1) * length;
+    if (watermark_ < end - 1) break;
+    WindowResult result;
+    result.window_index = next_index_++;
+    result.start_time = it->first * length;
+    result.end_time = end;
+    result.event_count = it->second.count;
+    result.value = func_->Finalize(it->second.partial);
+    result.partial = std::move(it->second.partial);
+    out->push_back(std::move(result));
+    buckets_.erase(it);
+  }
+  return Status::OK();
+}
+
+TimeSlidingWindower::TimeSlidingWindower(WindowSpec spec,
+                                         const AggregateFunction* func)
+    : Windower(spec), func_(func) {
+  pane_nanos_ = static_cast<int64_t>(std::gcd(spec_.length, spec_.slide));
+  next_window_start_ = 0;
+}
+
+Status TimeSlidingWindower::Add(const Event& event,
+                                std::vector<WindowResult>* out) {
+  (void)out;
+  if (event.timestamp <= watermark_) return Status::OK();
+  if (!saw_event_) {
+    saw_event_ = true;
+    // The earliest window containing the first event starts at the largest
+    // multiple of `slide` that is <= timestamp - length + 1, clamped to >= 0
+    // (timestamps are non-negative by the stream model).
+    const int64_t length = static_cast<int64_t>(spec_.length);
+    const int64_t slide = static_cast<int64_t>(spec_.slide);
+    const int64_t lo = event.timestamp - length + 1;
+    next_window_start_ = lo <= 0 ? 0 : ((lo + slide - 1) / slide) * slide;
+  }
+  const int64_t pane = event.timestamp / pane_nanos_;
+  Pane& p = panes_[pane];
+  if (p.count == 0) p.partial = func_->CreatePartial();
+  func_->Accumulate(&p.partial, event.value);
+  ++p.count;
+  return Status::OK();
+}
+
+Status TimeSlidingWindower::OnWatermark(Watermark watermark,
+                                        std::vector<WindowResult>* out) {
+  watermark_ = std::max(watermark_, watermark.value);
+  if (!saw_event_) return Status::OK();
+  const int64_t length = static_cast<int64_t>(spec_.length);
+  const int64_t slide = static_cast<int64_t>(spec_.slide);
+  while (next_window_start_ + length - 1 <= watermark_) {
+    const int64_t start = next_window_start_;
+    const int64_t end = start + length;
+    WindowResult result;
+    result.window_index = next_index_;
+    result.start_time = start;
+    result.end_time = end;
+    result.partial = func_->CreatePartial();
+    result.event_count = 0;
+    for (auto it = panes_.lower_bound(start / pane_nanos_);
+         it != panes_.end() && it->first * pane_nanos_ < end; ++it) {
+      DECO_RETURN_NOT_OK(func_->Merge(&result.partial, it->second.partial));
+      result.event_count += it->second.count;
+    }
+    next_window_start_ += slide;
+    // Drop panes that precede every future window.
+    const int64_t keep_from = next_window_start_ / pane_nanos_;
+    panes_.erase(panes_.begin(), panes_.lower_bound(keep_from));
+    if (result.event_count == 0) continue;  // skip empty windows
+    result.value = func_->Finalize(result.partial);
+    out->push_back(std::move(result));
+    ++next_index_;
+  }
+  return Status::OK();
+}
+
+}  // namespace deco

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <map>
+
+#include "window/window.h"
+
+/// \file time_window.h
+/// \brief Time-based tumbling and sliding window operators.
+///
+/// Time windows close on watermarks: a window `[start, end)` is emitted once
+/// a watermark with `value >= end - 1` arrives, i.e. once the operator knows
+/// no more events with timestamps inside the window can appear. Events that
+/// arrive behind the watermark (late events) are dropped.
+///
+/// The sliding operator shares panes of `gcd(length, slide)` nanoseconds
+/// between overlapping windows, as in the count-based case.
+
+namespace deco {
+
+/// \brief Tumbling window of `length` nanoseconds aligned to multiples of
+/// `length` (epoch-aligned buckets).
+class TimeTumblingWindower final : public Windower {
+ public:
+  TimeTumblingWindower(WindowSpec spec, const AggregateFunction* func);
+
+  Status Add(const Event& event, std::vector<WindowResult>* out) override;
+  Status OnWatermark(Watermark watermark,
+                     std::vector<WindowResult>* out) override;
+
+ private:
+  struct Bucket {
+    Partial partial;
+    uint64_t count = 0;
+  };
+
+  const AggregateFunction* func_;
+  std::map<int64_t, Bucket> buckets_;  // keyed by bucket index
+  EventTime watermark_ = INT64_MIN;
+  uint64_t next_index_ = 0;
+};
+
+/// \brief Sliding window of `length` nanoseconds every `slide` nanoseconds,
+/// pane-shared.
+class TimeSlidingWindower final : public Windower {
+ public:
+  TimeSlidingWindower(WindowSpec spec, const AggregateFunction* func);
+
+  Status Add(const Event& event, std::vector<WindowResult>* out) override;
+  Status OnWatermark(Watermark watermark,
+                     std::vector<WindowResult>* out) override;
+
+ private:
+  struct Pane {
+    Partial partial;
+    uint64_t count = 0;
+  };
+
+  const AggregateFunction* func_;
+  int64_t pane_nanos_;
+  std::map<int64_t, Pane> panes_;  // keyed by pane index
+  EventTime watermark_ = INT64_MIN;
+  int64_t next_window_start_;  // start time of the next window to emit
+  bool saw_event_ = false;
+  uint64_t next_index_ = 0;
+};
+
+}  // namespace deco

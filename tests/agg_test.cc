@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "agg/aggregate.h"
+#include "common/random.h"
+
+namespace deco {
+namespace {
+
+std::unique_ptr<AggregateFunction> Make(AggregateKind kind, double q = 0.5) {
+  auto result = MakeAggregate(kind, q);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+// ----------------------------------------------------------- Name parsing
+
+TEST(AggregateNameTest, RoundTripsAllKinds) {
+  for (AggregateKind kind :
+       {AggregateKind::kSum, AggregateKind::kCount, AggregateKind::kMin,
+        AggregateKind::kMax, AggregateKind::kAvg, AggregateKind::kMedian,
+        AggregateKind::kQuantile}) {
+    auto parsed =
+        AggregateKindFromString(std::string(AggregateKindToString(kind)));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(AggregateKindFromString("variance").ok());
+}
+
+// -------------------------------------------------------- Basic semantics
+
+TEST(AggregateTest, SumAccumulates) {
+  auto f = Make(AggregateKind::kSum);
+  Partial p = f->CreatePartial();
+  for (double v : {1.0, 2.0, 3.5}) f->Accumulate(&p, v);
+  EXPECT_DOUBLE_EQ(f->Finalize(p), 6.5);
+  EXPECT_EQ(p.count, 3u);
+}
+
+TEST(AggregateTest, CountIgnoresValues) {
+  auto f = Make(AggregateKind::kCount);
+  Partial p = f->CreatePartial();
+  for (double v : {-5.0, 100.0, 0.0}) f->Accumulate(&p, v);
+  EXPECT_DOUBLE_EQ(f->Finalize(p), 3.0);
+}
+
+TEST(AggregateTest, MinAndMax) {
+  auto fmin = Make(AggregateKind::kMin);
+  auto fmax = Make(AggregateKind::kMax);
+  Partial pmin = fmin->CreatePartial();
+  Partial pmax = fmax->CreatePartial();
+  for (double v : {3.0, -7.0, 12.0, 0.5}) {
+    fmin->Accumulate(&pmin, v);
+    fmax->Accumulate(&pmax, v);
+  }
+  EXPECT_DOUBLE_EQ(fmin->Finalize(pmin), -7.0);
+  EXPECT_DOUBLE_EQ(fmax->Finalize(pmax), 12.0);
+}
+
+TEST(AggregateTest, AvgIsAlgebraicFromSumAndCount) {
+  auto f = Make(AggregateKind::kAvg);
+  EXPECT_EQ(f->decomposability(), Decomposability::kAlgebraic);
+  Partial p = f->CreatePartial();
+  for (double v : {1.0, 2.0, 3.0, 4.0}) f->Accumulate(&p, v);
+  EXPECT_DOUBLE_EQ(f->Finalize(p), 2.5);
+}
+
+TEST(AggregateTest, AvgOfEmptyIsNan) {
+  auto f = Make(AggregateKind::kAvg);
+  Partial p = f->CreatePartial();
+  EXPECT_TRUE(std::isnan(f->Finalize(p)));
+}
+
+TEST(AggregateTest, MedianOddAndEven) {
+  auto f = Make(AggregateKind::kMedian);
+  EXPECT_EQ(f->decomposability(), Decomposability::kHolistic);
+  Partial p = f->CreatePartial();
+  for (double v : {5.0, 1.0, 3.0}) f->Accumulate(&p, v);
+  EXPECT_DOUBLE_EQ(f->Finalize(p), 3.0);
+  f->Accumulate(&p, 7.0);
+  EXPECT_DOUBLE_EQ(f->Finalize(p), 4.0);  // interpolated between 3 and 5
+}
+
+TEST(AggregateTest, QuantileMatchesSortedPosition) {
+  auto f = Make(AggregateKind::kQuantile, 0.25);
+  Partial p = f->CreatePartial();
+  for (int i = 0; i <= 100; ++i) f->Accumulate(&p, i);
+  EXPECT_NEAR(f->Finalize(p), 25.0, 1e-9);
+}
+
+TEST(AggregateTest, QuantileRejectsBadQ) {
+  EXPECT_FALSE(MakeAggregate(AggregateKind::kQuantile, 0.0).ok());
+  EXPECT_FALSE(MakeAggregate(AggregateKind::kQuantile, 1.0).ok());
+  EXPECT_FALSE(MakeAggregate(AggregateKind::kQuantile, -0.5).ok());
+}
+
+TEST(AggregateTest, MergeRejectsKindMismatch) {
+  auto fsum = Make(AggregateKind::kSum);
+  auto fmin = Make(AggregateKind::kMin);
+  Partial a = fsum->CreatePartial();
+  Partial b = fmin->CreatePartial();
+  EXPECT_TRUE(fsum->Merge(&a, b).IsInvalidArgument());
+}
+
+TEST(AggregateTest, DecomposabilityClassification) {
+  EXPECT_TRUE(Make(AggregateKind::kSum)->IsDecomposable());
+  EXPECT_TRUE(Make(AggregateKind::kAvg)->IsDecomposable());
+  EXPECT_FALSE(Make(AggregateKind::kMedian)->IsDecomposable());
+}
+
+// ------------------------------------------------ Partial serialization
+
+TEST(PartialSerdeTest, RoundTripWithValues) {
+  auto f = Make(AggregateKind::kMedian);
+  Partial p = f->CreatePartial();
+  for (double v : {9.0, -1.0, 4.5}) f->Accumulate(&p, v);
+  BinaryWriter writer;
+  EncodePartial(p, &writer);
+  EXPECT_EQ(writer.size(), p.WireSize());
+  BinaryReader reader(writer.buffer());
+  Partial decoded = DecodePartial(&reader).value();
+  EXPECT_EQ(decoded.kind, p.kind);
+  EXPECT_EQ(decoded.count, p.count);
+  EXPECT_EQ(decoded.values, p.values);
+  EXPECT_DOUBLE_EQ(f->Finalize(decoded), f->Finalize(p));
+}
+
+TEST(PartialSerdeTest, BadKindByteIsError) {
+  BinaryWriter writer;
+  writer.PutU8(99);
+  BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(DecodePartial(&reader).ok());
+}
+
+TEST(PartialSerdeTest, HugeValueCountIsRejected) {
+  auto f = Make(AggregateKind::kSum);
+  Partial p = f->CreatePartial();
+  BinaryWriter writer;
+  EncodePartial(p, &writer);
+  // Corrupt the value-count field (last 8 bytes of the fixed prefix).
+  std::string buf = writer.buffer();
+  buf.resize(buf.size() - 8);
+  BinaryWriter corrupted;
+  corrupted.PutU64(1ull << 60);
+  buf += corrupted.buffer();
+  BinaryReader reader(buf);
+  EXPECT_TRUE(DecodePartial(&reader).status().IsOutOfRange());
+}
+
+// --------------------------------------- Property: decomposition is exact
+//
+// For every decomposable aggregate and any split of the input into
+// contiguous chunks, accumulating chunks into separate partials and
+// merging them must give the same result as one pass over everything —
+// the invariant Deco's slices rely on (paper §2.3).
+
+class DecompositionProperty
+    : public ::testing::TestWithParam<std::tuple<AggregateKind, size_t>> {};
+
+TEST_P(DecompositionProperty, SplitMergeEqualsWholePass) {
+  const auto [kind, chunks] = GetParam();
+  auto f = Make(kind);
+  Rng rng(static_cast<uint64_t>(chunks) * 31 +
+          static_cast<uint64_t>(kind));
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.NextDouble(-50, 50));
+
+  Partial whole = f->CreatePartial();
+  for (double v : values) f->Accumulate(&whole, v);
+
+  Partial merged = f->CreatePartial();
+  const size_t chunk_size = (values.size() + chunks - 1) / chunks;
+  for (size_t start = 0; start < values.size(); start += chunk_size) {
+    Partial part = f->CreatePartial();
+    const size_t end = std::min(values.size(), start + chunk_size);
+    for (size_t i = start; i < end; ++i) f->Accumulate(&part, values[i]);
+    ASSERT_TRUE(f->Merge(&merged, part).ok());
+  }
+  EXPECT_NEAR(f->Finalize(merged), f->Finalize(whole),
+              1e-9 * std::max(1.0, std::abs(f->Finalize(whole))));
+  EXPECT_EQ(merged.count, whole.count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDecomposableKindsAndSplits, DecompositionProperty,
+    ::testing::Combine(::testing::Values(AggregateKind::kSum,
+                                         AggregateKind::kCount,
+                                         AggregateKind::kMin,
+                                         AggregateKind::kMax,
+                                         AggregateKind::kAvg),
+                       ::testing::Values(1, 2, 3, 7, 100)));
+
+// Merging is commutative for all supported kinds.
+class MergeCommutativity : public ::testing::TestWithParam<AggregateKind> {};
+
+TEST_P(MergeCommutativity, OrderDoesNotMatter) {
+  auto f = Make(GetParam());
+  Rng rng(99);
+  Partial a = f->CreatePartial();
+  Partial b = f->CreatePartial();
+  for (int i = 0; i < 100; ++i) f->Accumulate(&a, rng.NextDouble(-10, 10));
+  for (int i = 0; i < 37; ++i) f->Accumulate(&b, rng.NextDouble(-10, 10));
+
+  Partial ab = f->CreatePartial();
+  ASSERT_TRUE(f->Merge(&ab, a).ok());
+  ASSERT_TRUE(f->Merge(&ab, b).ok());
+  Partial ba = f->CreatePartial();
+  ASSERT_TRUE(f->Merge(&ba, b).ok());
+  ASSERT_TRUE(f->Merge(&ba, a).ok());
+  EXPECT_DOUBLE_EQ(f->Finalize(ab), f->Finalize(ba));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, MergeCommutativity,
+                         ::testing::Values(AggregateKind::kSum,
+                                           AggregateKind::kCount,
+                                           AggregateKind::kMin,
+                                           AggregateKind::kMax,
+                                           AggregateKind::kAvg));
+
+// Median decomposes exactly when the partials keep raw values (which is
+// why it must be processed centrally: the partial *is* the data).
+TEST(HolisticTest, MedianMergeKeepsAllValues) {
+  auto f = Make(AggregateKind::kMedian);
+  Partial a = f->CreatePartial();
+  Partial b = f->CreatePartial();
+  for (double v : {1.0, 9.0}) f->Accumulate(&a, v);
+  for (double v : {5.0}) f->Accumulate(&b, v);
+  Partial merged = f->CreatePartial();
+  ASSERT_TRUE(f->Merge(&merged, a).ok());
+  ASSERT_TRUE(f->Merge(&merged, b).ok());
+  EXPECT_EQ(merged.values.size(), 3u);
+  EXPECT_DOUBLE_EQ(f->Finalize(merged), 5.0);
+}
+
+}  // namespace
+}  // namespace deco

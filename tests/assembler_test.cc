@@ -1,0 +1,450 @@
+#include <gtest/gtest.h>
+
+#include "deco/assembler.h"
+
+namespace deco {
+namespace {
+
+// Test fixture that builds slices and raw regions from synthetic per-node
+// event sequences with interleaved timestamps: node n's k-th event has
+// timestamp `base + k * num_nodes + n`, so the global order interleaves
+// round-robin and the expected window composition is easy to reason about.
+class AssemblerTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kNodes = 2;
+  static constexpr uint64_t kGlobal = 100;  // global window size
+
+  void SetUp() override {
+    func_ = std::move(MakeAggregate(AggregateKind::kSum)).value();
+    assembler_ = std::make_unique<WindowAssembler>(kNodes, func_.get(),
+                                                   kGlobal);
+    next_id_.assign(kNodes, 0);
+  }
+
+  // Produces the next `n` events of node `node` (value 1.0 each).
+  EventVec Take(size_t node, size_t n) {
+    EventVec events;
+    for (size_t i = 0; i < n; ++i) {
+      Event e;
+      e.id = next_id_[node];
+      e.stream_id = static_cast<StreamId>(node);
+      e.value = 1.0;
+      e.timestamp = static_cast<EventTime>(
+          1000 + next_id_[node] * kNodes + node);
+      ++next_id_[node];
+      events.push_back(e);
+    }
+    return events;
+  }
+
+  SliceSummary MakeSlice(const EventVec& events) {
+    SliceSummary s;
+    s.partial = func_->CreatePartial();
+    for (const Event& e : events) func_->Accumulate(&s.partial, e.value);
+    s.event_count = events.size();
+    if (!events.empty()) {
+      s.min_ts = events.front().timestamp;
+      s.max_ts = events.back().timestamp;
+      s.max_stream_id = events.back().stream_id;
+      s.max_event_id = events.back().id;
+    }
+    s.event_rate = 1000.0;
+    return s;
+  }
+
+  // Ships a sync-style window: slice of `slice` events + end buffer of
+  // `buffer` events for window `w` from `node`.
+  void ShipSyncWindow(uint64_t w, size_t node, size_t slice, size_t buffer) {
+    ASSERT_TRUE(assembler_->AddSlice(w, node, MakeSlice(Take(node, slice)),
+                                     0.0)
+                    .ok());
+    ASSERT_TRUE(assembler_
+                    ->AddRaw(w, node, BatchRole::kEnd, Take(node, buffer),
+                             0.0)
+                    .ok());
+  }
+
+  std::unique_ptr<AggregateFunction> func_;
+  std::unique_ptr<WindowAssembler> assembler_;
+  std::vector<uint64_t> next_id_;
+};
+
+TEST_F(AssemblerTest, NotReadyUntilAllRegionsArrive) {
+  WindowAssembly out;
+  EXPECT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kNotReady);
+  ASSERT_TRUE(
+      assembler_->AddSlice(0, 0, MakeSlice(Take(0, 48)), 0.0).ok());
+  EXPECT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kNotReady);
+  ASSERT_TRUE(
+      assembler_->AddRaw(0, 0, BatchRole::kEnd, Take(0, 4), 0.0).ok());
+  EXPECT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kNotReady);  // node 1 missing
+}
+
+TEST_F(AssemblerTest, BalancedWindowAssemblesExactly) {
+  ShipSyncWindow(0, 0, 48, 4);
+  ShipSyncWindow(0, 1, 48, 4);
+  WindowAssembly out;
+  ASSERT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kAssembled);
+  EXPECT_EQ(out.event_count, kGlobal);
+  EXPECT_DOUBLE_EQ(func_->Finalize(out.partial), 100.0);
+  // Round-robin interleave: each node contributes exactly 50.
+  EXPECT_EQ(out.consumed[0], 50u);
+  EXPECT_EQ(out.consumed[1], 50u);
+  EXPECT_EQ(assembler_->next_window(), 1u);
+  // Unselected buffer events carry over.
+  EXPECT_EQ(assembler_->leftover_size(0), 2u);
+  EXPECT_EQ(assembler_->leftover_size(1), 2u);
+}
+
+TEST_F(AssemblerTest, WatermarkIsLastWindowEvent) {
+  ShipSyncWindow(0, 0, 48, 4);
+  ShipSyncWindow(0, 1, 48, 4);
+  WindowAssembly out;
+  ASSERT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kAssembled);
+  // The 100th event in interleaved order is node 1's event 49 at
+  // 1000 + 49*2 + 1 = 1099.
+  EXPECT_EQ(out.watermark.ts, 1099);
+}
+
+TEST_F(AssemblerTest, CarryoverFeedsNextWindow) {
+  ShipSyncWindow(0, 0, 48, 4);
+  ShipSyncWindow(0, 1, 48, 4);
+  WindowAssembly out;
+  ASSERT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kAssembled);
+  // Window 1: each node's leftover (2) is forced; slices of 46 + buffers
+  // of 4 complete it.
+  ShipSyncWindow(1, 0, 46, 4);
+  ShipSyncWindow(1, 1, 46, 4);
+  ASSERT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kAssembled);
+  EXPECT_EQ(out.event_count, kGlobal);
+  EXPECT_EQ(out.consumed[0], 50u);
+  EXPECT_EQ(out.consumed[1], 50u);
+}
+
+TEST_F(AssemblerTest, ImbalancedRatesResolveByTimestamp) {
+  // Node 0 contributes events twice as fast (timestamps closer together):
+  // regenerate ids so node 0's k-th event is at 1000+k, node 1's at
+  // 1000+2k. In the first 100 global events node 0 contributes ~2/3.
+  auto take_custom = [&](size_t node, size_t n, EventTime stride) {
+    EventVec events;
+    for (size_t i = 0; i < n; ++i) {
+      Event e;
+      e.id = next_id_[node];
+      e.stream_id = static_cast<StreamId>(node);
+      e.value = 1.0;
+      e.timestamp =
+          static_cast<EventTime>(1000 + next_id_[node] * stride + node);
+      ++next_id_[node];
+      events.push_back(e);
+    }
+    return events;
+  };
+  const EventVec slice0 = take_custom(0, 60, 1);
+  const EventVec buf0 = take_custom(0, 14, 1);
+  const EventVec slice1 = take_custom(1, 30, 2);
+  const EventVec buf1 = take_custom(1, 8, 2);
+  ASSERT_TRUE(assembler_->AddSlice(0, 0, MakeSlice(slice0), 0.0).ok());
+  ASSERT_TRUE(
+      assembler_->AddRaw(0, 0, BatchRole::kEnd, buf0, 0.0).ok());
+  ASSERT_TRUE(assembler_->AddSlice(0, 1, MakeSlice(slice1), 0.0).ok());
+  ASSERT_TRUE(
+      assembler_->AddRaw(0, 1, BatchRole::kEnd, buf1, 0.0).ok());
+  WindowAssembly out;
+  ASSERT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kAssembled);
+  EXPECT_EQ(out.consumed[0] + out.consumed[1], kGlobal);
+  // Node 0's events are twice as dense, so it contributes about 2/3.
+  EXPECT_GT(out.consumed[0], 60u);
+  EXPECT_LT(out.consumed[1], 40u);
+}
+
+TEST_F(AssemblerTest, OverestimateTriggersCorrection) {
+  // Forced events exceed the global window: slices alone sum to 110.
+  ShipSyncWindow(0, 0, 55, 2);
+  ShipSyncWindow(0, 1, 55, 2);
+  WindowAssembly out;
+  EXPECT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kNeedCorrection);
+}
+
+TEST_F(AssemblerTest, UnderestimateTriggersCorrection) {
+  // Too few events shipped in total: 40+4 per node < 100.
+  ShipSyncWindow(0, 0, 40, 4);
+  ShipSyncWindow(0, 1, 40, 4);
+  WindowAssembly out;
+  EXPECT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kNeedCorrection);
+}
+
+TEST_F(AssemblerTest, FullySelectedBufferTriggersCorrection) {
+  // Node 0 ships too little; its entire buffer would be consumed, leaving
+  // the cut unbounded against its unshipped stream.
+  ShipSyncWindow(0, 0, 40, 6);
+  ShipSyncWindow(0, 1, 52, 8);
+  WindowAssembly out;
+  EXPECT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kNeedCorrection);
+}
+
+TEST_F(AssemblerTest, CutInsideSliceTriggersCorrection) {
+  // Node 1's slice reaches far beyond the true cut: it covers events up to
+  // timestamp ~1150 while node 0 still has unconsumed events below that.
+  ShipSyncWindow(0, 0, 40, 4);   // node 0: events up to ts ~1088
+  ShipSyncWindow(0, 1, 58, 4);   // node 1: slice alone reaches ts ~1117
+  WindowAssembly out;
+  EXPECT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kNeedCorrection);
+}
+
+TEST_F(AssemblerTest, CorrectionAssemblesExactWindow) {
+  ShipSyncWindow(0, 0, 55, 2);
+  ShipSyncWindow(0, 1, 55, 2);
+  WindowAssembly out;
+  ASSERT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kNeedCorrection);
+
+  assembler_->BeginCorrection();
+  EXPECT_TRUE(assembler_->correcting());
+  // Locals resend their full retained regions (57 events each) plus a
+  // top-up so the cut can be bounded.
+  next_id_.assign(kNodes, 0);  // locals replay from the window start
+  ASSERT_TRUE(assembler_->AddCandidates(0, Take(0, 57), 0.0).ok());
+  ASSERT_TRUE(assembler_->AddCandidates(1, Take(1, 57), 0.0).ok());
+  std::vector<size_t> need_more;
+  ASSERT_EQ(assembler_->TryAssembleCorrected(&out, &need_more),
+            WindowAssembler::CorrectionOutcome::kAssembled);
+  EXPECT_EQ(out.event_count, kGlobal);
+  EXPECT_EQ(out.consumed[0], 50u);
+  EXPECT_EQ(out.consumed[1], 50u);
+  EXPECT_FALSE(assembler_->correcting());
+  EXPECT_EQ(assembler_->next_window(), 1u);
+  // Correction clears leftovers: locals re-plan from the cut.
+  EXPECT_EQ(assembler_->leftover_size(0), 0u);
+  EXPECT_EQ(assembler_->leftover_size(1), 0u);
+}
+
+TEST_F(AssemblerTest, CorrectionRequestsTopUpWhenShort) {
+  ShipSyncWindow(0, 0, 40, 4);
+  ShipSyncWindow(0, 1, 40, 4);
+  WindowAssembly out;
+  ASSERT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kNeedCorrection);
+  assembler_->BeginCorrection();
+  next_id_.assign(kNodes, 0);
+  ASSERT_TRUE(assembler_->AddCandidates(0, Take(0, 44), 0.0).ok());
+  ASSERT_TRUE(assembler_->AddCandidates(1, Take(1, 44), 0.0).ok());
+  std::vector<size_t> need_more;
+  ASSERT_EQ(assembler_->TryAssembleCorrected(&out, &need_more),
+            WindowAssembler::CorrectionOutcome::kNeedMore);
+  EXPECT_FALSE(need_more.empty());
+  // Top-ups arrive; now the window can be selected exactly.
+  for (size_t n : need_more) {
+    ASSERT_TRUE(assembler_->AddCandidates(n, Take(n, 20), 0.0).ok());
+  }
+  ASSERT_EQ(assembler_->TryAssembleCorrected(&out, &need_more),
+            WindowAssembler::CorrectionOutcome::kAssembled);
+  EXPECT_EQ(out.consumed[0] + out.consumed[1], kGlobal);
+}
+
+TEST_F(AssemblerTest, EosWaivesCutBounding) {
+  // Node 1 finished its stream; its fully consumed buffer is fine.
+  ShipSyncWindow(0, 0, 50, 6);
+  ShipSyncWindow(0, 1, 44, 4);
+  assembler_->MarkEos(1);
+  WindowAssembly out;
+  ASSERT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kAssembled);
+  EXPECT_EQ(out.consumed[0] + out.consumed[1], kGlobal);
+}
+
+TEST_F(AssemblerTest, AllEosWithTooFewEventsEndsStream) {
+  ShipSyncWindow(0, 0, 30, 2);
+  ShipSyncWindow(0, 1, 30, 2);
+  assembler_->MarkEos(0);
+  assembler_->MarkEos(1);
+  WindowAssembly out;
+  EXPECT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kEndOfStream);
+}
+
+TEST_F(AssemblerTest, RemovedNodeIsExcluded) {
+  ShipSyncWindow(0, 0, 90, 20);
+  // Node 1 fails; the window is built from node 0 alone.
+  assembler_->RemoveNode(1);
+  WindowAssembly out;
+  ASSERT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kAssembled);
+  EXPECT_EQ(out.consumed[0], kGlobal);
+  EXPECT_EQ(out.consumed[1], 0u);
+}
+
+TEST_F(AssemblerTest, StaleInputsAreDropped) {
+  ShipSyncWindow(0, 0, 48, 4);
+  ShipSyncWindow(0, 1, 48, 4);
+  WindowAssembly out;
+  ASSERT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kAssembled);
+  // Inputs for the already-assembled window 0 are ignored without error.
+  EXPECT_TRUE(
+      assembler_->AddSlice(0, 0, MakeSlice(Take(0, 5)), 0.0).ok());
+  EXPECT_TRUE(
+      assembler_->AddRaw(0, 0, BatchRole::kEnd, Take(0, 2), 0.0).ok());
+  EXPECT_EQ(assembler_->next_window(), 1u);
+}
+
+TEST_F(AssemblerTest, DuplicateRegionsAreErrors) {
+  ASSERT_TRUE(
+      assembler_->AddSlice(0, 0, MakeSlice(Take(0, 10)), 0.0).ok());
+  EXPECT_TRUE(assembler_->AddSlice(0, 0, MakeSlice(Take(0, 10)), 0.0)
+                  .IsInternal());
+  ASSERT_TRUE(
+      assembler_->AddRaw(0, 0, BatchRole::kEnd, Take(0, 2), 0.0).ok());
+  EXPECT_TRUE(assembler_->AddRaw(0, 0, BatchRole::kEnd, Take(0, 2), 0.0)
+                  .IsInternal());
+}
+
+TEST_F(AssemblerTest, UnknownNodeAndBadRoleRejected) {
+  EXPECT_TRUE(assembler_->AddSlice(0, 9, SliceSummary{}, 0.0)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(assembler_->AddRaw(0, 0, BatchRole::kData, {}, 0.0)
+                  .IsInvalidArgument());
+}
+
+TEST_F(AssemblerTest, LatencyMetaIsEventWeighted) {
+  EventVec slice0 = Take(0, 48);
+  ASSERT_TRUE(
+      assembler_->AddSlice(0, 0, MakeSlice(slice0), 1000.0).ok());
+  ASSERT_TRUE(
+      assembler_->AddRaw(0, 0, BatchRole::kEnd, Take(0, 4), 2000.0).ok());
+  ASSERT_TRUE(
+      assembler_->AddSlice(0, 1, MakeSlice(Take(1, 48)), 3000.0).ok());
+  ASSERT_TRUE(
+      assembler_->AddRaw(0, 1, BatchRole::kEnd, Take(1, 4), 4000.0).ok());
+  WindowAssembly out;
+  ASSERT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kAssembled);
+  EXPECT_EQ(out.create_count, kGlobal);
+  EXPECT_GT(out.create_mean, 1000.0);
+  EXPECT_LT(out.create_mean, 4000.0);
+}
+
+// ------------------------------------------- Async front-buffer extension
+
+class AsyncAssemblerTest : public AssemblerTest {
+ protected:
+  void SetUp() override {
+    AssemblerTest::SetUp();
+    assembler_->set_expect_front(true);
+  }
+
+  // Ships an async window: front + slice + end.
+  void ShipAsyncWindow(uint64_t w, size_t node, size_t front, size_t slice,
+                       size_t end) {
+    ASSERT_TRUE(assembler_
+                    ->AddRaw(w, node, BatchRole::kFront, Take(node, front),
+                             0.0)
+                    .ok());
+    ASSERT_TRUE(assembler_->AddSlice(w, node, MakeSlice(Take(node, slice)),
+                                     0.0)
+                    .ok());
+    ASSERT_TRUE(assembler_
+                    ->AddRaw(w, node, BatchRole::kEnd, Take(node, end), 0.0)
+                    .ok());
+  }
+};
+
+TEST_F(AsyncAssemblerTest, WaitsForNextFrontWhenCutUnbounded) {
+  // Per-node regions sum exactly to 50: without the next window's front
+  // buffer the cut cannot be bounded, so the assembler waits rather than
+  // correcting.
+  ShipAsyncWindow(0, 0, 2, 46, 2);
+  ShipAsyncWindow(0, 1, 2, 46, 2);
+  WindowAssembly out;
+  EXPECT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kNotReady);
+  // Window 1's front buffers arrive and extend the selectable region.
+  ASSERT_TRUE(
+      assembler_->AddRaw(1, 0, BatchRole::kFront, Take(0, 2), 0.0).ok());
+  ASSERT_TRUE(
+      assembler_->AddRaw(1, 1, BatchRole::kFront, Take(1, 2), 0.0).ok());
+  ASSERT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kAssembled);
+  EXPECT_EQ(out.event_count, kGlobal);
+  EXPECT_EQ(out.consumed[0], 50u);
+  EXPECT_EQ(out.consumed[1], 50u);
+}
+
+TEST_F(AsyncAssemblerTest, ExtensionConsumesFrontPrefix) {
+  // Node 0's end buffer (1 event) is too small for its true share of 50;
+  // the cut legally extends into its next window's front buffer, which
+  // must shrink accordingly.
+  ShipAsyncWindow(0, 0, 2, 46, 1);  // region 49, true share 50
+  ShipAsyncWindow(0, 1, 2, 46, 3);  // region 51
+  ASSERT_TRUE(
+      assembler_->AddRaw(1, 0, BatchRole::kFront, Take(0, 4), 0.0).ok());
+  ASSERT_TRUE(
+      assembler_->AddRaw(1, 1, BatchRole::kFront, Take(1, 4), 0.0).ok());
+  WindowAssembly out;
+  ASSERT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kAssembled);
+  EXPECT_EQ(out.consumed[0], 50u);
+  EXPECT_EQ(out.consumed[1], 50u);
+}
+
+// Regression: an EOS node may still hold events for LATER windows (the
+// async pipeline runs ahead). Waiving the cut-bounding check for such a
+// node once produced windows that silently diverged from the ground
+// truth; the waiver must only apply when nothing of the node's stream
+// lies beyond the current window's selectable region.
+TEST_F(AsyncAssemblerTest, EosWaiverRequiresNoLaterInput) {
+  // Node 1 is "finished" but its w1 regions are already pending: its w0
+  // end region would be fully selected, and without the later-input guard
+  // the window would assemble with node 1's cut unbounded.
+  ShipAsyncWindow(0, 0, 2, 44, 2);
+  ShipAsyncWindow(0, 1, 2, 50, 2);  // over-contributes to w0
+  ShipAsyncWindow(1, 1, 2, 44, 2);  // w1 regions already shipped
+  assembler_->MarkEos(1);
+  WindowAssembly out;
+  const auto outcome = assembler_->TryAssemble(&out);
+  // With the guard, this must NOT assemble via the waiver: the node has
+  // later input, so the verdict is a correction (or not-ready), never a
+  // silently wrong window.
+  EXPECT_NE(outcome, WindowAssembler::Outcome::kAssembled);
+}
+
+// Regression: end-of-stream must not be declared while events for the
+// current window sit in later-tagged pending windows (local plans can
+// split the tail differently from the root's numbering).
+TEST_F(AssemblerTest, EndOfStreamCountsLaterPendingWindows) {
+  // All nodes EOS; window 0 only has 30+30 events directly, but window 1
+  // regions hold 60 more: a correction can still assemble window 0.
+  ShipSyncWindow(0, 0, 28, 2);
+  ShipSyncWindow(0, 1, 28, 2);
+  ShipSyncWindow(1, 0, 28, 2);
+  ShipSyncWindow(1, 1, 28, 2);
+  assembler_->MarkEos(0);
+  assembler_->MarkEos(1);
+  WindowAssembly out;
+  EXPECT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kNeedCorrection);
+}
+
+TEST_F(AssemblerTest, EndOfStreamWhenTrulyNothingLeft) {
+  ShipSyncWindow(0, 0, 28, 2);
+  ShipSyncWindow(0, 1, 28, 2);
+  assembler_->MarkEos(0);
+  assembler_->MarkEos(1);
+  WindowAssembly out;
+  EXPECT_EQ(assembler_->TryAssemble(&out),
+            WindowAssembler::Outcome::kEndOfStream);
+}
+
+}  // namespace
+}  // namespace deco

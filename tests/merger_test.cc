@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "baseline/root_merger.h"
+
+namespace deco {
+namespace {
+
+Event MakeEvent(EventId id, StreamId stream, EventTime ts) {
+  Event e;
+  e.id = id;
+  e.stream_id = stream;
+  e.value = 1.0;
+  e.timestamp = ts;
+  return e;
+}
+
+TEST(RootMergerTest, StallsUntilEveryNodeHasInput) {
+  RootMerger merger(2);
+  merger.Append(0, {MakeEvent(0, 0, 10)}, 0.0);
+  Event e;
+  double create = 0;
+  size_t node = 0;
+  EXPECT_FALSE(merger.PopNext(&e, &create, &node));  // node 1 unknown
+  merger.Append(1, {MakeEvent(0, 1, 15)}, 0.0);
+  EXPECT_TRUE(merger.PopNext(&e, &create, &node));
+  EXPECT_EQ(e.timestamp, 10);
+  EXPECT_EQ(node, 0u);
+  // Node 0's queue is now empty: merge stalls again.
+  EXPECT_FALSE(merger.PopNext(&e, &create, &node));
+}
+
+TEST(RootMergerTest, EosUnblocksEmptyQueue) {
+  RootMerger merger(2);
+  merger.Append(0, {MakeEvent(0, 0, 10), MakeEvent(1, 0, 20)}, 0.0);
+  merger.MarkEos(1);  // node 1 will never send anything
+  Event e;
+  double create = 0;
+  size_t node = 0;
+  EXPECT_TRUE(merger.PopNext(&e, &create, &node));
+  EXPECT_TRUE(merger.PopNext(&e, &create, &node));
+  EXPECT_FALSE(merger.PopNext(&e, &create, &node));
+  merger.MarkEos(0);
+  EXPECT_TRUE(merger.Drained());
+}
+
+TEST(RootMergerTest, AppendAfterEosStillMerges) {
+  // The final batch of a node may arrive together with its EOS marker;
+  // events appended before/after MarkEos must still drain.
+  RootMerger merger(1);
+  merger.Append(0, {MakeEvent(0, 0, 5)}, 0.0);
+  merger.MarkEos(0);
+  Event e;
+  double create = 0;
+  size_t node = 0;
+  EXPECT_TRUE(merger.PopNext(&e, &create, &node));
+  EXPECT_TRUE(merger.Drained());
+}
+
+TEST(RootMergerTest, GlobalOrderAcrossBatches) {
+  RootMerger merger(3);
+  // Interleaved timestamps across nodes, multiple batches per node.
+  merger.Append(0, {MakeEvent(0, 0, 1), MakeEvent(1, 0, 4)}, 0.0);
+  merger.Append(0, {MakeEvent(2, 0, 7)}, 0.0);
+  merger.Append(1, {MakeEvent(0, 1, 2), MakeEvent(1, 1, 5)}, 0.0);
+  merger.Append(2, {MakeEvent(0, 2, 3), MakeEvent(1, 2, 6)}, 0.0);
+  merger.MarkEos(0);
+  merger.MarkEos(1);
+  merger.MarkEos(2);
+  Event e;
+  double create = 0;
+  size_t node = 0;
+  EventTime expected = 1;
+  while (merger.PopNext(&e, &create, &node)) {
+    EXPECT_EQ(e.timestamp, expected++);
+  }
+  EXPECT_EQ(expected, 8);
+  EXPECT_TRUE(merger.Drained());
+}
+
+TEST(RootMergerTest, TimestampTiesBreakByStreamThenId) {
+  RootMerger merger(2);
+  merger.Append(0, {MakeEvent(5, 1, 10)}, 0.0);
+  merger.Append(1, {MakeEvent(3, 0, 10)}, 0.0);
+  merger.MarkEos(0);
+  merger.MarkEos(1);
+  Event e;
+  double create = 0;
+  size_t node = 0;
+  ASSERT_TRUE(merger.PopNext(&e, &create, &node));
+  EXPECT_EQ(e.stream_id, 0u);  // lower stream id first on equal timestamps
+}
+
+TEST(RootMergerTest, CreateTimesTravelWithBatches) {
+  RootMerger merger(1);
+  merger.Append(0, {MakeEvent(0, 0, 1)}, 111.0);
+  merger.Append(0, {MakeEvent(1, 0, 2)}, 222.0);
+  merger.MarkEos(0);
+  Event e;
+  double create = 0;
+  size_t node = 0;
+  ASSERT_TRUE(merger.PopNext(&e, &create, &node));
+  EXPECT_DOUBLE_EQ(create, 111.0);
+  ASSERT_TRUE(merger.PopNext(&e, &create, &node));
+  EXPECT_DOUBLE_EQ(create, 222.0);
+}
+
+TEST(RootMergerTest, BufferedCountTracksContents) {
+  RootMerger merger(2);
+  EXPECT_EQ(merger.buffered(), 0u);
+  merger.Append(0, {MakeEvent(0, 0, 1), MakeEvent(1, 0, 2)}, 0.0);
+  EXPECT_EQ(merger.buffered(), 2u);
+  merger.Append(1, {MakeEvent(0, 1, 3)}, 0.0);
+  Event e;
+  double create = 0;
+  size_t node = 0;
+  ASSERT_TRUE(merger.PopNext(&e, &create, &node));
+  EXPECT_EQ(merger.buffered(), 2u);
+}
+
+TEST(RootMergerTest, EmptyAppendIsNoop) {
+  RootMerger merger(1);
+  merger.Append(0, {}, 0.0);
+  EXPECT_EQ(merger.buffered(), 0u);
+  merger.MarkEos(0);
+  EXPECT_TRUE(merger.Drained());
+}
+
+}  // namespace
+}  // namespace deco

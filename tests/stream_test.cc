@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/clock.h"
+#include "node/ingest.h"
+#include "node/stream_set.h"
+#include "stream/generator.h"
+#include "stream/rate_model.h"
+
+namespace deco {
+namespace {
+
+StreamConfig BasicStream(StreamId id, double rate, double change,
+                         uint64_t seed = 42) {
+  StreamConfig config;
+  config.stream_id = id;
+  config.rate.base_rate = rate;
+  config.rate.change_fraction = change;
+  config.rate.epoch_events = 100;
+  config.seed = seed;
+  return config;
+}
+
+// -------------------------------------------------------------- RateModel
+
+TEST(RateModelTest, ValidatesConfig) {
+  RateModelConfig bad;
+  bad.base_rate = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad.base_rate = 10;
+  bad.change_fraction = -0.1;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad.change_fraction = 0.1;
+  bad.epoch_events = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(RateModelTest, ConstantRateGivesConstantGaps) {
+  RateModelConfig config;
+  config.base_rate = 1000;  // 1ms gaps
+  config.change_fraction = 0.0;
+  RateModel model(config, 1);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(model.NextGapNanos(), kNanosPerMilli);
+  }
+}
+
+TEST(RateModelTest, RateStaysWithinChangeBounds) {
+  RateModelConfig config;
+  config.base_rate = 100;
+  config.change_fraction = 0.05;  // the paper's "95 to 105 events/s" example
+  config.epoch_events = 10;
+  RateModel model(config, 7);
+  for (int i = 0; i < 2000; ++i) {
+    model.NextGapNanos();
+    EXPECT_GE(model.current_rate(), 95.0);
+    EXPECT_LE(model.current_rate(), 105.0);
+  }
+}
+
+TEST(RateModelTest, RateChangesAcrossEpochs) {
+  RateModelConfig config;
+  config.base_rate = 100;
+  config.change_fraction = 0.5;
+  config.epoch_events = 10;
+  RateModel model(config, 7);
+  std::vector<double> rates;
+  for (int i = 0; i < 100; ++i) {
+    model.NextGapNanos();
+    rates.push_back(model.current_rate());
+  }
+  // At least two distinct instantaneous rates must have been observed.
+  std::sort(rates.begin(), rates.end());
+  EXPECT_GT(rates.back() - rates.front(), 1.0);
+}
+
+TEST(RateModelTest, DeterministicForSeed) {
+  RateModelConfig config;
+  config.base_rate = 500;
+  config.change_fraction = 0.2;
+  config.epoch_events = 5;
+  RateModel a(config, 3), b(config, 3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.NextGapNanos(), b.NextGapNanos());
+  }
+}
+
+TEST(RateModelTest, ExtremeChangeNeverStallsTime) {
+  RateModelConfig config;
+  config.base_rate = 100;
+  config.change_fraction = 1.0;  // rates can approach zero
+  config.epoch_events = 3;
+  RateModel model(config, 13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(model.NextGapNanos(), 0);
+  }
+}
+
+// ------------------------------------------------------------ StreamSource
+
+TEST(StreamSourceTest, IdsSequentialTimestampsMonotonic) {
+  StreamSource source(BasicStream(3, 1000, 0.1));
+  EventTime last_ts = -1;
+  for (EventId i = 0; i < 1000; ++i) {
+    const Event e = source.Next();
+    EXPECT_EQ(e.id, i);
+    EXPECT_EQ(e.stream_id, 3u);
+    EXPECT_GT(e.timestamp, last_ts);
+    last_ts = e.timestamp;
+  }
+  EXPECT_EQ(source.emitted(), 1000u);
+  EXPECT_EQ(source.last_timestamp(), last_ts);
+}
+
+TEST(StreamSourceTest, DeterministicReplay) {
+  StreamSource a(BasicStream(0, 500, 0.3, 11));
+  StreamSource b(BasicStream(0, 500, 0.3, 11));
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(StreamSourceTest, BatchMatchesSingles) {
+  StreamSource a(BasicStream(0, 500, 0.0, 5));
+  StreamSource b(BasicStream(0, 500, 0.0, 5));
+  EventVec batch;
+  a.NextBatch(64, &batch);
+  for (const Event& e : batch) {
+    EXPECT_EQ(e, b.Next());
+  }
+}
+
+TEST(StreamSourceTest, ValuesFollowBoundedTrajectory) {
+  StreamConfig config = BasicStream(0, 1000, 0.0);
+  config.value.amplitude = 10.0;
+  config.value.noise_stddev = 0.1;
+  StreamSource source(config);
+  for (int i = 0; i < 5000; ++i) {
+    const Event e = source.Next();
+    EXPECT_LT(std::abs(e.value), 12.0);  // amplitude + generous noise room
+  }
+}
+
+TEST(StreamSourceTest, MeanRateApproximatesConfig) {
+  StreamSource source(BasicStream(0, 1000, 0.05));
+  const int kEvents = 20'000;
+  EventTime first = 0, last = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    const Event e = source.Next();
+    if (i == 0) first = e.timestamp;
+    last = e.timestamp;
+  }
+  const double seconds = static_cast<double>(last - first) / kNanosPerSecond;
+  const double measured = (kEvents - 1) / seconds;
+  EXPECT_NEAR(measured, 1000.0, 30.0);
+}
+
+// -------------------------------------------------------- DisorderInjector
+
+TEST(DisorderInjectorTest, ZeroProbabilityPreservesOrder) {
+  StreamSource source(BasicStream(0, 1000, 0.1));
+  DisorderInjector injector(&source, 0.0, 4, 1);
+  EventTime last = -1;
+  for (int i = 0; i < 1000; ++i) {
+    const Event e = injector.Next();
+    EXPECT_GT(e.timestamp, last);
+    last = e.timestamp;
+  }
+}
+
+TEST(DisorderInjectorTest, IntroducesOutOfOrderEventsWithoutLoss) {
+  StreamSource source(BasicStream(0, 1000, 0.1, 3));
+  DisorderInjector injector(&source, 0.2, 4, 3);
+  std::vector<EventId> ids;
+  int inversions = 0;
+  EventTime last = -1;
+  for (int i = 0; i < 2000; ++i) {
+    const Event e = injector.Next();
+    if (e.timestamp < last) ++inversions;
+    last = e.timestamp;
+    ids.push_back(e.id);
+  }
+  EXPECT_GT(inversions, 10);
+  // No event lost or duplicated within the drained prefix.
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+// --------------------------------------------------------------- StreamSet
+
+TEST(StreamSetTest, MergesInGlobalOrder) {
+  std::vector<StreamConfig> configs;
+  configs.push_back(BasicStream(0, 900, 0.2, 1));
+  configs.push_back(BasicStream(1, 1100, 0.2, 2));
+  configs.push_back(BasicStream(2, 500, 0.2, 3));
+  StreamSet set(configs);
+  EXPECT_EQ(set.stream_count(), 3u);
+  EventTimestampLess less;
+  Event prev = set.Next();
+  for (int i = 1; i < 5000; ++i) {
+    const Event e = set.Next();
+    EXPECT_FALSE(less(e, prev)) << "merge order violated at " << i;
+    prev = e;
+  }
+  EXPECT_EQ(set.position(), 5000u);
+}
+
+TEST(StreamSetTest, TotalRateSumsStreams) {
+  std::vector<StreamConfig> configs;
+  configs.push_back(BasicStream(0, 300, 0.0));
+  configs.push_back(BasicStream(1, 700, 0.0));
+  StreamSet set(configs);
+  EXPECT_NEAR(set.TotalRate(), 1000.0, 1e-9);
+}
+
+TEST(StreamSetTest, AllStreamsRepresented) {
+  std::vector<StreamConfig> configs;
+  for (StreamId s = 0; s < 4; ++s) {
+    configs.push_back(BasicStream(s, 1000, 0.0, s + 1));
+  }
+  StreamSet set(configs);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[set.Next().stream_id];
+  for (int c : counts) EXPECT_NEAR(c, 1000, 50);
+}
+
+// ------------------------------------------------------------ IngestSource
+
+TEST(IngestSourceTest, RespectsEventBudget) {
+  IngestConfig config;
+  config.streams.push_back(BasicStream(0, 1000, 0.0));
+  config.events_to_produce = 1000;
+  config.batch_size = 300;
+  IngestSource source(config, SystemClock::Default());
+
+  EventVec out;
+  TimeNanos create = 0;
+  uint64_t total = 0;
+  while (true) {
+    out.clear();
+    const size_t pulled = source.Pull(300, &out, &create);
+    if (pulled == 0) break;
+    total += pulled;
+    EXPECT_GT(create, 0);
+  }
+  EXPECT_EQ(total, 1000u);
+  EXPECT_TRUE(source.exhausted());
+  EXPECT_EQ(source.position(), 1000u);
+}
+
+TEST(IngestSourceTest, LastPullIsShort) {
+  IngestConfig config;
+  config.streams.push_back(BasicStream(0, 1000, 0.0));
+  config.events_to_produce = 250;
+  IngestSource source(config, SystemClock::Default());
+  EventVec out;
+  TimeNanos create = 0;
+  EXPECT_EQ(source.Pull(200, &out, &create), 200u);
+  EXPECT_EQ(source.Pull(200, &out, &create), 50u);
+  EXPECT_EQ(source.Pull(200, &out, &create), 0u);
+}
+
+TEST(IngestSourceTest, CpuThrottleLimitsRate) {
+  IngestConfig config;
+  config.streams.push_back(BasicStream(0, 1e9, 0.0));
+  config.events_to_produce = 30'000;
+  config.cpu_events_per_sec = 20'000;  // weak device
+  IngestSource source(config, SystemClock::Default());
+  EventVec out;
+  TimeNanos create = 0;
+  // Drain the initial token-bucket burst (one second's allowance)...
+  size_t pulled = source.Pull(20'000, &out, &create);
+  ASSERT_EQ(pulled, 20'000u);
+  // ...then pulling 10k more events must take about 0.5 s of wall time.
+  const TimeNanos start = SystemClock::Default()->NowNanos();
+  out.clear();
+  pulled = source.Pull(10'000, &out, &create);
+  const TimeNanos elapsed = SystemClock::Default()->NowNanos() - start;
+  EXPECT_EQ(pulled, 10'000u);
+  EXPECT_GT(elapsed, 300 * kNanosPerMilli);
+}
+
+}  // namespace
+}  // namespace deco

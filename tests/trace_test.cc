@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/clock.h"
+#include "stream/trace.h"
+
+namespace deco {
+namespace {
+
+Event MakeEvent(EventId id, double value, EventTime ts) {
+  Event e;
+  e.id = id;
+  e.stream_id = 1;
+  e.value = value;
+  e.timestamp = ts;
+  return e;
+}
+
+EventVec SampleTrace() {
+  EventVec events;
+  for (int i = 0; i < 100; ++i) {
+    events.push_back(MakeEvent(i, i * 0.5 - 10, 1000 + i * 100));
+  }
+  return events;
+}
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(TraceFileTest, RoundTrip) {
+  const std::string path = TempPath("deco_trace_roundtrip.csv");
+  const EventVec events = SampleTrace();
+  ASSERT_TRUE(WriteTraceFile(path, events).ok());
+  const EventVec loaded = ReadTraceFile(path).value();
+  ASSERT_EQ(loaded.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, events[i].id);
+    EXPECT_EQ(loaded[i].stream_id, events[i].stream_id);
+    EXPECT_DOUBLE_EQ(loaded[i].value, events[i].value);
+    EXPECT_EQ(loaded[i].timestamp, events[i].timestamp);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFileTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadTraceFile("/nonexistent/deco.csv").status().IsIOError());
+}
+
+TEST(TraceFileTest, ParseLineVariants) {
+  EXPECT_TRUE(ParseTraceLine("# comment").status().IsNotFound());
+  EXPECT_TRUE(ParseTraceLine("").status().IsNotFound());
+  const Event e = ParseTraceLine("7,3,-1.25,99000").value();
+  EXPECT_EQ(e.id, 7u);
+  EXPECT_EQ(e.stream_id, 3u);
+  EXPECT_DOUBLE_EQ(e.value, -1.25);
+  EXPECT_EQ(e.timestamp, 99000);
+  EXPECT_TRUE(ParseTraceLine("1,2").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseTraceLine("1,2,abc,4").status().IsInvalidArgument());
+}
+
+TEST(TraceFileTest, MalformedLineReportsLineNumber) {
+  const std::string path = TempPath("deco_trace_bad.csv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("1,1,2.0,100\nnot-a-line\n", f);
+    std::fclose(f);
+  }
+  const Status status = ReadTraceFile(path).status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find(":2:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSourceTest, CreateValidates) {
+  EXPECT_FALSE(TraceSource::Create({}, 0).ok());
+  EventVec unsorted = SampleTrace();
+  std::swap(unsorted[0], unsorted[1]);
+  EXPECT_FALSE(TraceSource::Create(std::move(unsorted), 0).ok());
+  EXPECT_TRUE(TraceSource::Create(SampleTrace(), 0).ok());
+}
+
+TEST(TraceSourceTest, ReplaysValuesInOrder) {
+  TraceSource source = std::move(TraceSource::Create(SampleTrace(), 5))
+                           .value();
+  for (int i = 0; i < 100; ++i) {
+    const Event e = source.Next();
+    EXPECT_EQ(e.id, static_cast<EventId>(i));
+    EXPECT_EQ(e.stream_id, 5u);
+    EXPECT_DOUBLE_EQ(e.value, i * 0.5 - 10);
+  }
+}
+
+TEST(TraceSourceTest, StartOffsetShiftsPhase) {
+  TraceSource source =
+      std::move(TraceSource::Create(SampleTrace(), 1, 40)).value();
+  EXPECT_DOUBLE_EQ(source.Next().value, 40 * 0.5 - 10);
+}
+
+TEST(TraceSourceTest, LoopingKeepsTimeMonotonic) {
+  TraceSource source = std::move(TraceSource::Create(SampleTrace(), 0))
+                           .value();
+  EventTime last = -1;
+  for (int i = 0; i < 550; ++i) {  // 5.5 passes over the 100-event trace
+    const Event e = source.Next();
+    EXPECT_GT(e.timestamp, last) << "at event " << i;
+    last = e.timestamp;
+  }
+  EXPECT_EQ(source.emitted(), 550u);
+}
+
+TEST(TraceSourceTest, MeanRateMatchesTraceDensity) {
+  // 100 events spanning 9900 ns -> 99 gaps of 100 ns -> 1e7 events/s.
+  TraceSource source = std::move(TraceSource::Create(SampleTrace(), 0))
+                           .value();
+  EXPECT_NEAR(source.MeanRate(), 1e7, 1.0);
+}
+
+TEST(TraceSourceTest, BatchMatchesSingles) {
+  TraceSource a = std::move(TraceSource::Create(SampleTrace(), 0)).value();
+  TraceSource b = std::move(TraceSource::Create(SampleTrace(), 0)).value();
+  EventVec batch;
+  a.NextBatch(130, &batch);
+  for (const Event& e : batch) {
+    EXPECT_EQ(e, b.Next());
+  }
+}
+
+}  // namespace
+}  // namespace deco
