@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deco.dir/ablation_deco.cc.o"
+  "CMakeFiles/ablation_deco.dir/ablation_deco.cc.o.d"
+  "ablation_deco"
+  "ablation_deco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_adaptivity.dir/fig10_adaptivity.cc.o"
+  "CMakeFiles/fig10_adaptivity.dir/fig10_adaptivity.cc.o.d"
+  "fig10_adaptivity"
+  "fig10_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_windowsize.dir/fig10_windowsize.cc.o"
+  "CMakeFiles/fig10_windowsize.dir/fig10_windowsize.cc.o.d"
+  "fig10_windowsize"
+  "fig10_windowsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_windowsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_iot.dir/fig11_iot.cc.o"
+  "CMakeFiles/fig11_iot.dir/fig11_iot.cc.o.d"
+  "fig11_iot"
+  "fig11_iot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_iot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

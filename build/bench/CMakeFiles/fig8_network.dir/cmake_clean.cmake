@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_network.dir/fig8_network.cc.o"
+  "CMakeFiles/fig8_network.dir/fig8_network.cc.o.d"
+  "fig8_network"
+  "fig8_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_monlocal.dir/micro_monlocal.cc.o"
+  "CMakeFiles/micro_monlocal.dir/micro_monlocal.cc.o.d"
+  "micro_monlocal"
+  "micro_monlocal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_monlocal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/deco_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/deco/CMakeFiles/deco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/deco_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/deco_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/deco_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/window/CMakeFiles/deco_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/deco_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/deco_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/deco_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/deco_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/deco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soccer_monitoring.dir/soccer_monitoring.cpp.o"
+  "CMakeFiles/soccer_monitoring.dir/soccer_monitoring.cpp.o.d"
+  "soccer_monitoring"
+  "soccer_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soccer_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deco_agg.dir/aggregate.cc.o"
+  "CMakeFiles/deco_agg.dir/aggregate.cc.o.d"
+  "libdeco_agg.a"
+  "libdeco_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deco_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deco_baseline.dir/approx.cc.o"
+  "CMakeFiles/deco_baseline.dir/approx.cc.o.d"
+  "CMakeFiles/deco_baseline.dir/centralized_root.cc.o"
+  "CMakeFiles/deco_baseline.dir/centralized_root.cc.o.d"
+  "CMakeFiles/deco_baseline.dir/forwarding_local.cc.o"
+  "CMakeFiles/deco_baseline.dir/forwarding_local.cc.o.d"
+  "CMakeFiles/deco_baseline.dir/root_merger.cc.o"
+  "CMakeFiles/deco_baseline.dir/root_merger.cc.o.d"
+  "libdeco_baseline.a"
+  "libdeco_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deco_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deco_common.dir/clock.cc.o"
+  "CMakeFiles/deco_common.dir/clock.cc.o.d"
+  "CMakeFiles/deco_common.dir/flags.cc.o"
+  "CMakeFiles/deco_common.dir/flags.cc.o.d"
+  "CMakeFiles/deco_common.dir/logging.cc.o"
+  "CMakeFiles/deco_common.dir/logging.cc.o.d"
+  "CMakeFiles/deco_common.dir/random.cc.o"
+  "CMakeFiles/deco_common.dir/random.cc.o.d"
+  "CMakeFiles/deco_common.dir/status.cc.o"
+  "CMakeFiles/deco_common.dir/status.cc.o.d"
+  "libdeco_common.a"
+  "libdeco_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deco_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeco_common.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deco_core.dir/assembler.cc.o"
+  "CMakeFiles/deco_core.dir/assembler.cc.o.d"
+  "CMakeFiles/deco_core.dir/local_node.cc.o"
+  "CMakeFiles/deco_core.dir/local_node.cc.o.d"
+  "CMakeFiles/deco_core.dir/planner.cc.o"
+  "CMakeFiles/deco_core.dir/planner.cc.o.d"
+  "CMakeFiles/deco_core.dir/predictor.cc.o"
+  "CMakeFiles/deco_core.dir/predictor.cc.o.d"
+  "CMakeFiles/deco_core.dir/root_node.cc.o"
+  "CMakeFiles/deco_core.dir/root_node.cc.o.d"
+  "libdeco_core.a"
+  "libdeco_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deco_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

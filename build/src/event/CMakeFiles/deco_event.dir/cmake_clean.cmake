@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deco_event.dir/event.cc.o"
+  "CMakeFiles/deco_event.dir/event.cc.o.d"
+  "CMakeFiles/deco_event.dir/serde.cc.o"
+  "CMakeFiles/deco_event.dir/serde.cc.o.d"
+  "libdeco_event.a"
+  "libdeco_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deco_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deco_harness.dir/experiment.cc.o"
+  "CMakeFiles/deco_harness.dir/experiment.cc.o.d"
+  "libdeco_harness.a"
+  "libdeco_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deco_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

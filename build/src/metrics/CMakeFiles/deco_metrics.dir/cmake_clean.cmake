@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deco_metrics.dir/correctness.cc.o"
+  "CMakeFiles/deco_metrics.dir/correctness.cc.o.d"
+  "CMakeFiles/deco_metrics.dir/histogram.cc.o"
+  "CMakeFiles/deco_metrics.dir/histogram.cc.o.d"
+  "CMakeFiles/deco_metrics.dir/report.cc.o"
+  "CMakeFiles/deco_metrics.dir/report.cc.o.d"
+  "libdeco_metrics.a"
+  "libdeco_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deco_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fabric.cc" "src/net/CMakeFiles/deco_net.dir/fabric.cc.o" "gcc" "src/net/CMakeFiles/deco_net.dir/fabric.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/net/CMakeFiles/deco_net.dir/message.cc.o" "gcc" "src/net/CMakeFiles/deco_net.dir/message.cc.o.d"
+  "/root/repo/src/net/shaping.cc" "src/net/CMakeFiles/deco_net.dir/shaping.cc.o" "gcc" "src/net/CMakeFiles/deco_net.dir/shaping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/deco_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/deco_event.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deco_net.dir/fabric.cc.o"
+  "CMakeFiles/deco_net.dir/fabric.cc.o.d"
+  "CMakeFiles/deco_net.dir/message.cc.o"
+  "CMakeFiles/deco_net.dir/message.cc.o.d"
+  "CMakeFiles/deco_net.dir/shaping.cc.o"
+  "CMakeFiles/deco_net.dir/shaping.cc.o.d"
+  "libdeco_net.a"
+  "libdeco_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deco_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/actor.cc" "src/node/CMakeFiles/deco_node.dir/actor.cc.o" "gcc" "src/node/CMakeFiles/deco_node.dir/actor.cc.o.d"
+  "/root/repo/src/node/apportion.cc" "src/node/CMakeFiles/deco_node.dir/apportion.cc.o" "gcc" "src/node/CMakeFiles/deco_node.dir/apportion.cc.o.d"
+  "/root/repo/src/node/ingest.cc" "src/node/CMakeFiles/deco_node.dir/ingest.cc.o" "gcc" "src/node/CMakeFiles/deco_node.dir/ingest.cc.o.d"
+  "/root/repo/src/node/protocol.cc" "src/node/CMakeFiles/deco_node.dir/protocol.cc.o" "gcc" "src/node/CMakeFiles/deco_node.dir/protocol.cc.o.d"
+  "/root/repo/src/node/query.cc" "src/node/CMakeFiles/deco_node.dir/query.cc.o" "gcc" "src/node/CMakeFiles/deco_node.dir/query.cc.o.d"
+  "/root/repo/src/node/stream_set.cc" "src/node/CMakeFiles/deco_node.dir/stream_set.cc.o" "gcc" "src/node/CMakeFiles/deco_node.dir/stream_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/deco_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/deco_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/deco_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/window/CMakeFiles/deco_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/deco_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/deco_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deco_node.dir/actor.cc.o"
+  "CMakeFiles/deco_node.dir/actor.cc.o.d"
+  "CMakeFiles/deco_node.dir/apportion.cc.o"
+  "CMakeFiles/deco_node.dir/apportion.cc.o.d"
+  "CMakeFiles/deco_node.dir/ingest.cc.o"
+  "CMakeFiles/deco_node.dir/ingest.cc.o.d"
+  "CMakeFiles/deco_node.dir/protocol.cc.o"
+  "CMakeFiles/deco_node.dir/protocol.cc.o.d"
+  "CMakeFiles/deco_node.dir/query.cc.o"
+  "CMakeFiles/deco_node.dir/query.cc.o.d"
+  "CMakeFiles/deco_node.dir/stream_set.cc.o"
+  "CMakeFiles/deco_node.dir/stream_set.cc.o.d"
+  "libdeco_node.a"
+  "libdeco_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deco_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

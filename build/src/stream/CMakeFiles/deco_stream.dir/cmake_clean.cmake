@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deco_stream.dir/generator.cc.o"
+  "CMakeFiles/deco_stream.dir/generator.cc.o.d"
+  "CMakeFiles/deco_stream.dir/rate_model.cc.o"
+  "CMakeFiles/deco_stream.dir/rate_model.cc.o.d"
+  "CMakeFiles/deco_stream.dir/trace.cc.o"
+  "CMakeFiles/deco_stream.dir/trace.cc.o.d"
+  "libdeco_stream.a"
+  "libdeco_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deco_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

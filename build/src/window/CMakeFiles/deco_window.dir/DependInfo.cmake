@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/window/count_window.cc" "src/window/CMakeFiles/deco_window.dir/count_window.cc.o" "gcc" "src/window/CMakeFiles/deco_window.dir/count_window.cc.o.d"
+  "/root/repo/src/window/session_window.cc" "src/window/CMakeFiles/deco_window.dir/session_window.cc.o" "gcc" "src/window/CMakeFiles/deco_window.dir/session_window.cc.o.d"
+  "/root/repo/src/window/time_window.cc" "src/window/CMakeFiles/deco_window.dir/time_window.cc.o" "gcc" "src/window/CMakeFiles/deco_window.dir/time_window.cc.o.d"
+  "/root/repo/src/window/window.cc" "src/window/CMakeFiles/deco_window.dir/window.cc.o" "gcc" "src/window/CMakeFiles/deco_window.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agg/CMakeFiles/deco_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/deco_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/deco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deco_window.dir/count_window.cc.o"
+  "CMakeFiles/deco_window.dir/count_window.cc.o.d"
+  "CMakeFiles/deco_window.dir/session_window.cc.o"
+  "CMakeFiles/deco_window.dir/session_window.cc.o.d"
+  "CMakeFiles/deco_window.dir/time_window.cc.o"
+  "CMakeFiles/deco_window.dir/time_window.cc.o.d"
+  "CMakeFiles/deco_window.dir/window.cc.o"
+  "CMakeFiles/deco_window.dir/window.cc.o.d"
+  "libdeco_window.a"
+  "libdeco_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deco_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

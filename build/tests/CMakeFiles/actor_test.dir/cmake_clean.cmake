@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actor_test.dir/actor_test.cc.o"
+  "CMakeFiles/actor_test.dir/actor_test.cc.o.d"
+  "actor_test"
+  "actor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_node_test.dir/local_node_test.cc.o"
+  "CMakeFiles/local_node_test.dir/local_node_test.cc.o.d"
+  "local_node_test"
+  "local_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

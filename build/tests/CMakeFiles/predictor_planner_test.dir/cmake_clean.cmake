@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_planner_test.dir/predictor_planner_test.cc.o"
+  "CMakeFiles/predictor_planner_test.dir/predictor_planner_test.cc.o.d"
+  "predictor_planner_test"
+  "predictor_planner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

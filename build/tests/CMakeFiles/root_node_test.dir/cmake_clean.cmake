@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/root_node_test.dir/root_node_test.cc.o"
+  "CMakeFiles/root_node_test.dir/root_node_test.cc.o.d"
+  "root_node_test"
+  "root_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/root_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deco_run.dir/deco_run.cc.o"
+  "CMakeFiles/deco_run.dir/deco_run.cc.o.d"
+  "deco_run"
+  "deco_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deco_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
