@@ -67,6 +67,20 @@ inline std::vector<Scheme> ParseSchemes(const Flags& flags,
   return schemes.empty() ? fallback : schemes;
 }
 
+/// \brief Wires `--telemetry_out=<prefix>` / `--sample_interval_ms=<n>`
+/// into one run's config: each tagged run writes
+/// `<prefix>.<tag>.json`. No flag = telemetry stays disabled so the
+/// benchmark measures the undisturbed system.
+inline void ApplyTelemetry(const Flags& flags, ExperimentConfig* config,
+                           const std::string& tag) {
+  const std::string prefix = flags.GetString("telemetry_out", "");
+  if (prefix.empty()) return;
+  config->telemetry.enabled = true;
+  config->telemetry.json_out = prefix + "." + tag + ".json";
+  config->telemetry.sample_interval_nanos = static_cast<TimeNanos>(
+      flags.GetInt("sample_interval_ms", 50) * kNanosPerMilli);
+}
+
 /// \brief Scales an event count by `--scale`.
 inline uint64_t Scaled(const Flags& flags, uint64_t base) {
   const double scale = flags.GetDouble("scale", 1.0);

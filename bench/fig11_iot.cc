@@ -44,8 +44,10 @@ int main(int argc, char** argv) {
               "(2 Pis + root, CPU cap 4M ev/s, NIC cap 49 MB/s)\n");
   bench::PrintHeader("Fig 11a/11b/11c");
   for (Scheme scheme : schemes) {
-    bench::RunAndPrint(PiConfig(
-        scheme, 2, scheme == Scheme::kDisco ? events / 4 : events));
+    ExperimentConfig config = PiConfig(
+        scheme, 2, scheme == Scheme::kDisco ? events / 4 : events);
+    bench::ApplyTelemetry(flags, &config, SchemeToString(scheme));
+    bench::RunAndPrint(config);
   }
 
   std::printf("\nFigure 11d: throughput vs. number of Pis\n");

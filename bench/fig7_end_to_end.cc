@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
     config.rate_change = 0.01;
     config.batch_size = 8192;
     config.seed = 42;
+    bench::ApplyTelemetry(flags, &config, SchemeToString(scheme));
     bench::RunAndPrint(config);
   }
   return 0;

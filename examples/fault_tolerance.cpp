@@ -61,6 +61,21 @@ int main() {
               (unsigned long long)windows_before);
   DECO_CHECK_OK(fabric.SetNodeDown(topology.locals[1], true));
 
+  // While the timeout is pending, watch the fabric: the downed node's
+  // traffic now counts as dropped, and the root's mailbox depth shows
+  // whether the survivors keep it busy.
+  for (int tick = 1; tick <= 3; ++tick) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::printf("t=%dms: root queue=%zu", 300 + tick * 100,
+                fabric.queue_depth(topology.root));
+    for (size_t i = 0; i < topology.locals.size(); ++i) {
+      std::printf(" local-%zu queue=%zu", i,
+                  fabric.queue_depth(topology.locals[i]));
+    }
+    std::printf(" dropped=%llu\n",
+                (unsigned long long)fabric.Stats().total_dropped);
+  }
+
   root_ptr->Join();
   runtime.StopAll();
   fabric.Shutdown();

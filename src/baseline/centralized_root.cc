@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metric_registry.h"
+#include "obs/trace.h"
 
 namespace deco {
 
@@ -181,6 +183,14 @@ void CentralizedRoot::EmitWindow(double value, uint64_t event_count,
   ++report_->windows_emitted;
   create_sum_ = 0.0;
   open_events_ = 0;
+  static Counter* windows_counter =
+      MetricRegistry::Global()->counter("root.windows_emitted");
+  static Counter* events_counter =
+      MetricRegistry::Global()->counter("root.events_emitted");
+  windows_counter->Increment();
+  events_counter->Add(static_cast<int64_t>(event_count));
+  DECO_TRACE_SPAN(id_, TracePhase::kEmit, record.window_index,
+                  static_cast<int64_t>(event_count));
 }
 
 }  // namespace deco

@@ -1,9 +1,13 @@
 #include "common/logging.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+
+#include "common/clock.h"
 
 namespace deco {
 namespace {
@@ -14,6 +18,20 @@ std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
 std::mutex& LogMutex() {
   static std::mutex mu;
   return mu;
+}
+
+// Monotonic origin of log timestamps: the first log statement anchors 0.
+TimeNanos LogUptimeNanos() {
+  static const TimeNanos origin = SystemClock::Default()->NowNanos();
+  return SystemClock::Default()->NowNanos() - origin;
+}
+
+// Compact dense thread id (T0, T1, ...) in statement order of first log.
+int ThisThreadLogId() {
+  static std::atomic<int> next{0};
+  static thread_local const int id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
 }
 
 const char* LevelName(LogLevel level) {
@@ -42,11 +60,30 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
+Result<LogLevel> LogLevelFromString(const std::string& name) {
+  std::string lower(name.size(), '\0');
+  std::transform(name.begin(), name.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn") return LogLevel::kWarning;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "fatal") return LogLevel::kFatal;
+  return Status::InvalidArgument("unknown log level: " + name);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  const double uptime_seconds =
+      static_cast<double>(LogUptimeNanos()) / kNanosPerSecond;
+  char prefix[32];
+  std::snprintf(prefix, sizeof(prefix), "%.6f T%d", uptime_seconds,
+                ThisThreadLogId());
+  stream_ << "[" << LevelName(level) << " " << prefix << " " << file << ":"
+          << line << "] ";
 }
 
 LogMessage::~LogMessage() {

@@ -3,9 +3,16 @@
 #include <sstream>
 #include <string>
 
+#include "common/result.h"
+
 /// \file logging.h
 /// \brief Minimal leveled logger with a process-global level and stream-style
 /// usage: `DECO_LOG(INFO) << "started node " << id;`.
+///
+/// Each line is prefixed with the level, a monotonic timestamp (seconds
+/// since the first log statement of the process) and a compact thread id,
+/// so interleaved node-actor output can be correlated with the telemetry
+/// time series.
 ///
 /// Logging is off the hot path everywhere in the library; per-event code
 /// never logs. The default level is WARNING so tests and benchmarks stay
@@ -26,6 +33,10 @@ void SetLogLevel(LogLevel level);
 
 /// \brief Returns the current process-global minimum level.
 LogLevel GetLogLevel();
+
+/// \brief Parses "debug" / "info" / "warning" (or "warn") / "error" /
+/// "fatal" (case-insensitive) into a level; InvalidArgument otherwise.
+Result<LogLevel> LogLevelFromString(const std::string& name);
 
 namespace internal {
 

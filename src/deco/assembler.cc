@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace deco {
 namespace {
@@ -393,6 +394,8 @@ WindowAssembler::Outcome WindowAssembler::TryAssemble(WindowAssembly* out) {
   out->create_count = create_count;
 
   pending_.erase(next_window_);
+  DECO_TRACE_SPAN(trace_node_, TracePhase::kAssemble, next_window_,
+                  static_cast<int64_t>(global_size_));
   ++next_window_;
   return Outcome::kAssembled;
 }
@@ -505,6 +508,8 @@ WindowAssembler::CorrectionOutcome WindowAssembler::TryAssembleCorrected(
   out->watermark = last_selected;
 
   correcting_ = false;
+  DECO_TRACE_SPAN(trace_node_, TracePhase::kAssemble, next_window_,
+                  static_cast<int64_t>(global_size_));
   ++next_window_;
   return CorrectionOutcome::kAssembled;
 }

@@ -9,6 +9,7 @@
 #include "agg/aggregate.h"
 #include "common/result.h"
 #include "event/event.h"
+#include "net/message.h"
 #include "node/protocol.h"
 
 /// \file assembler.h
@@ -195,6 +196,10 @@ class WindowAssembler {
     return node < leftover_.size() ? leftover_[node].size() : 0;
   }
 
+  /// \brief Fabric id the assembler's trace spans are attributed to (the
+  /// owning root node). Defaults to node 0, the harness's root id.
+  void set_trace_node(NodeId node) { trace_node_ = node; }
+
   /// \brief Signed carryover of `node` after the last assembled window:
   /// positive = unselected end events held at the root; negative = the cut
   /// extended into the next window's front buffer by that many events.
@@ -226,6 +231,7 @@ class WindowAssembler {
   uint64_t global_size_;
   uint64_t next_window_ = 0;
   bool expect_front_ = false;
+  NodeId trace_node_ = 0;
 
   std::vector<std::deque<TimedEvent>> leftover_;
   std::vector<int64_t> carry_;

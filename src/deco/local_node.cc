@@ -4,8 +4,24 @@
 
 #include "common/logging.h"
 #include "node/apportion.h"
+#include "obs/metric_registry.h"
+#include "obs/trace.h"
 
 namespace deco {
+namespace {
+
+Counter* LocalWindowsProducedCounter() {
+  static Counter* c =
+      MetricRegistry::Global()->counter("local.windows_produced");
+  return c;
+}
+Counter* LocalCorrectionRepliesCounter() {
+  static Counter* c =
+      MetricRegistry::Global()->counter("local.correction_replies");
+  return c;
+}
+
+}  // namespace
 
 const char* DecoSchemeToString(DecoScheme scheme) {
   switch (scheme) {
@@ -104,6 +120,10 @@ Status DecoLocalNode::SendRateReport(uint64_t w) {
 }
 
 Status DecoLocalNode::ProduceWindow(uint64_t w, const SlicePlan& plan) {
+  DECO_TRACE_SPAN(id_, TracePhase::kWindowOpen, w,
+                  static_cast<int64_t>(plan.front_buffer + plan.slice +
+                                       plan.end_buffer));
+  LocalWindowsProducedCounter()->Increment();
   // Front buffer (async layout only; empty plans ship nothing).
   if (plan.front_buffer > 0) {
     std::vector<TimedEvent> front;
@@ -330,6 +350,9 @@ Status DecoLocalNode::HandleCorrectionRequest(const Message& msg) {
     }
   }
   response.end_of_stream = source_->exhausted();
+  DECO_TRACE_SPAN(id_, TracePhase::kCorrect, request.window_index,
+                  static_cast<int64_t>(response.events.size()));
+  LocalCorrectionRepliesCounter()->Increment();
   BinaryWriter writer;
   EncodeCorrectionResponse(response, &writer);
   out.type = MessageType::kCorrectionResult;

@@ -5,8 +5,30 @@
 #include "common/logging.h"
 #include "deco/planner.h"
 #include "node/apportion.h"
+#include "obs/metric_registry.h"
+#include "obs/trace.h"
 
 namespace deco {
+namespace {
+
+// Global-registry instruments the telemetry sampler snapshots. Pointers are
+// stable for the process lifetime, so sites hoist the name lookup.
+Counter* WindowsEmittedCounter() {
+  static Counter* c =
+      MetricRegistry::Global()->counter("root.windows_emitted");
+  return c;
+}
+Counter* EventsEmittedCounter() {
+  static Counter* c =
+      MetricRegistry::Global()->counter("root.events_emitted");
+  return c;
+}
+Counter* CorrectionsCounter() {
+  static Counter* c = MetricRegistry::Global()->counter("root.corrections");
+  return c;
+}
+
+}  // namespace
 
 DecoRootNode::DecoRootNode(NetworkFabric* fabric, NodeId id, Clock* clock,
                            const Topology& topology,
@@ -42,6 +64,7 @@ Status DecoRootNode::Run() {
   assembler_ = std::make_unique<WindowAssembler>(
       m, func_.get(), ProtocolWindowLength(query_.window));
   assembler_->set_expect_front(scheme_ == DecoScheme::kAsync);
+  assembler_->set_trace_node(id_);
   predictors_.assign(
       m, LocalWindowPredictor(options_.predictor_history_m,
                               options_.delta_floor,
@@ -86,6 +109,8 @@ Status DecoRootNode::Dispatch(const Message& msg) {
     }
     case MessageType::kPartialResult: {
       if (msg.epoch != epoch_) return Status::OK();  // stale after rollback
+      DECO_TRACE_SPAN(id_, TracePhase::kPartialReceived, msg.window_index,
+                      static_cast<int64_t>(node));
       BinaryReader reader(msg.payload);
       DECO_ASSIGN_OR_RETURN(SliceSummary slice, DecodeSliceSummary(&reader));
       if (slice.event_rate > 0.0) latest_rates_[node] = slice.event_rate;
@@ -198,6 +223,9 @@ Status DecoRootNode::Progress() {
 Status DecoRootNode::StartCorrection() {
   DECO_LOG(DEBUG) << "root: correction for window "
                   << assembler_->next_window();
+  DECO_TRACE_SPAN(id_, TracePhase::kCorrect, assembler_->next_window(),
+                  static_cast<int64_t>(epoch_ + 1));
+  CorrectionsCounter()->Increment();
   ++report_->correction_steps;
   correction_window_ = assembler_->next_window();
   assembler_->BeginCorrection();
@@ -240,6 +268,10 @@ Status DecoRootNode::EmitProtocolWindow(const WindowAssembly& assembly,
     report_->consumption.AddWindow(assembly.consumed);
     report_->events_processed += assembly.event_count;
     ++report_->windows_emitted;
+    WindowsEmittedCounter()->Increment();
+    EventsEmittedCounter()->Add(static_cast<int64_t>(record.event_count));
+    DECO_TRACE_SPAN(id_, TracePhase::kEmit, record.window_index,
+                    static_cast<int64_t>(record.event_count));
     return Status::OK();
   }
 
@@ -284,6 +316,10 @@ Status DecoRootNode::EmitProtocolWindow(const WindowAssembly& assembly,
   report_->windows.push_back(record);
   report_->latency.Record(static_cast<int64_t>(record.mean_latency_nanos));
   ++report_->windows_emitted;
+  WindowsEmittedCounter()->Increment();
+  EventsEmittedCounter()->Add(static_cast<int64_t>(record.event_count));
+  DECO_TRACE_SPAN(id_, TracePhase::kEmit, record.window_index,
+                  static_cast<int64_t>(record.event_count));
   for (uint64_t i = 0; i < panes_per_slide && !panes_.empty(); ++i) {
     panes_.pop_front();
   }
@@ -447,6 +483,8 @@ Status DecoRootNode::MaybeSendAssignments() {
       DECO_RETURN_NOT_OK(SendAssignment(n, assignment));
     }
     DECO_LOG(DEBUG) << "root: sent assignments for window " << w;
+    DECO_TRACE_SPAN(id_, TracePhase::kWindowOpen, w,
+                    static_cast<int64_t>(m));
     ++assignment_window_;
   }
   return Status::OK();

@@ -1,11 +1,16 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "baseline/approx.h"
 #include "baseline/centralized_root.h"
 #include "baseline/forwarding_local.h"
 #include "node/runtime.h"
+#include "obs/export.h"
+#include "obs/metric_registry.h"
+#include "obs/trace.h"
 
 namespace deco {
 
@@ -32,9 +37,11 @@ const char* SchemeToString(Scheme scheme) {
 }
 
 Result<Scheme> SchemeFromString(const std::string& name) {
+  std::string canonical = name;  // accept deco_async for deco-async etc.
+  std::replace(canonical.begin(), canonical.end(), '_', '-');
   for (int i = 0; i <= static_cast<int>(Scheme::kDecoMonLocal); ++i) {
     const Scheme scheme = static_cast<Scheme>(i);
-    if (name == SchemeToString(scheme)) return scheme;
+    if (canonical == SchemeToString(scheme)) return scheme;
   }
   return Status::InvalidArgument("unknown scheme: " + name);
 }
@@ -230,10 +237,30 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
     }
   }
 
+  // Live telemetry: reset the process-global registry so counters cover
+  // this run only, install a trace sink for the window-lifecycle spans, and
+  // sample the fabric in the background for the duration of the run.
+  std::unique_ptr<TraceSink> trace_sink;
+  std::unique_ptr<Sampler> sampler;
+  if (config.telemetry.enabled) {
+    MetricRegistry::Global()->Reset();
+    trace_sink = std::make_unique<TraceSink>(clock);
+    TraceSink::Install(trace_sink.get());
+    sampler = std::make_unique<Sampler>(
+        clock, &fabric, MetricRegistry::Global(),
+        config.telemetry.sample_interval_nanos);
+    sampler->Start();
+  }
+
   const TimeNanos start = clock->NowNanos();
   runtime.StartAll();
   root_actor->Join();
   const TimeNanos end = clock->NowNanos();
+
+  // Uninstall before the sink can go out of scope on any early return;
+  // straggler threads then see a null sink and skip recording.
+  if (sampler != nullptr) sampler->Stop();
+  if (trace_sink != nullptr) TraceSink::Install(nullptr);
 
   runtime.StopAll();
   fabric.Shutdown();
@@ -248,6 +275,26 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
                 report.wall_seconds
           : 0.0;
   report.network = fabric.Stats();
+
+  if (config.telemetry.enabled) {
+    TelemetryLog log;
+    log.samples = sampler->Samples();
+    log.spans = trace_sink->Drain();
+    log.spans_dropped = trace_sink->dropped();
+    if (!config.telemetry.json_out.empty()) {
+      DECO_RETURN_NOT_OK(
+          WriteTelemetryJson(config.telemetry.json_out, report, log));
+    }
+    if (!config.telemetry.csv_prefix.empty()) {
+      DECO_RETURN_NOT_OK(WriteSamplesCsv(
+          config.telemetry.csv_prefix + ".samples.csv", log));
+      DECO_RETURN_NOT_OK(WriteSpansCsv(
+          config.telemetry.csv_prefix + ".spans.csv", log));
+    }
+    if (config.telemetry.sink != nullptr) {
+      *config.telemetry.sink = std::move(log);
+    }
+  }
   return report;
 }
 

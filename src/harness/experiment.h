@@ -7,6 +7,7 @@
 #include "deco/root_node.h"
 #include "metrics/report.h"
 #include "node/query.h"
+#include "obs/sampler.h"
 
 /// \file experiment.h
 /// \brief One-call experiment driver used by every benchmark, example and
@@ -33,6 +34,34 @@ Result<Scheme> SchemeFromString(const std::string& name);
 
 /// \brief True for the schemes that aggregate on local nodes.
 bool IsDecentralized(Scheme scheme);
+
+/// \brief Live-telemetry options of one experiment run.
+///
+/// When enabled, the harness installs a process-global trace sink, resets
+/// the global metric registry, and runs a background sampler over the
+/// fabric for the duration of the run; the collected time series and spans
+/// are exported to the configured paths and/or copied into `sink`.
+struct TelemetryOptions {
+  /// Master switch; off by default so benchmarks measure the undisturbed
+  /// system. Setting any output path below implies interest, but `enabled`
+  /// still gates collection (the harness enables it when an output is set
+  /// via the CLI flags).
+  bool enabled = false;
+
+  /// Sampler period (first and last snapshots are always taken).
+  TimeNanos sample_interval_nanos = 50 * kNanosPerMilli;
+
+  /// JSON document output path; empty = no file.
+  std::string json_out;
+
+  /// CSV output prefix; writes `<prefix>.samples.csv` and
+  /// `<prefix>.spans.csv`. Empty = no files.
+  std::string csv_prefix;
+
+  /// If non-null, receives the collected samples and spans (caller-owned;
+  /// useful for tests and embedding without file I/O).
+  TelemetryLog* sink = nullptr;
+};
 
 /// \brief Full description of one experiment run.
 struct ExperimentConfig {
@@ -87,6 +116,9 @@ struct ExperimentConfig {
   /// Deco tuning knobs.
   DecoRootOptions root_options;
   DecoLocalOptions local_options;
+
+  /// Live telemetry (sampler + tracing + export).
+  TelemetryOptions telemetry;
 
   Status Validate() const;
 };

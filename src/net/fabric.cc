@@ -196,6 +196,12 @@ Mailbox* NetworkFabric::mailbox(NodeId id) {
   return nodes_[id]->mailbox.get();
 }
 
+size_t NetworkFabric::queue_depth(NodeId id) const {
+  std::shared_lock<std::shared_mutex> lock(nodes_mu_);
+  if (id >= nodes_.size()) return 0;
+  return nodes_[id]->mailbox->size();
+}
+
 LinkStats NetworkFabric::link_stats(NodeId src, NodeId dst) const {
   LinkStats out;
   const LinkState* link = FindLink(src, dst);

@@ -116,6 +116,11 @@ class NetworkFabric {
   /// \brief The receive queue of a node; nullptr for unknown ids.
   Mailbox* mailbox(NodeId id);
 
+  /// \brief Messages currently waiting in a node's mailbox (its receive
+  /// backlog — the telemetry sampler's backpressure signal); 0 for unknown
+  /// ids.
+  size_t queue_depth(NodeId id) const;
+
   /// \brief Point-in-time copy of a link's counters.
   LinkStats link_stats(NodeId src, NodeId dst) const;
 
@@ -125,8 +130,9 @@ class NetworkFabric {
   /// \brief Point-in-time network summary.
   NetworkStats Stats() const;
 
-  /// \brief Resets all traffic counters (used between benchmark phases,
-  /// e.g. to exclude warm-up windows from measurements).
+  /// \brief Resets all traffic counters — both the per-node totals and
+  /// every per-link counter, including drop counts (used between benchmark
+  /// phases, e.g. to exclude warm-up windows from measurements).
   void ResetStats();
 
   /// \brief Closes every mailbox and stops the delivery thread.

@@ -1,0 +1,304 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace deco {
+namespace {
+
+/// JSON string escaping for the few non-literal strings we emit (node and
+/// metric names).
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) v = 0.0;  // JSON has no NaN/Inf
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+double MillisSince(TimeNanos t, TimeNanos origin) {
+  return static_cast<double>(t - origin) / kNanosPerMilli;
+}
+
+/// Value of a named counter in a snapshot; 0 when absent.
+int64_t CounterValue(const MetricsSnapshot& metrics,
+                     const std::string& name) {
+  for (const auto& [n, v] : metrics.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+/// Per-second rate of `curr - prev` over the samples' time gap.
+double Rate(uint64_t prev, uint64_t curr, TimeNanos prev_t, TimeNanos curr_t) {
+  if (curr_t <= prev_t || curr < prev) return 0.0;
+  return static_cast<double>(curr - prev) * kNanosPerSecond /
+         static_cast<double>(curr_t - prev_t);
+}
+
+TimeNanos SeriesOrigin(const TelemetryLog& log) {
+  if (!log.samples.empty()) return log.samples.front().t_nanos;
+  if (!log.spans.empty()) return log.spans.front().t_nanos;
+  return 0;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != content.size() || !close_ok) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string TelemetryToJson(const RunReport& report,
+                            const TelemetryLog& log) {
+  const TimeNanos origin = SeriesOrigin(log);
+  std::string out;
+  out.reserve(4096 + log.samples.size() * 512 + log.spans.size() * 96);
+
+  out += "{\n  \"schema_version\": 1,\n  \"scheme\": ";
+  AppendEscaped(&out, report.scheme);
+  out += ",\n  \"report\": {\"events_processed\": ";
+  AppendUint(&out, report.events_processed);
+  out += ", \"wall_seconds\": ";
+  AppendDouble(&out, report.wall_seconds);
+  out += ", \"throughput_eps\": ";
+  AppendDouble(&out, report.throughput_eps);
+  out += ", \"windows_emitted\": ";
+  AppendUint(&out, report.windows_emitted);
+  out += ", \"correction_steps\": ";
+  AppendUint(&out, report.correction_steps);
+  out += ", \"total_bytes\": ";
+  AppendUint(&out, report.network.total_bytes);
+  out += ", \"total_messages\": ";
+  AppendUint(&out, report.network.total_messages);
+  out += ", \"latency_mean_nanos\": ";
+  AppendDouble(&out, report.latency.mean());
+  out += ", \"latency_p50_nanos\": ";
+  AppendInt(&out, report.latency.Percentile(0.5));
+  out += ", \"latency_p99_nanos\": ";
+  AppendInt(&out, report.latency.Percentile(0.99));
+  out += "},\n  \"samples\": [";
+
+  for (size_t i = 0; i < log.samples.size(); ++i) {
+    const TelemetrySample& sample = log.samples[i];
+    const TelemetrySample* prev = i > 0 ? &log.samples[i - 1] : nullptr;
+    out += i == 0 ? "\n    {" : ",\n    {";
+    out += "\"t_ms\": ";
+    AppendDouble(&out, MillisSince(sample.t_nanos, origin));
+    out += ", \"events_per_sec\": ";
+    if (prev != nullptr) {
+      const int64_t curr_events =
+          CounterValue(sample.metrics, "root.events_emitted");
+      const int64_t prev_events =
+          CounterValue(prev->metrics, "root.events_emitted");
+      AppendDouble(&out, Rate(static_cast<uint64_t>(prev_events),
+                              static_cast<uint64_t>(curr_events),
+                              prev->t_nanos, sample.t_nanos));
+    } else {
+      AppendDouble(&out, 0.0);
+    }
+    out += ", \"total_dropped\": ";
+    AppendUint(&out, sample.total_dropped);
+
+    out += ", \"counters\": {";
+    for (size_t c = 0; c < sample.metrics.counters.size(); ++c) {
+      if (c > 0) out += ", ";
+      AppendEscaped(&out, sample.metrics.counters[c].first);
+      out += ": ";
+      AppendInt(&out, sample.metrics.counters[c].second);
+    }
+    out += "}, \"gauges\": {";
+    for (size_t g = 0; g < sample.metrics.gauges.size(); ++g) {
+      if (g > 0) out += ", ";
+      AppendEscaped(&out, sample.metrics.gauges[g].first);
+      out += ": ";
+      AppendInt(&out, sample.metrics.gauges[g].second);
+    }
+    out += "}, \"histograms\": [";
+    for (size_t h = 0; h < sample.metrics.histograms.size(); ++h) {
+      const HistogramSnapshot& hist = sample.metrics.histograms[h];
+      if (h > 0) out += ", ";
+      out += "{\"name\": ";
+      AppendEscaped(&out, hist.name);
+      out += ", \"count\": ";
+      AppendUint(&out, hist.count);
+      out += ", \"mean\": ";
+      AppendDouble(&out, hist.mean);
+      out += ", \"p50\": ";
+      AppendInt(&out, hist.p50);
+      out += ", \"p99\": ";
+      AppendInt(&out, hist.p99);
+      out += ", \"max\": ";
+      AppendInt(&out, hist.max);
+      out += "}";
+    }
+    out += "], \"nodes\": [";
+    for (size_t n = 0; n < sample.nodes.size(); ++n) {
+      const NodeSample& node = sample.nodes[n];
+      if (n > 0) out += ", ";
+      out += "{\"node\": ";
+      AppendUint(&out, node.node);
+      out += ", \"name\": ";
+      AppendEscaped(&out, node.name);
+      out += ", \"queue_depth\": ";
+      AppendUint(&out, node.queue_depth);
+      out += ", \"messages_sent\": ";
+      AppendUint(&out, node.messages_sent);
+      out += ", \"bytes_sent\": ";
+      AppendUint(&out, node.bytes_sent);
+      out += ", \"messages_received\": ";
+      AppendUint(&out, node.messages_received);
+      out += ", \"bytes_received\": ";
+      AppendUint(&out, node.bytes_received);
+      out += ", \"bytes_per_sec\": ";
+      const NodeSample* prev_node =
+          prev != nullptr && n < prev->nodes.size() ? &prev->nodes[n]
+                                                    : nullptr;
+      AppendDouble(&out,
+                   prev_node != nullptr
+                       ? Rate(prev_node->bytes_sent, node.bytes_sent,
+                              prev->t_nanos, sample.t_nanos)
+                       : 0.0);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += log.samples.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"spans\": [";
+  for (size_t i = 0; i < log.spans.size(); ++i) {
+    const TraceEvent& span = log.spans[i];
+    out += i == 0 ? "\n    {" : ",\n    {";
+    out += "\"t_ms\": ";
+    AppendDouble(&out, MillisSince(span.t_nanos, origin));
+    out += ", \"node\": ";
+    AppendUint(&out, span.node);
+    out += ", \"phase\": \"";
+    out += TracePhaseToString(span.phase);
+    out += "\", \"window\": ";
+    AppendUint(&out, span.window_index);
+    out += ", \"value\": ";
+    AppendInt(&out, span.value);
+    out += "}";
+  }
+  out += log.spans.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"spans_dropped\": ";
+  AppendUint(&out, log.spans_dropped);
+  out += "\n}\n";
+  return out;
+}
+
+Status WriteTelemetryJson(const std::string& path, const RunReport& report,
+                          const TelemetryLog& log) {
+  return WriteFile(path, TelemetryToJson(report, log));
+}
+
+Status WriteSamplesCsv(const std::string& path, const TelemetryLog& log) {
+  const TimeNanos origin = SeriesOrigin(log);
+  std::string out =
+      "t_ms,node,name,queue_depth,messages_sent,bytes_sent,"
+      "messages_received,bytes_received,bytes_per_sec\n";
+  for (size_t i = 0; i < log.samples.size(); ++i) {
+    const TelemetrySample& sample = log.samples[i];
+    const TelemetrySample* prev = i > 0 ? &log.samples[i - 1] : nullptr;
+    for (size_t n = 0; n < sample.nodes.size(); ++n) {
+      const NodeSample& node = sample.nodes[n];
+      AppendDouble(&out, MillisSince(sample.t_nanos, origin));
+      out += ",";
+      AppendUint(&out, node.node);
+      out += ",";
+      out += node.name;  // fabric names contain no commas
+      out += ",";
+      AppendUint(&out, node.queue_depth);
+      out += ",";
+      AppendUint(&out, node.messages_sent);
+      out += ",";
+      AppendUint(&out, node.bytes_sent);
+      out += ",";
+      AppendUint(&out, node.messages_received);
+      out += ",";
+      AppendUint(&out, node.bytes_received);
+      out += ",";
+      const NodeSample* prev_node =
+          prev != nullptr && n < prev->nodes.size() ? &prev->nodes[n]
+                                                    : nullptr;
+      AppendDouble(&out,
+                   prev_node != nullptr
+                       ? Rate(prev_node->bytes_sent, node.bytes_sent,
+                              prev->t_nanos, sample.t_nanos)
+                       : 0.0);
+      out += "\n";
+    }
+  }
+  return WriteFile(path, out);
+}
+
+Status WriteSpansCsv(const std::string& path, const TelemetryLog& log) {
+  const TimeNanos origin = SeriesOrigin(log);
+  std::string out = "t_ms,node,phase,window,value\n";
+  for (const TraceEvent& span : log.spans) {
+    AppendDouble(&out, MillisSince(span.t_nanos, origin));
+    out += ",";
+    AppendUint(&out, span.node);
+    out += ",";
+    out += TracePhaseToString(span.phase);
+    out += ",";
+    AppendUint(&out, span.window_index);
+    out += ",";
+    AppendInt(&out, span.value);
+    out += "\n";
+  }
+  return WriteFile(path, out);
+}
+
+}  // namespace deco

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "metrics/report.h"
+#include "obs/sampler.h"
+
+/// \file export.h
+/// \brief Serializes one run's telemetry (sampler time series, window
+/// lifecycle spans, final `RunReport`) to machine-readable JSON and CSV.
+///
+/// JSON document layout (schema_version 1):
+/// \code{.json}
+/// {
+///   "schema_version": 1,
+///   "scheme": "deco-async",
+///   "report": { "events_processed": n, "wall_seconds": s,
+///               "throughput_eps": r, "windows_emitted": n,
+///               "correction_steps": n, "total_bytes": n,
+///               "total_messages": n, "latency_mean_nanos": x,
+///               "latency_p50_nanos": n, "latency_p99_nanos": n },
+///   "samples": [ { "t_ms": x, "elapsed_ms": x, "events_per_sec": r,
+///                  "total_dropped": n,
+///                  "counters": {"name": n, ...},
+///                  "gauges": {"name": n, ...},
+///                  "histograms": [{"name": s, "count": n, "mean": x,
+///                                  "p50": n, "p99": n, "max": n}],
+///                  "nodes": [ { "node": id, "name": s, "queue_depth": n,
+///                               "messages_sent": n, "bytes_sent": n,
+///                               "messages_received": n,
+///                               "bytes_received": n,
+///                               "bytes_per_sec": r } ] } ],
+///   "spans": [ { "t_ms": x, "node": id, "phase": s, "window": n,
+///                "value": n } ],
+///   "spans_dropped": n
+/// }
+/// \endcode
+/// `t_ms` is milliseconds since the first sample; cumulative fabric
+/// counters are carried as-is and per-interval rates (`bytes_per_sec`,
+/// `events_per_sec`) are derived from consecutive samples at export time.
+
+namespace deco {
+
+/// \brief Renders the full telemetry document as a JSON string.
+std::string TelemetryToJson(const RunReport& report, const TelemetryLog& log);
+
+/// \brief Writes `TelemetryToJson` to `path`; IOError on filesystem
+/// failure.
+Status WriteTelemetryJson(const std::string& path, const RunReport& report,
+                          const TelemetryLog& log);
+
+/// \brief Writes the per-node time series as CSV (one row per sample x
+/// node): t_ms,node,name,queue_depth,messages_sent,bytes_sent,
+/// messages_received,bytes_received,bytes_per_sec.
+Status WriteSamplesCsv(const std::string& path, const TelemetryLog& log);
+
+/// \brief Writes the span list as CSV: t_ms,node,phase,window,value.
+Status WriteSpansCsv(const std::string& path, const TelemetryLog& log);
+
+}  // namespace deco

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "metrics/histogram.h"
+
+/// \file metric_registry.h
+/// \brief Lock-cheap registry of named counters, gauges and histograms.
+///
+/// Instruments are created once (shared-lock fast path, exclusive lock only
+/// on first use of a name) and then updated without the registry lock:
+/// counters and histograms are sharded so concurrent node threads land on
+/// different cache lines / stripes, and the sampler merges the shards when
+/// it snapshots. Update cost: one relaxed atomic add (counter/gauge) or one
+/// striped mutex + `Histogram::Record` (histogram).
+
+namespace deco {
+
+/// \brief Monotonically increasing sharded counter.
+class Counter {
+ public:
+  /// \brief Adds `delta` to the calling thread's shard.
+  void Add(int64_t delta) {
+    shards_[ShardIndex()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// \brief Merged value across shards (point-in-time under concurrency).
+  int64_t value() const {
+    int64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<int64_t> v{0};
+  };
+  static size_t ShardIndex();
+  std::array<Shard, kShards> shards_;
+};
+
+/// \brief Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(int64_t value) { v_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// \brief Histogram with striped locks so recording threads rarely contend;
+/// `Merged` combines the stripes (reusing `Histogram::Merge`).
+class ShardedHistogram {
+ public:
+  void Record(int64_t value);
+  Histogram Merged() const;
+  void Reset();
+
+ private:
+  static constexpr size_t kStripes = 8;
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    Histogram h;
+  };
+  std::array<Stripe, kStripes> stripes_;
+};
+
+/// \brief Point-in-time summary of a registered histogram.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  double mean = 0.0;
+  int64_t p50 = 0;
+  int64_t p99 = 0;
+  int64_t max = 0;
+};
+
+/// \brief All registry values at one instant.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// \brief Name -> instrument registry. Instrument pointers are stable for
+/// the registry's lifetime, so callers hoist the lookup out of their loops.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  ShardedHistogram* histogram(const std::string& name);
+
+  /// \brief Merged point-in-time values of every instrument, name-sorted.
+  MetricsSnapshot Snapshot() const;
+
+  /// \brief Zeroes every instrument (instruments stay registered, pointers
+  /// stay valid) — used between telemetry runs sharing the global registry.
+  void Reset();
+
+  /// \brief Process-global registry the node instrumentation writes to.
+  static MetricRegistry* Global();
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<ShardedHistogram>> histograms_;
+};
+
+}  // namespace deco

@@ -1,0 +1,92 @@
+#include "obs/sampler.h"
+
+#include <algorithm>
+
+namespace deco {
+
+Sampler::Sampler(Clock* clock, NetworkFabric* fabric,
+                 MetricRegistry* registry, TimeNanos interval_nanos)
+    : clock_(clock),
+      fabric_(fabric),
+      registry_(registry),
+      interval_nanos_(std::max<TimeNanos>(interval_nanos, kNanosPerMilli)) {}
+
+Sampler::~Sampler() { Stop(); }
+
+TelemetrySample Sampler::SampleNow() {
+  TelemetrySample sample;
+  sample.t_nanos = clock_->NowNanos();
+  if (fabric_ != nullptr) {
+    const size_t n = fabric_->node_count();
+    sample.nodes.reserve(n);
+    for (NodeId id = 0; id < n; ++id) {
+      NodeSample node;
+      node.node = id;
+      node.name = fabric_->node_name(id);
+      node.queue_depth = fabric_->queue_depth(id);
+      const NodeTrafficStats traffic = fabric_->node_stats(id);
+      node.messages_sent = traffic.messages_sent;
+      node.bytes_sent = traffic.bytes_sent;
+      node.messages_received = traffic.messages_received;
+      node.bytes_received = traffic.bytes_received;
+      sample.nodes.push_back(std::move(node));
+    }
+    sample.total_dropped = fabric_->Stats().total_dropped;
+  }
+  if (registry_ != nullptr) {
+    sample.metrics = registry_->Snapshot();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.push_back(sample);
+  }
+  return sample;
+}
+
+void Sampler::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_ = false;
+  }
+  SampleNow();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Sampler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, std::chrono::nanoseconds(interval_nanos_),
+                     [&] { return stop_; })) {
+      break;
+    }
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+  }
+}
+
+void Sampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  SampleNow();
+}
+
+std::vector<TelemetrySample> Sampler::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+size_t Sampler::sample_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+}  // namespace deco

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "net/fabric.h"
+#include "obs/metric_registry.h"
+#include "obs/trace.h"
+
+/// \file sampler.h
+/// \brief Background time-series sampler: snapshots the metric registry,
+/// the fabric's per-node traffic counters and every mailbox's queue depth
+/// at a fixed interval, building the in-memory trajectory that the
+/// exporters serialize. One guaranteed snapshot is taken at `Start` and one
+/// at `Stop`, so even runs shorter than the interval yield a two-point
+/// series (enough to derive rates).
+
+namespace deco {
+
+/// \brief Per-node slice of one sampler snapshot.
+struct NodeSample {
+  NodeId node = 0;
+  std::string name;
+  uint64_t queue_depth = 0;     ///< mailbox backlog (backpressure signal)
+  uint64_t messages_sent = 0;   ///< cumulative fabric counters
+  uint64_t bytes_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t bytes_received = 0;
+};
+
+/// \brief One point of the telemetry time series.
+struct TelemetrySample {
+  TimeNanos t_nanos = 0;
+  uint64_t total_dropped = 0;   ///< fabric-wide dropped messages so far
+  std::vector<NodeSample> nodes;
+  MetricsSnapshot metrics;
+};
+
+/// \brief Everything one telemetry run collects (samples + spans), the
+/// exporters' input.
+struct TelemetryLog {
+  std::vector<TelemetrySample> samples;
+  std::vector<TraceEvent> spans;
+  uint64_t spans_dropped = 0;
+};
+
+/// \brief Periodic snapshot thread over a fabric and a registry.
+class Sampler {
+ public:
+  /// \param clock time source; not owned
+  /// \param fabric fabric whose counters and mailboxes are sampled; may be
+  ///        null (registry-only sampling); not owned
+  /// \param registry metric registry to snapshot; may be null; not owned
+  /// \param interval_nanos sampling period (clamped to >= 1 ms)
+  Sampler(Clock* clock, NetworkFabric* fabric, MetricRegistry* registry,
+          TimeNanos interval_nanos);
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// \brief Takes an immediate snapshot and starts the background thread.
+  void Start();
+
+  /// \brief Stops the thread and takes the final snapshot. Idempotent.
+  void Stop();
+
+  /// \brief One on-demand snapshot, appended to the series (thread-safe).
+  TelemetrySample SampleNow();
+
+  /// \brief Copy of the series collected so far.
+  std::vector<TelemetrySample> Samples() const;
+
+  size_t sample_count() const;
+
+ private:
+  void Loop();
+
+  Clock* clock_;
+  NetworkFabric* fabric_;
+  MetricRegistry* registry_;
+  TimeNanos interval_nanos_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<TelemetrySample> samples_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace deco

@@ -1,0 +1,80 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace deco {
+
+std::atomic<TraceSink*> TraceSink::active_{nullptr};
+
+std::string_view TracePhaseToString(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kWindowOpen:
+      return "window-open";
+    case TracePhase::kPartialReceived:
+      return "partial-received";
+    case TracePhase::kAssemble:
+      return "assemble";
+    case TracePhase::kCorrect:
+      return "correct";
+    case TracePhase::kEmit:
+      return "emit";
+  }
+  return "?";
+}
+
+TraceSink::TraceSink(Clock* clock, size_t capacity)
+    : clock_(clock), capacity_(capacity) {}
+
+void TraceSink::Record(NodeId node, TracePhase phase, uint64_t window_index,
+                       int64_t value) {
+  TraceEvent event;
+  event.t_nanos = clock_->NowNanos();
+  event.node = node;
+  event.phase = phase;
+  event.window_index = window_index;
+  event.value = value;
+
+  // Stripe by recording thread so concurrent nodes rarely contend.
+  static thread_local const size_t stripe =
+      [] {
+        static std::atomic<size_t> next{0};
+        return next.fetch_add(1, std::memory_order_relaxed);
+      }() %
+      kStripes;
+  Stripe& s = stripes_[stripe];
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (capacity_ > 0 && s.events.size() >= capacity_ / kStripes) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  s.events.push_back(event);
+}
+
+std::vector<TraceEvent> TraceSink::Drain() {
+  std::vector<TraceEvent> all;
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    all.insert(all.end(), s.events.begin(), s.events.end());
+    s.events.clear();
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.t_nanos < b.t_nanos;
+                   });
+  return all;
+}
+
+size_t TraceSink::size() const {
+  size_t n = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.events.size();
+  }
+  return n;
+}
+
+TraceSink* TraceSink::Install(TraceSink* sink) {
+  return active_.exchange(sink, std::memory_order_acq_rel);
+}
+
+}  // namespace deco

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "net/message.h"
+
+/// \file trace.h
+/// \brief Window-lifecycle tracing: span events recorded by the root,
+/// local and baseline nodes as a global window moves through the protocol
+/// (open -> partial-received -> assemble -> correct -> emit).
+///
+/// Recording sites use the `DECO_TRACE_SPAN` macro, which
+///  - compiles to nothing when `DECO_TRACE_ENABLED` is 0 (CMake option
+///    `DECO_TRACE=OFF`), and
+///  - otherwise costs one relaxed atomic load of the global sink pointer
+///    when no sink is installed (the default outside telemetry runs).
+/// Span sites fire per *window*, never per event, so the per-event hot
+/// path is untouched either way.
+
+namespace deco {
+
+/// \brief Lifecycle phase of a window-span event.
+enum class TracePhase : uint8_t {
+  kWindowOpen = 0,      ///< assignment sent / local window planning started
+  kPartialReceived = 1, ///< root received a node's slice summary
+  kAssemble = 2,        ///< verification succeeded, window assembled
+  kCorrect = 3,         ///< prediction error, correction step started
+  kEmit = 4,            ///< final global window result emitted
+};
+
+std::string_view TracePhaseToString(TracePhase phase);
+
+/// \brief One span event.
+struct TraceEvent {
+  TimeNanos t_nanos = 0;   ///< wall-clock time of the event
+  NodeId node = 0;         ///< fabric id of the recording node
+  TracePhase phase = TracePhase::kWindowOpen;
+  uint64_t window_index = 0;
+  int64_t value = 0;       ///< phase-specific payload (e.g. event count)
+};
+
+/// \brief Collects span events from many node threads with striped locks.
+///
+/// One sink is installed process-wide per telemetry run (`Install`); the
+/// recording macro reads the global pointer with a relaxed load so the
+/// uninstalled case stays branch-predictable and allocation-free.
+class TraceSink {
+ public:
+  /// \param clock time source for event timestamps; not owned
+  /// \param capacity maximum retained events (oldest-first cutoff; keeps a
+  ///        runaway run from exhausting memory). 0 = unbounded.
+  explicit TraceSink(Clock* clock, size_t capacity = 1 << 20);
+
+  /// \brief Records one span event (thread-safe, lock per stripe).
+  void Record(NodeId node, TracePhase phase, uint64_t window_index,
+              int64_t value);
+
+  /// \brief Moves every recorded event out, sorted by timestamp.
+  std::vector<TraceEvent> Drain();
+
+  /// \brief Events recorded so far (approximate under concurrency).
+  size_t size() const;
+
+  /// \brief Events dropped because the capacity was reached.
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Installs `sink` as the process-global recording target.
+  /// Passing nullptr uninstalls. Returns the previous sink.
+  static TraceSink* Install(TraceSink* sink);
+
+  /// \brief The currently installed sink, or nullptr.
+  static TraceSink* Active() {
+    return active_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static constexpr size_t kStripes = 8;
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+
+  Clock* clock_;
+  size_t capacity_;
+  std::atomic<uint64_t> dropped_{0};
+  std::array<Stripe, kStripes> stripes_;
+
+  static std::atomic<TraceSink*> active_;
+};
+
+}  // namespace deco
+
+#ifndef DECO_TRACE_ENABLED
+#define DECO_TRACE_ENABLED 1
+#endif
+
+#if DECO_TRACE_ENABLED
+/// \brief Records a window-lifecycle span event if a sink is installed.
+#define DECO_TRACE_SPAN(node, phase, window, value)                   \
+  do {                                                                \
+    ::deco::TraceSink* _deco_trace_sink = ::deco::TraceSink::Active();\
+    if (_deco_trace_sink != nullptr) {                                \
+      _deco_trace_sink->Record((node), (phase), (window), (value));   \
+    }                                                                 \
+  } while (false)
+#else
+#define DECO_TRACE_SPAN(node, phase, window, value) \
+  do {                                              \
+  } while (false)
+#endif

@@ -335,5 +335,36 @@ TEST(LoggingTest, LevelGating) {
   SetLogLevel(before);
 }
 
+TEST(LoggingTest, LogLevelFromStringParsesEveryLevel) {
+  struct Case {
+    const char* name;
+    LogLevel level;
+  };
+  for (const Case& c : {Case{"debug", LogLevel::kDebug},
+                        Case{"info", LogLevel::kInfo},
+                        Case{"warning", LogLevel::kWarning},
+                        Case{"warn", LogLevel::kWarning},
+                        Case{"error", LogLevel::kError},
+                        Case{"fatal", LogLevel::kFatal}}) {
+    auto level = LogLevelFromString(c.name);
+    ASSERT_TRUE(level.ok()) << c.name;
+    EXPECT_EQ(*level, c.level) << c.name;
+  }
+}
+
+TEST(LoggingTest, LogLevelFromStringIsCaseInsensitive) {
+  auto level = LogLevelFromString("WARNING");
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(*level, LogLevel::kWarning);
+  level = LogLevelFromString("Debug");
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(*level, LogLevel::kDebug);
+}
+
+TEST(LoggingTest, LogLevelFromStringRejectsUnknown) {
+  EXPECT_TRUE(LogLevelFromString("verbose").status().IsInvalidArgument());
+  EXPECT_TRUE(LogLevelFromString("").status().IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace deco

@@ -93,6 +93,60 @@ TEST(HistogramTest, ResetClears) {
   EXPECT_EQ(h.Percentile(0.5), 0);
 }
 
+TEST(HistogramTest, EmptyPercentileBoundariesAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.0), 0);
+  EXPECT_EQ(h.Percentile(0.99), 0);
+  EXPECT_EQ(h.Percentile(1.0), 0);
+}
+
+TEST(HistogramTest, MergeDisjointOctaves) {
+  // `a` only holds sub-32 exact values, `b` only holds values dozens of
+  // octaves higher; merging must keep both populations intact.
+  Histogram a, b;
+  for (int64_t v = 1; v <= 8; ++v) a.Record(v);
+  const int64_t big = int64_t{1} << 40;
+  for (int64_t v = 0; v < 8; ++v) b.Record(big + v * 1024);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 16u);
+  EXPECT_EQ(a.min(), 1);
+  EXPECT_GE(a.max(), big);
+  EXPECT_LE(a.Percentile(0.25), 8);               // low half stays low
+  EXPECT_GE(a.Percentile(0.95), big / 2);         // high half stays high
+  EXPECT_NEAR(a.mean(), (36.0 + 8.0 * big + 28 * 1024) / 16.0,
+              static_cast<double>(big) * 0.01);
+}
+
+TEST(HistogramTest, RecordManyNearInt64MaxDoesNotOverflow) {
+  Histogram h;
+  h.RecordMany(INT64_MAX, 3);
+  h.RecordMany(INT64_MAX - 1, 2);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.max(), INT64_MAX);
+  // The sum is tracked as a double: no wrap-around, mean stays near the
+  // recorded magnitude.
+  EXPECT_NEAR(h.mean(), static_cast<double>(INT64_MAX),
+              static_cast<double>(INT64_MAX) * 1e-9);
+  EXPECT_GT(h.Percentile(0.5), INT64_MAX / 2);
+}
+
+TEST(HistogramTest, ResetThenReuseMatchesFreshHistogram) {
+  Histogram reused, fresh;
+  for (int64_t v = 1; v <= 1000; ++v) reused.Record(v * 17);
+  reused.Reset();
+  for (int64_t v = 1; v <= 100; ++v) {
+    reused.Record(v);
+    fresh.Record(v);
+  }
+  EXPECT_EQ(reused.count(), fresh.count());
+  EXPECT_DOUBLE_EQ(reused.mean(), fresh.mean());
+  EXPECT_EQ(reused.min(), fresh.min());
+  EXPECT_EQ(reused.max(), fresh.max());
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_EQ(reused.Percentile(q), fresh.Percentile(q));
+  }
+}
+
 TEST(HistogramTest, HugeValuesDoNotOverflowBuckets) {
   Histogram h;
   h.Record(INT64_MAX);

@@ -123,6 +123,42 @@ TEST_F(FabricTest, ResetStatsClearsCounters) {
   EXPECT_EQ(fabric_.link_stats(a_, b_).messages_sent, 0u);
 }
 
+TEST_F(FabricTest, ResetStatsClearsEveryPerLinkCounter) {
+  // Regression: ResetStats must zero the whole per-link struct (including
+  // drop counts), not just the per-node totals.
+  LinkConfig link;
+  link.drop_probability = 1.0;
+  ASSERT_TRUE(fabric_.SetLinkConfig(a_, b_, link).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        fabric_.Send(MakeMessage(a_, b_, MessageType::kEventBatch, 8)).ok());
+  }
+  ASSERT_EQ(fabric_.link_stats(a_, b_).messages_dropped, 4u);
+  ASSERT_GT(fabric_.Stats().total_dropped, 0u);
+
+  fabric_.ResetStats();
+  const LinkStats after = fabric_.link_stats(a_, b_);
+  EXPECT_EQ(after.messages_sent, 0u);
+  EXPECT_EQ(after.bytes_sent, 0u);
+  EXPECT_EQ(after.messages_dropped, 0u);
+  EXPECT_EQ(fabric_.Stats().total_dropped, 0u);
+  EXPECT_EQ(fabric_.node_stats(a_).bytes_sent, 0u);
+}
+
+TEST_F(FabricTest, QueueDepthTracksMailbox) {
+  EXPECT_EQ(fabric_.queue_depth(b_), 0u);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        fabric_.Send(MakeMessage(a_, b_, MessageType::kEventBatch, 8)).ok());
+  }
+  EXPECT_EQ(fabric_.queue_depth(b_), 3u);
+  EXPECT_EQ(fabric_.queue_depth(a_), 0u);
+  ASSERT_TRUE(fabric_.mailbox(b_)->Pop().has_value());
+  EXPECT_EQ(fabric_.queue_depth(b_), 2u);
+  // Unknown ids read as empty rather than crashing the sampler.
+  EXPECT_EQ(fabric_.queue_depth(999), 0u);
+}
+
 TEST_F(FabricTest, UnknownEndpointsRejected) {
   EXPECT_TRUE(fabric_.Send(MakeMessage(42, b_, MessageType::kEventBatch, 1))
                   .IsInvalidArgument());

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "net/fabric.h"
+#include "obs/export.h"
+#include "obs/metric_registry.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+
+namespace deco {
+namespace {
+
+// ---------------------------------------------------------------- Counter
+
+TEST(CounterTest, AddAndIncrementAccumulate) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Add(5);
+  c.Increment();
+  c.Add(-2);
+  EXPECT_EQ(c.value(), 4);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(CounterTest, ConcurrentAddsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.Set(100);
+  EXPECT_EQ(g.value(), 100);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(ShardedHistogramTest, MergedCombinesStripes) {
+  ShardedHistogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < 1000; ++i) h.Record(t * 1000 + i);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const Histogram merged = h.Merged();
+  EXPECT_EQ(merged.count(), 4000u);
+  EXPECT_EQ(merged.min(), 0);
+  EXPECT_GE(merged.max(), 3900);
+  h.Reset();
+  EXPECT_EQ(h.Merged().count(), 0u);
+}
+
+// --------------------------------------------------------- MetricRegistry
+
+TEST(MetricRegistryTest, InstrumentPointersAreStable) {
+  MetricRegistry registry;
+  Counter* c1 = registry.counter("requests");
+  Counter* c2 = registry.counter("requests");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(registry.counter("other"), c1);
+  // Reset zeroes values but keeps registrations and pointers valid.
+  c1->Add(7);
+  registry.Reset();
+  EXPECT_EQ(c1->value(), 0);
+  EXPECT_EQ(registry.counter("requests"), c1);
+}
+
+TEST(MetricRegistryTest, SnapshotIsNameSortedAndComplete) {
+  MetricRegistry registry;
+  registry.counter("b.count")->Add(2);
+  registry.counter("a.count")->Add(1);
+  registry.gauge("depth")->Set(42);
+  registry.histogram("lat")->Record(100);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].first, "a.count");
+  EXPECT_EQ(snapshot.counters[0].second, 1);
+  EXPECT_EQ(snapshot.counters[1].first, "b.count");
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].second, 42);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].name, "lat");
+  EXPECT_EQ(snapshot.histograms[0].count, 1u);
+}
+
+TEST(MetricRegistryTest, ConcurrentLookupAndUpdate) {
+  MetricRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.counter("shared")->Increment();
+        registry.counter("own." + std::to_string(t))->Increment();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.counter("shared")->value(), 8000);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.size(), 9u);
+}
+
+TEST(MetricRegistryTest, GlobalIsSingleton) {
+  EXPECT_EQ(MetricRegistry::Global(), MetricRegistry::Global());
+}
+
+// --------------------------------------------------------------- TraceSink
+
+TEST(TraceSinkTest, RecordsAndDrainsSorted) {
+  ManualClock clock(100);
+  TraceSink sink(&clock);
+  sink.Record(1, TracePhase::kWindowOpen, 0, 5);
+  clock.Advance(50);
+  sink.Record(2, TracePhase::kEmit, 0, 10);
+  EXPECT_EQ(sink.size(), 2u);
+  std::vector<TraceEvent> events = sink.Drain();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_LE(events[0].t_nanos, events[1].t_nanos);
+  EXPECT_EQ(events[0].phase, TracePhase::kWindowOpen);
+  EXPECT_EQ(events[1].phase, TracePhase::kEmit);
+  EXPECT_EQ(events[1].value, 10);
+  // Drain moves events out.
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(TraceSinkTest, CapacityBoundsRetainedEvents) {
+  ManualClock clock(0);
+  TraceSink sink(&clock, 16);
+  for (int i = 0; i < 1000; ++i) {
+    sink.Record(0, TracePhase::kEmit, i, 0);
+  }
+  EXPECT_LE(sink.size(), 16u);
+  EXPECT_GT(sink.dropped(), 0u);
+}
+
+TEST(TraceSinkTest, MacroIsNoOpWithoutInstalledSink) {
+  ASSERT_EQ(TraceSink::Active(), nullptr);
+  // Must not crash; there is nowhere to record to.
+  DECO_TRACE_SPAN(0, TracePhase::kEmit, 0, 0);
+
+  ManualClock clock(0);
+  TraceSink sink(&clock);
+  TraceSink* previous = TraceSink::Install(&sink);
+  EXPECT_EQ(previous, nullptr);
+  DECO_TRACE_SPAN(3, TracePhase::kCorrect, 7, 11);
+  EXPECT_EQ(TraceSink::Install(nullptr), &sink);
+#if DECO_TRACE_ENABLED
+  std::vector<TraceEvent> events = sink.Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].node, 3u);
+  EXPECT_EQ(events[0].window_index, 7u);
+  EXPECT_EQ(events[0].value, 11);
+#endif
+}
+
+TEST(TraceSinkTest, PhaseNamesAreStable) {
+  EXPECT_EQ(TracePhaseToString(TracePhase::kWindowOpen), "window-open");
+  EXPECT_EQ(TracePhaseToString(TracePhase::kPartialReceived),
+            "partial-received");
+  EXPECT_EQ(TracePhaseToString(TracePhase::kAssemble), "assemble");
+  EXPECT_EQ(TracePhaseToString(TracePhase::kCorrect), "correct");
+  EXPECT_EQ(TracePhaseToString(TracePhase::kEmit), "emit");
+}
+
+// ----------------------------------------------------------------- Sampler
+
+TEST(SamplerTest, StartStopYieldsAtLeastTwoSamples) {
+  MetricRegistry registry;
+  registry.counter("x")->Add(1);
+  Sampler sampler(SystemClock::Default(), nullptr, &registry,
+                  5 * kNanosPerMilli);
+  sampler.Start();
+  sampler.Stop();
+  const std::vector<TelemetrySample> samples = sampler.Samples();
+  ASSERT_GE(samples.size(), 2u);
+  ASSERT_EQ(samples.front().metrics.counters.size(), 1u);
+  EXPECT_EQ(samples.front().metrics.counters[0].second, 1);
+  EXPECT_LE(samples.front().t_nanos, samples.back().t_nanos);
+  sampler.Stop();  // idempotent
+  EXPECT_EQ(sampler.sample_count(), samples.size());
+}
+
+TEST(SamplerTest, SamplesFabricQueuesAndTraffic) {
+  Clock* clock = SystemClock::Default();
+  NetworkFabric fabric(clock, 1);
+  const NodeId a = fabric.RegisterNode("a");
+  const NodeId b = fabric.RegisterNode("b");
+  Message msg;
+  msg.src = a;
+  msg.dst = b;
+  msg.type = MessageType::kEventBatch;
+  msg.payload.assign(64, 0);
+  ASSERT_TRUE(fabric.Send(std::move(msg)).ok());
+
+  Sampler sampler(clock, &fabric, nullptr, kNanosPerMilli);
+  const TelemetrySample sample = sampler.SampleNow();
+  ASSERT_EQ(sample.nodes.size(), 2u);
+  EXPECT_EQ(sample.nodes[0].name, "a");
+  EXPECT_GT(sample.nodes[0].bytes_sent, 0u);
+  EXPECT_EQ(sample.nodes[1].queue_depth, 1u);
+  EXPECT_GT(sample.nodes[1].bytes_received, 0u);
+}
+
+// ------------------------------------------------------------------ Export
+
+TelemetryLog MakeLog() {
+  TelemetryLog log;
+  TelemetrySample s0;
+  s0.t_nanos = 1'000'000'000;
+  s0.metrics.counters = {{"root.events_emitted", 0}};
+  NodeSample n0;
+  n0.node = 0;
+  n0.name = "root";
+  n0.bytes_sent = 0;
+  s0.nodes.push_back(n0);
+  TelemetrySample s1 = s0;
+  s1.t_nanos = 2'000'000'000;
+  s1.metrics.counters = {{"root.events_emitted", 500}};
+  s1.nodes[0].bytes_sent = 1000;
+  s1.nodes[0].queue_depth = 3;
+  log.samples = {s0, s1};
+  TraceEvent span;
+  span.t_nanos = 1'500'000'000;
+  span.node = 0;
+  span.phase = TracePhase::kEmit;
+  span.window_index = 4;
+  span.value = 100;
+  log.spans = {span};
+  return log;
+}
+
+TEST(ExportTest, JsonContainsDerivedRatesAndSpans) {
+  RunReport report;
+  report.scheme = "deco-async";
+  report.events_processed = 500;
+  const std::string json = TelemetryToJson(report, MakeLog());
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"scheme\": \"deco-async\""), std::string::npos);
+  // Second sample: 500 events over 1 s and 1000 bytes over 1 s.
+  EXPECT_NE(json.find("\"events_per_sec\": 500"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_per_sec\": 1000"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_depth\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"phase\": \"emit\""), std::string::npos);
+  EXPECT_NE(json.find("\"window\": 4"), std::string::npos);
+}
+
+TEST(ExportTest, EmptyLogIsStillWellFormed) {
+  RunReport report;
+  report.scheme = "central";
+  const std::string json = TelemetryToJson(report, TelemetryLog{});
+  EXPECT_NE(json.find("\"samples\": []"), std::string::npos);
+  EXPECT_NE(json.find("\"spans\": []"), std::string::npos);
+  EXPECT_NE(json.find("\"spans_dropped\": 0"), std::string::npos);
+}
+
+TEST(ExportTest, CsvRowsMatchSamplesAndSpans) {
+  const TelemetryLog log = MakeLog();
+  const std::string samples_path =
+      ::testing::TempDir() + "/obs_test.samples.csv";
+  const std::string spans_path = ::testing::TempDir() + "/obs_test.spans.csv";
+  ASSERT_TRUE(WriteSamplesCsv(samples_path, log).ok());
+  ASSERT_TRUE(WriteSpansCsv(spans_path, log).ok());
+
+  auto read_lines = [](const std::string& path) {
+    std::vector<std::string> lines;
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    EXPECT_NE(f, nullptr);
+    char buf[512];
+    while (std::fgets(buf, sizeof(buf), f) != nullptr) lines.emplace_back(buf);
+    std::fclose(f);
+    return lines;
+  };
+  const std::vector<std::string> samples = read_lines(samples_path);
+  ASSERT_EQ(samples.size(), 3u);  // header + 2 samples x 1 node
+  EXPECT_NE(samples[0].find("queue_depth"), std::string::npos);
+  const std::vector<std::string> spans = read_lines(spans_path);
+  ASSERT_EQ(spans.size(), 2u);  // header + 1 span
+  EXPECT_NE(spans[1].find("emit"), std::string::npos);
+  std::remove(samples_path.c_str());
+  std::remove(spans_path.c_str());
+}
+
+TEST(ExportTest, UnwritablePathIsIOError) {
+  RunReport report;
+  const Status status = WriteTelemetryJson(
+      "/nonexistent-dir/telemetry.json", report, TelemetryLog{});
+  EXPECT_TRUE(status.IsIOError());
+}
+
+TEST(ExportTest, MetricNamesAreEscaped) {
+  RunReport report;
+  report.scheme = "a\"b\\c";
+  const std::string json = TelemetryToJson(report, TelemetryLog{});
+  EXPECT_NE(json.find("\"a\\\"b\\\\c\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deco

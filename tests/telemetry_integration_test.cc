@@ -1,0 +1,272 @@
+// End-to-end telemetry test: runs a small deco-async experiment with the
+// live-telemetry layer enabled and checks the collected time series, the
+// window-lifecycle spans and the exported JSON document (validated with a
+// minimal structural JSON parser — no external dependency).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.h"
+#include "obs/export.h"
+
+namespace deco {
+namespace {
+
+// ------------------------------------------------ minimal JSON validation
+
+/// Strict recursive-descent JSON syntax checker. Returns true iff `text`
+/// is one complete, well-formed JSON value.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (std::isdigit(Peek())) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      while (std::isdigit(Peek())) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      while (std::isdigit(Peek())) ++pos_;
+    }
+    return pos_ > start && std::isdigit(s_[pos_ - 1]);
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::char_traits<char>::length(word);
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(s_[pos_])) ++pos_;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+TEST(JsonCheckerTest, AcceptsAndRejects) {
+  EXPECT_TRUE(JsonChecker("{\"a\": [1, 2.5, -3e2], \"b\": null}").Valid());
+  EXPECT_TRUE(JsonChecker("[]").Valid());
+  EXPECT_FALSE(JsonChecker("{\"a\": }").Valid());
+  EXPECT_FALSE(JsonChecker("{\"a\": 1,}").Valid());
+  EXPECT_FALSE(JsonChecker("{") .Valid());
+  EXPECT_FALSE(JsonChecker("1 2").Valid());
+}
+
+// ------------------------------------------------------------ end to end
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.scheme = Scheme::kDecoAsync;
+  config.query.window = WindowSpec::CountTumbling(10'000);
+  config.query.aggregate = AggregateKind::kSum;
+  config.num_locals = 2;
+  config.streams_per_local = 2;
+  config.events_per_local = 100'000;
+  config.base_rate = 1e6;
+  config.rate_change = 0.01;
+  config.batch_size = 2048;
+  config.seed = 7;
+  return config;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  EXPECT_NE(f, nullptr) << path;
+  std::string content;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  return content;
+}
+
+TEST(TelemetryIntegrationTest, DecoAsyncRunProducesSamplesSpansAndJson) {
+  const std::string json_path =
+      ::testing::TempDir() + "/telemetry_integration.json";
+  TelemetryLog log;
+
+  ExperimentConfig config = SmallConfig();
+  config.telemetry.enabled = true;
+  config.telemetry.sample_interval_nanos = 10 * kNanosPerMilli;
+  config.telemetry.json_out = json_path;
+  config.telemetry.sink = &log;
+
+  auto report = RunExperiment(config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->windows_emitted, 0u);
+
+  // The sampler guarantees a snapshot at Start and one at Stop.
+  ASSERT_GE(log.samples.size(), 2u);
+  const TelemetrySample& last = log.samples.back();
+  ASSERT_EQ(last.nodes.size(), 3u);  // root + 2 locals
+  EXPECT_EQ(last.nodes[0].name, "root");
+  EXPECT_GT(last.nodes[0].bytes_received, 0u);
+  EXPECT_GT(last.nodes[1].bytes_sent, 0u);
+
+  // The run emitted windows, so the instrumentation counted them and at
+  // least the emit spans were recorded.
+#if DECO_TRACE_ENABLED
+  ASSERT_GE(log.spans.size(), 1u);
+  bool saw_emit = false;
+  for (const TraceEvent& span : log.spans) {
+    if (span.phase == TracePhase::kEmit) saw_emit = true;
+  }
+  EXPECT_TRUE(saw_emit);
+#endif
+  int64_t windows_counted = 0;
+  for (const auto& [name, value] : last.metrics.counters) {
+    if (name == "root.windows_emitted") windows_counted = value;
+  }
+  EXPECT_EQ(windows_counted,
+            static_cast<int64_t>(report->windows_emitted));
+
+  // Exported document: well-formed JSON with the schema's key fields.
+  const std::string json = ReadFileOrDie(json_path);
+  EXPECT_TRUE(JsonChecker(json).Valid());
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"scheme\": \"deco-async\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_per_sec\""), std::string::npos);
+  EXPECT_NE(json.find("\"events_per_sec\""), std::string::npos);
+#if DECO_TRACE_ENABLED
+  EXPECT_NE(json.find("\"phase\": \"emit\""), std::string::npos);
+#endif
+  std::remove(json_path.c_str());
+}
+
+TEST(TelemetryIntegrationTest, DisabledTelemetryLeavesSinkEmpty) {
+  TelemetryLog log;
+  ExperimentConfig config = SmallConfig();
+  config.events_per_local = 20'000;
+  config.telemetry.sink = &log;  // enabled stays false
+  auto report = RunExperiment(config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(log.samples.empty());
+  EXPECT_TRUE(log.spans.empty());
+}
+
+TEST(TelemetryIntegrationTest, CentralizedSchemeAlsoTraced) {
+  TelemetryLog log;
+  ExperimentConfig config = SmallConfig();
+  config.scheme = Scheme::kCentral;
+  config.events_per_local = 40'000;
+  config.telemetry.enabled = true;
+  config.telemetry.sink = &log;
+  auto report = RunExperiment(config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_GE(log.samples.size(), 2u);
+#if DECO_TRACE_ENABLED
+  EXPECT_GE(log.spans.size(), 1u);
+#endif
+}
+
+}  // namespace
+}  // namespace deco

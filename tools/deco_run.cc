@@ -41,9 +41,14 @@ void PrintUsage() {
       "  --nic=<n>           per-node egress cap, bytes/s (0 = off)\n"
       "  --latency=<ms>      one-way link latency (default 0)\n"
       "  --seed=<n>          PRNG seed (default 42)\n"
+      "  --telemetry_out=<f>      write run telemetry (sampler time series +\n"
+      "                           window-lifecycle spans) as JSON to <f>\n"
+      "  --telemetry_csv=<p>      also write <p>.samples.csv / <p>.spans.csv\n"
+      "  --sample_interval_ms=<n> telemetry sampling period (default 50)\n"
+      "  --log_level=<name>  debug|info|warning|error|fatal (default info)\n"
       "  --compare           also run Central and report correctness\n"
       "  --verbose           print every emitted window\n"
-      "  --debug             enable debug logging\n");
+      "  --debug             enable debug logging (same as --log_level=debug)\n");
 }
 
 }  // namespace
@@ -55,6 +60,11 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (flags.GetBool("debug", false)) SetLogLevel(LogLevel::kDebug);
+  if (flags.Has("log_level")) {
+    auto level = LogLevelFromString(flags.GetString("log_level", "info"));
+    if (!level.ok()) return Fail(level.status());
+    SetLogLevel(*level);
+  }
 
   ExperimentConfig config;
   auto scheme = SchemeFromString(flags.GetString("scheme", "deco-sync"));
@@ -85,6 +95,13 @@ int main(int argc, char** argv) {
   config.link_latency_nanos = static_cast<TimeNanos>(
       flags.GetDouble("latency", 0.0) * kNanosPerMilli);
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  config.telemetry.json_out = flags.GetString("telemetry_out", "");
+  config.telemetry.csv_prefix = flags.GetString("telemetry_csv", "");
+  config.telemetry.sample_interval_nanos = static_cast<TimeNanos>(
+      flags.GetInt("sample_interval_ms", 50) * kNanosPerMilli);
+  config.telemetry.enabled = !config.telemetry.json_out.empty() ||
+                             !config.telemetry.csv_prefix.empty();
 
   auto result = RunExperiment(config);
   if (!result.ok()) return Fail(result.status());
