@@ -1,0 +1,203 @@
+// Accuracy-under-chaos benchmark (DESIGN.md §6, EXPERIMENTS.md): each
+// scheme runs the same workload twice — fault-free, then under a scripted
+// crash + restart of one local node — and the chaos run is scored against
+// the fault-free ground truth.
+//
+//   chaos_recovery [--events=N] [--window=N] [--locals=N] [--rate=F]
+//                  [--crash_ms=N] [--restart_ms=N] [--timeout_ms=N]
+//                  [--chaos=<spec>] [--schemes=a,b,c] [--seed=N]
+//                  [--tail=F] [--telemetry_out=<prefix>]
+//
+// Reported per scheme: windows emitted in both runs, corrections, the
+// root's crash-detection latency (first removal minus the scheduled crash
+// offset; paper §4.3.4 bounds it by node_timeout), the rejoin-admission
+// latency (first re-admission minus the scheduled restart offset), and the
+// tail relative error versus the fault-free run.
+//
+// Error metric: after a removal the two runs' window *indices* shift
+// permanently (the removed node's unconsumed events below the watermark
+// are lost), so windows are aligned on event time instead: the fault-free
+// (end_ts, value) trajectory is linearly interpolated at each chaos
+// window's end_ts, and the mean absolute difference over the last
+// `--tail` fraction of windows is normalized by the mean |truth| there.
+// The value trajectory is smooth (sinusoidal sensor signal, period 10 s,
+// window span a few event-time ms), so boundary-shift noise is
+// second-order and a recovered run scores well under 1%.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "harness/experiment.h"
+
+using namespace deco;
+
+namespace {
+
+/// Linear interpolation of the fault-free value trajectory at `ts`;
+/// clamps outside the sampled range.
+double InterpolateTruth(const std::vector<GlobalWindowRecord>& truth,
+                        EventTime ts) {
+  const auto at_or_after = std::lower_bound(
+      truth.begin(), truth.end(), ts,
+      [](const GlobalWindowRecord& w, EventTime t) { return w.end_ts < t; });
+  if (at_or_after == truth.begin()) return truth.front().value;
+  if (at_or_after == truth.end()) return truth.back().value;
+  const GlobalWindowRecord& hi = *at_or_after;
+  const GlobalWindowRecord& lo = *(at_or_after - 1);
+  if (hi.end_ts == lo.end_ts) return hi.value;
+  const double frac = static_cast<double>(ts - lo.end_ts) /
+                      static_cast<double>(hi.end_ts - lo.end_ts);
+  return lo.value + frac * (hi.value - lo.value);
+}
+
+struct TailError {
+  double relative = 0.0;  ///< mean |chaos - truth| / mean |truth|
+  size_t compared = 0;    ///< windows entering the metric
+};
+
+/// Time-aligned relative error over the last `tail_fraction` of the chaos
+/// run's windows (the post-recovery steady state for the canonical
+/// schedule).
+TailError TimeAlignedTailError(const RunReport& truth,
+                               const RunReport& chaos,
+                               double tail_fraction) {
+  TailError result;
+  if (truth.windows.size() < 2 || chaos.windows.empty()) return result;
+  const size_t first =
+      chaos.windows.size() -
+      std::max<size_t>(1, static_cast<size_t>(
+                              static_cast<double>(chaos.windows.size()) *
+                              tail_fraction));
+  const EventTime truth_max = truth.windows.back().end_ts;
+  double abs_err_sum = 0.0;
+  double abs_truth_sum = 0.0;
+  for (size_t i = first; i < chaos.windows.size(); ++i) {
+    const GlobalWindowRecord& w = chaos.windows[i];
+    if (w.end_ts > truth_max) continue;  // truth run ended earlier
+    const double expected = InterpolateTruth(truth.windows, w.end_ts);
+    abs_err_sum += std::fabs(w.value - expected);
+    abs_truth_sum += std::fabs(expected);
+    ++result.compared;
+  }
+  if (result.compared > 0 && abs_truth_sum > 0.0) {
+    result.relative = abs_err_sum / abs_truth_sum;
+  }
+  return result;
+}
+
+/// First membership change of the requested kind, as an offset from the
+/// run start; negative when absent.
+double MembershipOffsetMs(const RunReport& report, bool rejoined) {
+  for (const MembershipEvent& event : report.membership) {
+    if (event.rejoined == rejoined) {
+      return static_cast<double>(event.at_nanos -
+                                 report.start_wall_nanos) /
+             1e6;
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+
+  const double crash_ms = flags.GetDouble("crash_ms", 300.0);
+  const double restart_ms = flags.GetDouble("restart_ms", 800.0);
+  const double timeout_ms = flags.GetDouble("timeout_ms", 120.0);
+  const double tail_fraction = flags.GetDouble("tail", 0.25);
+
+  ExperimentConfig base;
+  base.query.window = WindowSpec::CountTumbling(
+      static_cast<uint64_t>(flags.GetInt("window", 10'000)));
+  base.query.aggregate = AggregateKind::kSum;
+  base.num_locals = static_cast<size_t>(flags.GetInt("locals", 3));
+  base.streams_per_local = static_cast<size_t>(flags.GetInt("streams", 2));
+  base.events_per_local = bench::Scaled(
+      flags, static_cast<uint64_t>(flags.GetInt("events", 8'000'000)));
+  base.base_rate = flags.GetDouble("rate", 2e6);
+  base.rate_change = 0.01;
+  base.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  base.root_options.node_timeout_nanos =
+      static_cast<TimeNanos>(timeout_ms * kNanosPerMilli);
+
+  ChaosSchedule schedule;
+  if (flags.Has("chaos")) {
+    auto parsed = ChaosSchedule::Parse(flags.GetString("chaos", ""));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad --chaos: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    schedule = *parsed;
+  } else {
+    schedule.Crash("local-1",
+                   static_cast<TimeNanos>(crash_ms * kNanosPerMilli))
+        .Restart("local-1",
+                 static_cast<TimeNanos>(restart_ms * kNanosPerMilli));
+  }
+
+  const std::vector<Scheme> schemes = bench::ParseSchemes(
+      flags, {Scheme::kCentral, Scheme::kDecoMon, Scheme::kDecoSync,
+              Scheme::kDecoAsync});
+
+  std::printf("=== chaos_recovery: %s ===\n",
+              schedule.ToSpecString().c_str());
+  std::printf("%zu locals, window %llu, %llu events/local, node timeout "
+              "%.0f ms, tail %.0f%%\n",
+              base.num_locals,
+              (unsigned long long)base.query.window.length,
+              (unsigned long long)base.events_per_local, timeout_ms,
+              100.0 * tail_fraction);
+  std::printf("%-14s %10s %10s %12s %11s %11s %12s %10s\n", "scheme",
+              "windows", "w/chaos", "corrections", "detect(ms)",
+              "rejoin(ms)", "tail-err(%)", "compared");
+
+  bool ok = true;
+  for (Scheme scheme : schemes) {
+    ExperimentConfig config = base;
+    config.scheme = scheme;
+
+    auto truth = RunExperiment(config);
+    if (!truth.ok()) {
+      std::printf("%-14s ERROR (fault-free): %s\n", SchemeToString(scheme),
+                  truth.status().ToString().c_str());
+      ok = false;
+      continue;
+    }
+
+    config.chaos.schedule = schedule;
+    std::vector<ChaosAuditEntry> audit;
+    config.chaos.audit = &audit;
+    bench::ApplyTelemetry(flags, &config,
+                          std::string("chaos.") + SchemeToString(scheme));
+    auto chaos = RunExperiment(config);
+    if (!chaos.ok()) {
+      std::printf("%-14s ERROR (chaos): %s\n", SchemeToString(scheme),
+                  chaos.status().ToString().c_str());
+      ok = false;
+      continue;
+    }
+
+    const TailError error =
+        TimeAlignedTailError(*truth, *chaos, tail_fraction);
+    const double detect_at = MembershipOffsetMs(*chaos, false);
+    const double rejoin_at = MembershipOffsetMs(*chaos, true);
+    std::printf("%-14s %10llu %10llu %12llu %11.1f %11.1f %12.4f %10zu\n",
+                SchemeToString(scheme),
+                (unsigned long long)truth->windows_emitted,
+                (unsigned long long)chaos->windows_emitted,
+                (unsigned long long)chaos->correction_steps,
+                detect_at >= 0.0 ? detect_at - crash_ms : -1.0,
+                rejoin_at >= 0.0 ? rejoin_at - restart_ms : -1.0,
+                100.0 * error.relative, error.compared);
+    std::fflush(stdout);
+  }
+  return ok ? 0 : 1;
+}

@@ -1,18 +1,18 @@
-// Failure handling (paper §4.3.4): the root uses per-node timeouts to
-// detect silent local nodes, removes them from the topology, and rebuilds
-// the affected global window from the survivors via a correction step.
+// Failure handling (paper §4.3.4) plus the rejoin extension (DESIGN.md §6):
+// the root uses per-node timeouts to detect silent local nodes, removes
+// them from the topology, and rebuilds the affected global window from the
+// survivors via a correction step. A restarted local announces itself
+// (kRejoin) and is re-admitted; its durable retained queue lets it resume
+// contributing without duplicating already-emitted events.
 //
-// This example assembles the topology by hand (instead of the one-call
-// harness) to inject a crash mid-run: after 300 ms one local node is
-// marked down on the fabric — its messages vanish, exactly like a dead
-// host — and the run is expected to keep emitting windows.
+// The fault timeline is a declarative `ChaosSchedule` applied by the
+// harness's chaos controller: local-1 crashes at t=300 ms and restarts at
+// t=800 ms. The controller's audit log — deterministic for a given
+// schedule — is printed at the end.
 
-#include <chrono>
 #include <cstdio>
-#include <thread>
 
 #include "harness/experiment.h"
-#include "node/runtime.h"
 
 using namespace deco;
 
@@ -23,74 +23,60 @@ int main() {
   config.query.aggregate = AggregateKind::kSum;
   config.num_locals = 3;
   config.streams_per_local = 2;
-  config.events_per_local = 2'000'000;
-  config.base_rate = 100'000;
+  config.events_per_local = 4'000'000;
+  config.base_rate = 2'000'000;
   config.rate_change = 0.01;
   config.root_options.node_timeout_nanos = 250 * kNanosPerMilli;
 
-  Clock* clock = SystemClock::Default();
-  NetworkFabric fabric(clock, 7);
-  Topology topology;
-  topology.root = fabric.RegisterNode("root");
-  for (size_t i = 0; i < config.num_locals; ++i) {
-    topology.locals.push_back(
-        fabric.RegisterNode("local-" + std::to_string(i)));
-  }
-
-  RunReport report;
-  Runtime runtime(&fabric);
-  auto root = std::make_unique<DecoRootNode>(
-      &fabric, topology.root, clock, topology, config.query,
-      DecoScheme::kSync, &report, config.root_options);
-  DecoRootNode* root_ptr = root.get();
-  runtime.AddActor(std::move(root));
-  for (size_t i = 0; i < config.num_locals; ++i) {
-    runtime.AddActor(std::make_unique<DecoLocalNode>(
-        &fabric, topology.locals[i], clock, topology,
-        MakeIngestConfig(config, i), config.query, DecoScheme::kSync));
-  }
+  config.chaos.schedule = ChaosSchedule()
+                              .Crash("local-1", 300 * kNanosPerMilli)
+                              .Restart("local-1", 800 * kNanosPerMilli);
+  std::vector<ChaosAuditEntry> audit;
+  config.chaos.audit = &audit;
 
   std::printf("Fault tolerance demo: 3 local nodes, Deco_sync, node "
               "timeout 250 ms\n");
-  runtime.StartAll();
+  std::printf("schedule: %s\n",
+              config.chaos.schedule.ToSpecString().c_str());
 
-  std::this_thread::sleep_for(std::chrono::milliseconds(300));
-  const uint64_t windows_before = report.windows_emitted;
-  std::printf("t=300ms: crashing local node %u (emitted %llu windows so "
-              "far)\n", topology.locals[1],
-              (unsigned long long)windows_before);
-  DECO_CHECK_OK(fabric.SetNodeDown(topology.locals[1], true));
+  auto result = RunExperiment(config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const RunReport& report = *result;
 
-  // While the timeout is pending, watch the fabric: the downed node's
-  // traffic now counts as dropped, and the root's mailbox depth shows
-  // whether the survivors keep it busy.
-  for (int tick = 1; tick <= 3; ++tick) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    std::printf("t=%dms: root queue=%zu", 300 + tick * 100,
-                fabric.queue_depth(topology.root));
-    for (size_t i = 0; i < topology.locals.size(); ++i) {
-      std::printf(" local-%zu queue=%zu", i,
-                  fabric.queue_depth(topology.locals[i]));
-    }
-    std::printf(" dropped=%llu\n",
-                (unsigned long long)fabric.Stats().total_dropped);
+  std::printf("\nchaos audit (%zu actions fired):\n", audit.size());
+  for (const ChaosAuditEntry& entry : audit) {
+    std::printf("  %s\n", entry.Describe().c_str());
   }
 
-  root_ptr->Join();
-  runtime.StopAll();
-  fabric.Shutdown();
-  DECO_CHECK_OK(runtime.JoinAll());
+  bool removed = false;
+  bool rejoined = false;
+  std::printf("\nmembership changes seen by the root:\n");
+  for (const MembershipEvent& event : report.membership) {
+    const double offset_ms =
+        static_cast<double>(event.at_nanos - report.start_wall_nanos) / 1e6;
+    std::printf("  t=%.1fms: local-%zu %s\n", offset_ms, event.node,
+                event.rejoined ? "re-admitted (rejoin)"
+                               : "removed (timeout)");
+    if (event.rejoined) {
+      rejoined = true;
+    } else {
+      removed = true;
+    }
+  }
 
   uint64_t corrected = 0;
   for (const GlobalWindowRecord& w : report.windows) {
     if (w.corrected) ++corrected;
   }
-  std::printf("run finished: %llu windows total, %llu after the crash, "
-              "%llu corrections\n",
+  std::printf("\nrun finished: %llu windows, %llu corrections\n",
               (unsigned long long)report.windows_emitted,
-              (unsigned long long)(report.windows_emitted - windows_before),
               (unsigned long long)corrected);
-  std::printf("the failed node was removed after its timeout; subsequent "
-              "windows were built\nfrom the two survivors' events only.\n");
-  return report.windows_emitted > windows_before ? 0 : 1;
+  std::printf("the crashed node was removed after its timeout and "
+              "re-admitted after its\nrestart; windows in between were "
+              "built from the two survivors only.\n");
+  return removed && rejoined && report.windows_emitted > 0 ? 0 : 1;
 }

@@ -98,13 +98,13 @@ Status ApproxLocalNode::Run() {
     msg.window_index = window_index++;
     msg.payload = writer.Release();
     msg.MergeLatencyMeta(create_mean, covered);
-    DECO_RETURN_NOT_OK(Send(std::move(msg)));
+    DECO_RETURN_NOT_OK(SendRetryingCrash(std::move(msg)));
   }
 
   Message eos;
   eos.type = MessageType::kShutdown;
   eos.dst = topology_.root;
-  return Send(std::move(eos));
+  return SendRetryingCrash(std::move(eos));
 }
 
 ApproxRoot::ApproxRoot(NetworkFabric* fabric, NodeId id, Clock* clock,
@@ -204,15 +204,18 @@ void ApproxRoot::TryEmitWindows() {
     }
     Partial merged = func_->CreatePartial();
     uint64_t events = 0;
+    EventTime end_ts = 0;
     std::vector<uint64_t> counts(topology_.num_locals(), 0);
     for (size_t i = 0; i < it->second.parts.size(); ++i) {
       const SliceSummary& part = *it->second.parts[i];
       DECO_CHECK_OK(func_->Merge(&merged, part.partial));
       events += part.event_count;
       counts[i] = part.event_count;
+      end_ts = std::max(end_ts, part.max_ts);
     }
     GlobalWindowRecord record;
     record.window_index = next_window_;
+    record.end_ts = end_ts;
     record.value = func_->Finalize(merged);
     record.event_count = events;
     record.mean_latency_nanos =

@@ -147,7 +147,8 @@ Status CentralizedRoot::ProcessEventBuffered(const Event& event,
   for (const Event& e : window_buffer_) func_->Accumulate(&partial, e.value);
   const double value = func_->Finalize(partial);
   EmitWindow(value, window_buffer_.size(),
-             create_sum_ / static_cast<double>(open_events_));
+             create_sum_ / static_cast<double>(open_events_),
+             window_buffer_.back().timestamp);
   window_buffer_.clear();
   return Status::OK();
 }
@@ -162,17 +163,19 @@ Status CentralizedRoot::ProcessEventIncremental(const Event& event,
   DECO_RETURN_NOT_OK(windower_->Add(event, &closed_));
   for (const WindowResult& result : closed_) {
     EmitWindow(result.value, result.event_count,
-               create_sum_ / static_cast<double>(open_events_));
+               create_sum_ / static_cast<double>(open_events_),
+               result.end_time);
   }
   return Status::OK();
 }
 
 void CentralizedRoot::EmitWindow(double value, uint64_t event_count,
-                                 double mean_create) {
+                                 double mean_create, EventTime end_ts) {
   GlobalWindowRecord record;
   record.window_index = report_->windows_emitted;
   record.value = value;
   record.event_count = event_count;
+  record.end_ts = end_ts;
   record.mean_latency_nanos =
       static_cast<double>(NowNanos()) - mean_create;
   report_->windows.push_back(record);

@@ -63,7 +63,8 @@ class CentralizedRoot final : public Actor {
                               size_t from_node);
   Status ProcessEventIncremental(const Event& event, double create_nanos,
                                  size_t from_node);
-  void EmitWindow(double value, uint64_t event_count, double mean_create);
+  void EmitWindow(double value, uint64_t event_count, double mean_create,
+                  EventTime end_ts);
 
   Topology topology_;
   QueryConfig query_;

@@ -39,7 +39,7 @@ Status ForwardingLocalNode::Run() {
       msg.payload = EncodeEventBatchText(payload);
     }
     msg.MergeLatencyMeta(static_cast<double>(create_time), pulled);
-    DECO_RETURN_NOT_OK(Send(std::move(msg)));
+    DECO_RETURN_NOT_OK(SendRetryingCrash(std::move(msg)));
     batch = std::move(payload.events);  // reuse capacity (moved-from is ok)
     if (eos) break;
   }

@@ -81,6 +81,16 @@ class BlockingQueue {
     return n;
   }
 
+  /// \brief Discards every currently queued item; returns the count. Used
+  /// when a crashed node's mailbox is purged on restart (a rebooted host
+  /// has lost its pre-crash receive buffers).
+  size_t Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t n = items_.size();
+    items_.clear();
+    return n;
+  }
+
   /// \brief Closes the queue: future pushes fail, waiters wake. Items
   /// already queued can still be popped.
   void Close() {

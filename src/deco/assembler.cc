@@ -101,6 +101,20 @@ void WindowAssembler::RemoveNode(size_t node) {
   }
 }
 
+void WindowAssembler::ReadmitNode(size_t node) {
+  if (node >= num_nodes_) return;
+  removed_[node] = false;
+  eos_[node] = false;
+  leftover_[node].clear();
+  carry_[node] = 0;
+  candidates_[node].clear();
+  candidates_present_[node] = false;
+  candidates_complete_[node] = false;
+  for (auto& [w, pw] : pending_) {
+    if (!pw.nodes.empty()) pw.nodes[node] = NodeWindowState{};
+  }
+}
+
 WindowAssembler::Outcome WindowAssembler::TryAssemble(WindowAssembly* out) {
   if (correcting_) return Outcome::kNotReady;
   auto it = pending_.find(next_window_);

@@ -117,6 +117,12 @@ class WindowAssembler {
   /// dropped; subsequent windows are assembled from the remaining nodes.
   void RemoveNode(size_t node);
 
+  /// \brief Re-admits a previously removed node (rejoin protocol,
+  /// DESIGN.md §6): clears its removed/EOS flags and discards any stale
+  /// per-window state so the correction step rebuilds its contribution
+  /// from the node's full retained resend.
+  void ReadmitNode(size_t node);
+
   bool IsEos(size_t node) const { return eos_[node]; }
   bool IsRemoved(size_t node) const { return removed_[node]; }
 

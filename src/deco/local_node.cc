@@ -47,6 +47,60 @@ DecoLocalNode::DecoLocalNode(NetworkFabric* fabric, NodeId id, Clock* clock,
       scheme_(scheme),
       options_(options) {}
 
+Status DecoLocalNode::SendOrCrash(Message msg) {
+  Status status = Send(std::move(msg));
+  if (status.IsNodeFailed()) {
+    // The chaos controller took this node down. A dead host doesn't see
+    // its own failed sends; enter crash limbo instead of erroring out.
+    crashed_ = true;
+    return Status::OK();
+  }
+  return status;
+}
+
+Status DecoLocalNode::HandleCrash() {
+  DECO_LOG(DEBUG) << "local " << id_ << ": down, entering crash limbo";
+  // A dead process consumes nothing: the mailbox fills (and is purged by
+  // the fabric on revival); we only poll for the revival itself.
+  while (fabric_->IsNodeDown(id_)) {
+    if (stop_requested() || fabric_->mailbox(id_)->closed()) {
+      done_ = true;
+      return Status::OK();
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  // Revived. Volatile protocol state is gone; the durable upstream queue
+  // (`retained_`, the paper's §4.3.1 "queue like Kafka") and the ingest
+  // position survive the reboot.
+  cursor_ = 0;
+  have_assignment_ = false;
+  rolled_back_ = false;
+  pending_size_adjust_ = 0;
+  need_slack_window_ = true;
+  eos_sent_ = false;
+  peer_rates_.clear();
+  peer_rates_received_.clear();
+  crashed_ = false;
+  awaiting_rejoin_ = true;
+
+  // Announce the restart; the root re-admits us and starts a correction,
+  // whose epoch bump is the signal that re-synchronizes planning.
+  RateReport report;
+  report.window_index = last_assignment_window_;
+  report.event_rate = source_->TotalRate();
+  report.stream_position = source_->position();
+  BinaryWriter writer;
+  EncodeRateReport(report, &writer);
+  Message msg;
+  msg.type = MessageType::kRejoin;
+  msg.dst = topology_.root;
+  msg.epoch = epoch_;
+  msg.payload = writer.Release();
+  DECO_LOG(DEBUG) << "local " << id_ << ": revived, announcing rejoin";
+  return SendOrCrash(std::move(msg));
+}
+
 bool DecoLocalNode::PullIntoRetained() {
   if (source_->exhausted()) return false;
   EventVec batch;
@@ -92,7 +146,7 @@ Status DecoLocalNode::BroadcastPeerRate(uint64_t w) {
     msg.window_index = w;
     msg.epoch = epoch_;
     msg.payload = payload;
-    DECO_RETURN_NOT_OK(Send(std::move(msg)));
+    DECO_RETURN_NOT_OK(SendOrCrash(std::move(msg)));
   }
   return Status::OK();
 }
@@ -116,7 +170,7 @@ Status DecoLocalNode::SendRateReport(uint64_t w) {
   msg.window_index = w;
   msg.epoch = epoch_;
   msg.payload = writer.Release();
-  return Send(std::move(msg));
+  return SendOrCrash(std::move(msg));
 }
 
 Status DecoLocalNode::ProduceWindow(uint64_t w, const SlicePlan& plan) {
@@ -149,7 +203,7 @@ Status DecoLocalNode::ProduceWindow(uint64_t w, const SlicePlan& plan) {
     msg.window_index = w;
     msg.epoch = epoch_;
     msg.payload = writer.Release();
-    DECO_RETURN_NOT_OK(Send(std::move(msg)));
+    DECO_RETURN_NOT_OK(SendOrCrash(std::move(msg)));
   }
 
   // Slice: incremental local aggregation (the decentralized work).
@@ -186,7 +240,7 @@ Status DecoLocalNode::ProduceWindow(uint64_t w, const SlicePlan& plan) {
     msg.window_index = w;
     msg.epoch = epoch_;
     msg.payload = writer.Release();
-    DECO_RETURN_NOT_OK(Send(std::move(msg)));
+    DECO_RETURN_NOT_OK(SendOrCrash(std::move(msg)));
   }
 
   // End buffer: raw edge region for exact cut resolution at the root.
@@ -213,7 +267,7 @@ Status DecoLocalNode::ProduceWindow(uint64_t w, const SlicePlan& plan) {
     msg.window_index = w;
     msg.epoch = epoch_;
     msg.payload = writer.Release();
-    DECO_RETURN_NOT_OK(Send(std::move(msg)));
+    DECO_RETURN_NOT_OK(SendOrCrash(std::move(msg)));
   }
 
   // End-of-stream marker once the budget is exhausted and fully shipped.
@@ -223,7 +277,7 @@ Status DecoLocalNode::ProduceWindow(uint64_t w, const SlicePlan& plan) {
     msg.type = MessageType::kShutdown;
     msg.dst = topology_.root;
     msg.epoch = epoch_;
-    DECO_RETURN_NOT_OK(Send(std::move(msg)));
+    DECO_RETURN_NOT_OK(SendOrCrash(std::move(msg)));
   }
   return Status::OK();
 }
@@ -236,7 +290,18 @@ Status DecoLocalNode::HandleControl(const Message& msg) {
                             DecodeWindowAssignment(&reader));
       const EventKey wm{assignment.wm_ts, assignment.wm_stream,
                         assignment.wm_id};
+      if (awaiting_rejoin_ && msg.epoch <= epoch_) {
+        // Pre-crash straggler: this assignment was computed before the
+        // root learned of our restart. Our cursor was reset, so acting on
+        // it would re-produce events the root already holds. The rejoin
+        // always triggers a correction, whose epoch bump ends the wait.
+        DECO_LOG(DEBUG) << "local " << id_
+                        << ": ignoring same-epoch assignment while "
+                           "awaiting rejoin";
+        return Status::OK();
+      }
       if (msg.epoch > epoch_) {
+        awaiting_rejoin_ = false;
         // Correction rollback (paper Â§4.3.2): the corrected window was
         // assembled from the *complete* candidate streams, so every
         // retained event at or below its watermark was consumed exactly
@@ -311,6 +376,23 @@ Status DecoLocalNode::HandleCorrectionRequest(const Message& msg) {
   BinaryReader reader(msg.payload);
   DECO_ASSIGN_OR_RETURN(CorrectionRequest request,
                         DecodeCorrectionRequest(&reader));
+  // Drop retained events the root's watermark already covers. For a
+  // healthy local this is a no-op (the assignment watermark dropped them
+  // first); for a rejoining local it is essential — the root emitted
+  // windows from our pre-crash contributions, so resending events at or
+  // below the watermark would double-count them.
+  const EventKey wm{request.wm_ts, request.wm_stream, request.wm_id};
+  size_t wm_dropped = 0;
+  while (!retained_.empty() &&
+         EventKey::Of(retained_.front().event) <= wm) {
+    retained_.pop_front();
+    ++wm_dropped;
+  }
+  if (wm_dropped > 0) {
+    cursor_ = cursor_ > wm_dropped ? cursor_ - wm_dropped : 0;
+    DECO_LOG(DEBUG) << "local " << id_ << ": correction watermark dropped "
+                    << wm_dropped << " retained events";
+  }
   CorrectionResponse response;
   response.window_index = request.window_index;
   Message out;
@@ -363,16 +445,24 @@ Status DecoLocalNode::HandleCorrectionRequest(const Message& msg) {
   // to a superseded correction round.
   out.epoch = msg.epoch;
   out.payload = writer.Release();
-  return Send(std::move(out));
+  return SendOrCrash(std::move(out));
 }
 
 template <typename Pred>
 Status DecoLocalNode::BlockUntil(Pred predicate) {
-  while (!predicate() && !done_ && !stop_requested()) {
-    std::optional<Message> msg = Receive();
+  while (!predicate() && !done_ && !stop_requested() && !crashed_) {
+    // Poll rather than block indefinitely: a chaos crash is only visible
+    // through the fabric flag (messages to a down node never arrive), so a
+    // blocked receive would sleep through its own death.
+    std::optional<Message> msg =
+        ReceiveWithTimeout(2 * kNanosPerMilli);
     if (!msg.has_value()) {
-      done_ = true;
-      break;
+      if (fabric_->mailbox(id_)->closed()) {
+        done_ = true;
+        break;
+      }
+      if (fabric_->IsNodeDown(id_)) crashed_ = true;
+      continue;
     }
     DECO_RETURN_NOT_OK(HandleControl(*msg));
   }
@@ -395,6 +485,16 @@ Status DecoLocalNode::Run() {
   DECO_RETURN_NOT_OK(BlockUntil([&] { return have_assignment_; }));
 
   while (!done_ && !stop_requested()) {
+    if (crashed_) {
+      DECO_RETURN_NOT_OK(HandleCrash());
+      if (done_ || stop_requested()) break;
+      if (crashed_) continue;  // went down again mid-announcement
+      // Hold until the root's epoch-advancing response (correction plus
+      // rollback assignment) re-synchronizes planning; corrections are
+      // answered from inside the wait.
+      DECO_RETURN_NOT_OK(BlockUntil([&] { return rolled_back_; }));
+      continue;
+    }
     if (rolled_back_) {
       w = resume_window_;
       rolled_back_ = false;
@@ -407,7 +507,7 @@ Status DecoLocalNode::Run() {
       DECO_RETURN_NOT_OK(HandleControl(*msg));
     }
     if (done_ || stop_requested()) break;
-    if (rolled_back_) continue;
+    if (crashed_ || rolled_back_) continue;
 
     if (scheme_ == DecoScheme::kAsync) {
       // Memory bound: do not run more than `max_unverified_windows` ahead
@@ -420,7 +520,7 @@ Status DecoLocalNode::Run() {
                      options_.max_unverified_windows;
         }));
         if (done_ || stop_requested()) break;
-        if (rolled_back_) continue;
+        if (crashed_ || rolled_back_) continue;
       }
     } else {
       // Synchronous schemes: wait for this window's assignment.
@@ -428,7 +528,7 @@ Status DecoLocalNode::Run() {
         return rolled_back_ || last_assignment_window_ >= w;
       }));
       if (done_ || stop_requested()) break;
-      if (rolled_back_) continue;
+      if (crashed_ || rolled_back_) continue;
     }
 
     if (source_->exhausted() && cursor_ == retained_.size()) {
@@ -440,11 +540,11 @@ Status DecoLocalNode::Run() {
         msg.type = MessageType::kShutdown;
         msg.dst = topology_.root;
         msg.epoch = epoch_;
-        DECO_RETURN_NOT_OK(Send(std::move(msg)));
+        DECO_RETURN_NOT_OK(SendOrCrash(std::move(msg)));
       }
       DECO_LOG(DEBUG) << "local " << id_ << ": eos, staying responsive";
       DECO_RETURN_NOT_OK(BlockUntil([&] { return rolled_back_; }));
-      if (rolled_back_) continue;  // correction: re-produce from retained
+      if (crashed_ || rolled_back_) continue;
       break;
     }
 
@@ -470,7 +570,7 @@ Status DecoLocalNode::Run() {
       DECO_RETURN_NOT_OK(
           BlockUntil([&] { return rolled_back_ || PeerRatesComplete(w); }));
       if (done_ || stop_requested()) break;
-      if (rolled_back_) continue;
+      if (crashed_ || rolled_back_) continue;
       DECO_ASSIGN_OR_RETURN(
           std::vector<uint64_t> shares,
           ApportionWindow(ProtocolWindowLength(query_.window),

@@ -83,6 +83,17 @@ class DecoLocalNode final : public Actor {
   /// Responds to a correction request (full region or top-up).
   Status HandleCorrectionRequest(const Message& msg);
 
+  /// `Send` wrapper that turns the fabric's NodeFailed (this node was
+  /// crashed by the chaos controller) into the `crashed_` flag instead of
+  /// an error: a dead host doesn't observe its own failed sends.
+  Status SendOrCrash(Message msg);
+
+  /// Crash limbo: waits until the fabric revives this node (or the run is
+  /// stopped), then resets all volatile protocol state — the durable
+  /// upstream queue (`retained_`, paper §4.3.1) and the ingest position
+  /// survive — and announces the restart to the root (kRejoin).
+  Status HandleCrash();
+
   /// Blocks until `predicate` (checked after each message) or stop.
   template <typename Pred>
   Status BlockUntil(Pred predicate);
@@ -122,6 +133,14 @@ class DecoLocalNode final : public Actor {
   uint64_t resume_window_ = 0;
   bool done_ = false;  // root sent kShutdown
   bool eos_sent_ = false;
+  // Set when the fabric reported this node down (chaos crash); the main
+  // loop enters crash limbo until revived.
+  bool crashed_ = false;
+  // Set between the post-revive kRejoin announcement and the root's
+  // epoch-advancing response: same-epoch assignments in that gap are
+  // pre-crash stragglers and must be ignored (the node's cursor was
+  // reset; acting on them would duplicate events).
+  bool awaiting_rejoin_ = false;
   // Async: the next produced window uses the sync layout (region l+delta
   // instead of exactly l), creating the root-buffer slack that makes the
   // asynchronous steady state verifiable (DESIGN.md 4.1). Set at start and

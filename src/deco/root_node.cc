@@ -27,6 +27,15 @@ Counter* CorrectionsCounter() {
   static Counter* c = MetricRegistry::Global()->counter("root.corrections");
   return c;
 }
+Counter* NodesRemovedCounter() {
+  static Counter* c = MetricRegistry::Global()->counter("root.nodes_removed");
+  return c;
+}
+Counter* NodesRejoinedCounter() {
+  static Counter* c =
+      MetricRegistry::Global()->counter("root.nodes_rejoined");
+  return c;
+}
 
 }  // namespace
 
@@ -75,6 +84,7 @@ Status DecoRootNode::Run() {
   last_heard_.assign(m, NowNanos());
   report_->consumption = ConsumptionLog(m);
   report_->scheme = DecoSchemeToString(scheme_);
+  report_->start_wall_nanos = NowNanos();
 
   while (!stop_requested() && !finished_) {
     std::optional<Message> msg =
@@ -149,6 +159,11 @@ Status DecoRootNode::Dispatch(const Message& msg) {
       DECO_LOG(DEBUG) << "root: node " << node << " eos";
       assembler_->MarkEos(node);
       return Status::OK();
+    case MessageType::kRejoin: {
+      BinaryReader reader(msg.payload);
+      DECO_ASSIGN_OR_RETURN(RateReport report, DecodeRateReport(&reader));
+      return HandleRejoin(node, report);
+    }
     default:
       DECO_LOG(WARNING) << "deco root ignoring "
                         << MessageTypeToString(msg.type);
@@ -174,18 +189,8 @@ Status DecoRootNode::Progress() {
       case WindowAssembler::CorrectionOutcome::kNeedMore:
         for (size_t n : need_more) {
           correction_responded_[n] = false;
-          CorrectionRequest request;
-          request.window_index = correction_window_;
-          request.topup_events = options_.correction_topup;
-          BinaryWriter writer;
-          EncodeCorrectionRequest(request, &writer);
-          Message msg;
-          msg.type = MessageType::kCorrectionRequest;
-          msg.dst = topology_.locals[n];
-          msg.window_index = correction_window_;
-          msg.epoch = epoch_;
-          msg.payload = writer.Release();
-          DECO_RETURN_NOT_OK(Send(std::move(msg)));
+          DECO_RETURN_NOT_OK(
+              SendCorrectionRequest(n, options_.correction_topup));
         }
         break;
       case WindowAssembler::CorrectionOutcome::kEndOfStream:
@@ -237,20 +242,53 @@ Status DecoRootNode::StartCorrection() {
             false);
   for (size_t n = 0; n < topology_.num_locals(); ++n) {
     if (assembler_->IsRemoved(n)) continue;
-    CorrectionRequest request;
-    request.window_index = correction_window_;
-    request.topup_events = 0;  // full retained region
-    BinaryWriter writer;
-    EncodeCorrectionRequest(request, &writer);
-    Message msg;
-    msg.type = MessageType::kCorrectionRequest;
-    msg.dst = topology_.locals[n];
-    msg.window_index = correction_window_;
-    msg.epoch = epoch_;
-    msg.payload = writer.Release();
-    DECO_RETURN_NOT_OK(Send(std::move(msg)));
+    DECO_RETURN_NOT_OK(SendCorrectionRequest(n, /*topup=*/0));
   }
   return Status::OK();
+}
+
+Status DecoRootNode::SendCorrectionRequest(size_t node, uint64_t topup) {
+  CorrectionRequest request;
+  request.window_index = correction_window_;
+  request.topup_events = topup;  // 0 = full retained region
+  request.wm_ts = last_watermark_.ts;
+  request.wm_stream = last_watermark_.stream;
+  request.wm_id = last_watermark_.id;
+  BinaryWriter writer;
+  EncodeCorrectionRequest(request, &writer);
+  Message msg;
+  msg.type = MessageType::kCorrectionRequest;
+  msg.dst = topology_.locals[node];
+  msg.window_index = correction_window_;
+  msg.epoch = epoch_;
+  msg.payload = writer.Release();
+  return Send(std::move(msg));
+}
+
+Status DecoRootNode::HandleRejoin(size_t node, const RateReport& report) {
+  DECO_LOG(WARNING) << "deco root: local node " << topology_.locals[node]
+                    << " rejoined (rate " << report.event_rate << ")";
+  // Scrub every per-node trace of the pre-crash incarnation; the node's
+  // durable retained queue is re-solicited by the correction below.
+  assembler_->ReadmitNode(node);
+  predictors_[node] =
+      LocalWindowPredictor(options_.predictor_history_m, options_.delta_floor,
+                           options_.delta_multiplier);
+  last_consumed_[node] = 0;
+  if (report.event_rate > 0.0) latest_rates_[node] = report.event_rate;
+  last_heard_[node] = NowNanos();
+  report_->membership.push_back(
+      MembershipEvent{NowNanos(), node, /*rejoined=*/true});
+  NodesRejoinedCounter()->Increment();
+  if (assembler_->correcting()) {
+    // Fold the rejoined node into the in-flight correction: solicit its
+    // full retained region alongside the outstanding responses.
+    correction_responded_[node] = false;
+    return SendCorrectionRequest(node, /*topup=*/0);
+  }
+  // Rebuild the current window with the rejoined node contributing; the
+  // epoch bump doubles as the rollback signal ending its rejoin wait.
+  return StartCorrection();
 }
 
 Status DecoRootNode::EmitProtocolWindow(const WindowAssembly& assembly,
@@ -261,6 +299,7 @@ Status DecoRootNode::EmitProtocolWindow(const WindowAssembly& assembly,
     record.value = func_->Finalize(assembly.partial);
     record.event_count = assembly.event_count;
     record.corrected = corrected;
+    record.end_ts = assembly.watermark.ts;
     record.mean_latency_nanos =
         static_cast<double>(NowNanos()) - assembly.create_mean;
     report_->windows.push_back(record);
@@ -311,6 +350,7 @@ Status DecoRootNode::EmitProtocolWindow(const WindowAssembly& assembly,
   record.value = func_->Finalize(merged);
   record.event_count = query_.window.length;
   record.corrected = any_corrected;
+  record.end_ts = assembly.watermark.ts;
   record.mean_latency_nanos =
       static_cast<double>(NowNanos()) - create_mean;
   report_->windows.push_back(record);
@@ -535,6 +575,9 @@ Status DecoRootNode::CheckNodeTimeouts() {
       DECO_LOG(WARNING) << "deco root: local node " << topology_.locals[n]
                         << " timed out; removing and correcting";
       assembler_->RemoveNode(n);
+      report_->membership.push_back(
+          MembershipEvent{now, n, /*rejoined=*/false});
+      NodesRemovedCounter()->Increment();
       removed_any = true;
     }
   }

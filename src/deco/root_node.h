@@ -81,6 +81,16 @@ class DecoRootNode final : public Actor {
   /// consecutive pane partials are composed into overlapping windows.
   Status EmitProtocolWindow(const WindowAssembly& assembly, bool corrected);
   Status StartCorrection();
+
+  /// Sends one correction request (full resend when `topup == 0`), tagged
+  /// with the current epoch and the verified watermark so a rejoining
+  /// local can drop already-emitted retained events.
+  Status SendCorrectionRequest(size_t node, uint64_t topup);
+
+  /// Re-admits a restarted local (kRejoin): scrubs its assembler state,
+  /// resets its predictor, and folds it into a (possibly new) correction
+  /// so it contributes again from its durable retained queue.
+  Status HandleRejoin(size_t node, const RateReport& report);
   Status FinishWindow(const WindowAssembly& assembly, bool corrected);
   Status MaybeSendAssignments();
   Status SendAssignment(size_t node, const WindowAssignment& assignment);

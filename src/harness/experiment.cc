@@ -94,6 +94,35 @@ Status ExperimentConfig::Validate() const {
         "holistic aggregates are processed centrally (paper footnote 2); "
         "use the central scheme");
   }
+  if (!chaos.schedule.empty()) {
+    DECO_RETURN_NOT_OK(chaos.schedule.Validate());
+    size_t crashes = 0;
+    size_t restarts = 0;
+    for (const FaultEvent& event : chaos.schedule.events()) {
+      if (event.kind == FaultKind::kCrash) ++crashes;
+      if (event.kind == FaultKind::kRestart) ++restarts;
+    }
+    if (crashes > 0) {
+      if (scheme == Scheme::kDecoMonLocal) {
+        return Status::NotSupported(
+            "deco-monlocal peers deadlock on a crashed peer's rate "
+            "broadcast; crash chaos needs a root-coordinated scheme");
+      }
+      const bool deco = scheme == Scheme::kDecoMon ||
+                        scheme == Scheme::kDecoSync ||
+                        scheme == Scheme::kDecoAsync;
+      if (deco && root_options.node_timeout_nanos <= 0) {
+        return Status::InvalidArgument(
+            "crash chaos against a Deco scheme requires failure detection: "
+            "set root_options.node_timeout_nanos (paper 4.3.4)");
+      }
+      if (!deco && restarts < crashes) {
+        return Status::InvalidArgument(
+            "baseline locals have no removal path: every crash needs a "
+            "matching restart or the run never finishes");
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -164,6 +193,27 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
     }
   }
 
+  // Chaos: compile the fault timeline against the registered node names and
+  // hand every local an ingest-rate handle so `surge` events can scale its
+  // input at runtime. The controller thread starts with the actors below.
+  std::unique_ptr<ChaosController> chaos;
+  std::vector<std::shared_ptr<std::atomic<double>>> rate_handles;
+  if (!config.chaos.schedule.empty()) {
+    chaos = std::make_unique<ChaosController>(&fabric, clock);
+    for (size_t i = 0; i < config.num_locals; ++i) {
+      rate_handles.push_back(std::make_shared<std::atomic<double>>(1.0));
+      chaos->AddRateHandle("local-" + std::to_string(i), rate_handles[i]);
+    }
+    DECO_RETURN_NOT_OK(chaos->Prepare(config.chaos.schedule));
+  }
+  auto ingest_for = [&](size_t ordinal) {
+    IngestConfig ingest = MakeIngestConfig(config, ordinal);
+    if (ordinal < rate_handles.size()) {
+      ingest.rate_multiplier = rate_handles[ordinal];
+    }
+    return ingest;
+  };
+
   RunReport report;
   report.scheme = SchemeToString(config.scheme);
 
@@ -191,8 +241,8 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
           &report));
       for (size_t i = 0; i < config.num_locals; ++i) {
         runtime.AddActor(std::make_unique<ForwardingLocalNode>(
-            &fabric, topology.locals[i], clock, topology,
-            MakeIngestConfig(config, i), format));
+            &fabric, topology.locals[i], clock, topology, ingest_for(i),
+            format));
       }
       break;
     }
@@ -202,8 +252,8 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
                                             &report));
       for (size_t i = 0; i < config.num_locals; ++i) {
         runtime.AddActor(std::make_unique<ApproxLocalNode>(
-            &fabric, topology.locals[i], clock, topology,
-            MakeIngestConfig(config, i), config.query));
+            &fabric, topology.locals[i], clock, topology, ingest_for(i),
+            config.query));
       }
       break;
     }
@@ -229,9 +279,8 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
                                               &report, root_options));
       for (size_t i = 0; i < config.num_locals; ++i) {
         runtime.AddActor(std::make_unique<DecoLocalNode>(
-            &fabric, topology.locals[i], clock, topology,
-            MakeIngestConfig(config, i), config.query, scheme,
-            local_options));
+            &fabric, topology.locals[i], clock, topology, ingest_for(i),
+            config.query, scheme, local_options));
       }
       break;
     }
@@ -254,8 +303,13 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
 
   const TimeNanos start = clock->NowNanos();
   runtime.StartAll();
+  if (chaos != nullptr) DECO_RETURN_NOT_OK(chaos->Start());
   root_actor->Join();
   const TimeNanos end = clock->NowNanos();
+
+  // Stop fault injection before tearing the topology down: a crash fired
+  // during shutdown would wedge the joins below.
+  if (chaos != nullptr) chaos->Stop();
 
   // Uninstall before the sink can go out of scope on any early return;
   // straggler threads then see a null sink and skip recording.
@@ -294,6 +348,9 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
     if (config.telemetry.sink != nullptr) {
       *config.telemetry.sink = std::move(log);
     }
+  }
+  if (chaos != nullptr && config.chaos.audit != nullptr) {
+    *config.chaos.audit = chaos->AuditLog();
   }
   return report;
 }

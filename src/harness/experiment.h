@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "chaos/controller.h"
+#include "chaos/schedule.h"
 #include "common/result.h"
 #include "deco/local_node.h"
 #include "deco/root_node.h"
@@ -63,6 +65,20 @@ struct TelemetryOptions {
   TelemetryLog* sink = nullptr;
 };
 
+/// \brief Chaos-injection options of one experiment run (DESIGN.md §6).
+///
+/// A non-empty schedule makes the harness attach a `ChaosController` to the
+/// fabric for the duration of the run: per-local ingest-rate handles are
+/// registered (so `surge` events work out of the box), the controller
+/// starts with the actors, and stops once the root finishes.
+struct ChaosOptions {
+  /// Fault timeline; empty = no chaos (no controller is created).
+  ChaosSchedule schedule;
+
+  /// If non-null, receives the fired-action audit log after the run.
+  std::vector<ChaosAuditEntry>* audit = nullptr;
+};
+
 /// \brief Full description of one experiment run.
 struct ExperimentConfig {
   Scheme scheme = Scheme::kDecoAsync;
@@ -119,6 +135,9 @@ struct ExperimentConfig {
 
   /// Live telemetry (sampler + tracing + export).
   TelemetryOptions telemetry;
+
+  /// Scheduled fault injection (crash/restart/drop/lag/partition/surge).
+  ChaosOptions chaos;
 
   Status Validate() const;
 };

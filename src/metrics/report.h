@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "event/event.h"
 #include "metrics/correctness.h"
 #include "metrics/histogram.h"
 #include "net/fabric.h"
@@ -21,11 +22,33 @@ struct GlobalWindowRecord {
   uint64_t event_count = 0;    ///< always l_global for complete windows
   double mean_latency_nanos = 0.0;  ///< mean event processing-time latency
   bool corrected = false;      ///< window needed a correction step
+
+  /// Event-time of the window's last event (its watermark timestamp).
+  /// Chaos benchmarking aligns windows of different runs on this axis:
+  /// after a node removal the runs' window *indices* shift (the removed
+  /// node's unconsumed events are lost), but event-time still lines up.
+  EventTime end_ts = 0;
+};
+
+/// \brief One membership change observed by the root: a local node removed
+/// after a silence timeout, or re-admitted after a rejoin announcement
+/// (paper §4.3.4 + the rejoin extension, DESIGN.md §6).
+struct MembershipEvent {
+  TimeNanos at_nanos = 0;  ///< root wall-clock when the change was applied
+  size_t node = 0;         ///< local node ordinal
+  bool rejoined = false;   ///< false = removed (timeout), true = re-admitted
 };
 
 /// \brief Full measurement record of one run.
 struct RunReport {
   std::string scheme;
+
+  /// Root wall-clock at the start of the measured phase; membership event
+  /// times are offsets against this.
+  TimeNanos start_wall_nanos = 0;
+
+  /// Node removals / re-admissions, in root order.
+  std::vector<MembershipEvent> membership;
 
   /// Events the emitted windows cover.
   uint64_t events_processed = 0;

@@ -71,7 +71,61 @@ Status NetworkFabric::SetNodeDown(NodeId node, bool down) {
   if (node >= nodes_.size()) {
     return Status::InvalidArgument("node not registered");
   }
-  nodes_[node]->down.store(down, std::memory_order_release);
+  NodeState& state = *nodes_[node];
+  const bool was_down = state.down.load(std::memory_order_acquire);
+  if (was_down && !down) {
+    // Revival: a rebooted host has lost its pre-crash receive buffers.
+    // Purging here (rather than on crash) keeps the down period observable
+    // via queue_depth and guarantees the restarted actor never replays
+    // stale pre-crash messages (dead-window partials, old assignments).
+    // The purge happens *before* the node becomes visibly up so that no
+    // post-revive message can be swept away with the stale ones.
+    const size_t purged = state.mailbox->Clear();
+    state.incarnation.fetch_add(1, std::memory_order_acq_rel);
+    if (purged > 0) {
+      DECO_LOG(DEBUG) << "fabric: node " << node << " revived, purged "
+                      << purged << " stale pre-crash messages";
+    }
+  }
+  state.down.store(down, std::memory_order_release);
+  return Status::OK();
+}
+
+uint64_t NetworkFabric::node_incarnation(NodeId node) const {
+  std::shared_lock<std::shared_mutex> lock(nodes_mu_);
+  if (node >= nodes_.size()) return 0;
+  return nodes_[node]->incarnation.load(std::memory_order_acquire);
+}
+
+Result<LinkConfig> NetworkFabric::GetLinkConfig(NodeId src,
+                                                NodeId dst) const {
+  if (src >= node_count() || dst >= node_count()) {
+    return Status::InvalidArgument("link endpoint not registered");
+  }
+  const LinkState* link = FindLink(src, dst);
+  if (link == nullptr) return LinkConfig{};
+  std::lock_guard<std::mutex> lock(links_mu_);
+  return link->config;
+}
+
+Status NetworkFabric::SetLinkBlocked(NodeId src, NodeId dst, bool blocked) {
+  if (src >= node_count() || dst >= node_count()) {
+    return Status::InvalidArgument("link endpoint not registered");
+  }
+  LinkState* link = GetOrCreateLink(src, dst);
+  std::lock_guard<std::mutex> lock(links_mu_);
+  link->config.blocked = blocked;
+  return Status::OK();
+}
+
+Status NetworkFabric::PartitionNode(NodeId node, bool partitioned) {
+  const size_t n = node_count();
+  if (node >= n) return Status::InvalidArgument("node not registered");
+  for (NodeId other = 0; other < n; ++other) {
+    if (other == node) continue;
+    DECO_RETURN_NOT_OK(SetLinkBlocked(node, other, partitioned));
+    DECO_RETURN_NOT_OK(SetLinkBlocked(other, node, partitioned));
+  }
   return Status::OK();
 }
 
@@ -145,6 +199,12 @@ Status NetworkFabric::Send(Message msg) {
     config = link->config;
   }
 
+  if (config.blocked) {
+    // Hard partition: the link is severed, nothing gets across.
+    link->messages_dropped.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
   if (config.drop_probability > 0.0) {
     bool drop;
     {
@@ -163,11 +223,33 @@ Status NetworkFabric::Send(Message msg) {
     return Status::OK();
   }
 
-  if (config.latency_nanos > 0) {
-    std::lock_guard<std::mutex> lock(delay_mu_);
+  // The delayed path is taken while the link has latency OR any delayed
+  // message is still in flight anywhere: a message sent right after a
+  // latency drop to 0 must not overtake an earlier, still-delayed message
+  // on the same link.
+  if (config.latency_nanos > 0 ||
+      delayed_in_flight_.load(std::memory_order_acquire) > 0) {
+    const std::pair<NodeId, NodeId> key{msg.src, msg.dst};
+    std::unique_lock<std::mutex> lock(delay_mu_);
     if (shutting_down_) return Status::Cancelled("fabric shut down");
-    delayed_.push(DelayedDelivery{clock_->NowNanos() + config.latency_nanos,
-                                  delay_seq_++, std::move(msg)});
+    const TimeNanos now = clock_->NowNanos();
+    TimeNanos deliver_at = now + config.latency_nanos;
+    auto horizon = link_horizon_.find(key);
+    if (horizon != link_horizon_.end() && horizon->second > deliver_at) {
+      deliver_at = horizon->second;  // FIFO: never pass a predecessor.
+    }
+    if (deliver_at <= now && delayed_.empty()) {
+      // No predecessor pending on this link and no delay requested:
+      // deliver inline without touching the delivery thread.
+      lock.unlock();
+      Deliver(std::move(msg));
+      return Status::OK();
+    }
+    link_horizon_[key] = deliver_at;
+    delayed_.push(DelayedDelivery{deliver_at, delay_seq_++, std::move(msg)});
+    delayed_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    lock.unlock();
+    EnsureDeliveryThread();
     delay_cv_.notify_one();
     return Status::OK();
   }
@@ -294,6 +376,7 @@ void NetworkFabric::DeliveryLoop() {
     }
     Message msg = std::move(const_cast<DelayedDelivery&>(delayed_.top()).msg);
     delayed_.pop();
+    delayed_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     lock.unlock();
     Deliver(std::move(msg));
     lock.lock();

@@ -88,16 +88,41 @@ class NetworkFabric {
   std::string node_name(NodeId id) const;
 
   /// \brief Configures the directed link `src -> dst`. Unconfigured links
-  /// behave as zero-latency, lossless.
+  /// behave as zero-latency, lossless. Safe to call while traffic is
+  /// flowing (runtime-mutable shaping): per-link FIFO order is preserved
+  /// across latency changes — a message sent after a latency reduction is
+  /// never delivered before an earlier, still-delayed message on the same
+  /// link.
   Status SetLinkConfig(NodeId src, NodeId dst, const LinkConfig& config);
+
+  /// \brief Current configuration of `src -> dst`; the default (lossless,
+  /// zero-latency) config for links never configured.
+  Result<LinkConfig> GetLinkConfig(NodeId src, NodeId dst) const;
+
+  /// \brief Sets only the `blocked` flag of `src -> dst`, preserving the
+  /// link's latency and drop probability (partition / heal).
+  Status SetLinkBlocked(NodeId src, NodeId dst, bool blocked);
+
+  /// \brief Blocks or unblocks every link between `node` and all other
+  /// registered nodes, both directions (network partition isolating one
+  /// host).
+  Status PartitionNode(NodeId node, bool partitioned);
 
   /// \brief Configures a node's egress shaping. Replaces any previous cap.
   Status SetNodeNetConfig(NodeId node, const NodeNetConfig& config);
 
   /// \brief Marks a node as crashed (true) or recovered (false). Messages
   /// to or from a down node are silently dropped, as with a dead host.
+  /// On the down -> up transition the node's mailbox is purged — a
+  /// rebooted host has lost its pre-crash receive buffers, so stale
+  /// messages must not replay into the restarted actor — and the node's
+  /// incarnation counter is bumped.
   Status SetNodeDown(NodeId node, bool down);
   bool IsNodeDown(NodeId node) const;
+
+  /// \brief Number of completed down -> up transitions of a node (0 for a
+  /// never-crashed node; 0 for unknown ids).
+  uint64_t node_incarnation(NodeId node) const;
 
   /// \brief Routes one message. Blocks while the sender's egress cap is
   /// exceeded. Returns InvalidArgument for unknown endpoints; delivery to a
@@ -144,6 +169,7 @@ class NetworkFabric {
     std::unique_ptr<Mailbox> mailbox;
     std::unique_ptr<TokenBucket> egress_bucket;  // null = unlimited
     std::atomic<bool> down{false};
+    std::atomic<uint64_t> incarnation{0};
     std::atomic<uint64_t> messages_sent{0};
     std::atomic<uint64_t> bytes_sent{0};
     std::atomic<uint64_t> messages_received{0};
@@ -197,6 +223,16 @@ class NetworkFabric {
   bool delivery_thread_running_ = false;
   bool shutting_down_ = false;
   uint64_t delay_seq_ = 0;
+
+  // Messages currently sitting in `delayed_`; lets the zero-latency fast
+  // path skip `delay_mu_` entirely while no delayed traffic exists.
+  std::atomic<size_t> delayed_in_flight_{0};
+
+  // Per-link delivery horizon: the latest `deliver_at` scheduled on each
+  // link. A later message on the same link is never scheduled before it,
+  // which preserves per-link FIFO order across runtime latency changes
+  // (guarded by delay_mu_).
+  std::map<std::pair<NodeId, NodeId>, TimeNanos> link_horizon_;
 };
 
 }  // namespace deco

@@ -24,6 +24,8 @@ const char* MessageTypeToString(MessageType type) {
       return "start-window";
     case MessageType::kShutdown:
       return "shutdown";
+    case MessageType::kRejoin:
+      return "rejoin";
   }
   return "unknown";
 }

@@ -52,6 +52,12 @@ enum class MessageType : uint8_t {
 
   /// Clean end-of-stream marker.
   kShutdown = 9,
+
+  /// Local → root: a restarted local announces itself and asks to be
+  /// re-admitted into the topology (rejoin protocol, DESIGN.md §6).
+  /// Payload: `RateReport` with the node's current rate and cumulative
+  /// stream position.
+  kRejoin = 10,
 };
 
 /// \brief Returns a short name for logging ("event-batch", ...).

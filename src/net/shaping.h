@@ -13,7 +13,9 @@
 
 namespace deco {
 
-/// \brief Per-link properties.
+/// \brief Per-link properties. All fields are runtime-mutable: the chaos
+/// controller rewrites them mid-run (drop bursts, latency spikes,
+/// partitions) via `NetworkFabric::SetLinkConfig` and friends.
 struct LinkConfig {
   /// One-way propagation delay added to every message, in nanoseconds.
   TimeNanos latency_nanos = 0;
@@ -22,6 +24,11 @@ struct LinkConfig {
   /// injection, paper §4.3.4). Bytes of dropped messages still count as
   /// sent (they left the NIC).
   double drop_probability = 0.0;
+
+  /// Hard partition: every message on the link is dropped. Kept separate
+  /// from `drop_probability` so healing a partition restores the link's
+  /// previous loss characteristics untouched.
+  bool blocked = false;
 };
 
 /// \brief Per-node egress properties.

@@ -1,8 +1,25 @@
 #include "node/actor.h"
 
+#include <chrono>
+
 #include "common/logging.h"
 
 namespace deco {
+
+Status Actor::SendRetryingCrash(Message msg) {
+  while (true) {
+    Message attempt = msg;  // keep the original for a possible retry
+    Status status = Send(std::move(attempt));
+    if (!status.IsNodeFailed()) return status;
+    // Crashed by the chaos controller: a dead host does not observe its
+    // own failed sends. Wait out the downtime, then resend.
+    while (fabric_->IsNodeDown(id_)) {
+      if (stop_requested()) return Status::OK();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    if (stop_requested()) return Status::OK();
+  }
+}
 
 void Actor::Start() {
   thread_ = std::thread([this] {

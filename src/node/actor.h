@@ -60,6 +60,13 @@ class Actor {
     return fabric_->Send(std::move(msg));
   }
 
+  /// \brief `Send` that survives a chaos crash of this node: on NodeFailed
+  /// (the fabric marked this node down) the actor pauses until it is
+  /// revived, then resends a copy — the receiver never saw the failed
+  /// attempt. Used by the baseline locals, which have no protocol-level
+  /// rejoin; returns OK if the run stops while the node is down.
+  Status SendRetryingCrash(Message msg);
+
   /// \brief Blocking receive; empty once the mailbox is closed and drained.
   std::optional<Message> Receive() { return fabric_->mailbox(id_)->Pop(); }
 

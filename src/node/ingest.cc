@@ -21,7 +21,15 @@ size_t IngestSource::Pull(size_t n, EventVec* out,
     *create_wall_nanos = clock_->NowNanos();
     return 0;
   }
-  if (throttle_ != nullptr) throttle_->AcquireBlocking(take);
+  if (throttle_ != nullptr) {
+    // A surge multiplier > 1 means the device is asked for more events per
+    // wall second, i.e. each event costs proportionally fewer throttle
+    // tokens.
+    const double mult = multiplier();
+    const auto cost = static_cast<uint64_t>(
+        std::max(1.0, static_cast<double>(take) / std::max(mult, 1e-9)));
+    throttle_->AcquireBlocking(cost);
+  }
   *create_wall_nanos = clock_->NowNanos();
   streams_.NextBatch(take, out);
   produced_ += take;

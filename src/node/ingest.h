@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 
 #include "common/clock.h"
@@ -28,6 +29,13 @@ struct IngestConfig {
 
   /// Processing cap in events/second; 0 = unthrottled (Xeon-class node).
   uint64_t cpu_events_per_sec = 0;
+
+  /// Live multiplier on the node's event rate, written by the chaos
+  /// controller (`surge` faults) and read by the throttle and the rate
+  /// report. Null means a fixed 1.0. The multiplier scales the *reported*
+  /// rate and the CPU throttle but not the event content, so a surged run
+  /// still compares exactly against fault-free ground truth.
+  std::shared_ptr<const std::atomic<double>> rate_multiplier;
 };
 
 /// \brief Budgeted, throttled, merged event source of a local node.
@@ -45,8 +53,9 @@ class IngestSource {
   /// \brief True once the event budget has been fully produced.
   bool exhausted() const { return produced_ >= config_.events_to_produce; }
 
-  /// \brief Measured total event rate of the node's sensors, events/sec.
-  double TotalRate() const { return streams_.TotalRate(); }
+  /// \brief Measured total event rate of the node's sensors, events/sec,
+  /// scaled by the live chaos rate multiplier.
+  double TotalRate() const { return streams_.TotalRate() * multiplier(); }
 
   /// \brief Cumulative events produced (the node's stream position).
   uint64_t position() const { return produced_; }
@@ -54,6 +63,12 @@ class IngestSource {
   const IngestConfig& config() const { return config_; }
 
  private:
+  double multiplier() const {
+    return config_.rate_multiplier == nullptr
+               ? 1.0
+               : config_.rate_multiplier->load(std::memory_order_acquire);
+  }
+
   IngestConfig config_;
   Clock* clock_;
   StreamSet streams_;

@@ -96,6 +96,17 @@ struct CorrectionRequest {
   /// When 0: send the full retained raw region of the current window.
   /// When > 0: top-up — send this many further events from the stream.
   uint64_t topup_events = 0;
+
+  /// The root's verified watermark as a total-order key, mirroring
+  /// `WindowAssignment`. A rejoining local drops retained events at or
+  /// before it before responding: the root already emitted windows covering
+  /// them using the node's pre-crash contributions, so resending would
+  /// double-count (rejoin protocol, DESIGN.md §6). `INT64_MIN` (the
+  /// default) keeps every retained event — the behaviour healthy locals
+  /// relied on before rejoin existed.
+  EventTime wm_ts = INT64_MIN;
+  StreamId wm_stream = 0;
+  EventId wm_id = 0;
 };
 
 void EncodeCorrectionRequest(const CorrectionRequest& request,

@@ -239,6 +239,118 @@ TEST_F(FabricTest, LatencyPreservesPerLinkOrder) {
   }
 }
 
+TEST_F(FabricTest, FifoPreservedAcrossRuntimeLatencyChange) {
+  // Regression for runtime-mutable shaping: a message in flight on a slow
+  // link must not be overtaken by one sent after the latency was lowered
+  // (a chaos `lag` restore would otherwise reorder a FIFO link).
+  LinkConfig link;
+  link.latency_nanos = 30 * kNanosPerMilli;
+  ASSERT_TRUE(fabric_.SetLinkConfig(a_, b_, link).ok());
+  Message slow = MakeMessage(a_, b_, MessageType::kEventBatch, 4);
+  slow.window_index = 1;
+  ASSERT_TRUE(fabric_.Send(std::move(slow)).ok());
+
+  link.latency_nanos = 0;
+  ASSERT_TRUE(fabric_.SetLinkConfig(a_, b_, link).ok());
+  Message fast = MakeMessage(a_, b_, MessageType::kEventBatch, 4);
+  fast.window_index = 2;
+  ASSERT_TRUE(fabric_.Send(std::move(fast)).ok());
+
+  auto first =
+      fabric_.mailbox(b_)->PopWithTimeout(std::chrono::milliseconds(500));
+  auto second =
+      fabric_.mailbox(b_)->PopWithTimeout(std::chrono::milliseconds(500));
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->window_index, 1u);
+  EXPECT_EQ(second->window_index, 2u);
+}
+
+TEST_F(FabricTest, BlockedLinkDropsUntilUnblocked) {
+  ASSERT_TRUE(fabric_.SetLinkBlocked(a_, b_, true).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        fabric_.Send(MakeMessage(a_, b_, MessageType::kEventBatch, 8)).ok());
+  }
+  EXPECT_EQ(fabric_.mailbox(b_)->size(), 0u);
+  EXPECT_EQ(fabric_.link_stats(a_, b_).messages_dropped, 5u);
+  // The reverse direction is unaffected.
+  ASSERT_TRUE(
+      fabric_.Send(MakeMessage(b_, a_, MessageType::kEventBatch, 8)).ok());
+  EXPECT_EQ(fabric_.mailbox(a_)->size(), 1u);
+  // SetLinkBlocked must preserve the link's other shaping fields.
+  auto config = fabric_.GetLinkConfig(a_, b_);
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(config->blocked);
+  EXPECT_DOUBLE_EQ(config->drop_probability, 0.0);
+
+  ASSERT_TRUE(fabric_.SetLinkBlocked(a_, b_, false).ok());
+  ASSERT_TRUE(
+      fabric_.Send(MakeMessage(a_, b_, MessageType::kEventBatch, 8)).ok());
+  EXPECT_EQ(fabric_.mailbox(b_)->size(), 1u);
+}
+
+TEST_F(FabricTest, PartitionNodeBlocksBothDirections) {
+  ASSERT_TRUE(fabric_.PartitionNode(b_, true).ok());
+  ASSERT_TRUE(
+      fabric_.Send(MakeMessage(a_, b_, MessageType::kEventBatch, 8)).ok());
+  ASSERT_TRUE(
+      fabric_.Send(MakeMessage(b_, a_, MessageType::kEventBatch, 8)).ok());
+  EXPECT_EQ(fabric_.mailbox(b_)->size(), 0u);
+  EXPECT_EQ(fabric_.mailbox(a_)->size(), 0u);
+
+  ASSERT_TRUE(fabric_.PartitionNode(b_, false).ok());
+  ASSERT_TRUE(
+      fabric_.Send(MakeMessage(a_, b_, MessageType::kEventBatch, 8)).ok());
+  ASSERT_TRUE(
+      fabric_.Send(MakeMessage(b_, a_, MessageType::kEventBatch, 8)).ok());
+  EXPECT_EQ(fabric_.mailbox(b_)->size(), 1u);
+  EXPECT_EQ(fabric_.mailbox(a_)->size(), 1u);
+}
+
+TEST_F(FabricTest, RevivePurgesStaleMailboxAndBumpsIncarnation) {
+  // Regression: a revived node must not replay messages that were queued
+  // before its crash — a rebooted host has lost its receive buffers.
+  ASSERT_TRUE(
+      fabric_.Send(MakeMessage(a_, b_, MessageType::kEventBatch, 8)).ok());
+  ASSERT_EQ(fabric_.queue_depth(b_), 1u);
+  EXPECT_EQ(fabric_.node_incarnation(b_), 0u);
+
+  ASSERT_TRUE(fabric_.SetNodeDown(b_, true).ok());
+  // The stale message stays queued while the node is down (nobody reads),
+  // and is swept exactly at revive time.
+  EXPECT_EQ(fabric_.queue_depth(b_), 1u);
+  ASSERT_TRUE(fabric_.SetNodeDown(b_, false).ok());
+  EXPECT_EQ(fabric_.queue_depth(b_), 0u);
+  EXPECT_EQ(fabric_.node_incarnation(b_), 1u);
+
+  // Post-revive traffic flows normally.
+  ASSERT_TRUE(
+      fabric_.Send(MakeMessage(a_, b_, MessageType::kEventBatch, 8)).ok());
+  auto msg = fabric_.mailbox(b_)->TryPop();
+  ASSERT_TRUE(msg.has_value());
+}
+
+TEST_F(FabricTest, LinkCountersSurviveCrashAndRestart) {
+  ASSERT_TRUE(
+      fabric_.Send(MakeMessage(a_, b_, MessageType::kEventBatch, 8)).ok());
+  const LinkStats before = fabric_.link_stats(a_, b_);
+  ASSERT_EQ(before.messages_sent, 1u);
+
+  ASSERT_TRUE(fabric_.SetNodeDown(b_, true).ok());
+  // Traffic to a down node counts as dropped on the link.
+  ASSERT_TRUE(
+      fabric_.Send(MakeMessage(a_, b_, MessageType::kEventBatch, 8)).ok());
+  ASSERT_TRUE(fabric_.SetNodeDown(b_, false).ok());
+  ASSERT_TRUE(
+      fabric_.Send(MakeMessage(a_, b_, MessageType::kEventBatch, 8)).ok());
+
+  const LinkStats after = fabric_.link_stats(a_, b_);
+  EXPECT_EQ(after.messages_sent, 3u);
+  EXPECT_EQ(after.messages_dropped, before.messages_dropped + 1);
+  EXPECT_GT(after.bytes_sent, before.bytes_sent);
+}
+
 TEST_F(FabricTest, EgressCapThrottlesSender) {
   NodeNetConfig net;
   net.egress_bytes_per_sec = 50'000;

@@ -76,12 +76,20 @@ TEST(ProtocolTest, CorrectionRequestRoundTrip) {
   CorrectionRequest request;
   request.window_index = 8;
   request.topup_events = 4096;
+  // The root's watermark rides along so a rejoining local can discard
+  // retained events at or below it (already covered by emitted windows).
+  request.wm_ts = 123456789;
+  request.wm_stream = 7;
+  request.wm_id = 42;
   BinaryWriter writer;
   EncodeCorrectionRequest(request, &writer);
   BinaryReader reader(writer.buffer());
   const CorrectionRequest decoded = DecodeCorrectionRequest(&reader).value();
   EXPECT_EQ(decoded.window_index, 8u);
   EXPECT_EQ(decoded.topup_events, 4096u);
+  EXPECT_EQ(decoded.wm_ts, 123456789);
+  EXPECT_EQ(decoded.wm_stream, 7u);
+  EXPECT_EQ(decoded.wm_id, 42u);
 }
 
 TEST(ProtocolTest, CorrectionResponseRoundTrip) {

@@ -40,6 +40,14 @@ void PrintUsage() {
       "  --cpu=<n>           per-node CPU cap, events/s (0 = off)\n"
       "  --nic=<n>           per-node egress cap, bytes/s (0 = off)\n"
       "  --latency=<ms>      one-way link latency (default 0)\n"
+      "  --drop=<p>          per-message drop probability on every\n"
+      "                      root<->local link (default 0)\n"
+      "  --chaos=<spec>      scheduled fault injection, e.g.\n"
+      "                      crash:local-1@300ms,restart:local-1@800ms\n"
+      "                      kinds: crash|restart|drop|lag|part|surge,\n"
+      "                      optional +<duration> and =<value>\n"
+      "  --timeout=<ms>      root failure-detection timeout; required for\n"
+      "                      crash chaos against a Deco scheme (default 0)\n"
       "  --seed=<n>          PRNG seed (default 42)\n"
       "  --telemetry_out=<f>      write run telemetry (sampler time series +\n"
       "                           window-lifecycle spans) as JSON to <f>\n"
@@ -94,7 +102,18 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(flags.GetInt("nic", 0));
   config.link_latency_nanos = static_cast<TimeNanos>(
       flags.GetDouble("latency", 0.0) * kNanosPerMilli);
+  config.drop_probability = flags.GetDouble("drop", 0.0);
+  config.root_options.node_timeout_nanos = static_cast<TimeNanos>(
+      flags.GetDouble("timeout", 0.0) * kNanosPerMilli);
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  std::vector<ChaosAuditEntry> audit;
+  if (flags.Has("chaos")) {
+    auto schedule = ChaosSchedule::Parse(flags.GetString("chaos", ""));
+    if (!schedule.ok()) return Fail(schedule.status());
+    config.chaos.schedule = *schedule;
+    config.chaos.audit = &audit;
+  }
 
   config.telemetry.json_out = flags.GetString("telemetry_out", "");
   config.telemetry.csv_prefix = flags.GetString("telemetry_csv", "");
@@ -107,6 +126,20 @@ int main(int argc, char** argv) {
   if (!result.ok()) return Fail(result.status());
   const RunReport& report = *result;
   std::printf("%s\n", report.Summary().c_str());
+
+  if (!audit.empty()) {
+    std::printf("chaos audit (%zu actions fired):\n", audit.size());
+    for (const ChaosAuditEntry& entry : audit) {
+      std::printf("  %s\n", entry.Describe().c_str());
+    }
+  }
+  for (const MembershipEvent& event : report.membership) {
+    std::printf("membership: local-%zu %s at +%.1fms\n", event.node,
+                event.rejoined ? "rejoined" : "removed",
+                static_cast<double>(event.at_nanos -
+                                    report.start_wall_nanos) /
+                    1e6);
+  }
 
   if (flags.GetBool("verbose", false)) {
     for (const GlobalWindowRecord& w : report.windows) {
