@@ -1,0 +1,110 @@
+// Per-window latency attribution, side by side for every scheme: runs each
+// approach with the causal trace sink enabled, joins the message hop
+// records with the window-lifecycle spans (src/obs/critical_path.h) and
+// prints where each scheme's emit latency goes — local aggregation,
+// egress shaping, link latency, mailbox queueing, root merge, and (for
+// Deco) correction round-trips. The decomposition telescopes along the
+// critical path, so the components of every attributed window sum exactly
+// to its end-to-end latency; the binary verifies that invariant (within
+// 1%, the acceptance bound) and exits non-zero on violation.
+//
+//   latency_breakdown [--scale=<f>] [--schemes=a,b,c] [--locals=<n>]
+//                     [--latency=<ms>]
+
+#include <cmath>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "obs/critical_path.h"
+
+using namespace deco;
+
+namespace {
+
+// Checks the telescoping invariant: component sums must match each
+// attributed window's end-to-end latency within `tolerance` (relative).
+bool VerifySums(const LatencyAttribution& attribution, double tolerance,
+                const char* scheme) {
+  bool ok = true;
+  for (const WindowAttribution& w : attribution.windows) {
+    const LatencyComponents& c = w.components;
+    const double sum = static_cast<double>(
+        c.local_compute_nanos + c.correction_nanos + c.shaping_nanos +
+        c.link_nanos + c.queue_nanos + c.root_merge_nanos);
+    const double total = static_cast<double>(c.total_nanos);
+    const double bound = tolerance * std::max(total, 1.0);
+    if (std::abs(sum - total) > bound) {
+      std::printf("%-14s FAIL window %llu: components sum to %.0f ns but "
+                  "total is %.0f ns\n",
+                  scheme, static_cast<unsigned long long>(w.window_index),
+                  sum, total);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const uint64_t window = bench::Scaled(flags, 100'000);
+  const uint64_t events = bench::Scaled(flags, 1'000'000);
+  const size_t locals = static_cast<size_t>(flags.GetInt("locals", 4));
+  const double latency_ms = flags.GetDouble("latency", 1.0);
+
+  std::printf("Latency breakdown: %zu local nodes, window=%llu, "
+              "events/node=%llu, link latency=%.1fms\n",
+              locals, static_cast<unsigned long long>(window),
+              static_cast<unsigned long long>(events), latency_ms);
+
+  bool all_ok = true;
+  for (Scheme scheme : bench::ParseSchemes(
+           flags, {Scheme::kCentral, Scheme::kScotty, Scheme::kDisco,
+                   Scheme::kApprox, Scheme::kDecoMon, Scheme::kDecoSync,
+                   Scheme::kDecoAsync})) {
+    ExperimentConfig config;
+    config.scheme = scheme;
+    config.query.window = WindowSpec::CountTumbling(window);
+    config.query.aggregate = AggregateKind::kSum;
+    config.num_locals = locals;
+    config.streams_per_local = 4;
+    // Disco's text path is ~10x slower; keep its run time comparable.
+    config.events_per_local =
+        scheme == Scheme::kDisco ? events / 4 : events;
+    config.base_rate = 1e6;
+    config.rate_change = 0.01;
+    config.batch_size = 8192;
+    config.link_latency_nanos =
+        static_cast<TimeNanos>(latency_ms * kNanosPerMilli);
+    config.seed = 42;
+
+    TelemetryLog log;
+    config.telemetry.enabled = true;
+    config.telemetry.sink = &log;
+
+    auto result = RunExperiment(config);
+    if (!result.ok()) {
+      std::printf("%-14s ERROR: %s\n", SchemeToString(scheme),
+                  result.status().ToString().c_str());
+      all_ok = false;
+      continue;
+    }
+
+    const LatencyAttribution attribution = AttributeWindowLatency(log);
+    std::printf("\n=== %s ===\n", SchemeToString(scheme));
+    std::printf("%s", FormatLatencyBreakdown(attribution).c_str());
+    if (!VerifySums(attribution, 0.01, SchemeToString(scheme))) {
+      all_ok = false;
+    }
+    std::fflush(stdout);
+  }
+
+  if (!all_ok) {
+    std::printf("\nFAIL: latency components did not telescope\n");
+    return 1;
+  }
+  std::printf("\nOK: all attributed windows sum to their end-to-end "
+              "latency (within 1%%)\n");
+  return 0;
+}

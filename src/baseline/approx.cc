@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "node/apportion.h"
+#include "obs/metric_registry.h"
+#include "obs/trace.h"
 
 namespace deco {
 
@@ -55,6 +57,8 @@ Status ApproxLocalNode::Run() {
   EventVec batch;
   while (!stop_requested() && !source.exhausted()) {
     // One fixed-size local window: aggregate `local_window` events.
+    DECO_TRACE_SPAN(id_, TracePhase::kWindowOpen, window_index,
+                    static_cast<int64_t>(local_window));
     Partial partial = func->CreatePartial();
     SliceSummary summary;
     double create_mean = 0.0;
@@ -143,6 +147,7 @@ Status ApproxRoot::Run() {
       continue;
     }
     if (msg->type != MessageType::kPartialResult) continue;
+    causal_msg_id_ = MessageCausalId(*msg);
     DECO_RETURN_NOT_OK(HandlePartial(*msg));
     TryEmitWindows();
   }
@@ -226,6 +231,14 @@ void ApproxRoot::TryEmitWindows() {
     report_->consumption.AddWindow(counts);
     report_->events_processed += events;
     ++report_->windows_emitted;
+    static Counter* windows_counter =
+        MetricRegistry::Global()->counter("root.windows_emitted");
+    static Counter* events_counter =
+        MetricRegistry::Global()->counter("root.events_emitted");
+    windows_counter->Increment();
+    events_counter->Add(static_cast<int64_t>(events));
+    DECO_TRACE_SPAN_MSG(id_, TracePhase::kEmit, record.window_index,
+                        static_cast<int64_t>(events), causal_msg_id_);
     pending_.erase(it);
     ++next_window_;
   }

@@ -69,6 +69,8 @@ class ApproxRoot final : public Actor {
   std::map<uint64_t, PendingWindow> pending_;
   uint64_t next_window_ = 0;
   size_t eos_count_ = 0;
+  // Causal id of the partial being processed; emit spans carry it.
+  uint64_t causal_msg_id_ = 0;
 };
 
 }  // namespace deco

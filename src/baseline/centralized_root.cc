@@ -53,6 +53,7 @@ Status CentralizedRoot::RunPipelined() {
     EventVec events;
     bool eos = false;
     double create_nanos = 0.0;
+    uint64_t msg_id = 0;  // causal id, carried across the decode thread
   };
   BlockingQueue<Decoded> decoded;
 
@@ -71,6 +72,7 @@ Status CentralizedRoot::RunPipelined() {
       d.events = std::move(batch->events);
       d.eos = batch->end_of_stream;
       d.create_nanos = msg->lat_mean_create_nanos;
+      d.msg_id = MessageCausalId(*msg);
       if (!decoded.Push(std::move(d))) break;
     }
     decoded.Close();
@@ -80,6 +82,7 @@ Status CentralizedRoot::RunPipelined() {
   while (!stop_requested()) {
     std::optional<Decoded> d = decoded.Pop();
     if (!d.has_value()) break;
+    causal_msg_id_ = d->msg_id;
     merger_.Append(d->ordinal, std::move(d->events), d->create_nanos);
     if (d->eos) {
       ++eos_count_;
@@ -97,6 +100,7 @@ Status CentralizedRoot::RunPipelined() {
 }
 
 Status CentralizedRoot::HandleBatch(const Message& msg) {
+  causal_msg_id_ = MessageCausalId(msg);
   EventBatchPayload batch;
   if (mode_ == CentralizedMode::kDisco) {
     DECO_ASSIGN_OR_RETURN(batch, DecodeEventBatchText(msg.payload));
@@ -192,8 +196,8 @@ void CentralizedRoot::EmitWindow(double value, uint64_t event_count,
       MetricRegistry::Global()->counter("root.events_emitted");
   windows_counter->Increment();
   events_counter->Add(static_cast<int64_t>(event_count));
-  DECO_TRACE_SPAN(id_, TracePhase::kEmit, record.window_index,
-                  static_cast<int64_t>(event_count));
+  DECO_TRACE_SPAN_MSG(id_, TracePhase::kEmit, record.window_index,
+                      static_cast<int64_t>(event_count), causal_msg_id_);
 }
 
 }  // namespace deco

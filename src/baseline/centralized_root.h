@@ -86,6 +86,9 @@ class CentralizedRoot final : public Actor {
   uint64_t open_events_ = 0;
   std::vector<uint64_t> node_counts_;
   size_t eos_count_ = 0;
+  // Causal id of the batch being processed; emit spans carry it so the
+  // critical-path analyzer can identify the hop that closed the window.
+  uint64_t causal_msg_id_ = 0;
 };
 
 }  // namespace deco

@@ -206,6 +206,10 @@ class WindowAssembler {
   /// owning root node). Defaults to node 0, the harness's root id.
   void set_trace_node(NodeId node) { trace_node_ = node; }
 
+  /// \brief Causal id of the message the owning root is currently
+  /// processing; assemble spans carry it (critical-path join key).
+  void set_causal_msg_id(uint64_t msg_id) { causal_msg_id_ = msg_id; }
+
   /// \brief Signed carryover of `node` after the last assembled window:
   /// positive = unselected end events held at the root; negative = the cut
   /// extended into the next window's front buffer by that many events.
@@ -238,6 +242,7 @@ class WindowAssembler {
   uint64_t next_window_ = 0;
   bool expect_front_ = false;
   NodeId trace_node_ = 0;
+  uint64_t causal_msg_id_ = 0;
 
   std::vector<std::deque<TimedEvent>> leftover_;
   std::vector<int64_t> carry_;

@@ -174,9 +174,10 @@ Status DecoLocalNode::SendRateReport(uint64_t w) {
 }
 
 Status DecoLocalNode::ProduceWindow(uint64_t w, const SlicePlan& plan) {
-  DECO_TRACE_SPAN(id_, TracePhase::kWindowOpen, w,
-                  static_cast<int64_t>(plan.front_buffer + plan.slice +
-                                       plan.end_buffer));
+  DECO_TRACE_SPAN_MSG(id_, TracePhase::kWindowOpen, w,
+                      static_cast<int64_t>(plan.front_buffer + plan.slice +
+                                           plan.end_buffer),
+                      assignment_msg_id_);
   LocalWindowsProducedCounter()->Increment();
   // Front buffer (async layout only; empty plans ship nothing).
   if (plan.front_buffer > 0) {
@@ -348,6 +349,7 @@ Status DecoLocalNode::HandleControl(const Message& msg) {
       pending_size_adjust_ += assignment.size_adjust;
       last_assignment_window_ = assignment.window_index;
       have_assignment_ = true;
+      assignment_msg_id_ = MessageCausalId(msg);
       return Status::OK();
     }
     case MessageType::kCorrectionRequest:
@@ -432,8 +434,9 @@ Status DecoLocalNode::HandleCorrectionRequest(const Message& msg) {
     }
   }
   response.end_of_stream = source_->exhausted();
-  DECO_TRACE_SPAN(id_, TracePhase::kCorrect, request.window_index,
-                  static_cast<int64_t>(response.events.size()));
+  DECO_TRACE_SPAN_MSG(id_, TracePhase::kCorrect, request.window_index,
+                      static_cast<int64_t>(response.events.size()),
+                      MessageCausalId(msg));
   LocalCorrectionRepliesCounter()->Increment();
   BinaryWriter writer;
   EncodeCorrectionResponse(response, &writer);

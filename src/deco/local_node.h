@@ -126,6 +126,9 @@ class DecoLocalNode final : public Actor {
   int64_t pending_size_adjust_ = 0;  // one-shot (async recentering)
   uint64_t last_assignment_window_ = 0;
   bool have_assignment_ = false;
+  // Causal id of the newest assignment message; window-open spans carry it
+  // so the critical-path analyzer can link planning to the root's send.
+  uint64_t assignment_msg_id_ = 0;
   uint64_t epoch_ = 0;
   // Set when an epoch bump (correction rollback) rewound the window
   // counter; consumed by the main loop.

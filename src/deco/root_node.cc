@@ -106,6 +106,8 @@ Status DecoRootNode::Run() {
 Status DecoRootNode::Dispatch(const Message& msg) {
   DECO_ASSIGN_OR_RETURN(size_t node, topology_.OrdinalOf(msg.src));
   last_heard_[node] = NowNanos();
+  causal_msg_id_ = MessageCausalId(msg);
+  assembler_->set_causal_msg_id(causal_msg_id_);
   switch (msg.type) {
     case MessageType::kEventRate: {
       BinaryReader reader(msg.payload);
@@ -119,8 +121,9 @@ Status DecoRootNode::Dispatch(const Message& msg) {
     }
     case MessageType::kPartialResult: {
       if (msg.epoch != epoch_) return Status::OK();  // stale after rollback
-      DECO_TRACE_SPAN(id_, TracePhase::kPartialReceived, msg.window_index,
-                      static_cast<int64_t>(node));
+      DECO_TRACE_SPAN_MSG(id_, TracePhase::kPartialReceived,
+                          msg.window_index, static_cast<int64_t>(node),
+                          MessageCausalId(msg));
       BinaryReader reader(msg.payload);
       DECO_ASSIGN_OR_RETURN(SliceSummary slice, DecodeSliceSummary(&reader));
       if (slice.event_rate > 0.0) latest_rates_[node] = slice.event_rate;
@@ -228,8 +231,8 @@ Status DecoRootNode::Progress() {
 Status DecoRootNode::StartCorrection() {
   DECO_LOG(DEBUG) << "root: correction for window "
                   << assembler_->next_window();
-  DECO_TRACE_SPAN(id_, TracePhase::kCorrect, assembler_->next_window(),
-                  static_cast<int64_t>(epoch_ + 1));
+  DECO_TRACE_SPAN_MSG(id_, TracePhase::kCorrect, assembler_->next_window(),
+                      static_cast<int64_t>(epoch_ + 1), causal_msg_id_);
   CorrectionsCounter()->Increment();
   ++report_->correction_steps;
   correction_window_ = assembler_->next_window();
@@ -309,8 +312,9 @@ Status DecoRootNode::EmitProtocolWindow(const WindowAssembly& assembly,
     ++report_->windows_emitted;
     WindowsEmittedCounter()->Increment();
     EventsEmittedCounter()->Add(static_cast<int64_t>(record.event_count));
-    DECO_TRACE_SPAN(id_, TracePhase::kEmit, record.window_index,
-                    static_cast<int64_t>(record.event_count));
+    DECO_TRACE_SPAN_MSG(id_, TracePhase::kEmit, record.window_index,
+                        static_cast<int64_t>(record.event_count),
+                        causal_msg_id_);
     return Status::OK();
   }
 
@@ -358,8 +362,9 @@ Status DecoRootNode::EmitProtocolWindow(const WindowAssembly& assembly,
   ++report_->windows_emitted;
   WindowsEmittedCounter()->Increment();
   EventsEmittedCounter()->Add(static_cast<int64_t>(record.event_count));
-  DECO_TRACE_SPAN(id_, TracePhase::kEmit, record.window_index,
-                  static_cast<int64_t>(record.event_count));
+  DECO_TRACE_SPAN_MSG(id_, TracePhase::kEmit, record.window_index,
+                      static_cast<int64_t>(record.event_count),
+                      causal_msg_id_);
   for (uint64_t i = 0; i < panes_per_slide && !panes_.empty(); ++i) {
     panes_.pop_front();
   }

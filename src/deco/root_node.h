@@ -138,6 +138,10 @@ class DecoRootNode final : public Actor {
 
   uint64_t epoch_ = 0;
   bool finished_ = false;
+  // Causal id of the message currently being processed (`Dispatch` sets
+  // it); emit/correct spans carry it so the critical-path analyzer can
+  // identify the exact hop that completed a window.
+  uint64_t causal_msg_id_ = 0;
   // True when the most recently finished window needed a correction: the
   // next assignment doubles as the rollback signal and must not be gated
   // on fresh rate reports (exhausted locals never send them — deadlock).

@@ -7,9 +7,11 @@
 #include "baseline/approx.h"
 #include "baseline/centralized_root.h"
 #include "baseline/forwarding_local.h"
+#include "common/logging.h"
 #include "node/runtime.h"
 #include "obs/export.h"
 #include "obs/metric_registry.h"
+#include "obs/perfetto_export.h"
 #include "obs/trace.h"
 
 namespace deco {
@@ -293,7 +295,8 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
   std::unique_ptr<Sampler> sampler;
   if (config.telemetry.enabled) {
     MetricRegistry::Global()->Reset();
-    trace_sink = std::make_unique<TraceSink>(clock);
+    trace_sink =
+        std::make_unique<TraceSink>(clock, config.telemetry.trace_capacity);
     TraceSink::Install(trace_sink.get());
     sampler = std::make_unique<Sampler>(
         clock, &fabric, MetricRegistry::Global(),
@@ -335,6 +338,15 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
     log.samples = sampler->Samples();
     log.spans = trace_sink->Drain();
     log.spans_dropped = trace_sink->dropped();
+    log.hops = trace_sink->DrainHops();
+    log.hops_dropped = trace_sink->hops_dropped();
+    if (log.spans_dropped > 0 || log.hops_dropped > 0) {
+      DECO_LOG(WARNING) << "telemetry truncated: " << log.spans_dropped
+                        << " spans and " << log.hops_dropped
+                        << " hop records dropped at the TraceSink capacity ("
+                        << config.telemetry.trace_capacity
+                        << "); raise --trace_capacity";
+    }
     if (!config.telemetry.json_out.empty()) {
       DECO_RETURN_NOT_OK(
           WriteTelemetryJson(config.telemetry.json_out, report, log));
@@ -344,6 +356,10 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
           config.telemetry.csv_prefix + ".samples.csv", log));
       DECO_RETURN_NOT_OK(WriteSpansCsv(
           config.telemetry.csv_prefix + ".spans.csv", log));
+    }
+    if (!config.telemetry.perfetto_out.empty()) {
+      DECO_RETURN_NOT_OK(
+          WritePerfettoTrace(config.telemetry.perfetto_out, log));
     }
     if (config.telemetry.sink != nullptr) {
       *config.telemetry.sink = std::move(log);

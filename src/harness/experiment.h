@@ -60,8 +60,18 @@ struct TelemetryOptions {
   /// `<prefix>.spans.csv`. Empty = no files.
   std::string csv_prefix;
 
-  /// If non-null, receives the collected samples and spans (caller-owned;
-  /// useful for tests and embedding without file I/O).
+  /// Chrome-trace-event/Perfetto JSON output path (deco_run
+  /// `--trace_out`); empty = no file. Load the result in
+  /// https://ui.perfetto.dev.
+  std::string perfetto_out;
+
+  /// `TraceSink` retained-event cap, applied separately to spans and hop
+  /// records (deco_run `--trace_capacity`); 0 = unbounded. Long runs that
+  /// log a truncation warning should raise this.
+  size_t trace_capacity = 1 << 20;
+
+  /// If non-null, receives the collected samples, spans and hops
+  /// (caller-owned; useful for tests and embedding without file I/O).
   TelemetryLog* sink = nullptr;
 };
 

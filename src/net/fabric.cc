@@ -6,6 +6,22 @@
 
 namespace deco {
 
+namespace {
+// Hop-stamping switch and the process-unique message-id source. Both live
+// here (not in the TraceSink) so the net layer stays free of an obs
+// dependency; `TraceSink::Install` toggles the switch.
+std::atomic<bool> g_hop_stamping{false};
+std::atomic<uint64_t> g_next_msg_id{1};  // 0 is reserved for "untraced"
+}  // namespace
+
+void SetHopStampingEnabled(bool enabled) {
+  g_hop_stamping.store(enabled, std::memory_order_release);
+}
+
+bool HopStampingEnabled() {
+  return g_hop_stamping.load(std::memory_order_acquire);
+}
+
 NetworkFabric::NetworkFabric(Clock* clock, uint64_t seed)
     : clock_(clock), rng_(seed) {}
 
@@ -168,6 +184,14 @@ Status NetworkFabric::Send(Message msg) {
     return Status::NodeFailed("sender is down");
   }
 
+#if DECO_TRACE_ENABLED
+  const bool stamp_hop = HopStampingEnabled();
+  if (stamp_hop) {
+    msg.hop.msg_id = g_next_msg_id.fetch_add(1, std::memory_order_relaxed);
+    msg.hop.enqueue_nanos = clock_->NowNanos();
+  }
+#endif
+
   // Egress shaping: block like a saturated NIC would.
   if (src_state->egress_bucket) {
     src_state->egress_bucket->AcquireBlocking(wire_size);
@@ -186,8 +210,24 @@ Status NetworkFabric::Send(Message msg) {
     }
   }
 
+#if DECO_TRACE_ENABLED
+  if (stamp_hop) {
+    // Everything between enqueue and here was sender-side blocking
+    // (egress token bucket and/or data-plane flow control).
+    msg.hop.shaping_delay_nanos =
+        clock_->NowNanos() - msg.hop.enqueue_nanos;
+  }
+#endif
+
   src_state->messages_sent.fetch_add(1, std::memory_order_relaxed);
   src_state->bytes_sent.fetch_add(wire_size, std::memory_order_relaxed);
+  const size_t type_index = static_cast<size_t>(msg.type);
+  if (type_index < kNumMessageTypes) {
+    src_state->messages_sent_by_type[type_index].fetch_add(
+        1, std::memory_order_relaxed);
+    src_state->bytes_sent_by_type[type_index].fetch_add(
+        wire_size, std::memory_order_relaxed);
+  }
 
   LinkState* link = GetOrCreateLink(msg.src, msg.dst);
   link->messages_sent.fetch_add(1, std::memory_order_relaxed);
@@ -267,6 +307,9 @@ void NetworkFabric::Deliver(Message msg) {
     dst_state = nodes_[msg.dst].get();
   }
   if (dst_state->down.load(std::memory_order_acquire)) return;
+#if DECO_TRACE_ENABLED
+  if (msg.hop.msg_id != 0) msg.hop.deliver_nanos = clock_->NowNanos();
+#endif
   dst_state->messages_received.fetch_add(1, std::memory_order_relaxed);
   dst_state->bytes_received.fetch_add(wire_size, std::memory_order_relaxed);
   dst_state->mailbox->Push(std::move(msg));
@@ -304,6 +347,12 @@ NodeTrafficStats NetworkFabric::node_stats(NodeId id) const {
   out.bytes_sent = n.bytes_sent.load(std::memory_order_relaxed);
   out.messages_received = n.messages_received.load(std::memory_order_relaxed);
   out.bytes_received = n.bytes_received.load(std::memory_order_relaxed);
+  for (size_t t = 0; t < kNumMessageTypes; ++t) {
+    out.messages_sent_by_type[t] =
+        n.messages_sent_by_type[t].load(std::memory_order_relaxed);
+    out.bytes_sent_by_type[t] =
+        n.bytes_sent_by_type[t].load(std::memory_order_relaxed);
+  }
   return out;
 }
 
@@ -321,6 +370,12 @@ NetworkStats NetworkFabric::Stats() const {
           n.messages_received.load(std::memory_order_relaxed);
       entry.bytes_received =
           n.bytes_received.load(std::memory_order_relaxed);
+      for (size_t t = 0; t < kNumMessageTypes; ++t) {
+        entry.messages_sent_by_type[t] =
+            n.messages_sent_by_type[t].load(std::memory_order_relaxed);
+        entry.bytes_sent_by_type[t] =
+            n.bytes_sent_by_type[t].load(std::memory_order_relaxed);
+      }
       stats.total_messages += entry.messages_sent;
       stats.total_bytes += entry.bytes_sent;
     }
@@ -343,6 +398,10 @@ void NetworkFabric::ResetStats() {
       n->bytes_sent.store(0, std::memory_order_relaxed);
       n->messages_received.store(0, std::memory_order_relaxed);
       n->bytes_received.store(0, std::memory_order_relaxed);
+      for (size_t t = 0; t < kNumMessageTypes; ++t) {
+        n->messages_sent_by_type[t].store(0, std::memory_order_relaxed);
+        n->bytes_sent_by_type[t].store(0, std::memory_order_relaxed);
+      }
     }
   }
   std::lock_guard<std::mutex> lock(links_mu_);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <map>
@@ -49,6 +50,11 @@ struct NodeTrafficStats {
   uint64_t bytes_sent = 0;
   uint64_t messages_received = 0;
   uint64_t bytes_received = 0;
+  /// Egress split by `MessageType` (indexed by the enum value): separates
+  /// up-flow (partials, corrections) from down-flow (assignments) cost
+  /// without tracing enabled.
+  std::array<uint64_t, kNumMessageTypes> messages_sent_by_type{};
+  std::array<uint64_t, kNumMessageTypes> bytes_sent_by_type{};
 };
 
 /// \brief Whole-network summary.
@@ -61,6 +67,15 @@ struct NetworkStats {
 
 /// \brief Mailbox type nodes receive from.
 using Mailbox = BlockingQueue<Message>;
+
+/// \brief Process-global switch for causal hop stamping (DESIGN.md §7).
+///
+/// Owned by the net layer so the fabric need not depend on the observability
+/// library; `TraceSink::Install` flips it. While enabled (and
+/// `DECO_TRACE_ENABLED` is compiled in), `NetworkFabric::Send` assigns each
+/// message a process-unique id and fills in its `MessageHop` timestamps.
+void SetHopStampingEnabled(bool enabled);
+bool HopStampingEnabled();
 
 /// \brief The in-process network.
 ///
@@ -174,6 +189,9 @@ class NetworkFabric {
     std::atomic<uint64_t> bytes_sent{0};
     std::atomic<uint64_t> messages_received{0};
     std::atomic<uint64_t> bytes_received{0};
+    std::array<std::atomic<uint64_t>, kNumMessageTypes>
+        messages_sent_by_type{};
+    std::array<std::atomic<uint64_t>, kNumMessageTypes> bytes_sent_by_type{};
   };
 
   struct LinkState {

@@ -60,8 +60,40 @@ enum class MessageType : uint8_t {
   kRejoin = 10,
 };
 
+/// Number of `MessageType` values; sizes per-type counter arrays.
+inline constexpr size_t kNumMessageTypes = 11;
+
 /// \brief Returns a short name for logging ("event-batch", ...).
 const char* MessageTypeToString(MessageType type);
+
+#ifndef DECO_TRACE_ENABLED
+#define DECO_TRACE_ENABLED 1
+#endif
+
+#if DECO_TRACE_ENABLED
+/// \brief Causal hop record carried by every message while tracing is
+/// compiled in (CMake option `DECO_TRACE=ON`, the default).
+///
+/// The fabric stamps the record as the message moves: `Send` assigns a
+/// process-unique id and the enqueue time, measures how long the sender
+/// blocked on egress shaping / flow control, and `Deliver` stamps the
+/// mailbox-arrival time. The *receiving* actor stamps the dequeue time and
+/// hands the finished record to the installed `TraceSink` — so node code
+/// stays untouched on the hot path. Like the latency side-channel, the hop
+/// record is excluded from wire-byte accounting: a real deployment would
+/// fold these ~12 bytes into the RPC framing or reconstruct them from
+/// per-host clocks.
+///
+/// All fields stay zero unless a sink is installed (`msg_id == 0` means
+/// "not traced").
+struct MessageHop {
+  uint64_t msg_id = 0;            ///< process-unique causal id; 0 = untraced
+  int64_t enqueue_nanos = 0;      ///< sender entered `Send`
+  int64_t deliver_nanos = 0;      ///< fabric pushed into the dst mailbox
+  int64_t dequeue_nanos = 0;      ///< receiver popped from its mailbox
+  int64_t shaping_delay_nanos = 0;///< sender blocked on egress cap/backpressure
+};
+#endif
 
 /// \brief Envelope carried by the fabric.
 struct Message {
@@ -89,6 +121,12 @@ struct Message {
   double lat_mean_create_nanos = 0.0;
   uint64_t lat_event_count = 0;
 
+#if DECO_TRACE_ENABLED
+  /// Causal tracing side-channel (DESIGN.md §7); zero unless a `TraceSink`
+  /// is installed. Compiled out entirely with `DECO_TRACE=OFF`.
+  MessageHop hop;
+#endif
+
   /// \brief Folds another covered-event set into the latency side-channel.
   void MergeLatencyMeta(double mean_create_nanos, uint64_t count) {
     if (count == 0) return;
@@ -107,5 +145,16 @@ struct Message {
   /// epoch (8) + payload length (4) — comparable to a compact RPC framing.
   static constexpr size_t kHeaderBytes = 29;
 };
+
+/// \brief The causal id of a message, or 0 when untraced / tracing is
+/// compiled out. Span sites use this so they need no `#if` of their own.
+inline uint64_t MessageCausalId(const Message& msg) {
+#if DECO_TRACE_ENABLED
+  return msg.hop.msg_id;
+#else
+  (void)msg;
+  return 0;
+#endif
+}
 
 }  // namespace deco

@@ -8,6 +8,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "net/fabric.h"
+#include "obs/trace.h"
 
 /// \file actor.h
 /// \brief Thread-per-node actor base class.
@@ -68,18 +69,41 @@ class Actor {
   Status SendRetryingCrash(Message msg);
 
   /// \brief Blocking receive; empty once the mailbox is closed and drained.
-  std::optional<Message> Receive() { return fabric_->mailbox(id_)->Pop(); }
+  std::optional<Message> Receive() {
+    std::optional<Message> msg = fabric_->mailbox(id_)->Pop();
+    FinishHop(msg);
+    return msg;
+  }
 
   /// \brief Receive with timeout; empty on timeout or closure.
   std::optional<Message> ReceiveWithTimeout(TimeNanos timeout_nanos) {
-    return fabric_->mailbox(id_)->PopWithTimeout(
+    std::optional<Message> msg = fabric_->mailbox(id_)->PopWithTimeout(
         std::chrono::nanoseconds(timeout_nanos));
+    FinishHop(msg);
+    return msg;
   }
 
   /// \brief Non-blocking receive.
   std::optional<Message> TryReceive() {
-    return fabric_->mailbox(id_)->TryPop();
+    std::optional<Message> msg = fabric_->mailbox(id_)->TryPop();
+    FinishHop(msg);
+    return msg;
   }
+
+  /// \brief Completes a stamped message's hop record at dequeue time and
+  /// hands it to the installed trace sink. Compiles to nothing with
+  /// `DECO_TRACE=OFF`; costs one relaxed load per receive otherwise.
+#if DECO_TRACE_ENABLED
+  void FinishHop(std::optional<Message>& msg) {
+    if (!msg.has_value() || msg->hop.msg_id == 0) return;
+    TraceSink* sink = TraceSink::Active();
+    if (sink == nullptr) return;
+    msg->hop.dequeue_nanos = clock_->NowNanos();
+    sink->RecordHop(*msg);
+  }
+#else
+  void FinishHop(std::optional<Message>&) {}
+#endif
 
   bool stop_requested() const {
     return stop_.load(std::memory_order_acquire);

@@ -1,0 +1,208 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+namespace deco {
+
+LatencyComponents& LatencyComponents::operator+=(
+    const LatencyComponents& other) {
+  local_compute_nanos += other.local_compute_nanos;
+  correction_nanos += other.correction_nanos;
+  shaping_nanos += other.shaping_nanos;
+  link_nanos += other.link_nanos;
+  queue_nanos += other.queue_nanos;
+  root_merge_nanos += other.root_merge_nanos;
+  total_nanos += other.total_nanos;
+  return *this;
+}
+
+namespace {
+
+// Hops a receiving node saw, sorted by dequeue time (for the heuristic
+// latest-arrival lookup when an emit span carries no causal id).
+struct InboundHops {
+  std::vector<const HopRecord*> by_dequeue;
+};
+
+const HopRecord* LatestHopBefore(const InboundHops& inbound,
+                                 TimeNanos deadline) {
+  // Largest dequeue_nanos <= deadline.
+  auto it = std::upper_bound(
+      inbound.by_dequeue.begin(), inbound.by_dequeue.end(), deadline,
+      [](TimeNanos t, const HopRecord* h) { return t < h->dequeue_nanos; });
+  if (it == inbound.by_dequeue.begin()) return nullptr;
+  return *std::prev(it);
+}
+
+}  // namespace
+
+LatencyAttribution AttributeWindowLatency(const TelemetryLog& log) {
+  LatencyAttribution out;
+
+  std::unordered_map<uint64_t, const HopRecord*> hop_by_id;
+  hop_by_id.reserve(log.hops.size());
+  std::unordered_map<NodeId, InboundHops> inbound;
+  for (const HopRecord& hop : log.hops) {
+    hop_by_id.emplace(hop.msg_id, &hop);
+    inbound[hop.dst].by_dequeue.push_back(&hop);
+  }
+  for (auto& [node, hops] : inbound) {
+    std::stable_sort(hops.by_dequeue.begin(), hops.by_dequeue.end(),
+                     [](const HopRecord* a, const HopRecord* b) {
+                       return a->dequeue_nanos < b->dequeue_nanos;
+                     });
+  }
+
+  // Earliest window-open span per (node, window): when the source started
+  // aggregating that local window.
+  std::map<std::pair<NodeId, uint64_t>, TimeNanos> window_open;
+  // Correct spans per (node, window), in record order (ascending time for a
+  // single-threaded root).
+  std::map<std::pair<NodeId, uint64_t>, std::vector<TimeNanos>> corrects;
+  for (const TraceEvent& span : log.spans) {
+    const std::pair<NodeId, uint64_t> key{span.node, span.window_index};
+    if (span.phase == TracePhase::kWindowOpen) {
+      auto [it, inserted] = window_open.emplace(key, span.t_nanos);
+      if (!inserted && span.t_nanos < it->second) it->second = span.t_nanos;
+    } else if (span.phase == TracePhase::kCorrect) {
+      corrects[key].push_back(span.t_nanos);
+    }
+  }
+
+  for (const TraceEvent& span : log.spans) {
+    if (span.phase != TracePhase::kEmit) continue;
+    ++out.emit_spans;
+
+    // Critical hop: exact via the causal id, else the last message the
+    // emitting node dequeued before the emit.
+    const HopRecord* hop = nullptr;
+    bool exact = false;
+    if (span.msg_id != 0) {
+      auto it = hop_by_id.find(span.msg_id);
+      if (it != hop_by_id.end()) {
+        hop = it->second;
+        exact = true;
+      }
+    }
+    if (hop == nullptr) {
+      auto it = inbound.find(span.node);
+      if (it != inbound.end()) hop = LatestHopBefore(it->second, span.t_nanos);
+    }
+    if (hop == nullptr) {
+      ++out.unattributed;
+      continue;
+    }
+
+    WindowAttribution attr;
+    attr.window_index = span.window_index;
+    attr.root = span.node;
+    attr.critical_src = hop->src;
+    attr.msg_id = exact ? hop->msg_id : 0;
+    attr.exact = exact;
+    attr.corrected = hop->type == MessageType::kCorrectionResult;
+
+    // Anchor of the attributed interval (see file comment).
+    TimeNanos anchor = hop->enqueue_nanos;
+    bool anchored_on_correction = false;
+    if (attr.corrected) {
+      auto it = corrects.find({span.node, span.window_index});
+      if (it != corrects.end()) {
+        // Latest correction that started before the critical result was
+        // sent back: that round-trip is what delayed this emit.
+        TimeNanos best = 0;
+        for (TimeNanos t : it->second) {
+          if (t <= hop->enqueue_nanos && t > best) best = t;
+        }
+        if (best > 0) {
+          anchor = best;
+          anchored_on_correction = true;
+        }
+      }
+    }
+    if (!anchored_on_correction) {
+      auto it = window_open.find({hop->src, hop->window_index});
+      if (it != window_open.end() && it->second <= hop->enqueue_nanos) {
+        anchor = it->second;
+      }
+    }
+
+    // Telescoping decomposition over monotone-clamped timeline points:
+    // adjacent differences are each >= 0 and sum exactly to p5 - p0.
+    const double p0 = static_cast<double>(anchor);
+    double p1 = static_cast<double>(hop->enqueue_nanos);
+    double p2 = p1 + static_cast<double>(hop->shaping_delay_nanos);
+    double p3 = static_cast<double>(hop->deliver_nanos);
+    double p4 = static_cast<double>(hop->dequeue_nanos);
+    double p5 = static_cast<double>(span.t_nanos);
+    p1 = std::max(p1, p0);
+    p2 = std::max(p2, p1);
+    p3 = std::max(p3, p2);
+    p4 = std::max(p4, p3);
+    p5 = std::max(p5, p4);
+
+    LatencyComponents& c = attr.components;
+    if (anchored_on_correction) {
+      c.correction_nanos = p1 - p0;
+    } else {
+      c.local_compute_nanos = p1 - p0;
+    }
+    c.shaping_nanos = p2 - p1;
+    c.link_nanos = p3 - p2;
+    c.queue_nanos = p4 - p3;
+    c.root_merge_nanos = p5 - p4;
+    c.total_nanos = p5 - p0;
+    out.windows.push_back(attr);
+  }
+
+  std::stable_sort(out.windows.begin(), out.windows.end(),
+                   [](const WindowAttribution& a, const WindowAttribution& b) {
+                     return a.window_index < b.window_index;
+                   });
+  if (!out.windows.empty()) {
+    for (const WindowAttribution& w : out.windows) out.mean += w.components;
+    const double n = static_cast<double>(out.windows.size());
+    out.mean.local_compute_nanos /= n;
+    out.mean.correction_nanos /= n;
+    out.mean.shaping_nanos /= n;
+    out.mean.link_nanos /= n;
+    out.mean.queue_nanos /= n;
+    out.mean.root_merge_nanos /= n;
+    out.mean.total_nanos /= n;
+  }
+  return out;
+}
+
+std::string FormatLatencyBreakdown(const LatencyAttribution& attribution) {
+  const LatencyComponents& m = attribution.mean;
+  const double total = m.total_nanos > 0 ? m.total_nanos : 1.0;
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "windows=%zu emit_spans=%zu unattributed=%zu "
+                "mean_total=%.3f ms\n",
+                attribution.windows.size(), attribution.emit_spans,
+                attribution.unattributed, m.total_nanos / 1e6);
+  out += line;
+  const struct {
+    const char* name;
+    double nanos;
+  } rows[] = {
+      {"local_compute", m.local_compute_nanos},
+      {"correction", m.correction_nanos},
+      {"shaping", m.shaping_nanos},
+      {"link", m.link_nanos},
+      {"queue", m.queue_nanos},
+      {"root_merge", m.root_merge_nanos},
+  };
+  for (const auto& row : rows) {
+    std::snprintf(line, sizeof(line), "  %-14s %12.3f ms  %5.1f%%\n",
+                  row.name, row.nanos / 1e6, 100.0 * row.nanos / total);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace deco

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/sampler.h"
+#include "obs/trace.h"
+
+/// \file critical_path.h
+/// \brief Joins message hop records with window-lifecycle spans into a
+/// per-window latency attribution (DESIGN.md §7).
+///
+/// For every `kEmit` span the analyzer finds the *critical hop*: the
+/// message whose arrival let the root finish the window (exactly, via the
+/// causal `msg_id` the emit span carries; by latest-arrival heuristic when
+/// the id is missing). Walking back along that hop yields a telescoping
+/// decomposition of the emit latency into named components — each is the
+/// (clamped, non-negative) gap between two adjacent timeline points, so
+/// the components *sum exactly* to the attributed total:
+///
+///   anchor ──────────── hop.enqueue        local_compute | correction
+///   hop.enqueue ─────── +shaping_delay     shaping (NIC cap/backpressure)
+///   ─────────────────── hop.deliver        link (modeled latency)
+///   hop.deliver ─────── hop.dequeue        queue (root mailbox backlog)
+///   hop.dequeue ─────── emit time          root_merge (assemble/verify)
+///
+/// The anchor is the matching `kWindowOpen` span on the hop's source node
+/// (Deco/Approx locals record one per local window) or, for a corrected
+/// window whose critical hop is a `kCorrectionResult`, the root's latest
+/// `kCorrect` span — so the correction round-trip is charged to its own
+/// component instead of inflating local compute. Baselines without
+/// window-open spans fall back to anchoring at `hop.enqueue` (their raw
+/// batches involve no local aggregation to attribute).
+
+namespace deco {
+
+/// \brief One window's latency split into components (nanoseconds).
+/// `total_nanos == local_compute + correction + shaping + link + queue +
+/// root_merge` by construction.
+struct LatencyComponents {
+  double local_compute_nanos = 0;  ///< source-side aggregation/buffering
+  double correction_nanos = 0;     ///< correction round-trip (Deco only)
+  double shaping_nanos = 0;        ///< sender blocked on egress/backpressure
+  double link_nanos = 0;           ///< modeled link latency
+  double queue_nanos = 0;          ///< destination mailbox queueing
+  double root_merge_nanos = 0;     ///< root-side assemble/merge/verify
+  double total_nanos = 0;
+
+  LatencyComponents& operator+=(const LatencyComponents& other);
+};
+
+/// \brief Attribution of one emitted window.
+struct WindowAttribution {
+  uint64_t window_index = 0;
+  NodeId root = 0;          ///< node that emitted the window
+  NodeId critical_src = 0;  ///< sender of the critical (latest) message
+  uint64_t msg_id = 0;      ///< critical hop id (0 = heuristic match)
+  bool corrected = false;   ///< critical hop was a correction result
+  bool exact = false;       ///< matched via causal id, not heuristics
+  LatencyComponents components;
+};
+
+/// \brief Full result of the analyzer.
+struct LatencyAttribution {
+  std::vector<WindowAttribution> windows;  ///< ordered by window index
+  LatencyComponents mean;   ///< per-component mean over `windows`
+  size_t emit_spans = 0;    ///< emit spans seen in the log
+  size_t unattributed = 0;  ///< emits with no usable hop record
+};
+
+/// \brief Runs the join + attribution over a drained telemetry log.
+LatencyAttribution AttributeWindowLatency(const TelemetryLog& log);
+
+/// \brief Human-readable table of an attribution (for benches and debug).
+std::string FormatLatencyBreakdown(const LatencyAttribution& attribution);
+
+}  // namespace deco

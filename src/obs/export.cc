@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/logging.h"
+#include "obs/critical_path.h"
+
 namespace deco {
 namespace {
 
@@ -84,6 +87,39 @@ TimeNanos SeriesOrigin(const TelemetryLog& log) {
   return 0;
 }
 
+/// CSV field escaping (RFC 4180): quote when the value contains a comma,
+/// quote or newline; double embedded quotes.
+void AppendCsvField(std::string* out, const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) {
+    *out += s;
+    return;
+  }
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendComponents(std::string* out, const LatencyComponents& c) {
+  *out += "{\"total_nanos\": ";
+  AppendDouble(out, c.total_nanos);
+  *out += ", \"local_compute_nanos\": ";
+  AppendDouble(out, c.local_compute_nanos);
+  *out += ", \"correction_nanos\": ";
+  AppendDouble(out, c.correction_nanos);
+  *out += ", \"shaping_nanos\": ";
+  AppendDouble(out, c.shaping_nanos);
+  *out += ", \"link_nanos\": ";
+  AppendDouble(out, c.link_nanos);
+  *out += ", \"queue_nanos\": ";
+  AppendDouble(out, c.queue_nanos);
+  *out += ", \"root_merge_nanos\": ";
+  AppendDouble(out, c.root_merge_nanos);
+  *out += "}";
+}
+
 Status WriteFile(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -105,7 +141,7 @@ std::string TelemetryToJson(const RunReport& report,
   std::string out;
   out.reserve(4096 + log.samples.size() * 512 + log.spans.size() * 96);
 
-  out += "{\n  \"schema_version\": 1,\n  \"scheme\": ";
+  out += "{\n  \"schema_version\": 2,\n  \"scheme\": ";
   AppendEscaped(&out, report.scheme);
   out += ",\n  \"report\": {\"events_processed\": ";
   AppendUint(&out, report.events_processed);
@@ -145,7 +181,9 @@ std::string TelemetryToJson(const RunReport& report,
                               static_cast<uint64_t>(curr_events),
                               prev->t_nanos, sample.t_nanos));
     } else {
-      AppendDouble(&out, 0.0);
+      // No prior snapshot: the first sample has no interval to rate over,
+      // so the rate is absent rather than a misleading 0 (schema v2).
+      out += "null";
     }
     out += ", \"total_dropped\": ";
     AppendUint(&out, sample.total_dropped);
@@ -200,15 +238,30 @@ std::string TelemetryToJson(const RunReport& report,
       AppendUint(&out, node.messages_received);
       out += ", \"bytes_received\": ";
       AppendUint(&out, node.bytes_received);
-      out += ", \"bytes_per_sec\": ";
+      out += ", \"sent_by_type\": {";
+      bool first_type = true;
+      for (size_t t = 0; t < kNumMessageTypes; ++t) {
+        if (node.messages_sent_by_type[t] == 0) continue;
+        if (!first_type) out += ", ";
+        first_type = false;
+        out += "\"";
+        out += MessageTypeToString(static_cast<MessageType>(t));
+        out += "\": {\"messages\": ";
+        AppendUint(&out, node.messages_sent_by_type[t]);
+        out += ", \"bytes\": ";
+        AppendUint(&out, node.bytes_sent_by_type[t]);
+        out += "}";
+      }
+      out += "}, \"bytes_per_sec\": ";
       const NodeSample* prev_node =
           prev != nullptr && n < prev->nodes.size() ? &prev->nodes[n]
                                                     : nullptr;
-      AppendDouble(&out,
-                   prev_node != nullptr
-                       ? Rate(prev_node->bytes_sent, node.bytes_sent,
-                              prev->t_nanos, sample.t_nanos)
-                       : 0.0);
+      if (prev_node != nullptr) {
+        AppendDouble(&out, Rate(prev_node->bytes_sent, node.bytes_sent,
+                                prev->t_nanos, sample.t_nanos));
+      } else {
+        out += "null";  // first sample: no interval to rate over
+      }
       out += "}";
     }
     out += "]}";
@@ -229,17 +282,59 @@ std::string TelemetryToJson(const RunReport& report,
     AppendUint(&out, span.window_index);
     out += ", \"value\": ";
     AppendInt(&out, span.value);
+    out += ", \"msg_id\": ";
+    AppendUint(&out, span.msg_id);
     out += "}";
   }
   out += log.spans.empty() ? "],\n" : "\n  ],\n";
   out += "  \"spans_dropped\": ";
   AppendUint(&out, log.spans_dropped);
+  out += ",\n  \"hop_count\": ";
+  AppendUint(&out, log.hops.size());
+  out += ",\n  \"hops_dropped\": ";
+  AppendUint(&out, log.hops_dropped);
+
+  const LatencyAttribution attribution = AttributeWindowLatency(log);
+  out += ",\n  \"latency_breakdown\": {\"emit_spans\": ";
+  AppendUint(&out, attribution.emit_spans);
+  out += ", \"windows_attributed\": ";
+  AppendUint(&out, attribution.windows.size());
+  out += ", \"unattributed\": ";
+  AppendUint(&out, attribution.unattributed);
+  out += ", \"mean\": ";
+  AppendComponents(&out, attribution.mean);
+  out += ", \"windows\": [";
+  for (size_t i = 0; i < attribution.windows.size(); ++i) {
+    const WindowAttribution& w = attribution.windows[i];
+    out += i == 0 ? "\n    {" : ",\n    {";
+    out += "\"window\": ";
+    AppendUint(&out, w.window_index);
+    out += ", \"root\": ";
+    AppendUint(&out, w.root);
+    out += ", \"critical_src\": ";
+    AppendUint(&out, w.critical_src);
+    out += ", \"corrected\": ";
+    out += w.corrected ? "true" : "false";
+    out += ", \"exact\": ";
+    out += w.exact ? "true" : "false";
+    out += ", \"components\": ";
+    AppendComponents(&out, w.components);
+    out += "}";
+  }
+  out += attribution.windows.empty() ? "]}" : "\n  ]}";
   out += "\n}\n";
   return out;
 }
 
 Status WriteTelemetryJson(const std::string& path, const RunReport& report,
                           const TelemetryLog& log) {
+  if (log.spans_dropped > 0 || log.hops_dropped > 0) {
+    DECO_LOG(WARNING) << "telemetry export to " << path << " is truncated: "
+                      << log.spans_dropped << " spans and "
+                      << log.hops_dropped
+                      << " hop records were dropped at capacity; rerun with "
+                         "a larger --trace_capacity";
+  }
   return WriteFile(path, TelemetryToJson(report, log));
 }
 
@@ -257,7 +352,7 @@ Status WriteSamplesCsv(const std::string& path, const TelemetryLog& log) {
       out += ",";
       AppendUint(&out, node.node);
       out += ",";
-      out += node.name;  // fabric names contain no commas
+      AppendCsvField(&out, node.name);
       out += ",";
       AppendUint(&out, node.queue_depth);
       out += ",";
@@ -272,11 +367,10 @@ Status WriteSamplesCsv(const std::string& path, const TelemetryLog& log) {
       const NodeSample* prev_node =
           prev != nullptr && n < prev->nodes.size() ? &prev->nodes[n]
                                                     : nullptr;
-      AppendDouble(&out,
-                   prev_node != nullptr
-                       ? Rate(prev_node->bytes_sent, node.bytes_sent,
-                              prev->t_nanos, sample.t_nanos)
-                       : 0.0);
+      if (prev_node != nullptr) {
+        AppendDouble(&out, Rate(prev_node->bytes_sent, node.bytes_sent,
+                                prev->t_nanos, sample.t_nanos));
+      }  // first sample: no interval — leave the rate field empty
       out += "\n";
     }
   }
@@ -285,7 +379,7 @@ Status WriteSamplesCsv(const std::string& path, const TelemetryLog& log) {
 
 Status WriteSpansCsv(const std::string& path, const TelemetryLog& log) {
   const TimeNanos origin = SeriesOrigin(log);
-  std::string out = "t_ms,node,phase,window,value\n";
+  std::string out = "t_ms,node,phase,window,value,msg_id\n";
   for (const TraceEvent& span : log.spans) {
     AppendDouble(&out, MillisSince(span.t_nanos, origin));
     out += ",";
@@ -296,6 +390,8 @@ Status WriteSpansCsv(const std::string& path, const TelemetryLog& log) {
     AppendUint(&out, span.window_index);
     out += ",";
     AppendInt(&out, span.value);
+    out += ",";
+    AppendUint(&out, span.msg_id);
     out += "\n";
   }
   return WriteFile(path, out);

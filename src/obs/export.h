@@ -10,17 +10,18 @@
 /// \brief Serializes one run's telemetry (sampler time series, window
 /// lifecycle spans, final `RunReport`) to machine-readable JSON and CSV.
 ///
-/// JSON document layout (schema_version 1):
+/// JSON document layout (schema_version 2; every version-1 field is
+/// preserved with unchanged meaning, so v1 consumers keep working):
 /// \code{.json}
 /// {
-///   "schema_version": 1,
+///   "schema_version": 2,
 ///   "scheme": "deco-async",
 ///   "report": { "events_processed": n, "wall_seconds": s,
 ///               "throughput_eps": r, "windows_emitted": n,
 ///               "correction_steps": n, "total_bytes": n,
 ///               "total_messages": n, "latency_mean_nanos": x,
 ///               "latency_p50_nanos": n, "latency_p99_nanos": n },
-///   "samples": [ { "t_ms": x, "elapsed_ms": x, "events_per_sec": r,
+///   "samples": [ { "t_ms": x, "events_per_sec": r,
 ///                  "total_dropped": n,
 ///                  "counters": {"name": n, ...},
 ///                  "gauges": {"name": n, ...},
@@ -30,15 +31,31 @@
 ///                               "messages_sent": n, "bytes_sent": n,
 ///                               "messages_received": n,
 ///                               "bytes_received": n,
+///                               "sent_by_type": {"partial-result":
+///                                   {"messages": n, "bytes": n}, ...},
 ///                               "bytes_per_sec": r } ] } ],
 ///   "spans": [ { "t_ms": x, "node": id, "phase": s, "window": n,
-///                "value": n } ],
-///   "spans_dropped": n
+///                "value": n, "msg_id": n } ],
+///   "spans_dropped": n,
+///   "hop_count": n,
+///   "hops_dropped": n,
+///   "latency_breakdown": { "emit_spans": n, "windows_attributed": n,
+///       "unattributed": n, "mean": {components},
+///       "windows": [ { "window": n, "root": id, "critical_src": id,
+///                      "corrected": b, "exact": b,
+///                      "components": {components} } ] }
 /// }
 /// \endcode
+/// where `{components}` is `{ "total_nanos": x, "local_compute_nanos": x,
+/// "correction_nanos": x, "shaping_nanos": x, "link_nanos": x,
+/// "queue_nanos": x, "root_merge_nanos": x }` (see critical_path.h).
+///
 /// `t_ms` is milliseconds since the first sample; cumulative fabric
 /// counters are carried as-is and per-interval rates (`bytes_per_sec`,
 /// `events_per_sec`) are derived from consecutive samples at export time.
+/// Since v2 the rates of the *first* sample are `null` (CSV: empty) — there
+/// is no prior snapshot to rate against, and 0 was misleading. Only
+/// message types with nonzero counts appear in `sent_by_type`.
 
 namespace deco {
 
@@ -52,10 +69,12 @@ Status WriteTelemetryJson(const std::string& path, const RunReport& report,
 
 /// \brief Writes the per-node time series as CSV (one row per sample x
 /// node): t_ms,node,name,queue_depth,messages_sent,bytes_sent,
-/// messages_received,bytes_received,bytes_per_sec.
+/// messages_received,bytes_received,bytes_per_sec. Fields containing
+/// commas, quotes or newlines are RFC-4180 quoted; the first sample's rate
+/// field is empty (no prior snapshot).
 Status WriteSamplesCsv(const std::string& path, const TelemetryLog& log);
 
-/// \brief Writes the span list as CSV: t_ms,node,phase,window,value.
+/// \brief Writes the span list as CSV: t_ms,node,phase,window,value,msg_id.
 Status WriteSpansCsv(const std::string& path, const TelemetryLog& log);
 
 }  // namespace deco

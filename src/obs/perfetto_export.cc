@@ -1,0 +1,234 @@
+#include "obs/perfetto_export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace deco {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+/// Microseconds since `origin`, with sub-microsecond precision (the
+/// trace-event spec allows fractional `ts`).
+void AppendTs(std::string* out, TimeNanos t, TimeNanos origin) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(t - origin) / 1e3);
+  *out += buf;
+}
+
+TimeNanos TraceOrigin(const TelemetryLog& log) {
+  TimeNanos origin = 0;
+  bool seen = false;
+  auto consider = [&](TimeNanos t) {
+    if (t <= 0) return;
+    if (!seen || t < origin) origin = t;
+    seen = true;
+  };
+  for (const TelemetrySample& s : log.samples) consider(s.t_nanos);
+  for (const TraceEvent& s : log.spans) consider(s.t_nanos);
+  for (const HopRecord& h : log.hops) consider(h.enqueue_nanos);
+  return origin;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != content.size() || !close_ok) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string PerfettoTraceJson(const TelemetryLog& log) {
+  const TimeNanos origin = TraceOrigin(log);
+
+  // Every node that appears anywhere gets a named process track. Names
+  // come from the sampler series (the fabric registry); nodes only seen in
+  // spans/hops fall back to "node-<id>".
+  std::map<NodeId, std::string> node_names;
+  for (const TelemetrySample& sample : log.samples) {
+    for (const NodeSample& node : sample.nodes) {
+      if (!node.name.empty()) node_names[node.node] = node.name;
+    }
+  }
+  for (const TraceEvent& span : log.spans) node_names.emplace(span.node, "");
+  for (const HopRecord& hop : log.hops) {
+    node_names.emplace(hop.src, "");
+    node_names.emplace(hop.dst, "");
+  }
+  for (auto& [id, name] : node_names) {
+    if (name.empty()) name = "node-" + std::to_string(id);
+  }
+
+  std::string out;
+  out.reserve(512 + node_names.size() * 160 + log.spans.size() * 160 +
+              log.hops.size() * 256);
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  auto begin_event = [&] {
+    out += first ? "\n" : ",\n";
+    first = false;
+  };
+
+  for (const auto& [id, name] : node_names) {
+    begin_event();
+    out += "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": ";
+    AppendUint(&out, id);
+    out += ", \"tid\": 0, \"args\": {\"name\": ";
+    AppendEscaped(&out, name);
+    out += "}}";
+    begin_event();
+    out += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": ";
+    AppendUint(&out, id);
+    out += ", \"tid\": 0, \"args\": {\"name\": ";
+    AppendEscaped(&out, name);
+    out += "}}";
+  }
+
+  // Window lifetime bars: first to last span per (node, window).
+  struct Lifetime {
+    TimeNanos begin = 0;
+    TimeNanos end = 0;
+  };
+  std::map<std::pair<NodeId, uint64_t>, Lifetime> lifetimes;
+  for (const TraceEvent& span : log.spans) {
+    Lifetime& lt = lifetimes[{span.node, span.window_index}];
+    if (lt.begin == 0 || span.t_nanos < lt.begin) lt.begin = span.t_nanos;
+    if (span.t_nanos > lt.end) lt.end = span.t_nanos;
+  }
+  // Async ids must be unique per category; windows are disambiguated by
+  // folding the node id into the high bits.
+  uint64_t window_async_id = 0;
+  std::map<std::pair<NodeId, uint64_t>, uint64_t> window_ids;
+  for (const auto& [key, lt] : lifetimes) {
+    window_ids[key] = ++window_async_id;
+    begin_event();
+    out += "{\"name\": \"window-";
+    AppendUint(&out, key.second);
+    out += "\", \"cat\": \"window\", \"ph\": \"b\", \"id\": ";
+    AppendUint(&out, window_ids[key]);
+    out += ", \"pid\": ";
+    AppendUint(&out, key.first);
+    out += ", \"tid\": 0, \"ts\": ";
+    AppendTs(&out, lt.begin, origin);
+    out += ", \"args\": {\"window\": ";
+    AppendUint(&out, key.second);
+    out += "}}";
+    begin_event();
+    out += "{\"name\": \"window-";
+    AppendUint(&out, key.second);
+    out += "\", \"cat\": \"window\", \"ph\": \"e\", \"id\": ";
+    AppendUint(&out, window_ids[key]);
+    out += ", \"pid\": ";
+    AppendUint(&out, key.first);
+    out += ", \"tid\": 0, \"ts\": ";
+    AppendTs(&out, lt.end, origin);
+    out += "}";
+  }
+
+  for (const TraceEvent& span : log.spans) {
+    begin_event();
+    out += "{\"name\": \"";
+    out += TracePhaseToString(span.phase);
+    out += "\", \"cat\": \"span\", \"ph\": \"i\", \"s\": \"t\", \"pid\": ";
+    AppendUint(&out, span.node);
+    out += ", \"tid\": 0, \"ts\": ";
+    AppendTs(&out, span.t_nanos, origin);
+    out += ", \"args\": {\"window\": ";
+    AppendUint(&out, span.window_index);
+    out += ", \"value\": ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, span.value);
+    out += buf;
+    out += ", \"msg_id\": ";
+    AppendUint(&out, span.msg_id);
+    out += "}}";
+  }
+
+  for (const HopRecord& hop : log.hops) {
+    // In-flight bar on the *sender's* track: enqueue -> dequeue at the
+    // receiver. Hop records are finalized at dequeue, so both ends exist.
+    const TimeNanos end =
+        std::max(hop.dequeue_nanos, hop.enqueue_nanos);
+    begin_event();
+    out += "{\"name\": \"";
+    out += MessageTypeToString(hop.type);
+    out += "\", \"cat\": \"net\", \"ph\": \"b\", \"id\": ";
+    AppendUint(&out, hop.msg_id);
+    out += ", \"pid\": ";
+    AppendUint(&out, hop.src);
+    out += ", \"tid\": 0, \"ts\": ";
+    AppendTs(&out, hop.enqueue_nanos, origin);
+    out += ", \"args\": {\"dst\": ";
+    AppendUint(&out, hop.dst);
+    out += ", \"window\": ";
+    AppendUint(&out, hop.window_index);
+    out += ", \"bytes\": ";
+    AppendUint(&out, hop.wire_bytes);
+    out += ", \"shaping_delay_ns\": ";
+    AppendUint(&out, static_cast<uint64_t>(hop.shaping_delay_nanos));
+    out += "}}";
+    begin_event();
+    out += "{\"name\": \"";
+    out += MessageTypeToString(hop.type);
+    out += "\", \"cat\": \"net\", \"ph\": \"e\", \"id\": ";
+    AppendUint(&out, hop.msg_id);
+    out += ", \"pid\": ";
+    AppendUint(&out, hop.src);
+    out += ", \"tid\": 0, \"ts\": ";
+    AppendTs(&out, end, origin);
+    out += "}";
+  }
+
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+Status WritePerfettoTrace(const std::string& path, const TelemetryLog& log) {
+  return WriteFile(path, PerfettoTraceJson(log));
+}
+
+}  // namespace deco

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/sampler.h"
+
+/// \file perfetto_export.h
+/// \brief Renders a telemetry log in the Chrome trace-event JSON format,
+/// loadable by Perfetto (https://ui.perfetto.dev) and chrome://tracing.
+///
+/// Mapping (one track group per node):
+///  - every fabric node becomes a *process* (`pid` = fabric id) named via
+///    `process_name`/`thread_name` metadata events, so Perfetto shows one
+///    labeled track per node;
+///  - window-lifecycle spans become thread-scoped instant events
+///    (`ph: "i"`, category `"span"`) carrying window, value and causal
+///    message id as args;
+///  - each window's lifetime on a node becomes an async begin/end pair
+///    (`ph: "b"/"e"`, category `"window"`) spanning its first to last span
+///    event, so assembly and correction rounds are visible as bars;
+///  - each message hop becomes an async begin/end pair (category `"net"`,
+///    id = the causal msg_id) from enqueue at the sender to dequeue at the
+///    receiver, with bytes, type and shaping delay as args.
+///
+/// Timestamps (`ts`) are microseconds since the log's first event, per the
+/// trace-event spec.
+
+namespace deco {
+
+/// \brief Renders the trace-event JSON document.
+std::string PerfettoTraceJson(const TelemetryLog& log);
+
+/// \brief Writes `PerfettoTraceJson` to `path`; IOError on filesystem
+/// failure.
+Status WritePerfettoTrace(const std::string& path, const TelemetryLog& log);
+
+}  // namespace deco

@@ -29,6 +29,8 @@ TelemetrySample Sampler::SampleNow() {
       node.bytes_sent = traffic.bytes_sent;
       node.messages_received = traffic.messages_received;
       node.bytes_received = traffic.bytes_received;
+      node.messages_sent_by_type = traffic.messages_sent_by_type;
+      node.bytes_sent_by_type = traffic.bytes_sent_by_type;
       sample.nodes.push_back(std::move(node));
     }
     sample.total_dropped = fabric_->Stats().total_dropped;

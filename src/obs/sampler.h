@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <mutex>
 #include <string>
@@ -30,6 +31,9 @@ struct NodeSample {
   uint64_t bytes_sent = 0;
   uint64_t messages_received = 0;
   uint64_t bytes_received = 0;
+  /// Cumulative egress split by `MessageType` (indexed by enum value).
+  std::array<uint64_t, kNumMessageTypes> messages_sent_by_type{};
+  std::array<uint64_t, kNumMessageTypes> bytes_sent_by_type{};
 };
 
 /// \brief One point of the telemetry time series.
@@ -40,12 +44,14 @@ struct TelemetrySample {
   MetricsSnapshot metrics;
 };
 
-/// \brief Everything one telemetry run collects (samples + spans), the
-/// exporters' input.
+/// \brief Everything one telemetry run collects (samples + spans + message
+/// hops), the exporters' input.
 struct TelemetryLog {
   std::vector<TelemetrySample> samples;
   std::vector<TraceEvent> spans;
   uint64_t spans_dropped = 0;
+  std::vector<HopRecord> hops;
+  uint64_t hops_dropped = 0;
 };
 
 /// \brief Periodic snapshot thread over a fabric and a registry.

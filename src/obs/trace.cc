@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "net/fabric.h"
+
 namespace deco {
 
 std::atomic<TraceSink*> TraceSink::active_{nullptr};
@@ -25,29 +27,61 @@ std::string_view TracePhaseToString(TracePhase phase) {
 TraceSink::TraceSink(Clock* clock, size_t capacity)
     : clock_(clock), capacity_(capacity) {}
 
+namespace {
+// Stripe by recording thread so concurrent nodes rarely contend.
+size_t ThreadStripe(size_t num_stripes) {
+  static thread_local const size_t stripe = [] {
+    static std::atomic<size_t> next{0};
+    return next.fetch_add(1, std::memory_order_relaxed);
+  }();
+  return stripe % num_stripes;
+}
+}  // namespace
+
 void TraceSink::Record(NodeId node, TracePhase phase, uint64_t window_index,
-                       int64_t value) {
+                       int64_t value, uint64_t msg_id) {
   TraceEvent event;
   event.t_nanos = clock_->NowNanos();
   event.node = node;
   event.phase = phase;
   event.window_index = window_index;
   event.value = value;
+  event.msg_id = msg_id;
 
-  // Stripe by recording thread so concurrent nodes rarely contend.
-  static thread_local const size_t stripe =
-      [] {
-        static std::atomic<size_t> next{0};
-        return next.fetch_add(1, std::memory_order_relaxed);
-      }() %
-      kStripes;
-  Stripe& s = stripes_[stripe];
+  Stripe& s = stripes_[ThreadStripe(kStripes)];
   std::lock_guard<std::mutex> lock(s.mu);
   if (capacity_ > 0 && s.events.size() >= capacity_ / kStripes) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   s.events.push_back(event);
+}
+
+void TraceSink::RecordHop(const Message& msg) {
+#if DECO_TRACE_ENABLED
+  if (msg.hop.msg_id == 0) return;
+  HopRecord hop;
+  hop.msg_id = msg.hop.msg_id;
+  hop.type = msg.type;
+  hop.src = msg.src;
+  hop.dst = msg.dst;
+  hop.window_index = msg.window_index;
+  hop.wire_bytes = msg.WireSize();
+  hop.enqueue_nanos = msg.hop.enqueue_nanos;
+  hop.deliver_nanos = msg.hop.deliver_nanos;
+  hop.dequeue_nanos = msg.hop.dequeue_nanos;
+  hop.shaping_delay_nanos = msg.hop.shaping_delay_nanos;
+
+  Stripe& s = stripes_[ThreadStripe(kStripes)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (capacity_ > 0 && s.hops.size() >= capacity_ / kStripes) {
+    hops_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  s.hops.push_back(hop);
+#else
+  (void)msg;
+#endif
 }
 
 std::vector<TraceEvent> TraceSink::Drain() {
@@ -64,6 +98,20 @@ std::vector<TraceEvent> TraceSink::Drain() {
   return all;
 }
 
+std::vector<HopRecord> TraceSink::DrainHops() {
+  std::vector<HopRecord> all;
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    all.insert(all.end(), s.hops.begin(), s.hops.end());
+    s.hops.clear();
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const HopRecord& a, const HopRecord& b) {
+                     return a.enqueue_nanos < b.enqueue_nanos;
+                   });
+  return all;
+}
+
 size_t TraceSink::size() const {
   size_t n = 0;
   for (const Stripe& s : stripes_) {
@@ -74,6 +122,10 @@ size_t TraceSink::size() const {
 }
 
 TraceSink* TraceSink::Install(TraceSink* sink) {
+  // Hop stamping follows the sink's lifetime: messages carry causal ids
+  // exactly while someone is listening. The flag lives in the net layer so
+  // the fabric does not depend on this library.
+  SetHopStampingEnabled(sink != nullptr);
   return active_.exchange(sink, std::memory_order_acq_rel);
 }
 

@@ -43,6 +43,32 @@ struct TraceEvent {
   TracePhase phase = TracePhase::kWindowOpen;
   uint64_t window_index = 0;
   int64_t value = 0;       ///< phase-specific payload (e.g. event count)
+  /// Causal id of the message that triggered this phase (the hop record's
+  /// `msg_id`); 0 when the phase was not message-triggered or tracing of
+  /// hops is off. Joins span events with `HopRecord`s in the critical-path
+  /// analyzer.
+  uint64_t msg_id = 0;
+};
+
+/// \brief One completed message hop, finalized at dequeue time.
+///
+/// The fabric fills the timestamps into the message's embedded
+/// `MessageHop`; the receiving actor copies them here (plus the routing
+/// header) and hands the record to the sink. The four timestamps cut the
+/// hop into sender blocking (`shaping_delay_nanos`), link latency
+/// (`deliver - (enqueue + shaping)`) and mailbox queueing
+/// (`dequeue - deliver`).
+struct HopRecord {
+  uint64_t msg_id = 0;
+  MessageType type = MessageType::kEventBatch;
+  NodeId src = 0;
+  NodeId dst = 0;
+  uint64_t window_index = 0;
+  uint64_t wire_bytes = 0;
+  TimeNanos enqueue_nanos = 0;
+  TimeNanos deliver_nanos = 0;
+  TimeNanos dequeue_nanos = 0;
+  TimeNanos shaping_delay_nanos = 0;
 };
 
 /// \brief Collects span events from many node threads with striped locks.
@@ -59,10 +85,18 @@ class TraceSink {
 
   /// \brief Records one span event (thread-safe, lock per stripe).
   void Record(NodeId node, TracePhase phase, uint64_t window_index,
-              int64_t value);
+              int64_t value, uint64_t msg_id = 0);
+
+  /// \brief Records a completed message hop; called by the receiving
+  /// actor right after dequeuing a stamped message. No-op (and the hop
+  /// fields do not exist) when tracing is compiled out.
+  void RecordHop(const Message& msg);
 
   /// \brief Moves every recorded event out, sorted by timestamp.
   std::vector<TraceEvent> Drain();
+
+  /// \brief Moves every recorded hop out, sorted by enqueue time.
+  std::vector<HopRecord> DrainHops();
 
   /// \brief Events recorded so far (approximate under concurrency).
   size_t size() const;
@@ -72,8 +106,15 @@ class TraceSink {
     return dropped_.load(std::memory_order_relaxed);
   }
 
+  /// \brief Hop records dropped because the capacity was reached.
+  uint64_t hops_dropped() const {
+    return hops_dropped_.load(std::memory_order_relaxed);
+  }
+
   /// \brief Installs `sink` as the process-global recording target.
-  /// Passing nullptr uninstalls. Returns the previous sink.
+  /// Passing nullptr uninstalls. Returns the previous sink. Also toggles
+  /// the fabric's hop stamping (`SetHopStampingEnabled`) so messages carry
+  /// causal ids exactly while a sink is live.
   static TraceSink* Install(TraceSink* sink);
 
   /// \brief The currently installed sink, or nullptr.
@@ -86,11 +127,13 @@ class TraceSink {
   struct alignas(64) Stripe {
     mutable std::mutex mu;
     std::vector<TraceEvent> events;
+    std::vector<HopRecord> hops;
   };
 
   Clock* clock_;
   size_t capacity_;
   std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> hops_dropped_{0};
   std::array<Stripe, kStripes> stripes_;
 
   static std::atomic<TraceSink*> active_;
@@ -104,15 +147,24 @@ class TraceSink {
 
 #if DECO_TRACE_ENABLED
 /// \brief Records a window-lifecycle span event if a sink is installed.
-#define DECO_TRACE_SPAN(node, phase, window, value)                   \
-  do {                                                                \
-    ::deco::TraceSink* _deco_trace_sink = ::deco::TraceSink::Active();\
-    if (_deco_trace_sink != nullptr) {                                \
-      _deco_trace_sink->Record((node), (phase), (window), (value));   \
-    }                                                                 \
+#define DECO_TRACE_SPAN(node, phase, window, value) \
+  DECO_TRACE_SPAN_MSG(node, phase, window, value, 0)
+
+/// \brief Like `DECO_TRACE_SPAN`, but also tags the span with the causal
+/// id of the message that triggered the phase (see `MessageCausalId`).
+#define DECO_TRACE_SPAN_MSG(node, phase, window, value, msg_id)        \
+  do {                                                                 \
+    ::deco::TraceSink* _deco_trace_sink = ::deco::TraceSink::Active(); \
+    if (_deco_trace_sink != nullptr) {                                 \
+      _deco_trace_sink->Record((node), (phase), (window), (value),     \
+                               (msg_id));                              \
+    }                                                                  \
   } while (false)
 #else
 #define DECO_TRACE_SPAN(node, phase, window, value) \
   do {                                              \
+  } while (false)
+#define DECO_TRACE_SPAN_MSG(node, phase, window, value, msg_id) \
+  do {                                                          \
   } while (false)
 #endif

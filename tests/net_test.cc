@@ -115,6 +115,70 @@ TEST_F(FabricTest, AccountsBytesPerLinkAndNode) {
   EXPECT_EQ(stats.total_messages, 5u);
 }
 
+TEST_F(FabricTest, CountsTrafficPerMessageType) {
+  ASSERT_TRUE(
+      fabric_.Send(MakeMessage(a_, b_, MessageType::kEventBatch, 100)).ok());
+  ASSERT_TRUE(
+      fabric_.Send(MakeMessage(a_, b_, MessageType::kPartialResult, 10))
+          .ok());
+  ASSERT_TRUE(
+      fabric_.Send(MakeMessage(a_, b_, MessageType::kPartialResult, 20))
+          .ok());
+  const NodeTrafficStats src = fabric_.node_stats(a_);
+  const size_t batch = static_cast<size_t>(MessageType::kEventBatch);
+  const size_t partial = static_cast<size_t>(MessageType::kPartialResult);
+  EXPECT_EQ(src.messages_sent_by_type[batch], 1u);
+  EXPECT_EQ(src.bytes_sent_by_type[batch], 100 + Message::kHeaderBytes);
+  EXPECT_EQ(src.messages_sent_by_type[partial], 2u);
+  EXPECT_EQ(src.bytes_sent_by_type[partial],
+            30 + 2 * Message::kHeaderBytes);
+  // The per-type split always sums to the untyped totals.
+  uint64_t messages = 0, bytes = 0;
+  for (size_t i = 0; i < kNumMessageTypes; ++i) {
+    messages += src.messages_sent_by_type[i];
+    bytes += src.bytes_sent_by_type[i];
+  }
+  EXPECT_EQ(messages, src.messages_sent);
+  EXPECT_EQ(bytes, src.bytes_sent);
+
+  fabric_.ResetStats();
+  EXPECT_EQ(fabric_.node_stats(a_).messages_sent_by_type[batch], 0u);
+  EXPECT_EQ(fabric_.node_stats(a_).bytes_sent_by_type[partial], 0u);
+}
+
+TEST_F(FabricTest, HopStampingDoesNotChangeByteAccounting) {
+  // Causal tracing must be free on the wire: the hop record rides the
+  // in-process Message struct and never counts toward WireSize, so the
+  // byte accounting is identical with and without stamping.
+  SetHopStampingEnabled(false);
+  ASSERT_TRUE(
+      fabric_.Send(MakeMessage(a_, b_, MessageType::kEventBatch, 64)).ok());
+  const uint64_t plain_bytes = fabric_.node_stats(a_).bytes_sent;
+  ASSERT_GT(plain_bytes, 0u);
+
+  fabric_.ResetStats();
+  SetHopStampingEnabled(true);
+  ASSERT_TRUE(
+      fabric_.Send(MakeMessage(a_, b_, MessageType::kEventBatch, 64)).ok());
+  SetHopStampingEnabled(false);
+  EXPECT_EQ(fabric_.node_stats(a_).bytes_sent, plain_bytes);
+
+  auto unstamped = fabric_.mailbox(b_)->Pop();
+  auto stamped = fabric_.mailbox(b_)->Pop();
+  ASSERT_TRUE(unstamped.has_value());
+  ASSERT_TRUE(stamped.has_value());
+  EXPECT_EQ(unstamped->WireSize(), stamped->WireSize());
+  EXPECT_EQ(MessageCausalId(*unstamped), 0u);
+#if DECO_TRACE_ENABLED
+  // With stamping on, the fabric assigned a causal id and timestamps.
+  EXPECT_NE(stamped->hop.msg_id, 0u);
+  EXPECT_GT(stamped->hop.enqueue_nanos, 0);
+  EXPECT_GE(stamped->hop.deliver_nanos, stamped->hop.enqueue_nanos);
+#else
+  EXPECT_EQ(MessageCausalId(*stamped), 0u);
+#endif
+}
+
 TEST_F(FabricTest, ResetStatsClearsCounters) {
   ASSERT_TRUE(
       fabric_.Send(MakeMessage(a_, b_, MessageType::kEventBatch, 10)).ok());

@@ -231,13 +231,20 @@ TEST(TelemetryIntegrationTest, DecoAsyncRunProducesSamplesSpansAndJson) {
   // Exported document: well-formed JSON with the schema's key fields.
   const std::string json = ReadFileOrDie(json_path);
   EXPECT_TRUE(JsonChecker(json).Valid());
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"scheme\": \"deco-async\""), std::string::npos);
   EXPECT_NE(json.find("\"queue_depth\""), std::string::npos);
   EXPECT_NE(json.find("\"bytes_per_sec\""), std::string::npos);
   EXPECT_NE(json.find("\"events_per_sec\""), std::string::npos);
+  EXPECT_NE(json.find("\"sent_by_type\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_breakdown\""), std::string::npos);
+  EXPECT_NE(json.find("\"hop_count\""), std::string::npos);
 #if DECO_TRACE_ENABLED
   EXPECT_NE(json.find("\"phase\": \"emit\""), std::string::npos);
+  // With tracing compiled in, a live run collects hop records and the
+  // critical-path analyzer attributes the emitted windows.
+  EXPECT_FALSE(log.hops.empty());
+  EXPECT_NE(json.find("\"windows_attributed\""), std::string::npos);
 #endif
   std::remove(json_path.c_str());
 }
@@ -251,6 +258,7 @@ TEST(TelemetryIntegrationTest, DisabledTelemetryLeavesSinkEmpty) {
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_TRUE(log.samples.empty());
   EXPECT_TRUE(log.spans.empty());
+  EXPECT_TRUE(log.hops.empty());
 }
 
 TEST(TelemetryIntegrationTest, CentralizedSchemeAlsoTraced) {

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Structural validator for deco_run --trace_out output.
+
+Checks that a Chrome-trace-event/Perfetto JSON document is loadable and
+internally consistent, so CI catches exporter regressions before anyone
+drags a broken trace into ui.perfetto.dev:
+
+  * top level is an object with "displayTimeUnit" and a "traceEvents" list
+  * every event has the mandatory fields for its phase ("ph")
+  * every async begin ("b") is balanced by an end ("e") with the same
+    (cat, id) and a timestamp >= the begin
+  * every non-metadata event's pid has a process_name metadata record
+
+Usage: check_perfetto_trace.py <trace.json>
+"""
+
+import json
+import sys
+
+
+def fail(message):
+    print(f"check_perfetto_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_perfetto_trace.py <trace.json>")
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    if doc.get("displayTimeUnit") != "ms":
+        fail("displayTimeUnit missing or not 'ms'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    named_pids = set()
+    open_async = {}  # (cat, id) -> begin ts
+    balanced = 0
+    for i, event in enumerate(events):
+        ph = event.get("ph")
+        if ph is None:
+            fail(f"event {i} has no ph")
+        if ph == "M":
+            if event.get("name") == "process_name":
+                named_pids.add(event.get("pid"))
+            continue
+        for key in ("name", "pid", "ts"):
+            if key not in event:
+                fail(f"event {i} (ph={ph}) missing {key}")
+        if event["pid"] not in named_pids:
+            fail(f"event {i} uses pid {event['pid']} "
+                 "with no process_name metadata")
+        if ph == "b":
+            key = (event.get("cat"), event.get("id"))
+            if None in key:
+                fail(f"async begin {i} missing cat or id")
+            if key in open_async:
+                fail(f"async begin {key} nested/duplicated")
+            open_async[key] = event["ts"]
+        elif ph == "e":
+            key = (event.get("cat"), event.get("id"))
+            begin_ts = open_async.pop(key, None)
+            if begin_ts is None:
+                fail(f"async end {key} without matching begin")
+            if event["ts"] < begin_ts:
+                fail(f"async {key} ends at {event['ts']} "
+                     f"before its begin at {begin_ts}")
+            balanced += 1
+        elif ph == "i":
+            if event.get("s") not in ("t", "p", "g"):
+                fail(f"instant event {i} has invalid scope {event.get('s')}")
+        else:
+            fail(f"event {i} has unexpected ph {ph!r}")
+
+    if open_async:
+        fail(f"{len(open_async)} async begins never ended: "
+             f"{sorted(open_async)[:5]}")
+    if not named_pids:
+        fail("no process_name metadata records")
+
+    print(f"check_perfetto_trace: OK: {len(events)} events, "
+          f"{len(named_pids)} node tracks, {balanced} balanced async pairs")
+
+
+if __name__ == "__main__":
+    main()

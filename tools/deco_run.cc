@@ -52,6 +52,12 @@ void PrintUsage() {
       "  --telemetry_out=<f>      write run telemetry (sampler time series +\n"
       "                           window-lifecycle spans) as JSON to <f>\n"
       "  --telemetry_csv=<p>      also write <p>.samples.csv / <p>.spans.csv\n"
+      "  --trace_out=<f>          write a Chrome-trace-event/Perfetto JSON\n"
+      "                           trace (one track per node; open it in\n"
+      "                           https://ui.perfetto.dev) to <f>\n"
+      "  --trace_capacity=<n>     TraceSink cap on retained spans and hop\n"
+      "                           records (default 1048576; 0 = unbounded);\n"
+      "                           raise it when a run warns about truncation\n"
       "  --sample_interval_ms=<n> telemetry sampling period (default 50)\n"
       "  --log_level=<name>  debug|info|warning|error|fatal (default info)\n"
       "  --compare           also run Central and report correctness\n"
@@ -117,10 +123,14 @@ int main(int argc, char** argv) {
 
   config.telemetry.json_out = flags.GetString("telemetry_out", "");
   config.telemetry.csv_prefix = flags.GetString("telemetry_csv", "");
+  config.telemetry.perfetto_out = flags.GetString("trace_out", "");
+  config.telemetry.trace_capacity = static_cast<size_t>(
+      flags.GetInt("trace_capacity", 1 << 20));
   config.telemetry.sample_interval_nanos = static_cast<TimeNanos>(
       flags.GetInt("sample_interval_ms", 50) * kNanosPerMilli);
   config.telemetry.enabled = !config.telemetry.json_out.empty() ||
-                             !config.telemetry.csv_prefix.empty();
+                             !config.telemetry.csv_prefix.empty() ||
+                             !config.telemetry.perfetto_out.empty();
 
   auto result = RunExperiment(config);
   if (!result.ok()) return Fail(result.status());
