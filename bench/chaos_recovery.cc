@@ -38,57 +38,8 @@ using namespace deco;
 
 namespace {
 
-/// Linear interpolation of the fault-free value trajectory at `ts`;
-/// clamps outside the sampled range.
-double InterpolateTruth(const std::vector<GlobalWindowRecord>& truth,
-                        EventTime ts) {
-  const auto at_or_after = std::lower_bound(
-      truth.begin(), truth.end(), ts,
-      [](const GlobalWindowRecord& w, EventTime t) { return w.end_ts < t; });
-  if (at_or_after == truth.begin()) return truth.front().value;
-  if (at_or_after == truth.end()) return truth.back().value;
-  const GlobalWindowRecord& hi = *at_or_after;
-  const GlobalWindowRecord& lo = *(at_or_after - 1);
-  if (hi.end_ts == lo.end_ts) return hi.value;
-  const double frac = static_cast<double>(ts - lo.end_ts) /
-                      static_cast<double>(hi.end_ts - lo.end_ts);
-  return lo.value + frac * (hi.value - lo.value);
-}
-
-struct TailError {
-  double relative = 0.0;  ///< mean |chaos - truth| / mean |truth|
-  size_t compared = 0;    ///< windows entering the metric
-};
-
-/// Time-aligned relative error over the last `tail_fraction` of the chaos
-/// run's windows (the post-recovery steady state for the canonical
-/// schedule).
-TailError TimeAlignedTailError(const RunReport& truth,
-                               const RunReport& chaos,
-                               double tail_fraction) {
-  TailError result;
-  if (truth.windows.size() < 2 || chaos.windows.empty()) return result;
-  const size_t first =
-      chaos.windows.size() -
-      std::max<size_t>(1, static_cast<size_t>(
-                              static_cast<double>(chaos.windows.size()) *
-                              tail_fraction));
-  const EventTime truth_max = truth.windows.back().end_ts;
-  double abs_err_sum = 0.0;
-  double abs_truth_sum = 0.0;
-  for (size_t i = first; i < chaos.windows.size(); ++i) {
-    const GlobalWindowRecord& w = chaos.windows[i];
-    if (w.end_ts > truth_max) continue;  // truth run ended earlier
-    const double expected = InterpolateTruth(truth.windows, w.end_ts);
-    abs_err_sum += std::fabs(w.value - expected);
-    abs_truth_sum += std::fabs(expected);
-    ++result.compared;
-  }
-  if (result.compared > 0 && abs_truth_sum > 0.0) {
-    result.relative = abs_err_sum / abs_truth_sum;
-  }
-  return result;
-}
+// `InterpolateTruth` / `TimeAlignedTailError` live in metrics/report.h so
+// the chaos-fuzz test asserts the same <1% invariant this bench reports.
 
 /// First membership change of the requested kind, as an offset from the
 /// run start; negative when absent.

@@ -23,12 +23,24 @@ CentralizedRoot::CentralizedRoot(NetworkFabric* fabric, NodeId id,
 Status CentralizedRoot::Run() {
   DECO_ASSIGN_OR_RETURN(func_,
                         MakeAggregate(query_.aggregate, query_.quantile_q));
-  if (mode_ != CentralizedMode::kCentral) {
+  // The buffered sort-then-aggregate engine below emits once per `length`
+  // events — tumbling semantics. Sliding windows overlap, so Central must
+  // run the real window operator too (found by tests/differential_test.cc:
+  // Central used to silently treat sliding specs as tumbling).
+  if (mode_ != CentralizedMode::kCentral ||
+      query_.window.type == WindowType::kSliding) {
     DECO_ASSIGN_OR_RETURN(windower_, MakeWindower(query_.window, func_.get()));
   }
   report_->consumption = ConsumptionLog(topology_.num_locals());
 
-  if (mode_ == CentralizedMode::kScotty) return RunPipelined();
+  // Scotty pipelines decode on a helper thread for wall-clock throughput.
+  // Under the deterministic scheduler that inner thread would be an
+  // unmanaged source of interleaving, and virtual time makes pipelining
+  // free anyway — so sim mode runs the semantically identical sequential
+  // loop below instead.
+  if (mode_ == CentralizedMode::kScotty && fabric_->sim() == nullptr) {
+    return RunPipelined();
+  }
 
   while (!stop_requested()) {
     std::optional<Message> msg = Receive();
@@ -123,7 +135,7 @@ Status CentralizedRoot::DrainMerger() {
   double create_nanos = 0.0;
   size_t from_node = 0;
   while (merger_.PopNext(&event, &create_nanos, &from_node)) {
-    if (mode_ == CentralizedMode::kCentral) {
+    if (windower_ == nullptr) {
       DECO_RETURN_NOT_OK(
           ProcessEventBuffered(event, create_nanos, from_node));
     } else {

@@ -215,6 +215,26 @@ Status ChaosController::Start() {
   started_ = true;
   stop_requested_ = false;
   start_nanos_ = clock_->NowNanos();
+  if (sim_ != nullptr) {
+    // Sim mode: one timer event per compiled action. `ApplyDue` keeps the
+    // strictly-in-order firing contract even when offsets collide, and the
+    // events run serialized on the sim driver, so no firing thread exists.
+    for (const Action& action : actions_) {
+      const TimeNanos offset = action.at;
+      sim_->ScheduleAt(start_nanos_ + offset, [this, offset] {
+        {
+          std::lock_guard<std::mutex> stop_lock(thread_mu_);
+          if (stop_requested_) return;
+        }
+        Status status = ApplyDue(offset);
+        if (!status.ok()) {
+          DECO_LOG(ERROR) << "chaos: applying scheduled fault failed: "
+                          << status.ToString();
+        }
+      });
+    }
+    return Status::OK();
+  }
   thread_ = std::thread([this] { RunLoop(); });
   return Status::OK();
 }

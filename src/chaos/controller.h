@@ -70,8 +70,16 @@ class ChaosController {
   /// handle.
   Status Prepare(const ChaosSchedule& schedule);
 
-  /// \brief Starts the firing thread; offsets are measured from this call.
-  /// No-op for an empty action list.
+  /// \brief Deterministic simulation mode: `Start` registers every compiled
+  /// action as a timer event on `sim`'s queue instead of spawning the
+  /// firing thread, so faults land at exact virtual offsets and in a
+  /// reproducible order relative to all message deliveries. Call before
+  /// `Start`.
+  void SetSimScheduler(SimScheduler* sim) { sim_ = sim; }
+
+  /// \brief Starts the firing thread (or, in sim mode, schedules the
+  /// actions as timer events); offsets are measured from this call. No-op
+  /// for an empty action list.
   Status Start();
 
   /// \brief Stops the firing thread and joins it; pending future actions
@@ -118,6 +126,7 @@ class ChaosController {
 
   NetworkFabric* fabric_;
   Clock* clock_;
+  SimScheduler* sim_ = nullptr;
 
   std::map<std::string, std::shared_ptr<std::atomic<double>>> rate_handles_;
 

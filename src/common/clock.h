@@ -47,6 +47,35 @@ class SystemClock final : public Clock {
   static SystemClock* Default();
 };
 
+/// \brief Virtual clock owned by the deterministic simulation scheduler
+/// (`SimScheduler`, src/sim). Time never flows on its own: the scheduler
+/// advances it to the timestamp of the next due event when no task is
+/// runnable, which is what makes a simulated run independent of wall time.
+///
+/// Only the scheduler calls `AdvanceTo`; everything else reads it through
+/// the `Clock` interface exactly like `SystemClock`.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(TimeNanos start = 0) : now_(start) {}
+
+  TimeNanos NowNanos() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  /// \brief Jumps to an absolute time; ignored if `t` is in the past so the
+  /// clock stays monotone.
+  void AdvanceTo(TimeNanos t) {
+    TimeNanos current = now_.load(std::memory_order_relaxed);
+    while (t > current &&
+           !now_.compare_exchange_weak(current, t,
+                                       std::memory_order_acq_rel)) {
+    }
+  }
+
+ private:
+  std::atomic<TimeNanos> now_;
+};
+
 /// \brief Manually advanced clock for deterministic tests.
 ///
 /// Thread-safe: `Advance` and `NowNanos` may race; readers observe a

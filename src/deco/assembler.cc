@@ -431,6 +431,13 @@ void WindowAssembler::MarkCandidatesComplete(size_t node) {
   if (node < num_nodes_) candidates_complete_[node] = true;
 }
 
+void WindowAssembler::ClearCandidates(size_t node) {
+  if (node >= num_nodes_) return;
+  candidates_[node].clear();
+  candidates_present_[node] = false;
+  candidates_complete_[node] = false;
+}
+
 Status WindowAssembler::AddCandidates(size_t node, const EventVec& events,
                                       double create_mean) {
   if (node >= num_nodes_) {

@@ -175,6 +175,12 @@ class WindowAssembler {
   /// current correction.
   void MarkCandidatesComplete(size_t node);
 
+  /// \brief Discards node `node`'s candidate state so the root can
+  /// re-solicit its full retained region after a lost request/response
+  /// (drop or partition chaos); the fresh full response replaces, not
+  /// appends to, whatever this round had accumulated.
+  void ClearCandidates(size_t node);
+
   enum class CorrectionOutcome {
     kAssembled,  ///< exact window produced
     kNeedMore,   ///< request top-up batches from the nodes in `need_more`

@@ -67,7 +67,7 @@ Status DecoLocalNode::HandleCrash() {
       done_ = true;
       return Status::OK();
     }
-    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    SleepNanos(200 * kNanosPerMicro);
   }
 
   // Revived. Volatile protocol state is gone; the durable upstream queue
@@ -125,11 +125,12 @@ size_t DecoLocalNode::TakeRegion(size_t want, std::vector<TimedEvent>* out) {
   return served;
 }
 
-Status DecoLocalNode::BroadcastPeerRate(uint64_t w) {
+Status DecoLocalNode::BroadcastPeerRate(uint64_t w, bool end_of_stream) {
   RateReport report;
   report.window_index = w;
-  report.event_rate = source_->TotalRate();
+  report.event_rate = end_of_stream ? 0.0 : source_->TotalRate();
   report.stream_position = source_->position();
+  report.end_of_stream = end_of_stream;
   BinaryWriter writer;
   EncodeRateReport(report, &writer);
   const std::string payload = writer.buffer();
@@ -137,7 +138,9 @@ Status DecoLocalNode::BroadcastPeerRate(uint64_t w) {
   auto& row = peer_rates_[w];
   if (row.empty()) row.assign(topology_.num_locals(), 0.0);
   row[self_ordinal_] = report.event_rate;
-  ++peer_rates_received_[w];
+  auto& got = peer_rates_received_[w];
+  if (got.empty()) got.assign(topology_.num_locals(), false);
+  got[self_ordinal_] = true;
   for (size_t n = 0; n < topology_.num_locals(); ++n) {
     if (n == self_ordinal_) continue;
     Message msg;
@@ -153,8 +156,12 @@ Status DecoLocalNode::BroadcastPeerRate(uint64_t w) {
 
 bool DecoLocalNode::PeerRatesComplete(uint64_t w) const {
   auto it = peer_rates_received_.find(w);
-  return it != peer_rates_received_.end() &&
-         it->second >= topology_.num_locals();
+  for (size_t n = 0; n < topology_.num_locals(); ++n) {
+    const bool reported =
+        it != peer_rates_received_.end() && it->second[n];
+    if (!reported && !peer_eos_[n]) return false;
+  }
+  return true;
 }
 
 Status DecoLocalNode::SendRateReport(uint64_t w) {
@@ -361,7 +368,10 @@ Status DecoLocalNode::HandleControl(const Message& msg) {
       auto& row = peer_rates_[report.window_index];
       if (row.empty()) row.assign(topology_.num_locals(), 0.0);
       row[ordinal] = report.event_rate;
-      ++peer_rates_received_[report.window_index];
+      auto& got = peer_rates_received_[report.window_index];
+      if (got.empty()) got.assign(topology_.num_locals(), false);
+      got[ordinal] = true;
+      if (report.end_of_stream) peer_eos_[ordinal] = true;
       return Status::OK();
     }
     case MessageType::kShutdown:
@@ -397,6 +407,7 @@ Status DecoLocalNode::HandleCorrectionRequest(const Message& msg) {
   }
   CorrectionResponse response;
   response.window_index = request.window_index;
+  response.round = request.round;
   Message out;
   if (request.topup_events == 0) {
     DECO_LOG(DEBUG) << "local " << id_ << ": correction w"
@@ -453,6 +464,7 @@ Status DecoLocalNode::HandleCorrectionRequest(const Message& msg) {
 
 template <typename Pred>
 Status DecoLocalNode::BlockUntil(Pred predicate) {
+  TimeNanos last_heard = NowNanos();
   while (!predicate() && !done_ && !stop_requested() && !crashed_) {
     // Poll rather than block indefinitely: a chaos crash is only visible
     // through the fabric flag (messages to a down node never arrive), so a
@@ -465,8 +477,17 @@ Status DecoLocalNode::BlockUntil(Pred predicate) {
         break;
       }
       if (fabric_->IsNodeDown(id_)) crashed_ = true;
+      if (!crashed_ && options_.heartbeat_nanos > 0 &&
+          NowNanos() - last_heard >= options_.heartbeat_nanos) {
+        // Prolonged silence: either the root is mid-correction (harmless
+        // to ping) or it removed this node on a false suspicion and will
+        // only re-admit it when it hears from it.
+        last_heard = NowNanos();
+        DECO_RETURN_NOT_OK(SendRateReport(last_assignment_window_));
+      }
       continue;
     }
+    last_heard = NowNanos();
     DECO_RETURN_NOT_OK(HandleControl(*msg));
   }
   return Status::OK();
@@ -477,6 +498,7 @@ Status DecoLocalNode::Run() {
   DECO_ASSIGN_OR_RETURN(func_,
                         MakeAggregate(query_.aggregate, query_.quantile_q));
   DECO_ASSIGN_OR_RETURN(self_ordinal_, topology_.OrdinalOf(id_));
+  peer_eos_.assign(topology_.num_locals(), false);
 
   // Initialization: report the observed rate so the root can apportion the
   // first global window (all schemes; Deco_mon repeats this per window).
@@ -537,6 +559,12 @@ Status DecoLocalNode::Run() {
     if (source_->exhausted() && cursor_ == retained_.size()) {
       // Everything produced and shipped; tell the root and stay responsive
       // for corrections until it shuts us down.
+      if (options_.peer_rate_exchange && !peer_eos_sent_) {
+        // Final broadcast: peers must not wait on rate reports from a
+        // node that will never send another one.
+        peer_eos_sent_ = true;
+        DECO_RETURN_NOT_OK(BroadcastPeerRate(w, /*end_of_stream=*/true));
+      }
       if (!eos_sent_) {
         eos_sent_ = true;
         Message msg;

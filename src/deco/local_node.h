@@ -52,6 +52,14 @@ struct DecoLocalOptions {
   /// Delta divisor used by the peer-exchange mode (no root predictor is
   /// available): delta = max(1, size / divisor).
   uint64_t peer_delta_divisor = 8;
+
+  /// While blocked with no traffic from the root for this long, re-send
+  /// the rate report as a liveness heartbeat. A node removed by a false
+  /// suspicion (partitioned or slow, never crashed) has no other way to
+  /// resurface: it blocks on an assignment the root stopped sending, and
+  /// the root re-admits a removed node the moment it hears from it.
+  /// 0 disables.
+  TimeNanos heartbeat_nanos = 50 * kNanosPerMilli;
 };
 
 /// \brief Deco local node actor.
@@ -101,9 +109,12 @@ class DecoLocalNode final : public Actor {
   Status SendRateReport(uint64_t w);
 
   /// Deco_monlocal: broadcast this node's rate to the other local nodes.
-  Status BroadcastPeerRate(uint64_t w);
+  /// `end_of_stream` marks the node's final broadcast (stream exhausted);
+  /// peers then stop waiting for its reports on any later window.
+  Status BroadcastPeerRate(uint64_t w, bool end_of_stream = false);
 
-  /// Deco_monlocal: true once all peer rates for window `w` arrived.
+  /// Deco_monlocal: true once every peer has either reported a rate for
+  /// window `w` or announced end-of-stream.
   bool PeerRatesComplete(uint64_t w) const;
 
   Topology topology_;
@@ -150,10 +161,17 @@ class DecoLocalNode final : public Actor {
   // after every rollback.
   bool need_slack_window_ = true;
 
-  // Deco_monlocal peer-exchange state.
+  // Deco_monlocal peer-exchange state. `peer_rates_received_[w][n]` marks
+  // an explicit report from ordinal n for window w; `peer_eos_[n]` means
+  // ordinal n exhausted its stream and counts as rate 0 for every window
+  // it did not explicitly report (it will never report again — waiting for
+  // it deadlocked the whole topology before differential testing found
+  // it). `peer_eos_sent_` guards this node's own final broadcast.
   size_t self_ordinal_ = 0;
   std::map<uint64_t, std::vector<double>> peer_rates_;
-  std::map<uint64_t, size_t> peer_rates_received_;
+  std::map<uint64_t, std::vector<bool>> peer_rates_received_;
+  std::vector<bool> peer_eos_;
+  bool peer_eos_sent_ = false;
 };
 
 }  // namespace deco

@@ -53,11 +53,11 @@ DecoRootNode::DecoRootNode(NetworkFabric* fabric, NodeId id, Clock* clock,
 bool DecoRootNode::RatesComplete(uint64_t w) const {
   auto it = rates_received_.find(w);
   if (it == rates_received_.end()) return false;
-  size_t live = 0;
   for (size_t n = 0; n < topology_.num_locals(); ++n) {
-    if (!assembler_->IsRemoved(n) && !assembler_->IsEos(n)) ++live;
+    if (assembler_->IsRemoved(n) || assembler_->IsEos(n)) continue;
+    if (!it->second[n]) return false;
   }
-  return it->second >= live;
+  return true;
 }
 
 Status DecoRootNode::Run() {
@@ -81,6 +81,8 @@ Status DecoRootNode::Run() {
   last_consumed_.assign(m, 0);
   latest_rates_.assign(m, 0.0);
   correction_responded_.assign(m, false);
+  correction_round_.assign(m, 0);
+  correction_requested_at_.assign(m, 0);
   last_heard_.assign(m, NowNanos());
   report_->consumption = ConsumptionLog(m);
   report_->scheme = DecoSchemeToString(scheme_);
@@ -93,10 +95,16 @@ Status DecoRootNode::Run() {
             : Receive();
     if (msg.has_value()) {
       DECO_RETURN_NOT_OK(Dispatch(*msg));
-    } else if (options_.node_timeout_nanos > 0) {
-      DECO_RETURN_NOT_OK(CheckNodeTimeouts());
-    } else {
+    } else if (options_.node_timeout_nanos == 0) {
       break;  // mailbox closed
+    }
+    if (options_.node_timeout_nanos > 0) {
+      // Checked on every iteration, not only on a receive timeout:
+      // steady chatter (liveness heartbeats, rate reports) would
+      // otherwise keep the receive from ever timing out and starve the
+      // failure detector — and with it the correction retry and the
+      // window-stall repair.
+      DECO_RETURN_NOT_OK(CheckNodeTimeouts());
     }
     DECO_RETURN_NOT_OK(Progress());
   }
@@ -108,6 +116,20 @@ Status DecoRootNode::Dispatch(const Message& msg) {
   last_heard_[node] = NowNanos();
   causal_msg_id_ = MessageCausalId(msg);
   assembler_->set_causal_msg_id(causal_msg_id_);
+  if (assembler_->IsRemoved(node) && msg.type != MessageType::kRejoin) {
+    // False suspicion: a removed node is still talking, so it was
+    // partitioned or slow, not dead — and it has no way to learn of its
+    // removal (only a crash victim announces kRejoin, on revival). Any
+    // message proves liveness: re-admit it. The message itself is dropped
+    // (its epoch predates the removal rollback); the readmission
+    // correction re-solicits the node's full retained region, so nothing
+    // it buffered is lost. Found by tests/chaos_fuzz_test.cc: a healed
+    // partition used to leave the victim producing into the void for the
+    // rest of the run.
+    RateReport report;
+    report.event_rate = latest_rates_[node];
+    return HandleRejoin(node, report);
+  }
   switch (msg.type) {
     case MessageType::kEventRate: {
       BinaryReader reader(msg.payload);
@@ -116,7 +138,9 @@ Status DecoRootNode::Dispatch(const Message& msg) {
       if (row.empty()) row.assign(topology_.num_locals(), 0.0);
       row[node] = report.event_rate;
       latest_rates_[node] = report.event_rate;
-      ++rates_received_[report.window_index];
+      auto& got = rates_received_[report.window_index];
+      if (got.empty()) got.assign(topology_.num_locals(), false);
+      got[node] = true;
       return Status::OK();
     }
     case MessageType::kPartialResult: {
@@ -147,11 +171,21 @@ Status DecoRootNode::Dispatch(const Message& msg) {
                         << msg.epoch << " vs " << epoch_ << ")";
         return Status::OK();  // late response from an older correction
       }
-      DECO_LOG(DEBUG) << "root: correction response from " << node
-                      << " bytes=" << msg.payload.size();
       BinaryReader reader(msg.payload);
       DECO_ASSIGN_OR_RETURN(CorrectionResponse response,
                             DecodeCorrectionResponse(&reader));
+      if (response.round != correction_round_[node] ||
+          correction_responded_[node]) {
+        // A delayed response overtaken by a lost-message retry (or a
+        // duplicate): the latest round's full resend supersedes it, and
+        // accepting both would double-count the overlap.
+        DECO_LOG(DEBUG) << "root: dropping superseded correction response "
+                        << "from " << node << " (round " << response.round
+                        << " vs " << correction_round_[node] << ")";
+        return Status::OK();
+      }
+      DECO_LOG(DEBUG) << "root: correction response from " << node
+                      << " bytes=" << msg.payload.size();
       if (response.end_of_stream) assembler_->MarkCandidatesComplete(node);
       correction_responded_[node] = true;
       return assembler_->AddCandidates(node, response.events,
@@ -257,6 +291,8 @@ Status DecoRootNode::SendCorrectionRequest(size_t node, uint64_t topup) {
   request.wm_ts = last_watermark_.ts;
   request.wm_stream = last_watermark_.stream;
   request.wm_id = last_watermark_.id;
+  request.round = ++correction_round_[node];
+  correction_requested_at_[node] = NowNanos();
   BinaryWriter writer;
   EncodeCorrectionRequest(request, &writer);
   Message msg;
@@ -562,6 +598,28 @@ Status DecoRootNode::BroadcastShutdown() {
 
 Status DecoRootNode::CheckNodeTimeouts() {
   const TimeNanos now = NowNanos();
+  bool stalled = false;
+  if (assembler_->correcting() ||
+      assembler_->next_window() != stall_window_) {
+    // Progress (or an in-flight correction, which has its own per-node
+    // retry): restart the stall timer.
+    stall_window_ = assembler_->next_window();
+    stall_since_ = now;
+  } else if (now - stall_since_ > 2 * options_.node_timeout_nanos) {
+    // The current window has been unassemblable for two full timeouts
+    // with every contributor alive: some data-plane message (a partial,
+    // an event batch, an assignment) was lost to drop/partition chaos.
+    // A correction re-solicits the full retained region of every live
+    // node, which re-covers whatever was dropped. The 2x margin keeps a
+    // slow-but-progressing window (low rate, large window) from paying
+    // a spurious correction. Found by tests/chaos_fuzz_test.cc: a
+    // dropped deco-async partial stalled the run until the virtual-time
+    // limit while heartbeats kept all nodes admitted.
+    DECO_LOG(WARNING) << "deco root: window " << stall_window_
+                      << " stalled with all nodes live; correcting";
+    stall_since_ = now;
+    stalled = true;
+  }
   bool removed_any = false;
   for (size_t n = 0; n < topology_.num_locals(); ++n) {
     if (assembler_->IsRemoved(n) || assembler_->IsEos(n)) continue;
@@ -584,9 +642,24 @@ Status DecoRootNode::CheckNodeTimeouts() {
           MembershipEvent{now, n, /*rejoined=*/false});
       NodesRemovedCounter()->Increment();
       removed_any = true;
+    } else if (assembler_->correcting() && !correction_responded_[n] &&
+               now - correction_requested_at_[n] >
+                   options_.node_timeout_nanos) {
+      // The node is alive (its heartbeats refresh `last_heard_`, so the
+      // removal branch above can never fire) yet its correction response
+      // is overdue: the request or the response was lost to drop/partition
+      // chaos, and neither side will ever resend on its own. Re-solicit
+      // the full retained region under a fresh round; the round check on
+      // arrival discards the original if it was merely delayed. Found by
+      // tests/chaos_fuzz_test.cc (seed 29): a response dropped during a
+      // rejoin correction stalled deco-sync until the virtual-time limit.
+      DECO_LOG(WARNING) << "deco root: local node " << topology_.locals[n]
+                        << " correction response overdue; re-soliciting";
+      assembler_->ClearCandidates(n);
+      DECO_RETURN_NOT_OK(SendCorrectionRequest(n, /*topup=*/0));
     }
   }
-  if (removed_any && !assembler_->correcting()) {
+  if ((removed_any || stalled) && !assembler_->correcting()) {
     // Rebuild the current window from the surviving nodes (paper §4.3.4:
     // "the root node then starts the correction step").
     DECO_RETURN_NOT_OK(StartCorrection());

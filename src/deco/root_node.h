@@ -119,8 +119,11 @@ class DecoRootNode final : public Actor {
   std::vector<double> latest_rates_;
 
   // Rate reports per window (mon every window; others only window 0).
+  // `rates_received_[w][n]` is a per-node flag, not a count: blocked local
+  // nodes re-send their report as a liveness heartbeat, and duplicates
+  // must not satisfy `RatesComplete` early.
   std::map<uint64_t, std::vector<double>> rates_;
-  std::map<uint64_t, size_t> rates_received_;
+  std::map<uint64_t, std::vector<bool>> rates_received_;
 
   // Assignment gating: the next window whose assignment has not been sent.
   uint64_t assignment_window_ = 0;
@@ -147,12 +150,27 @@ class DecoRootNode final : public Actor {
   // on fresh rate reports (exhausted locals never send them — deadlock).
   bool last_window_corrected_ = false;
 
-  // Correction bookkeeping.
+  // Correction bookkeeping. `correction_round_` is the per-node round id
+  // carried by the latest solicitation (responses to older rounds are
+  // stale); `correction_requested_at_` drives the lost-message retry in
+  // `CheckNodeTimeouts` — liveness heartbeats keep an unresponsive-but-
+  // alive node from ever timing out, so without a retry a single dropped
+  // request/response would stall the correction forever.
   std::vector<bool> correction_responded_;
+  std::vector<uint64_t> correction_round_;
+  std::vector<TimeNanos> correction_requested_at_;
   uint64_t correction_window_ = 0;
 
   // Failure detection.
   std::vector<TimeNanos> last_heard_;
+
+  // Window-stall detection: `next_window()` and the time it last changed.
+  // A dropped data-plane message (partial, event batch, assignment) leaves
+  // the current window unassemblable while later traffic keeps every node
+  // alive, so neither the removal path nor the correction retry ever
+  // fires; a stalled window is repaired with a correction instead.
+  uint64_t stall_window_ = 0;
+  TimeNanos stall_since_ = 0;
 };
 
 }  // namespace deco

@@ -89,6 +89,13 @@ Status ExperimentConfig::Validate() const {
         "session windows have no fixed size; the harness drives count "
         "windows (use the windowing library directly)");
   }
+  if (scheme == Scheme::kApprox &&
+      query.window.type == WindowType::kSliding) {
+    return Status::NotSupported(
+        "the approx baseline estimates tumbling window boundaries only; a "
+        "sliding spec would silently degrade to tumbling (found by "
+        "tests/differential_test.cc)");
+  }
   const auto agg = MakeAggregate(query.aggregate, query.quantile_q);
   DECO_RETURN_NOT_OK(agg.status());
   if (IsDecentralized(scheme) && !(*agg)->IsDecomposable()) {
@@ -169,8 +176,20 @@ IngestConfig MakeIngestConfig(const ExperimentConfig& config,
 
 Result<RunReport> RunExperiment(const ExperimentConfig& config) {
   DECO_RETURN_NOT_OK(config.Validate());
+  // Sim mode: one scheduler owns the virtual clock and every scheduling
+  // decision. Declared before the fabric so it outlives it (the fabric may
+  // hold queued delivery events referencing fabric state).
+  std::unique_ptr<SimScheduler> sim;
   Clock* clock = SystemClock::Default();
+  if (config.sim) {
+    sim = std::make_unique<SimScheduler>(config.seed);
+    if (config.sim_time_limit_nanos > 0) {
+      sim->SetVirtualTimeLimit(config.sim_time_limit_nanos);
+    }
+    clock = sim->clock();
+  }
   NetworkFabric fabric(clock, config.seed);
+  if (sim != nullptr) fabric.SetSimScheduler(sim.get());
 
   Topology topology;
   topology.root = fabric.RegisterNode("root");
@@ -202,6 +221,7 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
   std::vector<std::shared_ptr<std::atomic<double>>> rate_handles;
   if (!config.chaos.schedule.empty()) {
     chaos = std::make_unique<ChaosController>(&fabric, clock);
+    if (sim != nullptr) chaos->SetSimScheduler(sim.get());
     for (size_t i = 0; i < config.num_locals; ++i) {
       rate_handles.push_back(std::make_shared<std::atomic<double>>(1.0));
       chaos->AddRateHandle("local-" + std::to_string(i), rate_handles[i]);
@@ -300,14 +320,23 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
     TraceSink::Install(trace_sink.get());
     sampler = std::make_unique<Sampler>(
         clock, &fabric, MetricRegistry::Global(),
-        config.telemetry.sample_interval_nanos);
+        config.telemetry.sample_interval_nanos, sim.get());
     sampler->Start();
   }
 
   const TimeNanos start = clock->NowNanos();
   runtime.StartAll();
   if (chaos != nullptr) DECO_RETURN_NOT_OK(chaos->Start());
-  root_actor->Join();
+  Status sim_run = Status::OK();
+  if (sim != nullptr) {
+    // Drive the simulation until the root finishes. On a sim error
+    // (deadlock, virtual-time limit) the root task never completes, so its
+    // thread must not be joined before the teardown below unblocks it.
+    sim_run = sim->RunUntilTaskDone(root_actor->sim_task());
+    if (sim_run.ok()) root_actor->Join();
+  } else {
+    root_actor->Join();
+  }
   const TimeNanos end = clock->NowNanos();
 
   // Stop fault injection before tearing the topology down: a crash fired
@@ -321,7 +350,16 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
 
   runtime.StopAll();
   fabric.Shutdown();
-  DECO_RETURN_NOT_OK(runtime.JoinAll());
+  if (sim != nullptr) {
+    // Wind the surviving tasks down in virtual time. Every remaining wait
+    // is unblockable by now — mailboxes closed, stop flags set, sleeps
+    // carry finite virtual deadlines — so the drain always terminates.
+    const Status drained = sim->DrainAll();
+    if (sim_run.ok() && !drained.ok()) sim_run = drained;
+  }
+  const Status joined = runtime.JoinAll();
+  DECO_RETURN_NOT_OK(sim_run);
+  DECO_RETURN_NOT_OK(joined);
 
   report.scheme = SchemeToString(config.scheme);
   report.wall_seconds = static_cast<double>(end - start) /
@@ -332,6 +370,7 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
                 report.wall_seconds
           : 0.0;
   report.network = fabric.Stats();
+  report.delivery_hash = fabric.delivery_hash();
 
   if (config.telemetry.enabled) {
     TelemetryLog log;

@@ -139,6 +139,20 @@ struct ExperimentConfig {
   /// Base PRNG seed; all stream seeds derive from it deterministically.
   uint64_t seed = 42;
 
+  /// Deterministic simulation mode (DESIGN.md §8, deco_run `--sim`). The
+  /// run executes under a single-runnable-thread virtual-time scheduler
+  /// seeded with `seed`: link latency, shaping, mailbox wakeups, chaos
+  /// actions and telemetry ticks all become events on one priority queue,
+  /// so the whole run — message order, reports, byte counters — replays
+  /// byte-identically from `(config, seed)` and sleeps cost no wall time.
+  /// Note: virtual time only advances through waits, so chaos offsets only
+  /// land mid-stream if the run is paced (set `cpu_events_per_sec`).
+  bool sim = false;
+
+  /// Sim mode only: abort with an error once virtual time would exceed
+  /// this (0 = unlimited). Guards fuzz tests against virtual livelock.
+  TimeNanos sim_time_limit_nanos = 0;
+
   /// Deco tuning knobs.
   DecoRootOptions root_options;
   DecoLocalOptions local_options;

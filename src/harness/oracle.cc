@@ -1,0 +1,105 @@
+#include "harness/oracle.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "baseline/root_merger.h"
+#include "node/stream_set.h"
+#include "window/window.h"
+
+namespace deco {
+
+namespace {
+
+// Every local node's full event budget, regenerated from the config's
+// seeds. Index = node ordinal; events are in the node's local merged order
+// (the order every scheme consumes them in).
+Result<std::vector<EventVec>> RegenerateLocalStreams(
+    const ExperimentConfig& config) {
+  std::vector<EventVec> locals(config.num_locals);
+  for (size_t i = 0; i < config.num_locals; ++i) {
+    const IngestConfig ingest = MakeIngestConfig(config, i);
+    StreamSet streams(ingest.streams);
+    locals[i].reserve(static_cast<size_t>(config.events_per_local));
+    streams.NextBatch(static_cast<size_t>(config.events_per_local),
+                      &locals[i]);
+  }
+  return locals;
+}
+
+}  // namespace
+
+Result<OracleReference> ComputeOracleReference(
+    const ExperimentConfig& config) {
+  DECO_ASSIGN_OR_RETURN(
+      auto func, MakeAggregate(config.query.aggregate, config.query.quantile_q));
+  DECO_ASSIGN_OR_RETURN(auto windower,
+                        MakeWindower(config.query.window, func.get()));
+  DECO_ASSIGN_OR_RETURN(std::vector<EventVec> locals,
+                        RegenerateLocalStreams(config));
+
+  RootMerger merger(config.num_locals);
+  for (size_t i = 0; i < config.num_locals; ++i) {
+    merger.Append(i, std::move(locals[i]), 0.0);
+    merger.MarkEos(i);
+  }
+
+  OracleReference ref;
+  ref.consumption = ConsumptionLog(config.num_locals);
+  std::vector<uint64_t> node_counts(config.num_locals, 0);
+  std::vector<WindowResult> closed;
+  Event event;
+  double create_nanos = 0.0;
+  size_t from_node = 0;
+  while (merger.PopNext(&event, &create_nanos, &from_node)) {
+    ++node_counts[from_node];
+    closed.clear();
+    DECO_RETURN_NOT_OK(windower->Add(event, &closed));
+    for (const WindowResult& result : closed) {
+      GlobalWindowRecord record;
+      record.window_index = ref.windows.size();
+      record.value = result.value;
+      record.event_count = result.event_count;
+      record.end_ts = result.end_time;
+      ref.windows.push_back(record);
+      ref.consumption.AddWindow(node_counts);
+      std::fill(node_counts.begin(), node_counts.end(), 0);
+      ref.events_processed += result.event_count;
+    }
+  }
+  return ref;
+}
+
+Result<std::vector<double>> RecomputeWindowValues(
+    const ExperimentConfig& config, const ConsumptionLog& consumption) {
+  if (consumption.num_nodes() != config.num_locals) {
+    return Status::InvalidArgument(
+        "consumption log width does not match the config's node count");
+  }
+  DECO_ASSIGN_OR_RETURN(
+      auto func, MakeAggregate(config.query.aggregate, config.query.quantile_q));
+  DECO_ASSIGN_OR_RETURN(std::vector<EventVec> locals,
+                        RegenerateLocalStreams(config));
+
+  std::vector<size_t> position(config.num_locals, 0);
+  std::vector<double> values;
+  values.reserve(consumption.num_windows());
+  for (size_t w = 0; w < consumption.num_windows(); ++w) {
+    Partial partial = func->CreatePartial();
+    const std::vector<uint64_t>& counts = consumption.window(w);
+    for (size_t n = 0; n < config.num_locals; ++n) {
+      if (position[n] + counts[n] > locals[n].size()) {
+        return Status::InvalidArgument(
+            "consumption log claims more events than node " +
+            std::to_string(n) + " ever produced");
+      }
+      for (uint64_t k = 0; k < counts[n]; ++k) {
+        func->Accumulate(&partial, locals[n][position[n]++].value);
+      }
+    }
+    values.push_back(func->Finalize(partial));
+  }
+  return values;
+}
+
+}  // namespace deco

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "harness/experiment.h"
+
+/// \file oracle.h
+/// \brief Single-threaded reference oracle for differential testing.
+///
+/// `ComputeOracleReference` replays the exact event streams an
+/// `ExperimentConfig` describes — the same `MakeIngestConfig` seeds, the
+/// same per-node `StreamSet` merge, the same root-side k-way merge — with
+/// no threads, no fabric and no scheduler, and windows them with the
+/// library's own window operator. The result is the Central ground truth
+/// computed by construction rather than by running the Central scheme,
+/// which makes it an *independent* witness: a bug that breaks Central and
+/// a distributed scheme the same way still diverges from the oracle.
+///
+/// The differential test (tests/differential_test.cc) runs every scheme in
+/// sim mode against this reference: exact schemes must reproduce the
+/// oracle's windows and consumption; approximate schemes must stay within
+/// their documented error bounds.
+
+namespace deco {
+
+/// \brief Ground-truth result of one experiment configuration.
+struct OracleReference {
+  /// Windows in global `(timestamp, stream, id)` order; `value`,
+  /// `event_count` and `end_ts` are filled, latency fields are zero (the
+  /// oracle has no notion of processing time).
+  std::vector<GlobalWindowRecord> windows;
+
+  /// Per-window, per-node consumed counts, bookkept exactly the way
+  /// `CentralizedRoot` does (counts reset at every window close).
+  ConsumptionLog consumption;
+
+  /// Events covered by the emitted windows.
+  uint64_t events_processed = 0;
+};
+
+/// \brief Computes the reference result for `config` single-threadedly.
+/// Only `config`'s query/topology/stream fields matter; `scheme`, network
+/// shaping and chaos are ignored (the oracle models a perfect network).
+Result<OracleReference> ComputeOracleReference(const ExperimentConfig& config);
+
+/// \brief Recomputes each window's aggregate from a run's own consumption
+/// log: window `w`'s value is re-derived by pulling exactly
+/// `consumption.window(w)[n]` events from node `n`'s regenerated stream, in
+/// stream order. For tumbling count windows this checks a run's
+/// *self-consistency* — the reported value must be the aggregate of the
+/// events the run claims to have consumed — independently of whether those
+/// events match the oracle's window boundaries. This is the exactness
+/// notion that applies to Deco-async, whose window boundaries may legally
+/// deviate from the global order while every reported value must still be
+/// the true aggregate of a contiguous per-node consumption.
+Result<std::vector<double>> RecomputeWindowValues(
+    const ExperimentConfig& config, const ConsumptionLog& consumption);
+
+}  // namespace deco

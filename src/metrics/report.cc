@@ -1,5 +1,7 @@
 #include "metrics/report.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace deco {
@@ -17,6 +19,178 @@ std::string RunReport::Summary() const {
       static_cast<double>(network.total_bytes) / 1e6, BytesPerEvent(),
       static_cast<unsigned long long>(correction_steps));
   return buf;
+}
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  *out += buf;
+}
+
+// %.17g round-trips every finite double, so equal doubles — and only equal
+// doubles — render identically. Non-finite values have no JSON literal;
+// they are rendered as null.
+void AppendDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    *out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string RunReportJson(const RunReport& report) {
+  std::string out;
+  out.reserve(4096 + report.windows.size() * 96);
+  out += "{\"scheme\":\"";
+  out += report.scheme;
+  out += "\",\"events_processed\":";
+  AppendU64(&out, report.events_processed);
+  out += ",\"windows_emitted\":";
+  AppendU64(&out, report.windows_emitted);
+  out += ",\"correction_steps\":";
+  AppendU64(&out, report.correction_steps);
+  out += ",\"wall_seconds\":";
+  AppendDouble(&out, report.wall_seconds);
+  out += ",\"throughput_eps\":";
+  AppendDouble(&out, report.throughput_eps);
+  out += ",\"delivery_hash\":";
+  AppendU64(&out, report.delivery_hash);
+
+  out += ",\"latency\":{\"count\":";
+  AppendU64(&out, report.latency.count());
+  out += ",\"mean\":";
+  AppendDouble(&out, report.latency.mean());
+  out += ",\"min\":";
+  AppendI64(&out, report.latency.min());
+  out += ",\"max\":";
+  AppendI64(&out, report.latency.max());
+  out += ",\"p99\":";
+  AppendI64(&out, report.latency.Percentile(0.99));
+  out += "}";
+
+  out += ",\"network\":{\"total_messages\":";
+  AppendU64(&out, report.network.total_messages);
+  out += ",\"total_bytes\":";
+  AppendU64(&out, report.network.total_bytes);
+  out += ",\"total_dropped\":";
+  AppendU64(&out, report.network.total_dropped);
+  out += ",\"per_node\":[";
+  for (size_t i = 0; i < report.network.per_node.size(); ++i) {
+    const NodeTrafficStats& node = report.network.per_node[i];
+    if (i > 0) out += ",";
+    out += "{\"messages_sent\":";
+    AppendU64(&out, node.messages_sent);
+    out += ",\"bytes_sent\":";
+    AppendU64(&out, node.bytes_sent);
+    out += ",\"messages_received\":";
+    AppendU64(&out, node.messages_received);
+    out += ",\"bytes_received\":";
+    AppendU64(&out, node.bytes_received);
+    out += "}";
+  }
+  out += "]}";
+
+  out += ",\"membership\":[";
+  for (size_t i = 0; i < report.membership.size(); ++i) {
+    const MembershipEvent& event = report.membership[i];
+    if (i > 0) out += ",";
+    out += "{\"node\":";
+    AppendU64(&out, event.node);
+    out += ",\"rejoined\":";
+    out += event.rejoined ? "true" : "false";
+    out += ",\"offset_nanos\":";
+    AppendI64(&out, event.at_nanos - report.start_wall_nanos);
+    out += "}";
+  }
+  out += "]";
+
+  out += ",\"windows\":[";
+  for (size_t i = 0; i < report.windows.size(); ++i) {
+    const GlobalWindowRecord& w = report.windows[i];
+    if (i > 0) out += ",";
+    out += "{\"index\":";
+    AppendU64(&out, w.window_index);
+    out += ",\"value\":";
+    AppendDouble(&out, w.value);
+    out += ",\"event_count\":";
+    AppendU64(&out, w.event_count);
+    out += ",\"end_ts\":";
+    AppendI64(&out, w.end_ts);
+    out += ",\"mean_latency_nanos\":";
+    AppendDouble(&out, w.mean_latency_nanos);
+    out += ",\"corrected\":";
+    out += w.corrected ? "true" : "false";
+    out += "}";
+  }
+  out += "]";
+
+  out += ",\"consumption\":[";
+  for (size_t w = 0; w < report.consumption.num_windows(); ++w) {
+    if (w > 0) out += ",";
+    out += "[";
+    const std::vector<uint64_t>& counts = report.consumption.window(w);
+    for (size_t n = 0; n < counts.size(); ++n) {
+      if (n > 0) out += ",";
+      AppendU64(&out, counts[n]);
+    }
+    out += "]";
+  }
+  out += "]}";
+  return out;
+}
+
+double InterpolateTruth(const std::vector<GlobalWindowRecord>& truth,
+                        EventTime ts) {
+  const auto at_or_after = std::lower_bound(
+      truth.begin(), truth.end(), ts,
+      [](const GlobalWindowRecord& w, EventTime t) { return w.end_ts < t; });
+  if (at_or_after == truth.begin()) return truth.front().value;
+  if (at_or_after == truth.end()) return truth.back().value;
+  const GlobalWindowRecord& hi = *at_or_after;
+  const GlobalWindowRecord& lo = *(at_or_after - 1);
+  if (hi.end_ts == lo.end_ts) return hi.value;
+  const double frac = static_cast<double>(ts - lo.end_ts) /
+                      static_cast<double>(hi.end_ts - lo.end_ts);
+  return lo.value + frac * (hi.value - lo.value);
+}
+
+TailError TimeAlignedTailError(const RunReport& truth, const RunReport& probe,
+                               double tail_fraction) {
+  TailError result;
+  if (truth.windows.size() < 2 || probe.windows.empty()) return result;
+  const size_t first =
+      probe.windows.size() -
+      std::max<size_t>(1, static_cast<size_t>(
+                              static_cast<double>(probe.windows.size()) *
+                              tail_fraction));
+  const EventTime truth_max = truth.windows.back().end_ts;
+  double abs_err_sum = 0.0;
+  double abs_truth_sum = 0.0;
+  for (size_t i = first; i < probe.windows.size(); ++i) {
+    const GlobalWindowRecord& w = probe.windows[i];
+    if (w.end_ts > truth_max) continue;  // truth run ended earlier
+    const double expected = InterpolateTruth(truth.windows, w.end_ts);
+    abs_err_sum += std::fabs(w.value - expected);
+    abs_truth_sum += std::fabs(expected);
+    ++result.compared;
+  }
+  if (result.compared > 0 && abs_truth_sum > 0.0) {
+    result.relative = abs_err_sum / abs_truth_sum;
+  }
+  return result;
 }
 
 }  // namespace deco

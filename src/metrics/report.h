@@ -77,6 +77,12 @@ struct RunReport {
   /// Per-window, per-node consumed counts (for the correctness metric).
   ConsumptionLog consumption;
 
+  /// Order-sensitive digest of every fabric delivery (sim mode only;
+  /// 0 outside it). Two sim runs delivered the same messages in the same
+  /// virtual order iff the hashes match — the determinism regression
+  /// test's message-order witness.
+  uint64_t delivery_hash = 0;
+
   /// \brief Network bytes sent per processed event.
   double BytesPerEvent() const {
     return events_processed == 0
@@ -88,5 +94,32 @@ struct RunReport {
   /// \brief One-line human-readable summary.
   std::string Summary() const;
 };
+
+/// \brief Canonical JSON rendering of a full report. Deterministic: fixed
+/// key order, integers as-is, doubles printed with %.17g (round-trip
+/// exact), no timestamps beyond what the report itself carries. In sim
+/// mode two runs of the same `(config, seed)` must produce byte-identical
+/// output — the determinism regression test diffs these strings.
+std::string RunReportJson(const RunReport& report);
+
+/// \brief Result of `TimeAlignedTailError`.
+struct TailError {
+  double relative = 0.0;  ///< mean |probe - truth| / mean |truth|
+  size_t compared = 0;    ///< windows entering the metric
+};
+
+/// \brief Linear interpolation of a (fault-free) run's value trajectory at
+/// event-time `ts`. `truth` must be non-empty and sorted by `end_ts` (the
+/// natural window order).
+double InterpolateTruth(const std::vector<GlobalWindowRecord>& truth,
+                        EventTime ts);
+
+/// \brief Time-aligned relative error of `probe`'s last `tail_fraction` of
+/// windows against the `truth` run's interpolated trajectory. Used by
+/// bench/chaos_recovery and the chaos-fuzz test for the <1% post-recovery
+/// error invariant: after a crash/restart the two runs' window *indices*
+/// diverge, but event time still lines up.
+TailError TimeAlignedTailError(const RunReport& truth, const RunReport& probe,
+                               double tail_fraction);
 
 }  // namespace deco

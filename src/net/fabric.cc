@@ -203,9 +203,31 @@ Status NetworkFabric::Send(Message msg) {
   if (msg.type == MessageType::kEventBatch) {
     const size_t limit = flow_control_limit_.load(std::memory_order_relaxed);
     if (limit > 0) {
-      while (dst_state->mailbox->size() > limit &&
-             !dst_state->down.load(std::memory_order_acquire)) {
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      if (sim_ != nullptr) {
+        // Sim mode: block in virtual time until the receiver drains. Only a
+        // granted sim task may block; a driver-side Send skips backpressure
+        // (the driver must never suspend itself).
+        Mailbox* dst_mailbox = dst_state->mailbox.get();
+        while (SimScheduler::OnSimTask() &&
+               dst_mailbox->size() > limit && !dst_mailbox->closed() &&
+               !dst_state->down.load(std::memory_order_acquire)) {
+          sim_->WaitUntil(
+              [dst_mailbox, dst_state, limit] {
+                return dst_mailbox->size() <= limit ||
+                       dst_mailbox->closed() ||
+                       dst_state->down.load(std::memory_order_acquire);
+              },
+              -1);
+        }
+      } else {
+        // A closed mailbox means the run is tearing down: backpressure is
+        // meaningless and waiting for a drain that will never happen would
+        // wedge the sender.
+        while (dst_state->mailbox->size() > limit &&
+               !dst_state->mailbox->closed() &&
+               !dst_state->down.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
       }
     }
   }
@@ -263,6 +285,30 @@ Status NetworkFabric::Send(Message msg) {
     return Status::OK();
   }
 
+  if (sim_ != nullptr) {
+    // Sim mode: every delivery — even zero-latency — is a timer event, so
+    // the full delivery order is decided by the scheduler's deterministic
+    // (time, schedule-order) queue. Per-link FIFO still holds: a later
+    // message is scheduled at max(now + latency, link horizon), and ties
+    // fire in schedule order.
+    TimeNanos deliver_at;
+    {
+      std::lock_guard<std::mutex> lock(delay_mu_);
+      if (shutting_down_) return Status::Cancelled("fabric shut down");
+      const std::pair<NodeId, NodeId> key{msg.src, msg.dst};
+      deliver_at = clock_->NowNanos() + config.latency_nanos;
+      auto horizon = link_horizon_.find(key);
+      if (horizon != link_horizon_.end() && horizon->second > deliver_at) {
+        deliver_at = horizon->second;
+      }
+      link_horizon_[key] = deliver_at;
+    }
+    auto shared = std::make_shared<Message>(std::move(msg));
+    sim_->ScheduleAt(deliver_at,
+                     [this, shared] { Deliver(std::move(*shared)); });
+    return Status::OK();
+  }
+
   // The delayed path is taken while the link has latency OR any delayed
   // message is still in flight anywhere: a message sent right after a
   // latency drop to 0 must not overtake an earlier, still-delayed message
@@ -310,6 +356,19 @@ void NetworkFabric::Deliver(Message msg) {
 #if DECO_TRACE_ENABLED
   if (msg.hop.msg_id != 0) msg.hop.deliver_nanos = clock_->NowNanos();
 #endif
+  if (sim_ != nullptr) {
+    // Deliveries are serialized on the sim driver thread, so a plain FNV-1a
+    // accumulation is race-free; the atomic is only for the final read.
+    uint64_t h = delivery_hash_.load(std::memory_order_relaxed);
+    const uint64_t word =
+        (static_cast<uint64_t>(msg.src) << 48) ^
+        (static_cast<uint64_t>(msg.dst) << 40) ^
+        (static_cast<uint64_t>(msg.type) << 32) ^
+        static_cast<uint64_t>(wire_size) ^
+        static_cast<uint64_t>(clock_->NowNanos());
+    h = (h ^ word) * 1099511628211ull;
+    delivery_hash_.store(h, std::memory_order_release);
+  }
   dst_state->messages_received.fetch_add(1, std::memory_order_relaxed);
   dst_state->bytes_received.fetch_add(wire_size, std::memory_order_relaxed);
   dst_state->mailbox->Push(std::move(msg));
@@ -413,6 +472,7 @@ void NetworkFabric::ResetStats() {
 }
 
 void NetworkFabric::EnsureDeliveryThread() {
+  if (sim_ != nullptr) return;  // sim mode: deliveries are timer events
   std::lock_guard<std::mutex> lock(delay_mu_);
   if (delivery_thread_running_ || shutting_down_) return;
   delivery_thread_running_ = true;

@@ -18,6 +18,7 @@
 #include "common/result.h"
 #include "net/message.h"
 #include "net/shaping.h"
+#include "sim/scheduler.h"
 
 /// \file fabric.h
 /// \brief In-process network fabric connecting node actors.
@@ -153,6 +154,26 @@ class NetworkFabric {
     flow_control_limit_.store(limit, std::memory_order_relaxed);
   }
 
+  /// \brief Switches the fabric into deterministic simulation mode
+  /// (DESIGN.md §8). Must be attached before any traffic flows. Every
+  /// delivery — including zero-latency ones — becomes a timer event on the
+  /// scheduler's queue, so message order is a pure function of the sim
+  /// seed; no delivery thread is ever spawned, and sender-side blocking
+  /// (egress shaping, flow control) blocks in virtual time.
+  void SetSimScheduler(SimScheduler* sim) { sim_ = sim; }
+
+  /// \brief The attached scheduler, or nullptr outside sim mode.
+  SimScheduler* sim() const { return sim_; }
+
+  /// \brief Order-sensitive FNV-1a digest over every delivered message's
+  /// (virtual deliver time, src, dst, type, wire size). Only maintained in
+  /// sim mode, where deliveries are serialized on the driver thread; two
+  /// runs deliver the same messages in the same order iff the digests
+  /// match. This is what the determinism regression test compares.
+  uint64_t delivery_hash() const {
+    return delivery_hash_.load(std::memory_order_acquire);
+  }
+
   /// \brief The receive queue of a node; nullptr for unknown ids.
   Mailbox* mailbox(NodeId id);
 
@@ -220,6 +241,9 @@ class NetworkFabric {
   void DeliveryLoop();
 
   Clock* clock_;
+  SimScheduler* sim_ = nullptr;
+  // FNV-1a offset basis; see delivery_hash().
+  std::atomic<uint64_t> delivery_hash_{1469598103934665603ull};
   std::atomic<size_t> flow_control_limit_{512};
 
   mutable std::shared_mutex nodes_mu_;

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "sim/scheduler.h"
+
 namespace deco {
 
 TokenBucket::TokenBucket(uint64_t rate_per_sec, Clock* clock)
@@ -50,6 +52,12 @@ void TokenBucket::AcquireBlocking(uint64_t n) {
   }
   if (deficit <= 0) return;
   const double wait_sec = deficit / static_cast<double>(rate_);
+  if (SimScheduler::OnSimTask()) {
+    // Simulated run: the debt is repaid in virtual time, at zero wall cost.
+    SimScheduler::Current()->SleepFor(
+        static_cast<TimeNanos>(wait_sec * kNanosPerSecond) + 1);
+    return;
+  }
   std::this_thread::sleep_for(std::chrono::duration<double>(wait_sec));
 }
 

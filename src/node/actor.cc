@@ -15,14 +15,22 @@ Status Actor::SendRetryingCrash(Message msg) {
     // own failed sends. Wait out the downtime, then resend.
     while (fabric_->IsNodeDown(id_)) {
       if (stop_requested()) return Status::OK();
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      SleepNanos(200 * kNanosPerMicro);
     }
     if (stop_requested()) return Status::OK();
   }
 }
 
+void Actor::SleepNanos(TimeNanos nanos) {
+  if (SimScheduler::OnSimTask()) {
+    SimScheduler::Current()->SleepFor(nanos);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+}
+
 void Actor::Start() {
-  thread_ = std::thread([this] {
+  const auto body = [this] {
     Status status = Run();
     if (!status.ok()) {
       DECO_LOG(ERROR) << "actor " << id_ << " ("
@@ -31,7 +39,15 @@ void Actor::Start() {
     }
     std::lock_guard<std::mutex> lock(status_mu_);
     status_ = std::move(status);
-  });
+  };
+  SimScheduler* sim = fabric_->sim();
+  if (sim != nullptr) {
+    sim_task_ = sim->AddTask(fabric_->node_name(id_));
+    thread_ = std::thread(
+        [sim, id = sim_task_, body] { sim->TaskMain(id, body); });
+    return;
+  }
+  thread_ = std::thread(body);
 }
 
 void Actor::Join() {

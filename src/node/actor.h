@@ -35,8 +35,14 @@ class Actor {
   Actor(const Actor&) = delete;
   Actor& operator=(const Actor&) = delete;
 
-  /// \brief Spawns the actor thread.
+  /// \brief Spawns the actor thread. If the fabric runs in sim mode
+  /// (`NetworkFabric::sim()` non-null), the thread registers as a sim task:
+  /// it executes only when the scheduler grants it the virtual CPU, and all
+  /// of its receives and sleeps block in virtual time.
   void Start();
+
+  /// \brief This actor's sim task id (valid after `Start` in sim mode).
+  SimTaskId sim_task() const { return sim_task_; }
 
   /// \brief Waits for `Run` to return.
   void Join();
@@ -70,15 +76,24 @@ class Actor {
 
   /// \brief Blocking receive; empty once the mailbox is closed and drained.
   std::optional<Message> Receive() {
-    std::optional<Message> msg = fabric_->mailbox(id_)->Pop();
+    SimScheduler* sim = fabric_->sim();
+    std::optional<Message> msg =
+        sim != nullptr ? sim->Pop(fabric_->mailbox(id_), TimeNanos{-1})
+                       : fabric_->mailbox(id_)->Pop();
     FinishHop(msg);
     return msg;
   }
 
-  /// \brief Receive with timeout; empty on timeout or closure.
+  /// \brief Receive with timeout; empty on timeout or closure. In sim mode
+  /// the timeout elapses in virtual time.
   std::optional<Message> ReceiveWithTimeout(TimeNanos timeout_nanos) {
-    std::optional<Message> msg = fabric_->mailbox(id_)->PopWithTimeout(
-        std::chrono::nanoseconds(timeout_nanos));
+    SimScheduler* sim = fabric_->sim();
+    std::optional<Message> msg =
+        sim != nullptr
+            ? sim->Pop(fabric_->mailbox(id_),
+                       sim->Now() + timeout_nanos)
+            : fabric_->mailbox(id_)->PopWithTimeout(
+                  std::chrono::nanoseconds(timeout_nanos));
     FinishHop(msg);
     return msg;
   }
@@ -109,6 +124,11 @@ class Actor {
     return stop_.load(std::memory_order_acquire);
   }
 
+  /// \brief Sleeps in virtual time on a sim task, in wall time otherwise.
+  /// The polling loops of the crash-retry paths use this so chaos recovery
+  /// behaves identically in both modes.
+  void SleepNanos(TimeNanos nanos);
+
   TimeNanos NowNanos() const { return clock_->NowNanos(); }
 
   NetworkFabric* fabric_;
@@ -117,6 +137,7 @@ class Actor {
 
  private:
   std::thread thread_;
+  SimTaskId sim_task_ = kInvalidSimTask;
   std::atomic<bool> stop_{false};
   mutable std::mutex status_mu_;
   Status status_;

@@ -51,6 +51,7 @@ void EncodeRateReport(const RateReport& report, BinaryWriter* writer) {
   writer->PutU64(report.window_index);
   writer->PutDouble(report.event_rate);
   writer->PutU64(report.stream_position);
+  writer->PutU8(report.end_of_stream ? 1 : 0);
 }
 
 Result<RateReport> DecodeRateReport(BinaryReader* reader) {
@@ -58,6 +59,8 @@ Result<RateReport> DecodeRateReport(BinaryReader* reader) {
   DECO_ASSIGN_OR_RETURN(report.window_index, reader->GetU64());
   DECO_ASSIGN_OR_RETURN(report.event_rate, reader->GetDouble());
   DECO_ASSIGN_OR_RETURN(report.stream_position, reader->GetU64());
+  DECO_ASSIGN_OR_RETURN(uint8_t eos, reader->GetU8());
+  report.end_of_stream = eos != 0;
   return report;
 }
 
@@ -68,6 +71,7 @@ void EncodeCorrectionRequest(const CorrectionRequest& request,
   writer->PutI64(request.wm_ts);
   writer->PutU32(request.wm_stream);
   writer->PutU64(request.wm_id);
+  writer->PutU64(request.round);
 }
 
 Result<CorrectionRequest> DecodeCorrectionRequest(BinaryReader* reader) {
@@ -77,6 +81,7 @@ Result<CorrectionRequest> DecodeCorrectionRequest(BinaryReader* reader) {
   DECO_ASSIGN_OR_RETURN(request.wm_ts, reader->GetI64());
   DECO_ASSIGN_OR_RETURN(request.wm_stream, reader->GetU32());
   DECO_ASSIGN_OR_RETURN(request.wm_id, reader->GetU64());
+  DECO_ASSIGN_OR_RETURN(request.round, reader->GetU64());
   return request;
 }
 
@@ -85,6 +90,7 @@ void EncodeCorrectionResponse(const CorrectionResponse& response,
   writer->PutU64(response.window_index);
   writer->PutU64(response.from_offset);
   writer->PutU8(response.end_of_stream ? 1 : 0);
+  writer->PutU64(response.round);
   writer->PutEvents(response.events);
 }
 
@@ -94,6 +100,7 @@ Result<CorrectionResponse> DecodeCorrectionResponse(BinaryReader* reader) {
   DECO_ASSIGN_OR_RETURN(response.from_offset, reader->GetU64());
   DECO_ASSIGN_OR_RETURN(uint8_t eos, reader->GetU8());
   response.end_of_stream = eos != 0;
+  DECO_ASSIGN_OR_RETURN(response.round, reader->GetU64());
   DECO_ASSIGN_OR_RETURN(response.events, reader->GetEvents());
   return response;
 }

@@ -83,6 +83,11 @@ struct RateReport {
 
   /// Total events this node has ingested so far (cumulative position).
   uint64_t stream_position = 0;
+
+  /// Set on the sender's final broadcast: its stream is exhausted and no
+  /// further rate reports will follow. Peers apportion it zero share for
+  /// every later window instead of waiting for reports that never come.
+  bool end_of_stream = false;
 };
 
 void EncodeRateReport(const RateReport& report, BinaryWriter* writer);
@@ -107,6 +112,13 @@ struct CorrectionRequest {
   EventTime wm_ts = INT64_MIN;
   StreamId wm_stream = 0;
   EventId wm_id = 0;
+
+  /// Per-node solicitation round, echoed by the response. The root bumps
+  /// it on every request it sends to a node — including the lost-message
+  /// retries — and discards responses carrying an older round, so a
+  /// delayed original and its retry can never both be folded into the
+  /// candidate list (which would double-count events).
+  uint64_t round = 0;
 };
 
 void EncodeCorrectionRequest(const CorrectionRequest& request,
@@ -124,6 +136,10 @@ struct CorrectionResponse {
   /// True when the node's stream budget is exhausted: no top-up can ever
   /// return more events.
   bool end_of_stream = false;
+
+  /// Echo of `CorrectionRequest::round`; the root only accepts the
+  /// response to its latest request.
+  uint64_t round = 0;
 
   EventVec events;
 };

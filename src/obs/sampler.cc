@@ -5,11 +5,13 @@
 namespace deco {
 
 Sampler::Sampler(Clock* clock, NetworkFabric* fabric,
-                 MetricRegistry* registry, TimeNanos interval_nanos)
+                 MetricRegistry* registry, TimeNanos interval_nanos,
+                 SimScheduler* sim)
     : clock_(clock),
       fabric_(fabric),
       registry_(registry),
-      interval_nanos_(std::max<TimeNanos>(interval_nanos, kNanosPerMilli)) {}
+      interval_nanos_(std::max<TimeNanos>(interval_nanos, kNanosPerMilli)),
+      sim_(sim) {}
 
 Sampler::~Sampler() { Stop(); }
 
@@ -53,7 +55,24 @@ void Sampler::Start() {
     stop_ = false;
   }
   SampleNow();
+  if (sim_ != nullptr) {
+    // Sim mode: a self-rescheduling timer event replaces the thread. The
+    // chain stops itself once `Stop` has flipped `stop_`.
+    ScheduleSimTick();
+    return;
+  }
   thread_ = std::thread([this] { Loop(); });
+}
+
+void Sampler::ScheduleSimTick() {
+  sim_->ScheduleAt(clock_->NowNanos() + interval_nanos_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_ || !running_) return;
+    }
+    SampleNow();
+    ScheduleSimTick();
+  });
 }
 
 void Sampler::Loop() {

@@ -62,8 +62,12 @@ class Sampler {
   ///        null (registry-only sampling); not owned
   /// \param registry metric registry to snapshot; may be null; not owned
   /// \param interval_nanos sampling period (clamped to >= 1 ms)
+  /// \param sim when non-null, `Start` registers a self-rescheduling timer
+  ///        event on this scheduler instead of spawning the background
+  ///        thread: snapshots land at exact virtual-interval points, fully
+  ///        deterministic (DESIGN.md §8)
   Sampler(Clock* clock, NetworkFabric* fabric, MetricRegistry* registry,
-          TimeNanos interval_nanos);
+          TimeNanos interval_nanos, SimScheduler* sim = nullptr);
   ~Sampler();
 
   Sampler(const Sampler&) = delete;
@@ -86,10 +90,13 @@ class Sampler {
  private:
   void Loop();
 
+  void ScheduleSimTick();
+
   Clock* clock_;
   NetworkFabric* fabric_;
   MetricRegistry* registry_;
   TimeNanos interval_nanos_;
+  SimScheduler* sim_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -6,6 +6,7 @@
 #include "node/actor.h"
 #include "node/runtime.h"
 #include "node/topology.h"
+#include "sim/scheduler.h"
 
 namespace deco {
 namespace {
@@ -81,14 +82,21 @@ TEST(ActorTest, StatusReportsRunFailure) {
 }
 
 TEST(ActorTest, RequestStopWakesBlockedReceive) {
-  NetworkFabric fabric(SystemClock::Default(), 1);
+  // Simulation-driven: the actor provably parks in Receive() — virtual
+  // time cannot reach the 20ms stop event while the actor is runnable —
+  // so no wall-clock sleep is needed to get it blocked first.
+  SimScheduler sim(1);
+  NetworkFabric fabric(sim.clock(), 1);
+  fabric.SetSimScheduler(&sim);
   const NodeId id = fabric.RegisterNode("blocked");
-  EchoActor actor(&fabric, id, SystemClock::Default());
+  EchoActor actor(&fabric, id, sim.clock());
   actor.Start();
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  actor.RequestStop();  // closes the mailbox; Receive returns empty
+  sim.ScheduleAt(20 * kNanosPerMilli,
+                 [&] { actor.RequestStop(); });  // closes the mailbox
+  EXPECT_TRUE(sim.RunUntilTaskDone(actor.sim_task()).ok());
   actor.Join();
   EXPECT_TRUE(actor.status().ok());
+  EXPECT_EQ(sim.Now(), 20 * kNanosPerMilli);
 }
 
 TEST(RuntimeTest, JoinAllPropagatesFirstError) {

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/random.h"
+#include "harness/experiment.h"
+#include "metrics/report.h"
+
+namespace deco {
+namespace {
+
+// Seeded chaos fuzzing in simulation mode (ISSUE 4 satellite): random
+// fault schedules — crash/restart pairs plus drop, lag and partition
+// bursts — against the Deco schemes, asserting the recovery invariants the
+// chaos benchmark (bench/chaos_recovery.py) measures:
+//  - no deadlock: the simulated run terminates on its own (a sim deadlock
+//    is a hard `Internal` error; a livelock trips the virtual-time limit);
+//  - eventual rejoin: every crashed-and-restarted node re-enters the
+//    membership;
+//  - bounded post-recovery error: once the last fault has healed, the
+//    surviving windows' values stay within 1% of a fault-free twin run,
+//    compared on the event-time axis (window indices shift after a crash).
+//
+// Runs are paced with a CPU throttle so virtual time advances through the
+// stream and the fault offsets land mid-run. Environment knobs:
+// DECO_CHAOS_FUZZ_SEED, DECO_CHAOS_FUZZ_ITERS.
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+ExperimentConfig BaseConfig(Scheme scheme, uint64_t seed) {
+  ExperimentConfig config;
+  config.sim = true;
+  config.scheme = scheme;
+  config.query.window = WindowSpec::CountTumbling(2000);
+  config.num_locals = 3;
+  config.streams_per_local = 2;
+  // cpu = rate: the token bucket's one-second burst covers the first
+  // 30k events, the remaining 60k are paced at 30k events/s — two virtual
+  // seconds for faults to land in.
+  config.events_per_local = 90'000;
+  config.base_rate = 30'000;
+  config.cpu_events_per_sec = 30'000;
+  config.rate_change = 0.05;
+  config.batch_size = 512;
+  config.seed = seed;
+  config.root_options.node_timeout_nanos = 120 * kNanosPerMilli;
+  // Livelock guard: the paced stream spans ~3 virtual seconds; a run still
+  // going at 60 virtual seconds is stuck re-arming timeouts.
+  config.sim_time_limit_nanos = 60 * kNanosPerSecond;
+  return config;
+}
+
+// A random fault schedule in the spec grammar. Always includes one
+// crash/restart pair (the invariant under test); may add drop, lag or
+// partition bursts that heal before `heal_by_ms`.
+struct FuzzedSchedule {
+  std::string spec;
+  size_t crashed_node = 0;
+  TimeNanos restart_nanos = 0;
+};
+
+FuzzedSchedule SampleSchedule(Rng* rng) {
+  FuzzedSchedule fuzz;
+  fuzz.crashed_node = static_cast<size_t>(rng->NextInt(0, 2));
+  const int64_t crash_ms = rng->NextInt(200, 900);
+  const int64_t restart_ms = crash_ms + rng->NextInt(150, 500);
+  fuzz.restart_nanos = restart_ms * kNanosPerMilli;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "crash:local-%zu@%lldms,restart:local-%zu@%lldms",
+                fuzz.crashed_node, static_cast<long long>(crash_ms),
+                fuzz.crashed_node, static_cast<long long>(restart_ms));
+  fuzz.spec = buf;
+
+  // Optional extra network mischief on *other* nodes, healed by 1500ms so
+  // the post-recovery tail stays clean.
+  if (rng->NextBool(0.5)) {
+    const size_t victim = (fuzz.crashed_node + 1) % 3;
+    const int64_t at_ms = rng->NextInt(200, 1000);
+    const int64_t dur_ms = rng->NextInt(100, 400);
+    switch (rng->NextInt(0, 2)) {
+      case 0:
+        std::snprintf(buf, sizeof(buf), ",drop:local-%zu@%lldms+%lldms=0.3",
+                      victim, static_cast<long long>(at_ms),
+                      static_cast<long long>(dur_ms));
+        break;
+      case 1:
+        std::snprintf(buf, sizeof(buf), ",lag:local-%zu@%lldms+%lldms=5ms",
+                      victim, static_cast<long long>(at_ms),
+                      static_cast<long long>(dur_ms));
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), ",part:local-%zu@%lldms+%lldms",
+                      victim, static_cast<long long>(at_ms),
+                      static_cast<long long>(dur_ms));
+        break;
+    }
+    fuzz.spec += buf;
+  }
+  return fuzz;
+}
+
+TEST(ChaosFuzzTest, RandomFaultSchedulesRecoverOnDecoSchemes) {
+  const uint64_t master_seed = EnvU64("DECO_CHAOS_FUZZ_SEED", 42);
+  const uint64_t iterations = EnvU64("DECO_CHAOS_FUZZ_ITERS", 8);
+  std::printf("chaos fuzz: master seed %llu, %llu iterations\n",
+              static_cast<unsigned long long>(master_seed),
+              static_cast<unsigned long long>(iterations));
+  static const Scheme kSchemes[] = {Scheme::kDecoMon, Scheme::kDecoSync,
+                                    Scheme::kDecoAsync};
+  Rng rng(master_seed);
+  for (uint64_t i = 0; i < iterations; ++i) {
+    const Scheme scheme = kSchemes[rng.NextBounded(3)];
+    const uint64_t run_seed = rng.NextUint64() >> 1;
+    const FuzzedSchedule fuzz = SampleSchedule(&rng);
+    const std::string repro =
+        std::string("deco_run --sim --scheme=") + SchemeToString(scheme) +
+        " --seed=" + std::to_string(run_seed) +
+        " --events=90000 --window=2000 --locals=3 --streams=2 "
+        "--rate=30000 --cpu=30000 --change=0.05 --batch=512 --timeout=120 "
+        "--chaos=\"" +
+        fuzz.spec + "\"";
+    SCOPED_TRACE("repro: " + repro);
+
+    // Fault-free twin first: the truth trajectory for the error bound.
+    ExperimentConfig config = BaseConfig(scheme, run_seed);
+    auto twin = RunExperiment(config);
+    ASSERT_TRUE(twin.ok()) << twin.status().ToString();
+
+    auto schedule = ChaosSchedule::Parse(fuzz.spec);
+    ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
+    config.chaos.schedule = *schedule;
+    auto chaotic = RunExperiment(config);
+    // Termination *is* the no-deadlock assertion: a wedged protocol comes
+    // back as `Internal` (sim deadlock) or `Timeout` (virtual-time limit).
+    ASSERT_TRUE(chaotic.ok()) << chaotic.status().ToString();
+
+    // Eventual rejoin: if the root ever removed the crashed node, it must
+    // also have re-admitted it.
+    bool removed = false;
+    bool rejoined = false;
+    for (const MembershipEvent& event : chaotic->membership) {
+      if (event.node != fuzz.crashed_node) continue;
+      removed |= !event.rejoined;
+      rejoined |= event.rejoined;
+    }
+    EXPECT_TRUE(!removed || rejoined)
+        << "node " << fuzz.crashed_node << " was removed but never rejoined";
+
+    // Post-recovery accuracy: the last 20% of windows end well after the
+    // restart (paced stream spans ~3 virtual seconds; faults heal by
+    // ~1.5s), and must track the fault-free trajectory within 1%.
+    ASSERT_GT(chaotic->windows_emitted, 10u);
+    const TailError tail = TimeAlignedTailError(*twin, *chaotic, 0.2);
+    ASSERT_GT(tail.compared, 0u);
+    EXPECT_LT(tail.relative, 0.01)
+        << "post-recovery tail error " << tail.relative * 100.0 << "%";
+  }
+}
+
+}  // namespace
+}  // namespace deco

@@ -199,43 +199,34 @@ TEST(IntegrationTest, ReportsCarryThroughputAndLatency) {
 
 TEST(IntegrationTest, LocalNodeFailureIsSurvivedViaTimeout) {
   // Paper §4.3.4: the root removes a silent node after a timeout and
-  // corrects the affected window from the survivors.
+  // corrects the affected window from the survivors. Simulation-driven:
+  // the crash is a virtual-time chaos event at a deterministic stream
+  // position, not a wall-clock sleep racing the pipeline.
   ExperimentConfig config = SmallConfig(Scheme::kDecoSync);
-  config.events_per_local = 200'000;  // long enough to fail mid-run
-  config.root_options.node_timeout_nanos = 300 * kNanosPerMilli;
+  config.sim = true;
+  config.events_per_local = 90'000;
+  config.base_rate = 30'000;
+  // cpu = rate: after the token bucket's one-second initial burst the
+  // stream is paced, so virtual time advances and the 300ms crash lands
+  // mid-run.
+  config.cpu_events_per_sec = 30'000;
+  config.root_options.node_timeout_nanos = 120 * kNanosPerMilli;
+  config.sim_time_limit_nanos = 60 * kNanosPerSecond;
+  auto schedule = ChaosSchedule::Parse("crash:local-1@300ms");
+  ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
+  config.chaos.schedule = *schedule;
 
-  Clock* clock = SystemClock::Default();
-  NetworkFabric fabric(clock, 99);
-  Topology topology;
-  topology.root = fabric.RegisterNode("root");
-  for (size_t i = 0; i < config.num_locals; ++i) {
-    topology.locals.push_back(
-        fabric.RegisterNode("local-" + std::to_string(i)));
-  }
-  RunReport report;
-  Runtime runtime(&fabric);
-  auto root = std::make_unique<DecoRootNode>(
-      &fabric, topology.root, clock, topology, config.query,
-      DecoScheme::kSync, &report, config.root_options);
-  DecoRootNode* root_ptr = root.get();
-  runtime.AddActor(std::move(root));
-  for (size_t i = 0; i < config.num_locals; ++i) {
-    runtime.AddActor(std::make_unique<DecoLocalNode>(
-        &fabric, topology.locals[i], clock, topology,
-        MakeIngestConfig(config, i), config.query, DecoScheme::kSync));
-  }
-  runtime.StartAll();
-  // Let the pipeline reach steady state, then crash one local node.
-  std::this_thread::sleep_for(std::chrono::milliseconds(200));
-  ASSERT_TRUE(fabric.SetNodeDown(topology.locals[1], true).ok());
-  root_ptr->Join();
-  runtime.StopAll();
-  fabric.Shutdown();
-  runtime.JoinAll();  // local actors exit once mailboxes close
+  auto report = RunExperiment(config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
 
   // The run completed and kept emitting windows after the failure.
-  EXPECT_GT(report.windows_emitted, 10u);
-  EXPECT_GT(report.correction_steps, 0u);
+  EXPECT_GT(report->windows_emitted, 10u);
+  EXPECT_GT(report->correction_steps, 0u);
+  bool removed = false;
+  for (const MembershipEvent& event : report->membership) {
+    removed |= !event.rejoined;
+  }
+  EXPECT_TRUE(removed) << "root never removed the crashed node";
 }
 
 }  // namespace

@@ -150,9 +150,15 @@ TEST_F(LocalNodeProtocolTest, SyncBlocksUntilNextAssignment) {
   ASSERT_TRUE(ReceiveOfType(MessageType::kPartialResult).has_value());
   ASSERT_TRUE(ReceiveOfType(MessageType::kEventBatch).has_value());
   // No assignment for window 1: the synchronous local node must wait.
-  auto extra = fabric_->mailbox(topology_.root)
-                   ->PopWithTimeout(std::chrono::milliseconds(100));
-  EXPECT_FALSE(extra.has_value());
+  // While blocked it sends nothing but liveness heartbeats (kEventRate,
+  // every heartbeat_nanos) — never data for an unassigned window.
+  for (int i = 0; i < 3; ++i) {
+    auto extra = fabric_->mailbox(topology_.root)
+                     ->PopWithTimeout(std::chrono::milliseconds(100));
+    if (!extra.has_value()) continue;
+    EXPECT_EQ(extra->type, MessageType::kEventRate)
+        << "blocked node sent " << MessageTypeToString(extra->type);
+  }
   // Assignment arrives: window 1 flows.
   SendAssignment(1, 5000, 100);
   EXPECT_TRUE(ReceiveOfType(MessageType::kPartialResult).has_value());
@@ -166,12 +172,15 @@ TEST_F(LocalNodeProtocolTest, AsyncPipelinesWithoutWaiting) {
   SendAssignment(0, 5000, 100);
   // Without any further assignment the async node produces windows
   // 0..max_unverified ahead; each window ships slice + end (plus fronts
-  // for steady-state windows).
+  // for steady-state windows). The first heartbeat (kEventRate after the
+  // startup report) is the positive signal that the node hit the
+  // pipeline cap and blocked.
   int slices = 0;
   while (true) {
     auto msg = fabric_->mailbox(topology_.root)
                    ->PopWithTimeout(std::chrono::milliseconds(300));
     if (!msg.has_value()) break;
+    if (msg->type == MessageType::kEventRate) break;  // blocked: heartbeat
     if (msg->type == MessageType::kPartialResult) ++slices;
   }
   EXPECT_GE(slices, 3);

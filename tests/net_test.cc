@@ -6,6 +6,7 @@
 #include "net/fabric.h"
 #include "net/message.h"
 #include "net/shaping.h"
+#include "sim/scheduler.h"
 
 namespace deco {
 namespace {
@@ -415,46 +416,78 @@ TEST_F(FabricTest, LinkCountersSurviveCrashAndRestart) {
   EXPECT_GT(after.bytes_sent, before.bytes_sent);
 }
 
-TEST_F(FabricTest, EgressCapThrottlesSender) {
+TEST(FabricSimTest, EgressCapThrottlesSender) {
+  // Simulation-driven: the throttle delay is exact virtual time — 10'000
+  // bytes at 50'000 B/s is precisely 0.2 s — instead of a lower bound on
+  // noisy wall-clock sleeps.
+  SimScheduler sim(1);
+  NetworkFabric fabric(sim.clock(), 1);
+  fabric.SetSimScheduler(&sim);
+  const NodeId a = fabric.RegisterNode("a");
+  const NodeId b = fabric.RegisterNode("b");
   NodeNetConfig net;
   net.egress_bytes_per_sec = 50'000;
-  ASSERT_TRUE(fabric_.SetNodeNetConfig(a_, net).ok());
-  // Drain the initial burst, then measure.
-  ASSERT_TRUE(fabric_
-                  .Send(MakeMessage(a_, b_, MessageType::kEventBatch,
-                                    50'000 - Message::kHeaderBytes))
-                  .ok());
-  const TimeNanos start = SystemClock::Default()->NowNanos();
-  ASSERT_TRUE(fabric_
-                  .Send(MakeMessage(a_, b_, MessageType::kEventBatch,
-                                    10'000 - Message::kHeaderBytes))
-                  .ok());
-  const TimeNanos elapsed = SystemClock::Default()->NowNanos() - start;
-  EXPECT_GT(elapsed, 120 * kNanosPerMilli);  // ~0.2s nominally
+  ASSERT_TRUE(fabric.SetNodeNetConfig(a, net).ok());
+  TimeNanos elapsed = 0;
+  const SimTaskId sender = sim.AddTask("sender");
+  std::thread t([&] {
+    sim.TaskMain(sender, [&] {
+      // Drain the initial burst, then measure.
+      ASSERT_TRUE(fabric
+                      .Send(MakeMessage(a, b, MessageType::kEventBatch,
+                                        50'000 - Message::kHeaderBytes))
+                      .ok());
+      const TimeNanos start = sim.clock()->NowNanos();
+      ASSERT_TRUE(fabric
+                      .Send(MakeMessage(a, b, MessageType::kEventBatch,
+                                        10'000 - Message::kHeaderBytes))
+                      .ok());
+      elapsed = sim.clock()->NowNanos() - start;
+    });
+  });
+  EXPECT_TRUE(sim.RunUntilTaskDone(sender).ok());
+  t.join();
+  EXPECT_GE(elapsed, 200 * kNanosPerMilli);  // exactly 0.2s nominally
+  EXPECT_LE(elapsed, 201 * kNanosPerMilli);
 }
 
-TEST_F(FabricTest, FlowControlBlocksEventBatchesOnly) {
-  fabric_.SetFlowControlLimit(4);
-  for (int i = 0; i < 5; ++i) {
-    ASSERT_TRUE(
-        fabric_.Send(MakeMessage(a_, b_, MessageType::kEventBatch, 1)).ok());
-  }
-  // Mailbox now above limit: the next event batch must block until the
-  // receiver drains; control messages pass immediately.
-  std::atomic<bool> sent{false};
-  std::thread sender([&] {
-    ASSERT_TRUE(
-        fabric_.Send(MakeMessage(a_, b_, MessageType::kEventBatch, 1)).ok());
-    sent.store(true);
+TEST(FabricSimTest, FlowControlBlocksEventBatchesOnly) {
+  // Simulation-driven: at virtual 20ms the sixth batch is *provably*
+  // still blocked (flow control is the only thing that can stop the
+  // sender, and virtual time only advances when it is blocked) — the
+  // wall-clock version could only hope the sender thread had been
+  // scheduled by then.
+  SimScheduler sim(1);
+  NetworkFabric fabric(sim.clock(), 1);
+  fabric.SetSimScheduler(&sim);
+  const NodeId a = fabric.RegisterNode("a");
+  const NodeId b = fabric.RegisterNode("b");
+  fabric.SetFlowControlLimit(4);
+  bool sent = false;
+  const SimTaskId sender = sim.AddTask("sender");
+  std::thread t([&] {
+    sim.TaskMain(sender, [&] {
+      for (int i = 0; i < 6; ++i) {
+        ASSERT_TRUE(
+            fabric.Send(MakeMessage(a, b, MessageType::kEventBatch, 1)).ok());
+      }
+      sent = true;
+    });
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  ASSERT_TRUE(
-      fabric_.Send(MakeMessage(a_, b_, MessageType::kWindowAssignment, 1))
-          .ok());
-  EXPECT_FALSE(sent.load());  // event batch still blocked
-  for (int i = 0; i < 3; ++i) fabric_.mailbox(b_)->Pop();
-  sender.join();
-  EXPECT_TRUE(sent.load());
+  sim.ScheduleAt(20 * kNanosPerMilli, [&] {
+    EXPECT_FALSE(sent);  // sixth event batch still blocked
+    // Control messages bypass flow control and pass immediately.
+    EXPECT_TRUE(
+        fabric.Send(MakeMessage(a, b, MessageType::kWindowAssignment, 1))
+            .ok());
+    // Draining the receiver below the limit releases the sender.
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_TRUE(fabric.mailbox(b)->TryPop().has_value());
+    }
+  });
+  EXPECT_TRUE(sim.RunUntilTaskDone(sender).ok());
+  t.join();
+  EXPECT_TRUE(sent);
 }
 
 TEST_F(FabricTest, ShutdownClosesMailboxes) {

@@ -209,6 +209,7 @@ TEST_F(RootNodeProtocolTest, OverestimateTriggersCorrectionFlow) {
     next_id_[n] = 0;  // replay from the window start
     response.events = Take(n, 570);
     response.end_of_stream = false;
+    response.round = request.round;  // echo the solicitation round
     BinaryWriter writer;
     EncodeCorrectionResponse(response, &writer);
     Message msg;

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+#include "harness/experiment.h"
+#include "metrics/report.h"
+#include "sim/scheduler.h"
+
+namespace deco {
+namespace {
+
+// Unit tests of the deterministic simulation scheduler (DESIGN.md §8) plus
+// the harness-level determinism regression: byte-identical reports from
+// identical (config, seed), diverging message orders across seeds.
+
+TEST(SimSchedulerTest, VirtualSleepAdvancesClockWithoutWallTime) {
+  SimScheduler sched(1);
+  const SimTaskId id = sched.AddTask("sleeper");
+  std::thread t([&] {
+    sched.TaskMain(id, [&] {
+      sched.SleepFor(5 * kNanosPerSecond);  // five virtual seconds
+    });
+  });
+  EXPECT_TRUE(sched.RunUntilTaskDone(id).ok());
+  t.join();
+  EXPECT_EQ(sched.Now(), 5 * kNanosPerSecond);
+}
+
+TEST(SimSchedulerTest, TimerEventsFireInTimeThenScheduleOrder) {
+  SimScheduler sched(1);
+  std::vector<int> fired;
+  const SimTaskId id = sched.AddTask("waiter");
+  std::thread t([&] {
+    sched.TaskMain(id, [&] { sched.SleepFor(100); });
+  });
+  sched.ScheduleAt(50, [&] { fired.push_back(2); });
+  sched.ScheduleAt(10, [&] { fired.push_back(1); });
+  sched.ScheduleAt(50, [&] { fired.push_back(3); });  // tie: schedule order
+  EXPECT_TRUE(sched.RunUntilTaskDone(id).ok());
+  t.join();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimSchedulerTest, DeadlockIsDetectedAndNamed) {
+  SimScheduler sched(1);
+  std::atomic<bool> release{false};
+  const SimTaskId id = sched.AddTask("stuck-task");
+  std::thread t([&] {
+    sched.TaskMain(id, [&] {
+      sched.WaitUntil([&] { return release.load(); }, TimeNanos{-1});
+    });
+  });
+  const Status status = sched.RunUntilTaskDone(id);
+  EXPECT_TRUE(status.IsInternal());
+  EXPECT_NE(status.ToString().find("stuck-task"), std::string::npos)
+      << status.ToString();
+  release.store(true);  // unblock so the scheduler can wind down
+  EXPECT_TRUE(sched.DrainAll().ok());
+  t.join();
+}
+
+TEST(SimSchedulerTest, VirtualTimeLimitAborts) {
+  SimScheduler sched(1);
+  sched.SetVirtualTimeLimit(kNanosPerSecond);
+  const SimTaskId id = sched.AddTask("long-sleeper");
+  std::thread t([&] {
+    sched.TaskMain(id, [&] { sched.SleepFor(10 * kNanosPerSecond); });
+  });
+  EXPECT_TRUE(sched.RunUntilTaskDone(id).IsTimeout());
+  sched.SetVirtualTimeLimit(0);
+  EXPECT_TRUE(sched.DrainAll().ok());
+  t.join();
+}
+
+TEST(SimSchedulerTest, PopHonorsVirtualDeadlineAndClose) {
+  SimScheduler sched(1);
+  BlockingQueue<int> queue;
+  std::optional<int> timed_out_value = 42;
+  std::optional<int> delivered_value;
+  const SimTaskId id = sched.AddTask("popper");
+  std::thread t([&] {
+    sched.TaskMain(id, [&] {
+      // Nothing arrives before the deadline: returns nullopt at t=1000.
+      timed_out_value = sched.Pop(&queue, TimeNanos{1000});
+      // An event delivers an item at t=2000: Pop returns it.
+      delivered_value = sched.Pop(&queue, TimeNanos{5000});
+    });
+  });
+  sched.ScheduleAt(2000, [&] { queue.Push(7); });
+  EXPECT_TRUE(sched.RunUntilTaskDone(id).ok());
+  t.join();
+  EXPECT_FALSE(timed_out_value.has_value());
+  ASSERT_TRUE(delivered_value.has_value());
+  EXPECT_EQ(*delivered_value, 7);
+  EXPECT_EQ(sched.Now(), 2000);
+}
+
+TEST(SimSchedulerTest, InterleavingIsAPureFunctionOfSeed) {
+  // Two yield-looping tasks: the grant sequence is the scheduler's seeded
+  // choice alone. Same seed => identical sequence; different seed =>
+  // different sequence (64 binary picks cannot all collide).
+  const auto run = [](uint64_t seed) {
+    SimScheduler sched(seed);
+    std::vector<SimTaskId> order;
+    std::mutex order_mu;
+    std::vector<std::thread> threads;
+    for (SimTaskId i = 0; i < 2; ++i) {
+      const SimTaskId id = sched.AddTask("task-" + std::to_string(i));
+      threads.emplace_back([&sched, &order, &order_mu, id] {
+        sched.TaskMain(id, [&] {
+          for (int k = 0; k < 32; ++k) {
+            {
+              std::lock_guard<std::mutex> lock(order_mu);
+              order.push_back(id);
+            }
+            sched.Yield();
+          }
+        });
+      });
+    }
+    EXPECT_TRUE(sched.DrainAll().ok());
+    for (auto& t : threads) t.join();
+    return order;
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  const auto c = run(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+ExperimentConfig SimConfig(uint64_t seed) {
+  ExperimentConfig config;
+  config.sim = true;
+  config.scheme = Scheme::kDecoSync;
+  config.query.window = WindowSpec::CountTumbling(2000);
+  config.num_locals = 3;
+  config.streams_per_local = 2;
+  config.events_per_local = 30'000;
+  config.base_rate = 50'000;
+  config.rate_change = 0.05;
+  config.batch_size = 512;
+  config.seed = seed;
+  return config;
+}
+
+TEST(SimDeterminismTest, SameSeedReplaysByteIdentically) {
+  // ISSUE 4 satellite: the full RunReport JSON — window values, latency
+  // histogram, fabric byte counters, the delivery-order hash — must be
+  // byte-identical across two runs of the same (config, seed).
+  auto first = RunExperiment(SimConfig(1234));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = RunExperiment(SimConfig(1234));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_GT(first->delivery_hash, 0u);
+  EXPECT_EQ(first->delivery_hash, second->delivery_hash);
+  EXPECT_EQ(first->network.total_bytes, second->network.total_bytes);
+  EXPECT_EQ(first->network.total_messages, second->network.total_messages);
+  EXPECT_EQ(RunReportJson(*first), RunReportJson(*second));
+}
+
+TEST(SimDeterminismTest, DifferentSeedsProduceDifferentMessageOrders) {
+  auto a = RunExperiment(SimConfig(1234));
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = RunExperiment(SimConfig(4321));
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_NE(a->delivery_hash, b->delivery_hash);
+  EXPECT_NE(RunReportJson(*a), RunReportJson(*b));
+}
+
+TEST(SimDeterminismTest, ChaosScheduleReplaysByteIdentically) {
+  // Chaos actions become timer events on the same queue, so a faulty run
+  // replays exactly too — including the membership timeline.
+  auto config = SimConfig(99);
+  config.cpu_events_per_sec = 20'000;  // pace so faults land mid-stream
+  config.root_options.node_timeout_nanos = 120 * kNanosPerMilli;
+  auto schedule = ChaosSchedule::Parse(
+      "crash:local-1@200ms,restart:local-1@500ms");
+  ASSERT_TRUE(schedule.ok());
+  config.chaos.schedule = *schedule;
+  auto first = RunExperiment(config);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = RunExperiment(config);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_GE(first->membership.size(), 2u)
+      << "crash/restart did not produce membership churn";
+  EXPECT_EQ(RunReportJson(*first), RunReportJson(*second));
+}
+
+TEST(SimDeterminismTest, SimClockOnlyMovesForward) {
+  SimClock clock(100);
+  EXPECT_EQ(clock.NowNanos(), 100);
+  clock.AdvanceTo(50);  // past times are ignored
+  EXPECT_EQ(clock.NowNanos(), 100);
+  clock.AdvanceTo(200);
+  EXPECT_EQ(clock.NowNanos(), 200);
+}
+
+}  // namespace
+}  // namespace deco

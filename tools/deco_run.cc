@@ -34,6 +34,7 @@ void PrintUsage() {
       "  --locals=<n>        local node count (default 2)\n"
       "  --streams=<n>       sensor streams per local node (default 4)\n"
       "  --events=<n>        events per local node (default 1000000)\n"
+      "  --batch=<n>         events per data-plane message (default 4096)\n"
       "  --rate=<f>          per-node event rate, events/s (default 1e6)\n"
       "  --change=<f>        rate-change fraction, e.g. 0.01 (default)\n"
       "  --skew=<f>          per-node rate skew (default 0)\n"
@@ -49,6 +50,15 @@ void PrintUsage() {
       "  --timeout=<ms>      root failure-detection timeout; required for\n"
       "                      crash chaos against a Deco scheme (default 0)\n"
       "  --seed=<n>          PRNG seed (default 42)\n"
+      "  --sim               deterministic simulation mode (DESIGN.md §8):\n"
+      "                      virtual-time scheduler seeded with --seed; the\n"
+      "                      whole run (message order, report, counters)\n"
+      "                      replays byte-identically from (config, seed).\n"
+      "                      Composes with --chaos and --trace_out; note\n"
+      "                      that chaos offsets only land mid-stream when\n"
+      "                      the run is paced with --cpu\n"
+      "  --sim_limit_ms=<n>  abort a sim run once virtual time exceeds\n"
+      "                      this (0 = unlimited; livelock guard)\n"
       "  --telemetry_out=<f>      write run telemetry (sampler time series +\n"
       "                           window-lifecycle spans) as JSON to <f>\n"
       "  --telemetry_csv=<p>      also write <p>.samples.csv / <p>.spans.csv\n"
@@ -99,6 +109,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("streams", 4));
   config.events_per_local =
       static_cast<uint64_t>(flags.GetInt("events", 1'000'000));
+  config.batch_size = static_cast<size_t>(flags.GetInt("batch", 4096));
   config.base_rate = flags.GetDouble("rate", 1e6);
   config.rate_change = flags.GetDouble("change", 0.01);
   config.rate_skew = flags.GetDouble("skew", 0.0);
@@ -112,6 +123,9 @@ int main(int argc, char** argv) {
   config.root_options.node_timeout_nanos = static_cast<TimeNanos>(
       flags.GetDouble("timeout", 0.0) * kNanosPerMilli);
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.sim = flags.GetBool("sim", false);
+  config.sim_time_limit_nanos = static_cast<TimeNanos>(
+      flags.GetDouble("sim_limit_ms", 0.0) * kNanosPerMilli);
 
   std::vector<ChaosAuditEntry> audit;
   if (flags.Has("chaos")) {
