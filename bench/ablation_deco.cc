@@ -14,30 +14,45 @@ using namespace deco;
 
 namespace {
 
-RunReport Run(double multiplier, size_t history_m, double change) {
+ExperimentConfig MakeConfig(double multiplier, size_t history_m,
+                            double change, uint64_t events) {
   ExperimentConfig config;
   config.scheme = Scheme::kDecoSync;
   config.query.window = WindowSpec::CountTumbling(50'000);
   config.query.aggregate = AggregateKind::kSum;
   config.num_locals = 2;
   config.streams_per_local = 4;
-  config.events_per_local = 1'500'000;
+  config.events_per_local = events;
   config.base_rate = 1e6;
   config.rate_change = change;
   config.batch_size = 8192;
   config.seed = 42;
   config.root_options.delta_multiplier = multiplier;
   config.root_options.predictor_history_m = history_m;
-  auto result = RunExperiment(config);
-  if (!result.ok()) return RunReport();
-  return std::move(result).value();
+  return config;
+}
+
+std::string CellLabel(double multiplier, size_t m) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "mult=%g/m=%zu", multiplier, m);
+  return buf;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::Parse(argc, argv);
-  const double change = flags.GetDouble("change", 0.05);
+  const bench::BenchOptions opts =
+      bench::BenchOptions::Parse(argc, argv, "ablation_deco");
+  const double change = opts.flags.GetDouble("change", 0.05);
+  const uint64_t events = opts.Scaled(1'500'000);
+
+  BenchRecorder recorder(opts.bench_name);
+  opts.RecordConfig(&recorder);
+  recorder.SetConfig("change", change);
+  recorder.SetConfig("events_per_local", static_cast<int64_t>(events));
+  recorder.SetConfig("window", static_cast<int64_t>(50'000));
+  recorder.SetConfig("scheme", "deco-sync");
+  recorder.SetConfig("seed", static_cast<int64_t>(42));
 
   std::printf("Ablation: Deco_sync delta multiplier x history m "
               "(rate change %.1f%%)\n", change * 100);
@@ -45,7 +60,22 @@ int main(int argc, char** argv) {
               "corrections/100w", "net(MB)", "tput(Mev/s)");
   for (double multiplier : {1.0, 2.0, 3.0, 4.0}) {
     for (size_t m : {size_t{1}, size_t{4}, size_t{16}}) {
-      const RunReport report = Run(multiplier, m, change);
+      const std::string label = CellLabel(multiplier, m);
+      RunReport report;
+      for (int r = 0; r < opts.repeat; ++r) {
+        ExperimentConfig config = MakeConfig(multiplier, m, change, events);
+        opts.ApplyCommon(&config, label);
+        auto result = RunExperiment(config);
+        if (!result.ok()) continue;
+        report = std::move(result).value();
+        const double corr100 =
+            report.windows_emitted == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(report.correction_steps) /
+                      static_cast<double>(report.windows_emitted);
+        recorder.AddReport(label, report);
+        recorder.AddMetric(label, "corrections_per_100_windows", corr100);
+      }
       const double corr100 =
           report.windows_emitted == 0
               ? 0.0
@@ -58,5 +88,5 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
     }
   }
-  return 0;
+  return bench::Finish(opts, recorder);
 }

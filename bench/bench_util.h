@@ -1,20 +1,36 @@
 #pragma once
 
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
 #include "harness/experiment.h"
+#include "obs/bench_record.h"
 
 /// \file bench_util.h
 /// \brief Shared helpers for the per-figure benchmark binaries.
 ///
-/// Every binary accepts `--scale=<f>` (default 1.0) to grow/shrink the
-/// event counts relative to the laptop-friendly defaults, plus
-/// `--schemes=a,b,c` to restrict the evaluated approaches. The paper's
-/// full-size runs (100 M events/node, 1 M windows) correspond to roughly
-/// `--scale=50`; the defaults reproduce the *shapes* in minutes.
+/// Every binary parses its flags into a `BenchOptions` (one shared parser
+/// instead of twelve hand-rolled ones) and feeds a `BenchRecorder`
+/// alongside its human-readable table. Common flags:
+///   --scale=<f>     grow/shrink event counts relative to the
+///                   laptop-friendly defaults (default 1.0; the paper's
+///                   full-size runs are roughly --scale=50)
+///   --schemes=a,b,c restrict the evaluated approaches
+///   --repeat=<n>    measure each configuration n times; the JSON carries
+///                   every repeat plus min/median/stddev (default 1)
+///   --json_out=<f>  structured-output path (default BENCH_<binary>.json)
+///   --json_dir=<d>  directory for the default-named JSON (CI artifact dirs)
+///   --sim           deterministic simulation mode: structural metrics
+///                   (messages, windows, bytes/event) become machine-
+///                   independent, which is what the CI baseline compares
+///   --profile       per-thread CPU/alloc profiling; the last repeat's
+///                   profile lands in the row's cpu_breakdown
+///   --drop=<p>      per-message drop probability on root<->local links
+///   --latency_ms=<f> one-way root<->local link latency
+///   --telemetry_out=<prefix>, --sample_interval_ms=<n> as before
 
 namespace deco {
 namespace bench {
@@ -40,6 +56,96 @@ inline void PrintRow(const RunReport& report) {
   std::fflush(stdout);
 }
 
+/// \brief The flags every bench binary shares, parsed once.
+struct BenchOptions {
+  Flags flags;            ///< raw flags for binary-specific knobs
+  std::string bench_name; ///< binary short name ("fig7_end_to_end")
+  double scale = 1.0;
+  int repeat = 1;
+  bool sim = false;
+  bool profile = false;
+  std::string json_out;   ///< resolved structured-output path
+
+  /// \brief Parses argv and resolves the shared flags. `bench_name` names
+  /// the binary (it determines the default `BENCH_<name>.json`).
+  static BenchOptions Parse(int argc, char** argv,
+                            const std::string& bench_name) {
+    BenchOptions opts;
+    opts.flags = Flags::Parse(argc, argv);
+    opts.bench_name = bench_name;
+    opts.scale = opts.flags.GetDouble("scale", 1.0);
+    opts.repeat =
+        static_cast<int>(opts.flags.GetInt("repeat", 1));
+    if (opts.repeat < 1) opts.repeat = 1;
+    opts.sim = opts.flags.GetBool("sim", false);
+    opts.profile = opts.flags.GetBool("profile", false);
+    const std::string dir = opts.flags.GetString("json_dir", "");
+    std::string def = "BENCH_" + bench_name + ".json";
+    if (!dir.empty()) def = dir + "/" + def;
+    opts.json_out = opts.flags.GetString("json_out", def);
+    return opts;
+  }
+
+  /// \brief Scales an event count by `--scale`.
+  uint64_t Scaled(uint64_t base) const {
+    const double scaled = static_cast<double>(base) * scale;
+    return scaled < 1.0 ? 1 : static_cast<uint64_t>(scaled);
+  }
+
+  /// \brief Parses `--schemes=` into a scheme list, with a default.
+  std::vector<Scheme> Schemes(std::vector<Scheme> fallback) const {
+    const std::string arg = flags.GetString("schemes", "");
+    if (arg.empty()) return fallback;
+    std::vector<Scheme> schemes;
+    std::string token;
+    std::stringstream ss(arg);
+    while (std::getline(ss, token, ',')) {
+      auto scheme = SchemeFromString(token);
+      if (scheme.ok()) schemes.push_back(*scheme);
+    }
+    return schemes.empty() ? fallback : schemes;
+  }
+
+  /// \brief Applies the shared run-mode flags to one experiment config:
+  /// sim, profiling, link shaping overrides (`--drop`, `--latency_ms`) and
+  /// telemetry (`--telemetry_out=<prefix>` writes `<prefix>.<tag>.json`).
+  /// Shaping flags only override when present, so binaries with their own
+  /// defaults (chaos_recovery's drop phase) keep them.
+  void ApplyCommon(ExperimentConfig* config, const std::string& tag) const {
+    config->sim = config->sim || sim;
+    config->profile.enabled = config->profile.enabled || profile;
+    if (flags.Has("drop")) {
+      config->drop_probability = flags.GetDouble("drop", 0.0);
+    }
+    if (flags.Has("latency_ms")) {
+      config->link_latency_nanos = static_cast<TimeNanos>(
+          flags.GetDouble("latency_ms", 0.0) * kNanosPerMilli);
+    }
+    const std::string prefix = flags.GetString("telemetry_out", "");
+    if (!prefix.empty()) {
+      config->telemetry.enabled = true;
+      config->telemetry.json_out = prefix + "." + tag + ".json";
+      config->telemetry.sample_interval_nanos = static_cast<TimeNanos>(
+          flags.GetInt("sample_interval_ms", 50) * kNanosPerMilli);
+    }
+  }
+
+  /// \brief Records the shared flags into the recorder's config section
+  /// (binaries add their own keys — locals, window, events — after this).
+  void RecordConfig(BenchRecorder* recorder) const {
+    recorder->SetConfig("scale", scale);
+    recorder->SetConfig("repeat", static_cast<int64_t>(repeat));
+    recorder->SetConfig("sim", sim);
+    recorder->SetConfig("profile", profile);
+    if (flags.Has("drop")) {
+      recorder->SetConfig("drop", flags.GetDouble("drop", 0.0));
+    }
+    if (flags.Has("latency_ms")) {
+      recorder->SetConfig("latency_ms", flags.GetDouble("latency_ms", 0.0));
+    }
+  }
+};
+
 /// \brief Runs one experiment, printing an error row on failure.
 inline bool RunAndPrint(const ExperimentConfig& config) {
   auto result = RunExperiment(config);
@@ -52,40 +158,37 @@ inline bool RunAndPrint(const ExperimentConfig& config) {
   return true;
 }
 
-/// \brief Parses `--schemes=` into a scheme list, with a default.
-inline std::vector<Scheme> ParseSchemes(const Flags& flags,
-                                        std::vector<Scheme> fallback) {
-  const std::string arg = flags.GetString("schemes", "");
-  if (arg.empty()) return fallback;
-  std::vector<Scheme> schemes;
-  std::string token;
-  std::stringstream ss(arg);
-  while (std::getline(ss, token, ',')) {
-    auto scheme = SchemeFromString(token);
-    if (scheme.ok()) schemes.push_back(*scheme);
+/// \brief Runs one configuration `--repeat` times, printing each repeat as
+/// a table row and appending its metrics to the recorder under `label`.
+/// Returns false (after an error row) if any repeat fails.
+inline bool RunAndRecord(const ExperimentConfig& config,
+                         const BenchOptions& opts, BenchRecorder* recorder,
+                         const std::string& label) {
+  for (int r = 0; r < opts.repeat; ++r) {
+    auto result = RunExperiment(config);
+    if (!result.ok()) {
+      std::printf("%-14s ERROR: %s\n", label.c_str(),
+                  result.status().ToString().c_str());
+      return false;
+    }
+    PrintRow(*result);
+    recorder->AddReport(label, *result);
   }
-  return schemes.empty() ? fallback : schemes;
+  return true;
 }
 
-/// \brief Wires `--telemetry_out=<prefix>` / `--sample_interval_ms=<n>`
-/// into one run's config: each tagged run writes
-/// `<prefix>.<tag>.json`. No flag = telemetry stays disabled so the
-/// benchmark measures the undisturbed system.
-inline void ApplyTelemetry(const Flags& flags, ExperimentConfig* config,
-                           const std::string& tag) {
-  const std::string prefix = flags.GetString("telemetry_out", "");
-  if (prefix.empty()) return;
-  config->telemetry.enabled = true;
-  config->telemetry.json_out = prefix + "." + tag + ".json";
-  config->telemetry.sample_interval_nanos = static_cast<TimeNanos>(
-      flags.GetInt("sample_interval_ms", 50) * kNanosPerMilli);
-}
-
-/// \brief Scales an event count by `--scale`.
-inline uint64_t Scaled(const Flags& flags, uint64_t base) {
-  const double scale = flags.GetDouble("scale", 1.0);
-  const double scaled = static_cast<double>(base) * scale;
-  return scaled < 1.0 ? 1 : static_cast<uint64_t>(scaled);
+/// \brief Writes the recorder's JSON to `opts.json_out` and reports the
+/// path; returns the process exit code (benches end with
+/// `return bench::Finish(opts, recorder);`).
+inline int Finish(const BenchOptions& opts, const BenchRecorder& recorder) {
+  const Status status = recorder.WriteJson(opts.json_out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error writing %s: %s\n", opts.json_out.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nbench json: %s\n", opts.json_out.c_str());
+  return 0;
 }
 
 }  // namespace bench

@@ -57,7 +57,9 @@ double MembershipOffsetMs(const RunReport& report, bool rejoined) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::Parse(argc, argv);
+  const bench::BenchOptions opts =
+      bench::BenchOptions::Parse(argc, argv, "chaos_recovery");
+  const Flags& flags = opts.flags;
 
   const double crash_ms = flags.GetDouble("crash_ms", 300.0);
   const double restart_ms = flags.GetDouble("restart_ms", 800.0);
@@ -70,8 +72,8 @@ int main(int argc, char** argv) {
   base.query.aggregate = AggregateKind::kSum;
   base.num_locals = static_cast<size_t>(flags.GetInt("locals", 3));
   base.streams_per_local = static_cast<size_t>(flags.GetInt("streams", 2));
-  base.events_per_local = bench::Scaled(
-      flags, static_cast<uint64_t>(flags.GetInt("events", 8'000'000)));
+  base.events_per_local = opts.Scaled(
+      static_cast<uint64_t>(flags.GetInt("events", 8'000'000)));
   base.base_rate = flags.GetDouble("rate", 2e6);
   base.rate_change = 0.01;
   base.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
@@ -94,9 +96,21 @@ int main(int argc, char** argv) {
                  static_cast<TimeNanos>(restart_ms * kNanosPerMilli));
   }
 
-  const std::vector<Scheme> schemes = bench::ParseSchemes(
-      flags, {Scheme::kCentral, Scheme::kDecoMon, Scheme::kDecoSync,
-              Scheme::kDecoAsync});
+  const std::vector<Scheme> schemes = opts.Schemes(
+      {Scheme::kCentral, Scheme::kDecoMon, Scheme::kDecoSync,
+       Scheme::kDecoAsync});
+
+  BenchRecorder recorder(opts.bench_name);
+  opts.RecordConfig(&recorder);
+  recorder.SetConfig("chaos", schedule.ToSpecString());
+  recorder.SetConfig("window",
+                     static_cast<int64_t>(base.query.window.length));
+  recorder.SetConfig("locals", static_cast<int64_t>(base.num_locals));
+  recorder.SetConfig("events_per_local",
+                     static_cast<int64_t>(base.events_per_local));
+  recorder.SetConfig("timeout_ms", timeout_ms);
+  recorder.SetConfig("tail", tail_fraction);
+  recorder.SetConfig("seed", static_cast<int64_t>(base.seed));
 
   std::printf("=== chaos_recovery: %s ===\n",
               schedule.ToSpecString().c_str());
@@ -112,43 +126,59 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   for (Scheme scheme : schemes) {
-    ExperimentConfig config = base;
-    config.scheme = scheme;
+    const std::string label = SchemeToString(scheme);
+    for (int r = 0; r < opts.repeat; ++r) {
+      ExperimentConfig config = base;
+      config.scheme = scheme;
+      opts.ApplyCommon(&config, label + ".truth");
 
-    auto truth = RunExperiment(config);
-    if (!truth.ok()) {
-      std::printf("%-14s ERROR (fault-free): %s\n", SchemeToString(scheme),
-                  truth.status().ToString().c_str());
-      ok = false;
-      continue;
+      auto truth = RunExperiment(config);
+      if (!truth.ok()) {
+        std::printf("%-14s ERROR (fault-free): %s\n",
+                    SchemeToString(scheme),
+                    truth.status().ToString().c_str());
+        ok = false;
+        break;
+      }
+
+      config.chaos.schedule = schedule;
+      std::vector<ChaosAuditEntry> audit;
+      config.chaos.audit = &audit;
+      opts.ApplyCommon(&config, std::string("chaos.") + label);
+      auto chaos = RunExperiment(config);
+      if (!chaos.ok()) {
+        std::printf("%-14s ERROR (chaos): %s\n", SchemeToString(scheme),
+                    chaos.status().ToString().c_str());
+        ok = false;
+        break;
+      }
+
+      const TailError error =
+          TimeAlignedTailError(*truth, *chaos, tail_fraction);
+      const double detect_at = MembershipOffsetMs(*chaos, false);
+      const double rejoin_at = MembershipOffsetMs(*chaos, true);
+      std::printf(
+          "%-14s %10llu %10llu %12llu %11.1f %11.1f %12.4f %10zu\n",
+          SchemeToString(scheme),
+          (unsigned long long)truth->windows_emitted,
+          (unsigned long long)chaos->windows_emitted,
+          (unsigned long long)chaos->correction_steps,
+          detect_at >= 0.0 ? detect_at - crash_ms : -1.0,
+          rejoin_at >= 0.0 ? rejoin_at - restart_ms : -1.0,
+          100.0 * error.relative, error.compared);
+      std::fflush(stdout);
+      recorder.AddReport(label, *chaos);
+      recorder.AddMetric(label, "tail_error_relative", error.relative);
+      if (detect_at >= 0.0) {
+        recorder.AddMetric(label, "detect_latency_ms",
+                           detect_at - crash_ms);
+      }
+      if (rejoin_at >= 0.0) {
+        recorder.AddMetric(label, "rejoin_latency_ms",
+                           rejoin_at - restart_ms);
+      }
     }
-
-    config.chaos.schedule = schedule;
-    std::vector<ChaosAuditEntry> audit;
-    config.chaos.audit = &audit;
-    bench::ApplyTelemetry(flags, &config,
-                          std::string("chaos.") + SchemeToString(scheme));
-    auto chaos = RunExperiment(config);
-    if (!chaos.ok()) {
-      std::printf("%-14s ERROR (chaos): %s\n", SchemeToString(scheme),
-                  chaos.status().ToString().c_str());
-      ok = false;
-      continue;
-    }
-
-    const TailError error =
-        TimeAlignedTailError(*truth, *chaos, tail_fraction);
-    const double detect_at = MembershipOffsetMs(*chaos, false);
-    const double rejoin_at = MembershipOffsetMs(*chaos, true);
-    std::printf("%-14s %10llu %10llu %12llu %11.1f %11.1f %12.4f %10zu\n",
-                SchemeToString(scheme),
-                (unsigned long long)truth->windows_emitted,
-                (unsigned long long)chaos->windows_emitted,
-                (unsigned long long)chaos->correction_steps,
-                detect_at >= 0.0 ? detect_at - crash_ms : -1.0,
-                rejoin_at >= 0.0 ? rejoin_at - restart_ms : -1.0,
-                100.0 * error.relative, error.compared);
-    std::fflush(stdout);
   }
-  return ok ? 0 : 1;
+  const int rc = bench::Finish(opts, recorder);
+  return ok ? rc : 1;
 }

@@ -29,15 +29,29 @@ ExperimentConfig BaseConfig(Scheme scheme, double change, uint64_t events) {
   return config;
 }
 
+std::string ChangeLabel(double change) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", change);
+  return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::Parse(argc, argv);
-  const uint64_t events = bench::Scaled(flags, 2'000'000);
-  const std::vector<Scheme> schemes = bench::ParseSchemes(
-      flags, {Scheme::kApprox, Scheme::kDecoMon, Scheme::kDecoSync,
-              Scheme::kDecoAsync});
+  const bench::BenchOptions opts =
+      bench::BenchOptions::Parse(argc, argv, "fig10_adaptivity");
+  const uint64_t events = opts.Scaled(2'000'000);
+  const std::vector<Scheme> schemes = opts.Schemes(
+      {Scheme::kApprox, Scheme::kDecoMon, Scheme::kDecoSync,
+       Scheme::kDecoAsync});
   const std::vector<double> changes{0.001, 0.01, 0.05, 0.2, 0.5, 1.0};
+
+  BenchRecorder recorder(opts.bench_name);
+  opts.RecordConfig(&recorder);
+  recorder.SetConfig("events_per_local", static_cast<int64_t>(events));
+  recorder.SetConfig("window", static_cast<int64_t>(50'000));
+  recorder.SetConfig("locals", static_cast<int64_t>(2));
+  recorder.SetConfig("seed", static_cast<int64_t>(42));
 
   std::printf("Figure 10a-10d: adaptivity to event rate change "
               "(2 locals, window 50k, events/node=%llu)\n",
@@ -48,33 +62,43 @@ int main(int argc, char** argv) {
 
   for (Scheme scheme : schemes) {
     for (double change : changes) {
-      // Ground truth for the correctness column (Fig 10d).
-      ExperimentConfig truth_config =
-          BaseConfig(Scheme::kCentral, change, events);
-      auto truth = RunExperiment(truth_config);
-      if (!truth.ok()) continue;
+      const std::string label = std::string(SchemeToString(scheme)) +
+                                "/change=" + ChangeLabel(change);
+      for (int r = 0; r < opts.repeat; ++r) {
+        // Ground truth for the correctness column (Fig 10d).
+        ExperimentConfig truth_config =
+            BaseConfig(Scheme::kCentral, change, events);
+        opts.ApplyCommon(&truth_config, label + ".truth");
+        auto truth = RunExperiment(truth_config);
+        if (!truth.ok()) continue;
 
-      ExperimentConfig config = BaseConfig(scheme, change, events);
-      auto result = RunExperiment(config);
-      if (!result.ok()) {
-        std::printf("%-12s %-10.3f ERROR: %s\n", SchemeToString(scheme),
-                    change, result.status().ToString().c_str());
-        continue;
+        ExperimentConfig config = BaseConfig(scheme, change, events);
+        opts.ApplyCommon(&config, label);
+        auto result = RunExperiment(config);
+        if (!result.ok()) {
+          std::printf("%-12s %-10.3f ERROR: %s\n", SchemeToString(scheme),
+                      change, result.status().ToString().c_str());
+          continue;
+        }
+        const CorrectnessReport correctness =
+            CompareConsumption(truth->consumption, result->consumption);
+        const double corrections_per_100 =
+            result->windows_emitted == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(result->correction_steps) /
+                      static_cast<double>(result->windows_emitted);
+        std::printf("%-12s %-10.3f %12.3f %12.3f %16.1f %14.4f\n",
+                    result->scheme.c_str(), change,
+                    result->throughput_eps / 1e6,
+                    static_cast<double>(result->network.total_bytes) / 1e6,
+                    corrections_per_100, correctness.correctness);
+        std::fflush(stdout);
+        recorder.AddReport(label, *result);
+        recorder.AddMetric(label, "corrections_per_100_windows",
+                           corrections_per_100);
+        recorder.AddMetric(label, "correctness", correctness.correctness);
       }
-      const CorrectnessReport correctness =
-          CompareConsumption(truth->consumption, result->consumption);
-      const double corrections_per_100 =
-          result->windows_emitted == 0
-              ? 0.0
-              : 100.0 * static_cast<double>(result->correction_steps) /
-                    static_cast<double>(result->windows_emitted);
-      std::printf("%-12s %-10.3f %12.3f %12.3f %16.1f %14.4f\n",
-                  result->scheme.c_str(), change,
-                  result->throughput_eps / 1e6,
-                  static_cast<double>(result->network.total_bytes) / 1e6,
-                  corrections_per_100, correctness.correctness);
-      std::fflush(stdout);
     }
   }
-  return 0;
+  return bench::Finish(opts, recorder);
 }

@@ -30,13 +30,20 @@ ExperimentConfig BaseConfig(Scheme scheme, uint64_t window, double change,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::Parse(argc, argv);
-  const uint64_t events = bench::Scaled(flags, 2'000'000);
-  const std::vector<int64_t> windows =
-      flags.GetIntList("windows", {5'000, 20'000, 50'000, 100'000, 250'000});
-  const std::vector<Scheme> schemes = bench::ParseSchemes(
-      flags, {Scheme::kApprox, Scheme::kDecoMon, Scheme::kDecoSync,
-              Scheme::kDecoAsync});
+  const bench::BenchOptions opts =
+      bench::BenchOptions::Parse(argc, argv, "fig10_windowsize");
+  const uint64_t events = opts.Scaled(2'000'000);
+  const std::vector<int64_t> windows = opts.flags.GetIntList(
+      "windows", {5'000, 20'000, 50'000, 100'000, 250'000});
+  const std::vector<Scheme> schemes = opts.Schemes(
+      {Scheme::kApprox, Scheme::kDecoMon, Scheme::kDecoSync,
+       Scheme::kDecoAsync});
+
+  BenchRecorder recorder(opts.bench_name);
+  opts.RecordConfig(&recorder);
+  recorder.SetConfig("events_per_local", static_cast<int64_t>(events));
+  recorder.SetConfig("locals", static_cast<int64_t>(2));
+  recorder.SetConfig("seed", static_cast<int64_t>(42));
 
   std::printf("Figure 10e: throughput vs. window size (1%% change)\n");
   std::printf("%-12s", "scheme");
@@ -45,10 +52,24 @@ int main(int argc, char** argv) {
   for (Scheme scheme : schemes) {
     std::printf("%-12s", SchemeToString(scheme));
     for (int64_t window : windows) {
-      auto result = RunExperiment(BaseConfig(
-          scheme, static_cast<uint64_t>(window), 0.01, events));
-      if (result.ok()) {
-        std::printf(" %12.3f", result->throughput_eps / 1e6);
+      const std::string label = std::string(SchemeToString(scheme)) +
+                                "/10e/window=" + std::to_string(window);
+      bool ok = true;
+      double tput = 0.0;
+      for (int r = 0; r < opts.repeat && ok; ++r) {
+        ExperimentConfig config = BaseConfig(
+            scheme, static_cast<uint64_t>(window), 0.01, events);
+        opts.ApplyCommon(&config, label);
+        auto result = RunExperiment(config);
+        if (!result.ok()) {
+          ok = false;
+          break;
+        }
+        tput = result->throughput_eps;
+        recorder.AddReport(label, *result);
+      }
+      if (ok) {
+        std::printf(" %12.3f", tput / 1e6);
       } else {
         std::printf(" %12s", "ERR");
       }
@@ -64,14 +85,31 @@ int main(int argc, char** argv) {
   for (Scheme scheme : schemes) {
     std::printf("%-12s", SchemeToString(scheme));
     for (int64_t window : windows) {
-      auto truth = RunExperiment(BaseConfig(
-          Scheme::kCentral, static_cast<uint64_t>(window), 0.5, events));
-      auto result = RunExperiment(BaseConfig(
-          scheme, static_cast<uint64_t>(window), 0.5, events));
-      if (truth.ok() && result.ok()) {
+      const std::string label = std::string(SchemeToString(scheme)) +
+                                "/10f/window=" + std::to_string(window);
+      bool ok = true;
+      double fraction = 0.0;
+      for (int r = 0; r < opts.repeat && ok; ++r) {
+        ExperimentConfig truth_config = BaseConfig(
+            Scheme::kCentral, static_cast<uint64_t>(window), 0.5, events);
+        ExperimentConfig config = BaseConfig(
+            scheme, static_cast<uint64_t>(window), 0.5, events);
+        opts.ApplyCommon(&truth_config, label + ".truth");
+        opts.ApplyCommon(&config, label);
+        auto truth = RunExperiment(truth_config);
+        auto result = RunExperiment(config);
+        if (!truth.ok() || !result.ok()) {
+          ok = false;
+          break;
+        }
         const CorrectnessReport correctness =
             CompareConsumption(truth->consumption, result->consumption);
-        std::printf(" %12.4f", correctness.correctness);
+        fraction = correctness.correctness;
+        recorder.AddReport(label, *result);
+        recorder.AddMetric(label, "correctness", fraction);
+      }
+      if (ok) {
+        std::printf(" %12.4f", fraction);
       } else {
         std::printf(" %12s", "ERR");
       }
@@ -79,5 +117,5 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
-  return 0;
+  return bench::Finish(opts, recorder);
 }

@@ -34,11 +34,21 @@ ExperimentConfig PiConfig(Scheme scheme, size_t locals, uint64_t events) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::Parse(argc, argv);
-  const uint64_t events = bench::Scaled(flags, 2'000'000);
-  const std::vector<Scheme> schemes = bench::ParseSchemes(
-      flags, {Scheme::kCentral, Scheme::kScotty, Scheme::kDisco,
-              Scheme::kDecoAsync});
+  const bench::BenchOptions opts =
+      bench::BenchOptions::Parse(argc, argv, "fig11_iot");
+  const uint64_t events = opts.Scaled(2'000'000);
+  const std::vector<Scheme> schemes = opts.Schemes(
+      {Scheme::kCentral, Scheme::kScotty, Scheme::kDisco,
+       Scheme::kDecoAsync});
+
+  BenchRecorder recorder(opts.bench_name);
+  opts.RecordConfig(&recorder);
+  recorder.SetConfig("events_per_local", static_cast<int64_t>(events));
+  recorder.SetConfig("window", static_cast<int64_t>(100'000));
+  recorder.SetConfig("cpu_events_per_sec", static_cast<int64_t>(4'000'000));
+  recorder.SetConfig("egress_bytes_per_sec",
+                     static_cast<int64_t>(49'000'000));
+  recorder.SetConfig("seed", static_cast<int64_t>(42));
 
   std::printf("Figure 11a-11c: Raspberry Pi cluster emulation "
               "(2 Pis + root, CPU cap 4M ev/s, NIC cap 49 MB/s)\n");
@@ -46,23 +56,37 @@ int main(int argc, char** argv) {
   for (Scheme scheme : schemes) {
     ExperimentConfig config = PiConfig(
         scheme, 2, scheme == Scheme::kDisco ? events / 4 : events);
-    bench::ApplyTelemetry(flags, &config, SchemeToString(scheme));
-    bench::RunAndPrint(config);
+    opts.ApplyCommon(&config, SchemeToString(scheme));
+    bench::RunAndRecord(config, opts, &recorder, SchemeToString(scheme));
   }
 
   std::printf("\nFigure 11d: throughput vs. number of Pis\n");
   std::printf("%-14s", "scheme");
-  const std::vector<int64_t> node_counts = flags.GetIntList("nodes",
-                                                            {1, 2, 3, 4});
+  const std::vector<int64_t> node_counts =
+      opts.flags.GetIntList("nodes", {1, 2, 3, 4});
   for (int64_t n : node_counts) std::printf(" %9lld Pis", (long long)n);
   std::printf("   (M events/s)\n");
   for (Scheme scheme : {Scheme::kScotty, Scheme::kDecoAsync}) {
     std::printf("%-14s", SchemeToString(scheme));
     for (int64_t n : node_counts) {
-      auto result = RunExperiment(
-          PiConfig(scheme, static_cast<size_t>(n), events));
-      if (result.ok()) {
-        std::printf(" %13.3f", result->throughput_eps / 1e6);
+      const std::string label = std::string(SchemeToString(scheme)) +
+                                "/11d/pis=" + std::to_string(n);
+      bool ok = true;
+      double tput = 0.0;
+      for (int r = 0; r < opts.repeat && ok; ++r) {
+        ExperimentConfig config =
+            PiConfig(scheme, static_cast<size_t>(n), events);
+        opts.ApplyCommon(&config, label);
+        auto result = RunExperiment(config);
+        if (!result.ok()) {
+          ok = false;
+          break;
+        }
+        tput = result->throughput_eps;
+        recorder.AddReport(label, *result);
+      }
+      if (ok) {
+        std::printf(" %13.3f", tput / 1e6);
       } else {
         std::printf(" %13s", "ERR");
       }
@@ -70,5 +94,5 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
-  return 0;
+  return bench::Finish(opts, recorder);
 }

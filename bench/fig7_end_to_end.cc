@@ -12,10 +12,19 @@
 using namespace deco;
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::Parse(argc, argv);
-  const uint64_t window = bench::Scaled(flags, 200'000);
-  const uint64_t events = bench::Scaled(flags, 4'000'000);
-  const size_t locals = static_cast<size_t>(flags.GetInt("locals", 8));
+  const bench::BenchOptions opts =
+      bench::BenchOptions::Parse(argc, argv, "fig7_end_to_end");
+  const uint64_t window = opts.Scaled(200'000);
+  const uint64_t events = opts.Scaled(4'000'000);
+  const size_t locals =
+      static_cast<size_t>(opts.flags.GetInt("locals", 8));
+
+  BenchRecorder recorder(opts.bench_name);
+  opts.RecordConfig(&recorder);
+  recorder.SetConfig("window", static_cast<int64_t>(window));
+  recorder.SetConfig("events_per_local", static_cast<int64_t>(events));
+  recorder.SetConfig("locals", static_cast<int64_t>(locals));
+  recorder.SetConfig("seed", static_cast<int64_t>(42));
 
   std::printf("Figure 7: end-to-end performance, %zu local nodes, "
               "window=%llu, events/node=%llu, rate change 1%%\n",
@@ -23,9 +32,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(events));
   bench::PrintHeader("Fig 7a/7b: throughput and latency");
 
-  for (Scheme scheme : bench::ParseSchemes(
-           flags, {Scheme::kCentral, Scheme::kScotty, Scheme::kDisco,
-                   Scheme::kDecoAsync})) {
+  for (Scheme scheme : opts.Schemes({Scheme::kCentral, Scheme::kScotty,
+                                     Scheme::kDisco, Scheme::kDecoAsync})) {
     ExperimentConfig config;
     config.scheme = scheme;
     config.query.window = WindowSpec::CountTumbling(window);
@@ -39,8 +47,8 @@ int main(int argc, char** argv) {
     config.rate_change = 0.01;
     config.batch_size = 8192;
     config.seed = 42;
-    bench::ApplyTelemetry(flags, &config, SchemeToString(scheme));
-    bench::RunAndPrint(config);
+    opts.ApplyCommon(&config, SchemeToString(scheme));
+    bench::RunAndRecord(config, opts, &recorder, SchemeToString(scheme));
   }
-  return 0;
+  return bench::Finish(opts, recorder);
 }

@@ -29,11 +29,18 @@ ExperimentConfig BaseConfig(uint64_t events, size_t locals) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::Parse(argc, argv);
-  const uint64_t events = bench::Scaled(flags, 2'000'000);
-  const std::vector<Scheme> schemes = bench::ParseSchemes(
-      flags, {Scheme::kCentral, Scheme::kScotty, Scheme::kDisco,
-              Scheme::kDecoAsync});
+  const bench::BenchOptions opts =
+      bench::BenchOptions::Parse(argc, argv, "fig8_network");
+  const uint64_t events = opts.Scaled(2'000'000);
+  const std::vector<Scheme> schemes = opts.Schemes(
+      {Scheme::kCentral, Scheme::kScotty, Scheme::kDisco,
+       Scheme::kDecoAsync});
+
+  BenchRecorder recorder(opts.bench_name);
+  opts.RecordConfig(&recorder);
+  recorder.SetConfig("events_per_local", static_cast<int64_t>(events));
+  recorder.SetConfig("window", static_cast<int64_t>(100'000));
+  recorder.SetConfig("seed", static_cast<int64_t>(42));
 
   std::printf("Figure 8: network utilization, events/node=%llu\n",
               static_cast<unsigned long long>(events));
@@ -42,13 +49,14 @@ int main(int argc, char** argv) {
     ExperimentConfig config = BaseConfig(
         scheme == Scheme::kDisco ? events / 4 : events, 1);
     config.scheme = scheme;
-    bench::RunAndPrint(config);
+    opts.ApplyCommon(&config, SchemeToString(scheme));
+    bench::RunAndRecord(config, opts, &recorder, SchemeToString(scheme));
   }
 
   std::printf("\n=== Fig 8b: total network bytes vs. local node count ===\n");
   std::printf("%-14s", "scheme");
   const std::vector<int64_t> node_counts =
-      flags.GetIntList("nodes", {1, 2, 3, 4, 6, 8});
+      opts.flags.GetIntList("nodes", {1, 2, 3, 4, 6, 8});
   for (int64_t n : node_counts) std::printf(" %10lldn", (long long)n);
   std::printf("   (MB total)\n");
   for (Scheme scheme : schemes) {
@@ -58,10 +66,22 @@ int main(int argc, char** argv) {
           scheme == Scheme::kDisco ? events / 8 : events / 2,
           static_cast<size_t>(n));
       config.scheme = scheme;
-      auto result = RunExperiment(config);
-      if (result.ok()) {
-        std::printf(" %11.2f",
-                    static_cast<double>(result->network.total_bytes) / 1e6);
+      const std::string label = std::string(SchemeToString(scheme)) +
+                                "/nodes=" + std::to_string(n);
+      opts.ApplyCommon(&config, label);
+      bool ok = true;
+      uint64_t bytes = 0;
+      for (int r = 0; r < opts.repeat && ok; ++r) {
+        auto result = RunExperiment(config);
+        if (!result.ok()) {
+          ok = false;
+          break;
+        }
+        bytes = result->network.total_bytes;
+        recorder.AddReport(label, *result);
+      }
+      if (ok) {
+        std::printf(" %11.2f", static_cast<double>(bytes) / 1e6);
       } else {
         std::printf(" %11s", "ERR");
       }
@@ -69,5 +89,5 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
-  return 0;
+  return bench::Finish(opts, recorder);
 }

@@ -11,14 +11,23 @@
 using namespace deco;
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::Parse(argc, argv);
-  const uint64_t window_per_node = bench::Scaled(flags, 50'000);
-  const uint64_t events_per_node = bench::Scaled(flags, 2'000'000);
+  const bench::BenchOptions opts =
+      bench::BenchOptions::Parse(argc, argv, "fig9_scalability");
+  const uint64_t window_per_node = opts.Scaled(50'000);
+  const uint64_t events_per_node = opts.Scaled(2'000'000);
   const std::vector<int64_t> node_counts =
-      flags.GetIntList("nodes", {1, 2, 4, 8, 16});
-  const std::vector<Scheme> schemes = bench::ParseSchemes(
-      flags, {Scheme::kCentral, Scheme::kScotty, Scheme::kDisco,
-              Scheme::kDecoAsync});
+      opts.flags.GetIntList("nodes", {1, 2, 4, 8, 16});
+  const std::vector<Scheme> schemes = opts.Schemes(
+      {Scheme::kCentral, Scheme::kScotty, Scheme::kDisco,
+       Scheme::kDecoAsync});
+
+  BenchRecorder recorder(opts.bench_name);
+  opts.RecordConfig(&recorder);
+  recorder.SetConfig("window_per_node",
+                     static_cast<int64_t>(window_per_node));
+  recorder.SetConfig("events_per_local",
+                     static_cast<int64_t>(events_per_node));
+  recorder.SetConfig("seed", static_cast<int64_t>(42));
 
   std::printf("Figure 9: scalability with local node count "
               "(window = %llu * nodes, events/node = %llu)\n",
@@ -42,8 +51,11 @@ int main(int argc, char** argv) {
       config.rate_change = 0.01;
       config.batch_size = 8192;
       config.seed = 42;
-      bench::RunAndPrint(config);
+      const std::string label = std::string(SchemeToString(scheme)) +
+                                "/nodes=" + std::to_string(nodes);
+      opts.ApplyCommon(&config, label);
+      bench::RunAndRecord(config, opts, &recorder, label);
     }
   }
-  return 0;
+  return bench::Finish(opts, recorder);
 }

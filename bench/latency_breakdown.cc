@@ -9,7 +9,7 @@
 // 1%, the acceptance bound) and exits non-zero on violation.
 //
 //   latency_breakdown [--scale=<f>] [--schemes=a,b,c] [--locals=<n>]
-//                     [--latency=<ms>]
+//                     [--latency=<ms>] [--repeat=<n>] [--json_out=<f>]
 
 #include <cmath>
 #include <cstdlib>
@@ -47,11 +47,21 @@ bool VerifySums(const LatencyAttribution& attribution, double tolerance,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::Parse(argc, argv);
-  const uint64_t window = bench::Scaled(flags, 100'000);
-  const uint64_t events = bench::Scaled(flags, 1'000'000);
-  const size_t locals = static_cast<size_t>(flags.GetInt("locals", 4));
-  const double latency_ms = flags.GetDouble("latency", 1.0);
+  const bench::BenchOptions opts =
+      bench::BenchOptions::Parse(argc, argv, "latency_breakdown");
+  const uint64_t window = opts.Scaled(100'000);
+  const uint64_t events = opts.Scaled(1'000'000);
+  const size_t locals =
+      static_cast<size_t>(opts.flags.GetInt("locals", 4));
+  const double latency_ms = opts.flags.GetDouble("latency", 1.0);
+
+  BenchRecorder recorder(opts.bench_name);
+  opts.RecordConfig(&recorder);
+  recorder.SetConfig("window", static_cast<int64_t>(window));
+  recorder.SetConfig("events_per_local", static_cast<int64_t>(events));
+  recorder.SetConfig("locals", static_cast<int64_t>(locals));
+  recorder.SetConfig("link_latency_ms", latency_ms);
+  recorder.SetConfig("seed", static_cast<int64_t>(42));
 
   std::printf("Latency breakdown: %zu local nodes, window=%llu, "
               "events/node=%llu, link latency=%.1fms\n",
@@ -59,52 +69,89 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(events), latency_ms);
 
   bool all_ok = true;
-  for (Scheme scheme : bench::ParseSchemes(
-           flags, {Scheme::kCentral, Scheme::kScotty, Scheme::kDisco,
-                   Scheme::kApprox, Scheme::kDecoMon, Scheme::kDecoSync,
-                   Scheme::kDecoAsync})) {
-    ExperimentConfig config;
-    config.scheme = scheme;
-    config.query.window = WindowSpec::CountTumbling(window);
-    config.query.aggregate = AggregateKind::kSum;
-    config.num_locals = locals;
-    config.streams_per_local = 4;
-    // Disco's text path is ~10x slower; keep its run time comparable.
-    config.events_per_local =
-        scheme == Scheme::kDisco ? events / 4 : events;
-    config.base_rate = 1e6;
-    config.rate_change = 0.01;
-    config.batch_size = 8192;
-    config.link_latency_nanos =
-        static_cast<TimeNanos>(latency_ms * kNanosPerMilli);
-    config.seed = 42;
+  for (Scheme scheme : opts.Schemes(
+           {Scheme::kCentral, Scheme::kScotty, Scheme::kDisco,
+            Scheme::kApprox, Scheme::kDecoMon, Scheme::kDecoSync,
+            Scheme::kDecoAsync})) {
+    const std::string label = SchemeToString(scheme);
+    for (int r = 0; r < opts.repeat && all_ok; ++r) {
+      ExperimentConfig config;
+      config.scheme = scheme;
+      config.query.window = WindowSpec::CountTumbling(window);
+      config.query.aggregate = AggregateKind::kSum;
+      config.num_locals = locals;
+      config.streams_per_local = 4;
+      // Disco's text path is ~10x slower; keep its run time comparable.
+      config.events_per_local =
+          scheme == Scheme::kDisco ? events / 4 : events;
+      config.base_rate = 1e6;
+      config.rate_change = 0.01;
+      config.batch_size = 8192;
+      config.link_latency_nanos =
+          static_cast<TimeNanos>(latency_ms * kNanosPerMilli);
+      config.seed = 42;
+      opts.ApplyCommon(&config, label);
 
-    TelemetryLog log;
-    config.telemetry.enabled = true;
-    config.telemetry.sink = &log;
+      TelemetryLog log;
+      config.telemetry.enabled = true;
+      config.telemetry.sink = &log;
 
-    auto result = RunExperiment(config);
-    if (!result.ok()) {
-      std::printf("%-14s ERROR: %s\n", SchemeToString(scheme),
-                  result.status().ToString().c_str());
-      all_ok = false;
-      continue;
+      auto result = RunExperiment(config);
+      if (!result.ok()) {
+        std::printf("%-14s ERROR: %s\n", SchemeToString(scheme),
+                    result.status().ToString().c_str());
+        all_ok = false;
+        break;
+      }
+
+      const LatencyAttribution attribution = AttributeWindowLatency(log);
+      if (r == 0) {
+        std::printf("\n=== %s ===\n", SchemeToString(scheme));
+        std::printf("%s", FormatLatencyBreakdown(attribution).c_str());
+      }
+      if (!VerifySums(attribution, 0.01, SchemeToString(scheme))) {
+        all_ok = false;
+      }
+      std::fflush(stdout);
+
+      recorder.AddReport(label, *result);
+      recorder.AddMetric(label, "attributed_windows",
+                         static_cast<double>(attribution.windows.size()));
+      LatencyComponents sums{};
+      for (const WindowAttribution& w : attribution.windows) {
+        sums.total_nanos += w.components.total_nanos;
+        sums.local_compute_nanos += w.components.local_compute_nanos;
+        sums.correction_nanos += w.components.correction_nanos;
+        sums.shaping_nanos += w.components.shaping_nanos;
+        sums.link_nanos += w.components.link_nanos;
+        sums.queue_nanos += w.components.queue_nanos;
+        sums.root_merge_nanos += w.components.root_merge_nanos;
+      }
+      const double n =
+          attribution.windows.empty()
+              ? 1.0
+              : static_cast<double>(attribution.windows.size());
+      recorder.AddMetric(label, "comp_total_nanos_mean",
+                         static_cast<double>(sums.total_nanos) / n);
+      recorder.AddMetric(label, "comp_local_compute_nanos_mean",
+                         static_cast<double>(sums.local_compute_nanos) / n);
+      recorder.AddMetric(label, "comp_correction_nanos_mean",
+                         static_cast<double>(sums.correction_nanos) / n);
+      recorder.AddMetric(label, "comp_link_nanos_mean",
+                         static_cast<double>(sums.link_nanos) / n);
+      recorder.AddMetric(label, "comp_queue_nanos_mean",
+                         static_cast<double>(sums.queue_nanos) / n);
+      recorder.AddMetric(label, "comp_root_merge_nanos_mean",
+                         static_cast<double>(sums.root_merge_nanos) / n);
     }
-
-    const LatencyAttribution attribution = AttributeWindowLatency(log);
-    std::printf("\n=== %s ===\n", SchemeToString(scheme));
-    std::printf("%s", FormatLatencyBreakdown(attribution).c_str());
-    if (!VerifySums(attribution, 0.01, SchemeToString(scheme))) {
-      all_ok = false;
-    }
-    std::fflush(stdout);
   }
 
+  const int rc = bench::Finish(opts, recorder);
   if (!all_ok) {
     std::printf("\nFAIL: latency components did not telescope\n");
     return 1;
   }
   std::printf("\nOK: all attributed windows sum to their end-to-end "
               "latency (within 1%%)\n");
-  return 0;
+  return rc;
 }

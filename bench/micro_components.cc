@@ -2,11 +2,24 @@
 // per-event costs that determine where the end-to-end bottlenecks sit
 // (aggregation kernels, wire formats, windowers, the k-way merges, and the
 // fabric hop).
+//
+// Unlike the figure benches this binary delegates measurement to
+// google-benchmark; a custom main bridges the two worlds so it still
+// honours the shared flags: `--repeat=N` becomes
+// `--benchmark_repetitions=N`, `--benchmark_*` flags pass through
+// untouched, and every per-repetition run lands in the same
+// `BENCH_micro_components.json` schema the figure benches emit
+// (real/cpu ns per iteration plus google-benchmark's rate counters).
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "agg/aggregate.h"
 #include "baseline/root_merger.h"
+#include "bench/bench_util.h"
 #include "common/random.h"
 #include "event/serde.h"
 #include "metrics/histogram.h"
@@ -243,7 +256,65 @@ void BM_Apportion(benchmark::State& state) {
 }
 BENCHMARK(BM_Apportion)->Arg(8)->Arg(64);
 
+/// Console output as usual, but every per-repetition run is also captured
+/// as BenchRecorder metrics (aggregates are skipped: the recorder computes
+/// its own min/median/stddev across the repetitions).
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(BenchRecorder* recorder)
+      : recorder_(recorder) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred ||
+          run.report_big_o || run.report_rms) {
+        continue;
+      }
+      const std::string label = run.benchmark_name();
+      recorder_->AddMetric(label, "real_time_ns", run.GetAdjustedRealTime());
+      recorder_->AddMetric(label, "cpu_time_ns", run.GetAdjustedCPUTime());
+      for (const auto& counter : run.counters) {
+        recorder_->AddMetric(label, counter.first, counter.second.value);
+      }
+    }
+  }
+
+ private:
+  BenchRecorder* recorder_;
+};
+
 }  // namespace
 }  // namespace deco
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace deco;
+  const bench::BenchOptions opts =
+      bench::BenchOptions::Parse(argc, argv, "micro_components");
+
+  // google-benchmark rejects unknown flags, so hand it only its own
+  // (`--benchmark_*`) plus the translation of our shared `--repeat`.
+  std::vector<std::string> args;
+  args.push_back(argc > 0 ? argv[0] : "micro_components");
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_", 12) == 0) {
+      args.push_back(argv[i]);
+    }
+  }
+  if (opts.repeat > 1) {
+    args.push_back("--benchmark_repetitions=" +
+                   std::to_string(opts.repeat));
+  }
+  std::vector<char*> bench_argv;
+  bench_argv.reserve(args.size());
+  for (std::string& arg : args) bench_argv.push_back(arg.data());
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+
+  BenchRecorder recorder(opts.bench_name);
+  opts.RecordConfig(&recorder);
+  RecordingReporter reporter(&recorder);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return bench::Finish(opts, recorder);
+}

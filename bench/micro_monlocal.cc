@@ -15,10 +15,20 @@
 using namespace deco;
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::Parse(argc, argv);
-  const uint64_t events = bench::Scaled(flags, 500'000);
+  const bench::BenchOptions opts =
+      bench::BenchOptions::Parse(argc, argv, "micro_monlocal");
+  const uint64_t events = opts.Scaled(500'000);
   const std::vector<int64_t> node_counts =
-      flags.GetIntList("nodes", {4, 8, 16});
+      opts.flags.GetIntList("nodes", {4, 8, 16});
+  // ApplyCommon only overrides the link latency when --latency_ms is
+  // present; this bench needs a realistic default, so resolve it here.
+  const double latency_ms = opts.flags.GetDouble("latency_ms", 1.0);
+
+  BenchRecorder recorder(opts.bench_name);
+  opts.RecordConfig(&recorder);
+  recorder.SetConfig("events_per_local", static_cast<int64_t>(events));
+  recorder.SetConfig("latency_ms", latency_ms);
+  recorder.SetConfig("seed", static_cast<int64_t>(42));
 
   std::printf("Section 5.1 microbenchmark: Deco_mon vs Deco_monlocal "
               "(peer-to-peer rate exchange)\n");
@@ -38,10 +48,13 @@ int main(int argc, char** argv) {
       config.rate_change = 0.01;
       config.batch_size = 4096;
       config.seed = 42;
-      config.link_latency_nanos = static_cast<TimeNanos>(
-          flags.GetDouble("latency_ms", 1.0) * kNanosPerMilli);
-      bench::RunAndPrint(config);
+      config.link_latency_nanos =
+          static_cast<TimeNanos>(latency_ms * kNanosPerMilli);
+      const std::string label = std::string(SchemeToString(scheme)) +
+                                "/nodes=" + std::to_string(nodes);
+      opts.ApplyCommon(&config, label);
+      bench::RunAndRecord(config, opts, &recorder, label);
     }
   }
-  return 0;
+  return bench::Finish(opts, recorder);
 }

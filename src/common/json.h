@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file json.h
+/// \brief Deterministic JSON rendering primitives shared by every JSON
+/// emitter in the repo (run reports, telemetry export, bench records).
+///
+/// All emitters build documents by appending to a std::string with these
+/// helpers — fixed key order, no map iteration, no locale dependence — so
+/// equal inputs render byte-identically. The sim determinism test and the
+/// bench baseline diff both rely on that property.
+
+namespace deco {
+
+/// \brief Appends a decimal rendering of `v`.
+void JsonAppendU64(std::string* out, uint64_t v);
+
+/// \brief Appends a decimal rendering of `v`.
+void JsonAppendI64(std::string* out, int64_t v);
+
+/// \brief Appends `v` with %.17g — round-trip exact, so equal doubles (and
+/// only equal doubles) render identically. Non-finite values have no JSON
+/// literal and render as `null`.
+void JsonAppendDouble(std::string* out, double v);
+
+/// \brief Appends `s` as a quoted JSON string, escaping the characters
+/// JSON requires (quote, backslash, control characters).
+void JsonAppendString(std::string* out, const std::string& s);
+
+}  // namespace deco

@@ -12,6 +12,7 @@
 #include "obs/export.h"
 #include "obs/metric_registry.h"
 #include "obs/perfetto_export.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace deco {
@@ -324,9 +325,25 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
     sampler->Start();
   }
 
+  // In-run profiler: installed before the actors start so every actor
+  // thread registers its slot in Start's body; collected after the joins
+  // below so every slot has finished.
+  std::unique_ptr<Profiler> profiler;
+  if (config.profile.enabled) {
+    profiler = std::make_unique<Profiler>(config.profile.count_allocs);
+    Profiler::Install(profiler.get());
+  }
+
   const TimeNanos start = clock->NowNanos();
   runtime.StartAll();
-  if (chaos != nullptr) DECO_RETURN_NOT_OK(chaos->Start());
+  if (chaos != nullptr) {
+    const Status chaos_started = chaos->Start();
+    if (!chaos_started.ok()) {
+      // The profiler is process-global; never leave a dangling install.
+      if (profiler != nullptr) Profiler::Install(nullptr);
+      return chaos_started;
+    }
+  }
   Status sim_run = Status::OK();
   if (sim != nullptr) {
     // Drive the simulation until the root finishes. On a sim error
@@ -358,6 +375,12 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
     if (sim_run.ok() && !drained.ok()) sim_run = drained;
   }
   const Status joined = runtime.JoinAll();
+  // Collect after every actor thread has joined (so each slot is final)
+  // but before the error returns below: a failed run still uninstalls.
+  if (profiler != nullptr) {
+    Profiler::Install(nullptr);
+    report.profile = profiler->Collect();
+  }
   DECO_RETURN_NOT_OK(sim_run);
   DECO_RETURN_NOT_OK(joined);
 

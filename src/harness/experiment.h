@@ -75,6 +75,22 @@ struct TelemetryOptions {
   TelemetryLog* sink = nullptr;
 };
 
+/// \brief In-run profiler options (DESIGN.md §9, deco_run `--profile`).
+///
+/// When enabled, the harness installs a process-global `Profiler` for the
+/// duration of the run; every actor thread registers with it, and the
+/// collected per-thread CPU/alloc profile lands in `RunReport::profile`
+/// (and from there in telemetry and bench JSON).
+struct ProfilerOptions {
+  /// Master switch; off by default so benchmarks measure the undisturbed
+  /// system (measured overhead is within ~2% on fig7 either way).
+  bool enabled = false;
+
+  /// Also count per-thread allocations via the counting operator-new hook
+  /// (no-op if CMake option `DECO_PROFILE_ALLOC` is OFF).
+  bool count_allocs = true;
+};
+
 /// \brief Chaos-injection options of one experiment run (DESIGN.md §6).
 ///
 /// A non-empty schedule makes the harness attach a `ChaosController` to the
@@ -159,6 +175,9 @@ struct ExperimentConfig {
 
   /// Live telemetry (sampler + tracing + export).
   TelemetryOptions telemetry;
+
+  /// Per-thread CPU/allocation profiling.
+  ProfilerOptions profile;
 
   /// Scheduled fault injection (crash/restart/drop/lag/partition/surge).
   ChaosOptions chaos;

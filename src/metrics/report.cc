@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/json.h"
+
 namespace deco {
 
 std::string RunReport::Summary() const {
@@ -23,33 +25,56 @@ std::string RunReport::Summary() const {
 
 namespace {
 
-void AppendU64(std::string* out, uint64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%llu",
-                static_cast<unsigned long long>(v));
-  *out += buf;
-}
-
-void AppendI64(std::string* out, int64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
-  *out += buf;
-}
-
-// %.17g round-trips every finite double, so equal doubles — and only equal
-// doubles — render identically. Non-finite values have no JSON literal;
-// they are rendered as null.
-void AppendDouble(std::string* out, double v) {
-  if (!std::isfinite(v)) {
-    *out += "null";
-    return;
-  }
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  *out += buf;
-}
+// Local aliases for the shared deterministic-JSON primitives (common/json.h)
+// this file historically defined itself.
+constexpr auto AppendU64 = JsonAppendU64;
+constexpr auto AppendI64 = JsonAppendI64;
+constexpr auto AppendDouble = JsonAppendDouble;
 
 }  // namespace
+
+std::string ProfileReportJson(const ProfileReport& profile) {
+  std::string out;
+  out.reserve(256 + profile.threads.size() * 256);
+  out += "{\"enabled\":";
+  out += profile.enabled ? "true" : "false";
+  out += ",\"alloc_counted\":";
+  out += profile.alloc_counted ? "true" : "false";
+  out += ",\"threads\":[";
+  for (size_t i = 0; i < profile.threads.size(); ++i) {
+    const ThreadProfile& thread = profile.threads[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":";
+    JsonAppendString(&out, thread.name);
+    out += ",\"cpu_nanos\":";
+    AppendU64(&out, thread.cpu_nanos);
+    out += ",\"wall_nanos\":";
+    AppendU64(&out, thread.wall_nanos);
+    out += ",\"messages_handled\":";
+    AppendU64(&out, thread.messages_handled);
+    out += ",\"allocations\":";
+    AppendU64(&out, thread.allocations);
+    out += ",\"allocated_bytes\":";
+    AppendU64(&out, thread.allocated_bytes);
+    out += ",\"handlers\":[";
+    for (size_t h = 0; h < thread.handlers.size(); ++h) {
+      const HandlerProfile& handler = thread.handlers[h];
+      if (h > 0) out += ",";
+      out += "{\"type\":";
+      JsonAppendString(&out, MessageTypeToString(handler.type));
+      out += ",\"count\":";
+      AppendU64(&out, handler.count);
+      out += ",\"cpu_nanos\":";
+      AppendU64(&out, handler.cpu_nanos);
+      out += ",\"wall_nanos\":";
+      AppendU64(&out, handler.wall_nanos);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
 
 std::string RunReportJson(const RunReport& report) {
   std::string out;
@@ -99,6 +124,8 @@ std::string RunReportJson(const RunReport& report) {
     AppendU64(&out, node.messages_received);
     out += ",\"bytes_received\":";
     AppendU64(&out, node.bytes_received);
+    out += ",\"queue_depth_high_water\":";
+    AppendU64(&out, node.queue_depth_high_water);
     out += "}";
   }
   out += "]}";
@@ -148,7 +175,13 @@ std::string RunReportJson(const RunReport& report) {
     }
     out += "]";
   }
-  out += "]}";
+  out += "]";
+
+  // Additive since schema v3; {"enabled":false,...} with empty threads in
+  // unprofiled runs, so v2 consumers that ignore unknown keys still parse.
+  out += ",\"profile\":";
+  out += ProfileReportJson(report.profile);
+  out += "}";
   return out;
 }
 

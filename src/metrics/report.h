@@ -39,6 +39,63 @@ struct MembershipEvent {
   bool rejoined = false;   ///< false = removed (timeout), true = re-admitted
 };
 
+/// \brief CPU/wall cost of one message-handler class on one actor thread.
+///
+/// The profiler attributes the interval from a message's dequeue to the
+/// actor's next receive call to that message's `MessageType`; actors that
+/// interleave non-message work between receives (the ingest loop of a
+/// local node) fold that work into the preceding handler's cost, so the
+/// per-type split is exact for purely message-driven actors (the root) and
+/// an upper bound elsewhere.
+struct HandlerProfile {
+  MessageType type = MessageType::kEventBatch;
+  uint64_t count = 0;        ///< messages of this type dispatched
+  uint64_t cpu_nanos = 0;    ///< thread CPU time spent in the handler
+  uint64_t wall_nanos = 0;   ///< wall-clock time spent in the handler
+};
+
+/// \brief One actor thread's profile: total CPU, handler split, allocation
+/// counters (all zero unless the run enabled the profiler).
+struct ThreadProfile {
+  std::string name;          ///< fabric node name ("root", "local-0", ...)
+  uint64_t cpu_nanos = 0;    ///< CLOCK_THREAD_CPUTIME_ID over the actor body
+  uint64_t wall_nanos = 0;   ///< wall-clock duration of the actor body
+  uint64_t messages_handled = 0;
+  uint64_t allocations = 0;      ///< operator-new calls on this thread
+  uint64_t allocated_bytes = 0;  ///< bytes requested by those calls
+  /// Per-`MessageType` handler attribution; only types with nonzero counts
+  /// appear, in enum order.
+  std::vector<HandlerProfile> handlers;
+};
+
+/// \brief Whole-run CPU/allocation profile (DESIGN.md §9). Default state is
+/// "disabled, empty", so every consumer can read the fields without
+/// checking `enabled` first.
+struct ProfileReport {
+  bool enabled = false;        ///< profiler installed for this run
+  bool alloc_counted = false;  ///< counting allocator hook was active
+  std::vector<ThreadProfile> threads;  ///< actor threads, registration order
+
+  /// \brief Sum of per-thread CPU across all actor threads.
+  uint64_t TotalCpuNanos() const {
+    uint64_t total = 0;
+    for (const ThreadProfile& t : threads) total += t.cpu_nanos;
+    return total;
+  }
+  /// \brief Sum of per-thread allocation counts.
+  uint64_t TotalAllocations() const {
+    uint64_t total = 0;
+    for (const ThreadProfile& t : threads) total += t.allocations;
+    return total;
+  }
+  /// \brief Sum of per-thread allocated bytes.
+  uint64_t TotalAllocatedBytes() const {
+    uint64_t total = 0;
+    for (const ThreadProfile& t : threads) total += t.allocated_bytes;
+    return total;
+  }
+};
+
 /// \brief Full measurement record of one run.
 struct RunReport {
   std::string scheme;
@@ -83,6 +140,11 @@ struct RunReport {
   /// test's message-order witness.
   uint64_t delivery_hash = 0;
 
+  /// Per-thread CPU/allocation profile; disabled-and-empty unless the run
+  /// enabled the profiler (`ExperimentConfig::profile`, deco_run
+  /// `--profile`).
+  ProfileReport profile;
+
   /// \brief Network bytes sent per processed event.
   double BytesPerEvent() const {
     return events_processed == 0
@@ -101,6 +163,11 @@ struct RunReport {
 /// mode two runs of the same `(config, seed)` must produce byte-identical
 /// output — the determinism regression test diffs these strings.
 std::string RunReportJson(const RunReport& report);
+
+/// \brief Canonical JSON rendering of a profile (same determinism rules);
+/// the `profile` section of `RunReportJson` and the `cpu_breakdown`
+/// section of the bench JSON.
+std::string ProfileReportJson(const ProfileReport& profile);
 
 /// \brief Result of `TimeAlignedTailError`.
 struct TailError {

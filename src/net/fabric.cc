@@ -372,6 +372,16 @@ void NetworkFabric::Deliver(Message msg) {
   dst_state->messages_received.fetch_add(1, std::memory_order_relaxed);
   dst_state->bytes_received.fetch_add(wire_size, std::memory_order_relaxed);
   dst_state->mailbox->Push(std::move(msg));
+  // High-water accounting after the push so the mark includes this message.
+  // Concurrent deliveries can each observe a stale smaller size, but every
+  // delivery re-reads the depth, so the mark is never below any depth that
+  // existed at some delivery instant.
+  const uint64_t depth = dst_state->mailbox->size();
+  uint64_t high = dst_state->queue_high_water.load(std::memory_order_relaxed);
+  while (depth > high &&
+         !dst_state->queue_high_water.compare_exchange_weak(
+             high, depth, std::memory_order_relaxed)) {
+  }
 }
 
 Mailbox* NetworkFabric::mailbox(NodeId id) {
@@ -412,6 +422,8 @@ NodeTrafficStats NetworkFabric::node_stats(NodeId id) const {
     out.bytes_sent_by_type[t] =
         n.bytes_sent_by_type[t].load(std::memory_order_relaxed);
   }
+  out.queue_depth_high_water =
+      n.queue_high_water.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -435,6 +447,8 @@ NetworkStats NetworkFabric::Stats() const {
         entry.bytes_sent_by_type[t] =
             n.bytes_sent_by_type[t].load(std::memory_order_relaxed);
       }
+      entry.queue_depth_high_water =
+          n.queue_high_water.load(std::memory_order_relaxed);
       stats.total_messages += entry.messages_sent;
       stats.total_bytes += entry.bytes_sent;
     }
@@ -461,6 +475,7 @@ void NetworkFabric::ResetStats() {
         n->messages_sent_by_type[t].store(0, std::memory_order_relaxed);
         n->bytes_sent_by_type[t].store(0, std::memory_order_relaxed);
       }
+      n->queue_high_water.store(0, std::memory_order_relaxed);
     }
   }
   std::lock_guard<std::mutex> lock(links_mu_);

@@ -56,6 +56,12 @@ struct NodeTrafficStats {
   /// without tracing enabled.
   std::array<uint64_t, kNumMessageTypes> messages_sent_by_type{};
   std::array<uint64_t, kNumMessageTypes> bytes_sent_by_type{};
+
+  /// Largest mailbox backlog ever observed at delivery time (messages).
+  /// The sampler's `queue_depth` is a point-in-time reading that can miss
+  /// bursts between snapshots; this high-water mark cannot, so benchmark
+  /// JSON uses it as the queue-saturation regression signal.
+  uint64_t queue_depth_high_water = 0;
 };
 
 /// \brief Whole-network summary.
@@ -213,6 +219,7 @@ class NetworkFabric {
     std::array<std::atomic<uint64_t>, kNumMessageTypes>
         messages_sent_by_type{};
     std::array<std::atomic<uint64_t>, kNumMessageTypes> bytes_sent_by_type{};
+    std::atomic<uint64_t> queue_high_water{0};
   };
 
   struct LinkState {

@@ -31,7 +31,14 @@ void Actor::SleepNanos(TimeNanos nanos) {
 
 void Actor::Start() {
   const auto body = [this] {
+    // Register with the in-run profiler on the actor thread itself so the
+    // slot's CPU baseline is this thread's CLOCK_THREAD_CPUTIME_ID.
+    Profiler* profiler = Profiler::Active();
+    if (profiler != nullptr) {
+      prof_ = profiler->RegisterThread(fabric_->node_name(id_));
+    }
     Status status = Run();
+    if (prof_ != nullptr) prof_->Finish();
     if (!status.ok()) {
       DECO_LOG(ERROR) << "actor " << id_ << " ("
                       << fabric_->node_name(id_)

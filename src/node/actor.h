@@ -8,6 +8,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "net/fabric.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 /// \file actor.h
@@ -76,17 +77,20 @@ class Actor {
 
   /// \brief Blocking receive; empty once the mailbox is closed and drained.
   std::optional<Message> Receive() {
+    ProfileReceiveEnter();
     SimScheduler* sim = fabric_->sim();
     std::optional<Message> msg =
         sim != nullptr ? sim->Pop(fabric_->mailbox(id_), TimeNanos{-1})
                        : fabric_->mailbox(id_)->Pop();
     FinishHop(msg);
+    ProfileDequeue(msg);
     return msg;
   }
 
   /// \brief Receive with timeout; empty on timeout or closure. In sim mode
   /// the timeout elapses in virtual time.
   std::optional<Message> ReceiveWithTimeout(TimeNanos timeout_nanos) {
+    ProfileReceiveEnter();
     SimScheduler* sim = fabric_->sim();
     std::optional<Message> msg =
         sim != nullptr
@@ -95,13 +99,16 @@ class Actor {
             : fabric_->mailbox(id_)->PopWithTimeout(
                   std::chrono::nanoseconds(timeout_nanos));
     FinishHop(msg);
+    ProfileDequeue(msg);
     return msg;
   }
 
   /// \brief Non-blocking receive.
   std::optional<Message> TryReceive() {
+    ProfileReceiveEnter();
     std::optional<Message> msg = fabric_->mailbox(id_)->TryPop();
     FinishHop(msg);
+    ProfileDequeue(msg);
     return msg;
   }
 
@@ -120,6 +127,18 @@ class Actor {
   void FinishHop(std::optional<Message>&) {}
 #endif
 
+  /// \brief Profiler hooks around the receive calls (DESIGN.md §9). The
+  /// handler interval opened at dequeue closes on re-entry into the next
+  /// receive, so handler cost includes any follow-up work the actor does
+  /// between receives. One null check each when no profiler is installed
+  /// (`prof_` is only set while one is).
+  void ProfileReceiveEnter() {
+    if (prof_ != nullptr) prof_->HandlerEnd();
+  }
+  void ProfileDequeue(const std::optional<Message>& msg) {
+    if (prof_ != nullptr && msg.has_value()) prof_->HandlerBegin(msg->type);
+  }
+
   bool stop_requested() const {
     return stop_.load(std::memory_order_acquire);
   }
@@ -134,6 +153,10 @@ class Actor {
   NetworkFabric* fabric_;
   NodeId id_;
   Clock* clock_;
+
+  /// This actor thread's profiler slot; null unless a `Profiler` was
+  /// installed when the actor started.
+  Profiler::ThreadSlot* prof_ = nullptr;
 
  private:
   std::thread thread_;

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "metrics/report.h"
+
+/// \file bench_record.h
+/// \brief Structured benchmark output (DESIGN.md §9).
+///
+/// Every bench binary feeds one `BenchRecorder` alongside its human table
+/// and writes the result as a JSON document (`BENCH_<binary>.json` by
+/// default, `--json_out=` / `--json_dir=` to override). The document is
+/// what `tools/bench_compare.py` diffs against the checked-in baselines in
+/// `bench/baselines/`, so its layout is deterministic: insertion-ordered
+/// rows and metrics, fixed key order, %.17g doubles.
+///
+/// Document layout (schema_version 1):
+/// ```json
+/// {
+///   "schema_version": 1,
+///   "bench": "fig7_end_to_end",
+///   "git_sha": "<configure-time short sha>",
+///   "host": {"cores": N, "trace_enabled": bool, "sanitizer": "none"},
+///   "config": {"scale": 0.05, "repeat": 3, ...},
+///   "rows": [
+///     {"label": "deco-async",
+///      "metrics": {"throughput_eps": {"values": [..per repeat..],
+///                   "min":..,"max":..,"mean":..,"median":..,"stddev":..},
+///                  ...},
+///      "cpu_breakdown": null | {"alloc_counted": bool, "threads": [...]}}
+///   ]
+/// }
+/// ```
+/// A row is one measured configuration (usually one scheme); its metric
+/// series accumulate one value per `--repeat` iteration.
+
+namespace deco {
+
+/// \brief Summary statistics of one metric's repeat series.
+struct MetricAggregate {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+};
+
+/// \brief Accumulates per-row metric series and renders the bench JSON.
+///
+/// Not thread-safe; bench binaries drive it from their main thread.
+class BenchRecorder {
+ public:
+  /// \param bench_name the binary's short name ("fig7_end_to_end")
+  explicit BenchRecorder(std::string bench_name);
+
+  /// \brief Records one run-configuration entry (insertion-ordered; a
+  /// repeated key overwrites in place).
+  void SetConfig(const std::string& key, const std::string& value);
+  void SetConfig(const std::string& key, const char* value);
+  void SetConfig(const std::string& key, double value);
+  void SetConfig(const std::string& key, int64_t value);
+  void SetConfig(const std::string& key, bool value);
+
+  /// \brief Appends one repeat of `label`'s standard metric set extracted
+  /// from a run report: throughput, latency mean/p50/p99, bytes/event,
+  /// message/byte/drop totals, windows, corrections, queue-depth high
+  /// water (max over nodes) — plus CPU/alloc totals when the report
+  /// carries an enabled profile, whose last repeat also becomes the row's
+  /// `cpu_breakdown`.
+  void AddReport(const std::string& label, const RunReport& report);
+
+  /// \brief Appends one value to an arbitrary metric series (micro
+  /// benchmarks that have no RunReport).
+  void AddMetric(const std::string& label, const std::string& metric,
+                 double value);
+
+  /// \brief Renders the full document (deterministic; see file comment).
+  std::string ToJson() const;
+
+  /// \brief Writes `ToJson()` to `path` (with a trailing newline).
+  Status WriteJson(const std::string& path) const;
+
+  const std::string& bench_name() const { return bench_name_; }
+
+  /// \brief The configure-time git sha baked into the binary ("unknown"
+  /// outside a git checkout).
+  static std::string GitSha();
+
+  /// \brief Aggregation used for each metric series; exposed for the
+  /// bench_record unit test. Returns zeros for an empty series.
+  static MetricAggregate Aggregate(const std::vector<double>& values);
+
+ private:
+  struct MetricSeries {
+    std::string name;
+    std::vector<double> values;
+  };
+  struct Row {
+    std::string label;
+    std::vector<MetricSeries> metrics;
+    bool has_profile = false;
+    ProfileReport profile;  ///< last repeat's profile (cpu_breakdown)
+  };
+  struct ConfigEntry {
+    enum class Kind { kString, kNumber, kBool };
+    std::string key;
+    Kind kind = Kind::kString;
+    std::string str;
+    double num = 0.0;
+    bool flag = false;
+  };
+
+  Row* RowFor(const std::string& label);
+  ConfigEntry* ConfigFor(const std::string& key);
+
+  std::string bench_name_;
+  std::vector<ConfigEntry> config_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace deco

@@ -141,7 +141,7 @@ std::string TelemetryToJson(const RunReport& report,
   std::string out;
   out.reserve(4096 + log.samples.size() * 512 + log.spans.size() * 96);
 
-  out += "{\n  \"schema_version\": 2,\n  \"scheme\": ";
+  out += "{\n  \"schema_version\": 3,\n  \"scheme\": ";
   AppendEscaped(&out, report.scheme);
   out += ",\n  \"report\": {\"events_processed\": ";
   AppendUint(&out, report.events_processed);
@@ -163,7 +163,12 @@ std::string TelemetryToJson(const RunReport& report,
   AppendInt(&out, report.latency.Percentile(0.5));
   out += ", \"latency_p99_nanos\": ";
   AppendInt(&out, report.latency.Percentile(0.99));
-  out += "},\n  \"samples\": [";
+  // Schema v3: the run's CPU/alloc profile. Disabled-with-empty-threads
+  // (never absent) when the run was not profiled, so consumers need no
+  // existence check.
+  out += "},\n  \"cpu_breakdown\": ";
+  out += ProfileReportJson(report.profile);
+  out += ",\n  \"samples\": [";
 
   for (size_t i = 0; i < log.samples.size(); ++i) {
     const TelemetrySample& sample = log.samples[i];

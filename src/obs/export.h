@@ -10,17 +10,25 @@
 /// \brief Serializes one run's telemetry (sampler time series, window
 /// lifecycle spans, final `RunReport`) to machine-readable JSON and CSV.
 ///
-/// JSON document layout (schema_version 2; every version-1 field is
-/// preserved with unchanged meaning, so v1 consumers keep working):
+/// JSON document layout (schema_version 3; every version-1/2 field is
+/// preserved with unchanged meaning, so older consumers keep working —
+/// tests/obs_test.cc's schema-compat case parses the document with a
+/// v2-era reader):
 /// \code{.json}
 /// {
-///   "schema_version": 2,
+///   "schema_version": 3,
 ///   "scheme": "deco-async",
 ///   "report": { "events_processed": n, "wall_seconds": s,
 ///               "throughput_eps": r, "windows_emitted": n,
 ///               "correction_steps": n, "total_bytes": n,
 ///               "total_messages": n, "latency_mean_nanos": x,
 ///               "latency_p50_nanos": n, "latency_p99_nanos": n },
+///   "cpu_breakdown": { "enabled": b, "alloc_counted": b,
+///       "threads": [ { "name": s, "cpu_nanos": n, "wall_nanos": n,
+///                      "messages_handled": n, "allocations": n,
+///                      "allocated_bytes": n,
+///                      "handlers": [{"type": s, "count": n,
+///                                    "cpu_nanos": n, "wall_nanos": n}] } ] },
 ///   "samples": [ { "t_ms": x, "events_per_sec": r,
 ///                  "total_dropped": n,
 ///                  "counters": {"name": n, ...},
@@ -55,7 +63,10 @@
 /// `events_per_sec`) are derived from consecutive samples at export time.
 /// Since v2 the rates of the *first* sample are `null` (CSV: empty) — there
 /// is no prior snapshot to rate against, and 0 was misleading. Only
-/// message types with nonzero counts appear in `sent_by_type`.
+/// message types with nonzero counts appear in `sent_by_type`. Since v3
+/// the document carries `cpu_breakdown`, the run's per-thread CPU/alloc
+/// profile (`{"enabled": false, ..., "threads": []}` when the run was not
+/// profiled — null-safe defaults, never absent).
 
 namespace deco {
 

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/report.h"
+#include "obs/bench_record.h"
+
+namespace deco {
+namespace {
+
+// Tests of the structured bench output (src/obs/bench_record.h): repeat
+// aggregation math, standard-metric extraction from RunReport,
+// deterministic field ordering, and the file round-trip.
+
+TEST(AggregateTest, SingleValue) {
+  const MetricAggregate a = BenchRecorder::Aggregate({42.0});
+  EXPECT_EQ(a.min, 42.0);
+  EXPECT_EQ(a.max, 42.0);
+  EXPECT_EQ(a.mean, 42.0);
+  EXPECT_EQ(a.median, 42.0);
+  EXPECT_EQ(a.stddev, 0.0);
+}
+
+TEST(AggregateTest, OddCountMedianIsMiddleValue) {
+  const MetricAggregate a = BenchRecorder::Aggregate({5.0, 1.0, 3.0});
+  EXPECT_EQ(a.min, 1.0);
+  EXPECT_EQ(a.max, 5.0);
+  EXPECT_EQ(a.mean, 3.0);
+  EXPECT_EQ(a.median, 3.0);
+  // Population stddev of {1,3,5}: sqrt(8/3).
+  EXPECT_NEAR(a.stddev, 1.632993161855452, 1e-12);
+}
+
+TEST(AggregateTest, EvenCountMedianAveragesTheMiddlePair) {
+  const MetricAggregate a =
+      BenchRecorder::Aggregate({4.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(a.min, 1.0);
+  EXPECT_EQ(a.max, 4.0);
+  EXPECT_EQ(a.mean, 2.5);
+  EXPECT_EQ(a.median, 2.5);
+  // Population stddev of {1,2,3,4}: sqrt(5/4).
+  EXPECT_NEAR(a.stddev, 1.118033988749895, 1e-12);
+}
+
+TEST(AggregateTest, EmptySeriesIsAllZeros) {
+  const MetricAggregate a = BenchRecorder::Aggregate({});
+  EXPECT_EQ(a.min, 0.0);
+  EXPECT_EQ(a.max, 0.0);
+  EXPECT_EQ(a.mean, 0.0);
+  EXPECT_EQ(a.median, 0.0);
+  EXPECT_EQ(a.stddev, 0.0);
+}
+
+RunReport FakeReport(double throughput) {
+  RunReport report;
+  report.scheme = "deco-async";
+  report.events_processed = 1000;
+  report.wall_seconds = 0.5;
+  report.throughput_eps = throughput;
+  report.windows_emitted = 10;
+  report.correction_steps = 2;
+  report.network.total_messages = 64;
+  report.network.total_bytes = 4096;
+  for (int i = 0; i < 100; ++i) report.latency.Record(1000 + i);
+  return report;
+}
+
+TEST(BenchRecorderTest, AddReportExtractsStandardMetrics) {
+  BenchRecorder recorder("test_bench");
+  recorder.AddReport("deco-async", FakeReport(2e6));
+  const std::string json = recorder.ToJson();
+  for (const char* metric :
+       {"\"throughput_eps\"", "\"latency_mean_nanos\"",
+        "\"latency_p50_nanos\"", "\"latency_p99_nanos\"",
+        "\"bytes_per_event\"", "\"total_messages\"", "\"total_bytes\"",
+        "\"windows_emitted\"", "\"correction_steps\"",
+        "\"events_processed\"", "\"wall_seconds\""}) {
+    EXPECT_NE(json.find(metric), std::string::npos) << metric;
+  }
+  // bytes/event = 4096 / 1000.
+  EXPECT_NE(json.find("\"values\":[4.0960000000000001]"),
+            std::string::npos)
+      << json;
+  // Unprofiled rows carry a null cpu_breakdown.
+  EXPECT_NE(json.find("\"cpu_breakdown\":null"), std::string::npos);
+}
+
+TEST(BenchRecorderTest, RepeatsAccumulateIntoOneRow) {
+  BenchRecorder recorder("test_bench");
+  recorder.AddReport("deco-async", FakeReport(1e6));
+  recorder.AddReport("deco-async", FakeReport(3e6));
+  recorder.AddReport("deco-async", FakeReport(2e6));
+  const std::string json = recorder.ToJson();
+  // One row, three repeats, median picks the middle run.
+  EXPECT_NE(json.find("\"values\":[1000000,3000000,2000000]"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"median\":2000000"), std::string::npos);
+  EXPECT_NE(json.find("\"min\":1000000"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":3000000"), std::string::npos);
+}
+
+TEST(BenchRecorderTest, DeterministicOrderingAndIdempotentRender) {
+  auto build = [] {
+    BenchRecorder recorder("order_bench");
+    recorder.SetConfig("scale", 0.5);
+    recorder.SetConfig("sim", true);
+    recorder.SetConfig("note", "hello");
+    recorder.AddMetric("row-b", "metric_z", 1.0);
+    recorder.AddMetric("row-b", "metric_a", 2.0);
+    recorder.AddMetric("row-a", "metric_z", 3.0);
+    return recorder.ToJson();
+  };
+  const std::string a = build();
+  const std::string b = build();
+  EXPECT_EQ(a, b);
+  // Insertion order everywhere: config scale < sim < note, row-b before
+  // row-a, metric_z before metric_a.
+  EXPECT_LT(a.find("\"scale\""), a.find("\"sim\""));
+  EXPECT_LT(a.find("\"sim\""), a.find("\"note\""));
+  EXPECT_LT(a.find("\"row-b\""), a.find("\"row-a\""));
+  EXPECT_LT(a.find("\"metric_z\""), a.find("\"metric_a\""));
+}
+
+TEST(BenchRecorderTest, SetConfigOverwritesInPlace) {
+  BenchRecorder recorder("cfg_bench");
+  recorder.SetConfig("scale", 1.0);
+  recorder.SetConfig("repeat", static_cast<int64_t>(3));
+  recorder.SetConfig("scale", 2.0);  // overwrite keeps position
+  const std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("\"scale\":2"), std::string::npos);
+  EXPECT_EQ(json.find("\"scale\":1"), std::string::npos);
+  EXPECT_LT(json.find("\"scale\""), json.find("\"repeat\""));
+}
+
+TEST(BenchRecorderTest, DocumentCarriesIdentityAndHostInfo) {
+  BenchRecorder recorder("id_bench");
+  const std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"id_bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\":\"" + BenchRecorder::GitSha() + "\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cores\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_enabled\""), std::string::npos);
+  EXPECT_NE(json.find("\"sanitizer\""), std::string::npos);
+}
+
+TEST(BenchRecorderTest, ProfiledReportBecomesCpuBreakdown) {
+  RunReport report = FakeReport(1e6);
+  report.profile.enabled = true;
+  ThreadProfile thread;
+  thread.name = "root";
+  thread.cpu_nanos = 123456;
+  thread.messages_handled = 7;
+  report.profile.threads.push_back(thread);
+
+  BenchRecorder recorder("prof_bench");
+  recorder.AddReport("deco-async", report);
+  const std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("\"cpu_breakdown\":{\"enabled\":true"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"cpu_total_nanos\""), std::string::npos);
+  EXPECT_EQ(json.find("\"cpu_breakdown\":null"), std::string::npos);
+}
+
+TEST(BenchRecorderTest, WriteJsonRoundTripsThroughDisk) {
+  BenchRecorder recorder("disk_bench");
+  recorder.SetConfig("scale", 0.25);
+  recorder.AddMetric("row", "metric", 1.5);
+  const std::string path = ::testing::TempDir() + "/bench_record_test.json";
+  ASSERT_TRUE(recorder.WriteJson(path).ok());
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), recorder.ToJson() + "\n");
+  std::remove(path.c_str());
+}
+
+TEST(BenchRecorderTest, WriteJsonFailsOnUnwritablePath) {
+  BenchRecorder recorder("disk_bench");
+  const Status status =
+      recorder.WriteJson("/nonexistent-dir/bench_record_test.json");
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace deco

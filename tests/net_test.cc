@@ -495,6 +495,38 @@ TEST_F(FabricTest, ShutdownClosesMailboxes) {
   EXPECT_FALSE(fabric_.mailbox(a_)->Pop().has_value());
 }
 
+TEST_F(FabricTest, TracksQueueDepthHighWater) {
+  EXPECT_EQ(fabric_.node_stats(b_).queue_depth_high_water, 0u);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(
+        fabric_.Send(MakeMessage(a_, b_, MessageType::kPartialResult, 8))
+            .ok());
+  }
+  // Nothing was received yet: all 7 messages sit in the mailbox, and the
+  // high-water mark saw every intermediate depth up to 7.
+  EXPECT_EQ(fabric_.queue_depth(b_), 7u);
+  EXPECT_EQ(fabric_.node_stats(b_).queue_depth_high_water, 7u);
+
+  // Draining does not lower the mark — it is a high-water, not a gauge.
+  Mailbox* mailbox = fabric_.mailbox(b_);
+  for (int i = 0; i < 7; ++i) ASSERT_TRUE(mailbox->Pop().has_value());
+  EXPECT_EQ(fabric_.queue_depth(b_), 0u);
+  EXPECT_EQ(fabric_.node_stats(b_).queue_depth_high_water, 7u);
+
+  // A shallower burst after the drain leaves the mark untouched...
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        fabric_.Send(MakeMessage(a_, b_, MessageType::kPartialResult, 8))
+            .ok());
+  }
+  EXPECT_EQ(fabric_.node_stats(b_).queue_depth_high_water, 7u);
+  EXPECT_EQ(fabric_.Stats().per_node[b_].queue_depth_high_water, 7u);
+
+  // ...and ResetStats rearms it.
+  fabric_.ResetStats();
+  EXPECT_EQ(fabric_.node_stats(b_).queue_depth_high_water, 0u);
+}
+
 TEST(MessageTest, LatencyMetaWeightedMerge) {
   Message msg;
   msg.MergeLatencyMeta(100.0, 1);

@@ -320,7 +320,7 @@ TEST(ExportTest, JsonContainsDerivedRatesAndSpans) {
   report.scheme = "deco-async";
   report.events_processed = 500;
   const std::string json = TelemetryToJson(report, MakeLog());
-  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"scheme\": \"deco-async\""), std::string::npos);
   // Second sample: 500 events over 1 s and 1000 bytes over 1 s.
   EXPECT_NE(json.find("\"events_per_sec\": 500"), std::string::npos);
@@ -339,9 +339,9 @@ TEST(ExportTest, FirstSampleRatesAreNullNotZero) {
   EXPECT_NE(json.find("\"bytes_per_sec\": null"), std::string::npos);
 }
 
-TEST(ExportTest, SchemaV2KeepsV1FieldsAndAddsHopSections) {
-  // Backward compatibility: every v1 consumer key survives the v2 bump,
-  // and the new hop/attribution sections are always present.
+TEST(ExportTest, SchemaV3KeepsV1AndV2Fields) {
+  // Backward compatibility: every v1/v2 consumer key survives the v3 bump,
+  // and the new cpu_breakdown section is always present.
   RunReport report;
   report.scheme = "deco-sync";
   const std::string json = TelemetryToJson(report, MakeLog());
@@ -358,6 +358,41 @@ TEST(ExportTest, SchemaV2KeepsV1FieldsAndAddsHopSections) {
         "\"windows_attributed\"", "\"unattributed\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing v2 key " << key;
   }
+  for (const char* key : {"\"cpu_breakdown\"", "\"alloc_counted\"",
+                          "\"threads\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing v3 key " << key;
+  }
+}
+
+TEST(ExportTest, SchemaV3ParsesWithV2Reader) {
+  // A v2-era consumer reads the document by scanning for its known
+  // `"key": value` pairs and ignoring unknown keys (the pattern
+  // tools/check_perfetto_trace.py and the CI smoke test use). Simulate
+  // one: every v2 extraction against a v3 document must still find its key
+  // exactly once at top level and parse the value that follows.
+  RunReport report;
+  report.scheme = "deco-async";
+  report.events_processed = 500;
+  report.windows_emitted = 7;
+  const std::string json = TelemetryToJson(report, MakeLog());
+
+  const auto v2_read_uint = [&](const std::string& key) -> long long {
+    const std::string needle = "\"" + key + "\": ";
+    const size_t pos = json.find(needle);
+    EXPECT_NE(pos, std::string::npos) << "v2 reader lost key " << key;
+    if (pos == std::string::npos) return -1;
+    return std::stoll(json.substr(pos + needle.size()));
+  };
+  EXPECT_EQ(v2_read_uint("events_processed"), 500);
+  EXPECT_EQ(v2_read_uint("windows_emitted"), 7);
+  EXPECT_EQ(v2_read_uint("spans_dropped"), 0);
+  EXPECT_EQ(v2_read_uint("hop_count"), 0);
+
+  // The unprofiled default must be inert-but-present: a v3 reader needs no
+  // existence check, and a v2 reader sees only an unknown key.
+  EXPECT_NE(json.find("\"cpu_breakdown\": {\"enabled\":false,"
+                      "\"alloc_counted\":false,\"threads\":[]}"),
+            std::string::npos);
 }
 
 TEST(ExportTest, JsonReportsPerTypeTraffic) {

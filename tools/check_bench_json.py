@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Validates Deco bench JSON documents (schema_version 1).
+
+Usage: tools/check_bench_json.py BENCH_*.json
+
+Checks, per document:
+  * the required top-level fields and their types
+    (schema_version/bench/git_sha/host/config/rows);
+  * host carries cores / trace_enabled / sanitizer;
+  * every row has a unique non-empty label, a metrics object, and a
+    cpu_breakdown that is either null or a profile object
+    (enabled/alloc_counted/threads);
+  * every metric aggregate is self-consistent: non-empty values list,
+    min <= median <= max, min/max actually bound the values, and the
+    mean lies within [min, max] (up to a few ulps: summing identical
+    doubles and dividing back can land one ulp outside the range).
+
+Exits non-zero with a per-file message on the first violation in each
+file; prints a one-line OK per valid file.
+"""
+
+import json
+import sys
+
+
+class BadDoc(Exception):
+    pass
+
+
+def expect(cond, message):
+    if not cond:
+        raise BadDoc(message)
+
+
+def check_number(value, where):
+    expect(isinstance(value, (int, float)) and not isinstance(value, bool),
+           f"{where}: expected a number, got {type(value).__name__}")
+
+
+def check_metric(name, agg, where):
+    expect(isinstance(agg, dict), f"{where}: metric '{name}' is not an object")
+    for key in ("values", "min", "max", "mean", "median", "stddev"):
+        expect(key in agg, f"{where}: metric '{name}' missing '{key}'")
+    values = agg["values"]
+    expect(isinstance(values, list) and values,
+           f"{where}: metric '{name}' has no values")
+    for v in values:
+        check_number(v, f"{where}: metric '{name}' values")
+    for key in ("min", "max", "mean", "median", "stddev"):
+        check_number(agg[key], f"{where}: metric '{name}' {key}")
+    lo, hi = agg["min"], agg["max"]
+    # Accumulating repeats and dividing back is not exact: allow the
+    # derived statistics to sit a few ulps outside [min, max].
+    slack = 1e-12 * max(abs(lo), abs(hi))
+    expect(lo - slack <= agg["median"] <= hi + slack,
+           f"{where}: metric '{name}': median {agg['median']} outside "
+           f"[{lo}, {hi}]")
+    expect(lo - slack <= agg["mean"] <= hi + slack,
+           f"{where}: metric '{name}': mean {agg['mean']} outside "
+           f"[{lo}, {hi}]")
+    expect(lo == min(values) and hi == max(values),
+           f"{where}: metric '{name}': min/max do not bound the values")
+    expect(agg["stddev"] >= 0, f"{where}: metric '{name}': negative stddev")
+
+
+def check_profile(profile, where):
+    for key in ("enabled", "alloc_counted", "threads"):
+        expect(key in profile, f"{where}: cpu_breakdown missing '{key}'")
+    expect(isinstance(profile["threads"], list),
+           f"{where}: cpu_breakdown threads is not a list")
+    for thread in profile["threads"]:
+        for key in ("name", "cpu_nanos", "wall_nanos", "messages_handled",
+                    "allocations", "allocated_bytes", "handlers"):
+            expect(key in thread,
+                   f"{where}: cpu_breakdown thread missing '{key}'")
+        for handler in thread["handlers"]:
+            for key in ("type", "count", "cpu_nanos", "wall_nanos"):
+                expect(key in handler,
+                       f"{where}: cpu_breakdown handler missing '{key}'")
+
+
+def check_doc(doc, path):
+    expect(isinstance(doc, dict), "top level is not an object")
+    for key, kind in (("schema_version", int), ("bench", str),
+                      ("git_sha", str), ("host", dict), ("config", dict),
+                      ("rows", list)):
+        expect(key in doc, f"missing top-level '{key}'")
+        expect(isinstance(doc[key], kind),
+               f"'{key}' is not a {kind.__name__}")
+    expect(doc["schema_version"] == 1,
+           f"unsupported schema_version {doc['schema_version']}")
+    expect(doc["bench"], "empty bench name")
+    for key in ("cores", "trace_enabled", "sanitizer"):
+        expect(key in doc["host"], f"host missing '{key}'")
+    labels = set()
+    for i, row in enumerate(doc["rows"]):
+        where = f"rows[{i}]"
+        expect(isinstance(row, dict), f"{where}: not an object")
+        for key in ("label", "metrics", "cpu_breakdown"):
+            expect(key in row, f"{where}: missing '{key}'")
+        label = row["label"]
+        expect(isinstance(label, str) and label, f"{where}: empty label")
+        expect(label not in labels, f"{where}: duplicate label '{label}'")
+        labels.add(label)
+        expect(isinstance(row["metrics"], dict) and row["metrics"],
+               f"{where} ('{label}'): no metrics")
+        for name, agg in row["metrics"].items():
+            check_metric(name, agg, f"{where} ('{label}')")
+        if row["cpu_breakdown"] is not None:
+            check_profile(row["cpu_breakdown"], f"{where} ('{label}')")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    status = 0
+    for path in sys.argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+            check_doc(doc, path)
+        except (OSError, ValueError) as e:
+            print(f"FAIL {path}: {e}", file=sys.stderr)
+            status = 1
+            continue
+        except BadDoc as e:
+            print(f"FAIL {path}: {e}", file=sys.stderr)
+            status = 1
+            continue
+        print(f"OK {path}: bench '{doc['bench']}', {len(doc['rows'])} rows")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,6 +69,12 @@ void PrintUsage() {
       "                           records (default 1048576; 0 = unbounded);\n"
       "                           raise it when a run warns about truncation\n"
       "  --sample_interval_ms=<n> telemetry sampling period (default 50)\n"
+      "  --profile           per-thread CPU/alloc profiling (DESIGN.md §9):\n"
+      "                      prints a per-actor CPU table with handler-level\n"
+      "                      attribution and embeds the profile in the\n"
+      "                      telemetry JSON\n"
+      "  --profile_allocs=<b>     count per-thread allocations while\n"
+      "                           profiling (default true)\n"
       "  --log_level=<name>  debug|info|warning|error|fatal (default info)\n"
       "  --compare           also run Central and report correctness\n"
       "  --verbose           print every emitted window\n"
@@ -145,6 +151,8 @@ int main(int argc, char** argv) {
   config.telemetry.enabled = !config.telemetry.json_out.empty() ||
                              !config.telemetry.csv_prefix.empty() ||
                              !config.telemetry.perfetto_out.empty();
+  config.profile.enabled = flags.GetBool("profile", false);
+  config.profile.count_allocs = flags.GetBool("profile_allocs", true);
 
   auto result = RunExperiment(config);
   if (!result.ok()) return Fail(result.status());
@@ -157,6 +165,29 @@ int main(int argc, char** argv) {
       std::printf("  %s\n", entry.Describe().c_str());
     }
   }
+  if (report.profile.enabled) {
+    std::printf("cpu profile%s:\n", report.profile.alloc_counted
+                                        ? " (with alloc counters)"
+                                        : "");
+    for (const ThreadProfile& t : report.profile.threads) {
+      std::printf("  %-12s cpu=%9.2fms wall=%9.2fms msgs=%llu", t.name.c_str(),
+                  static_cast<double>(t.cpu_nanos) / 1e6,
+                  static_cast<double>(t.wall_nanos) / 1e6,
+                  (unsigned long long)t.messages_handled);
+      if (report.profile.alloc_counted) {
+        std::printf(" allocs=%llu (%.2f MB)", (unsigned long long)t.allocations,
+                    static_cast<double>(t.allocated_bytes) / 1e6);
+      }
+      std::printf("\n");
+      for (const HandlerProfile& h : t.handlers) {
+        std::printf("    %-16s n=%-8llu cpu=%9.2fms wall=%9.2fms\n",
+                    MessageTypeToString(h.type), (unsigned long long)h.count,
+                    static_cast<double>(h.cpu_nanos) / 1e6,
+                    static_cast<double>(h.wall_nanos) / 1e6);
+      }
+    }
+  }
+
   for (const MembershipEvent& event : report.membership) {
     std::printf("membership: local-%zu %s at +%.1fms\n", event.node,
                 event.rejoined ? "rejoined" : "removed",

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs every bench binary and collects the structured JSON in one place.
+#
+#   tools/run_benches.sh [--build_dir=build] [--json_dir=bench_results] \
+#                        [any shared bench flag, e.g. --scale=0.1 --repeat=3]
+#
+# Every other argument is forwarded verbatim to each binary (they share
+# one flag parser; see bench/bench_util.h). Typical uses:
+#
+#   tools/run_benches.sh --json_dir=results --scale=0.1 --repeat=3
+#   tools/run_benches.sh --json_dir=results --sim          # CI baselines
+#
+# Exits non-zero if any binary fails; keeps going so one failure doesn't
+# hide the rest.
+
+set -euo pipefail
+
+BUILD_DIR=build
+JSON_DIR=bench_results
+FORWARD=()
+for arg in "$@"; do
+  case "$arg" in
+    --build_dir=*) BUILD_DIR="${arg#*=}" ;;
+    --json_dir=*) JSON_DIR="${arg#*=}" ;;
+    *) FORWARD+=("$arg") ;;
+  esac
+done
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "run_benches: $BUILD_DIR/bench does not exist; build first" >&2
+  exit 2
+fi
+mkdir -p "$JSON_DIR"
+
+status=0
+for bench in "$BUILD_DIR"/bench/*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  echo
+  echo "=== $name ==="
+  if ! "$bench" --json_dir="$JSON_DIR" ${FORWARD[@]+"${FORWARD[@]}"}; then
+    echo "run_benches: FAILED: $name" >&2
+    status=1
+  fi
+done
+
+echo
+echo "bench JSON in $JSON_DIR/:"
+ls -1 "$JSON_DIR"/BENCH_*.json 2>/dev/null || true
+exit $status
