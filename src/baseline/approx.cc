@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "node/apportion.h"
 #include "obs/metric_registry.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 
 namespace deco {
@@ -28,6 +29,7 @@ Status ApproxLocalNode::Run() {
     report.window_index = 0;
     report.event_rate = source.TotalRate();
     report.stream_position = 0;
+    report.incarnation = fabric_->node_incarnation(id_);
     BinaryWriter writer;
     EncodeRateReport(report, &writer);
     Message msg;
@@ -135,6 +137,9 @@ Status ApproxRoot::Run() {
     DECO_ASSIGN_OR_RETURN(RateReport report, DecodeRateReport(&reader));
     DECO_ASSIGN_OR_RETURN(size_t ordinal, topology_.OrdinalOf(msg->src));
     rates[ordinal] = report.event_rate;
+    if (provenance_ != nullptr) {
+      provenance_->OnIncarnation(ordinal, report.incarnation);
+    }
     ++reported;
   }
   DECO_RETURN_NOT_OK(BroadcastAssignments(rates));
@@ -142,7 +147,12 @@ Status ApproxRoot::Run() {
   while (!stop_requested()) {
     std::optional<Message> msg = Receive();
     if (!msg.has_value()) break;
+    if (provenance_ != nullptr) provenance_->set_now_nanos(NowNanos());
     if (msg->type == MessageType::kShutdown) {
+      if (provenance_ != nullptr) {
+        auto ordinal = topology_.OrdinalOf(msg->src);
+        if (ordinal.ok()) provenance_->OnEos(*ordinal);
+      }
       if (++eos_count_ == topology_.num_locals()) break;
       continue;
     }
@@ -181,11 +191,19 @@ Status ApproxRoot::HandlePartial(const Message& msg) {
     pending.parts.resize(topology_.num_locals());
   }
   if (pending.parts[ordinal].has_value()) {
+    if (provenance_ != nullptr) {
+      provenance_->OnDuplicate(msg.window_index, ordinal,
+                               ProvRegion::kSlice);
+    }
     return Status::Internal("duplicate partial for window " +
                             std::to_string(msg.window_index));
   }
   pending.parts[ordinal] = std::move(summary);
   ++pending.received;
+  if (provenance_ != nullptr) {
+    provenance_->OnRegion(msg.window_index, ordinal, ProvRegion::kSlice,
+                          msg.lat_mean_create_nanos);
+  }
   // Fold the partial's latency side-channel into the window's weighted
   // mean creation time.
   if (msg.lat_event_count > 0) {
@@ -239,6 +257,10 @@ void ApproxRoot::TryEmitWindows() {
     events_counter->Add(static_cast<int64_t>(events));
     DECO_TRACE_SPAN_MSG(id_, TracePhase::kEmit, record.window_index,
                         static_cast<int64_t>(events), causal_msg_id_);
+    if (provenance_ != nullptr) {
+      provenance_->OnWindowEmitted(next_window_, record.window_index,
+                                   /*corrected=*/false, NowNanos());
+    }
     pending_.erase(it);
     ++next_window_;
   }

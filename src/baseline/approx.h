@@ -20,6 +20,8 @@
 
 namespace deco {
 
+class ProvenanceTracker;
+
 /// \brief Approx local node: reports its rate once, then endlessly
 /// aggregates fixed-size local windows and ships only partials.
 class ApproxLocalNode final : public Actor {
@@ -45,6 +47,11 @@ class ApproxRoot final : public Actor {
              const Topology& topology, const QueryConfig& query,
              RunReport* report);
 
+  /// \brief Provenance collection point (src/obs/provenance.h); may be
+  /// null (the default — no recording). Not owned. Approx ships exactly
+  /// one partial per node per window, so `regions_per_window` is 1.
+  void set_provenance(ProvenanceTracker* tracker) { provenance_ = tracker; }
+
  protected:
   Status Run() override;
 
@@ -69,6 +76,7 @@ class ApproxRoot final : public Actor {
   std::map<uint64_t, PendingWindow> pending_;
   uint64_t next_window_ = 0;
   size_t eos_count_ = 0;
+  ProvenanceTracker* provenance_ = nullptr;
   // Causal id of the partial being processed; emit spans carry it.
   uint64_t causal_msg_id_ = 0;
 };

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "obs/metric_registry.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 
 namespace deco {
@@ -197,6 +198,14 @@ void CentralizedRoot::EmitWindow(double value, uint64_t event_count,
   report_->windows.push_back(record);
   report_->latency.Record(static_cast<int64_t>(record.mean_latency_nanos));
   report_->consumption.AddWindow(node_counts_);
+  if (provenance_ != nullptr) {
+    std::vector<bool> live(node_counts_.size());
+    for (size_t n = 0; n < node_counts_.size(); ++n) {
+      live[n] = node_counts_[n] > 0;
+    }
+    provenance_->OnSynthesizedWindow(record.window_index, live, mean_create,
+                                     NowNanos());
+  }
   std::fill(node_counts_.begin(), node_counts_.end(), 0);
   report_->events_processed += event_count;
   ++report_->windows_emitted;

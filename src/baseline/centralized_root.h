@@ -33,6 +33,8 @@
 
 namespace deco {
 
+class ProvenanceTracker;
+
 enum class CentralizedMode : uint8_t {
   kCentral = 0,
   kScotty = 1,
@@ -47,6 +49,13 @@ class CentralizedRoot final : public Actor {
   CentralizedRoot(NetworkFabric* fabric, NodeId id, Clock* clock,
                   const Topology& topology, const QueryConfig& query,
                   CentralizedMode mode, RunReport* report);
+
+  /// \brief Provenance collection point (src/obs/provenance.h); may be
+  /// null (the default — no recording). Not owned. The centralized
+  /// baselines have no per-window protocol regions, so each emitted
+  /// window gets a synthesized record covering the nodes that actually
+  /// contributed events to it.
+  void set_provenance(ProvenanceTracker* tracker) { provenance_ = tracker; }
 
  protected:
   Status Run() override;
@@ -86,6 +95,7 @@ class CentralizedRoot final : public Actor {
   uint64_t open_events_ = 0;
   std::vector<uint64_t> node_counts_;
   size_t eos_count_ = 0;
+  ProvenanceTracker* provenance_ = nullptr;
   // Causal id of the batch being processed; emit spans carry it so the
   // critical-path analyzer can identify the hop that closed the window.
   uint64_t causal_msg_id_ = 0;

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 
 namespace deco {
@@ -51,11 +52,17 @@ Status WindowAssembler::AddSlice(uint64_t w, size_t node, SliceSummary slice,
   }
   NodeWindowState& st = GetWindow(w).nodes[node];
   if (st.slice.has_value()) {
+    if (provenance_ != nullptr) {
+      provenance_->OnDuplicate(w, node, ProvRegion::kSlice);
+    }
     return Status::Internal("duplicate slice for window " +
                             std::to_string(w));
   }
   st.slice = std::move(slice);
   st.slice_create = create_mean;
+  if (provenance_ != nullptr) {
+    provenance_->OnRegion(w, node, ProvRegion::kSlice, create_mean);
+  }
   return Status::OK();
 }
 
@@ -74,7 +81,10 @@ Status WindowAssembler::AddRaw(uint64_t w, size_t node, BatchRole role,
   NodeWindowState& st = GetWindow(w).nodes[node];
   auto* region = role == BatchRole::kFront ? &st.front : &st.end;
   bool* done = role == BatchRole::kFront ? &st.front_done : &st.end_done;
+  const ProvRegion prov_region =
+      role == BatchRole::kFront ? ProvRegion::kFront : ProvRegion::kEnd;
   if (*done) {
+    if (provenance_ != nullptr) provenance_->OnDuplicate(w, node, prov_region);
     return Status::Internal("duplicate raw region for window " +
                             std::to_string(w));
   }
@@ -83,15 +93,21 @@ Status WindowAssembler::AddRaw(uint64_t w, size_t node, BatchRole role,
     region->push_back(TimedEvent{e, create_mean});
   }
   *done = true;
+  if (provenance_ != nullptr) {
+    provenance_->OnRegion(w, node, prov_region, create_mean);
+  }
   return Status::OK();
 }
 
 void WindowAssembler::MarkEos(size_t node) {
-  if (node < num_nodes_) eos_[node] = true;
+  if (node >= num_nodes_) return;
+  eos_[node] = true;
+  if (provenance_ != nullptr) provenance_->OnEos(node);
 }
 
 void WindowAssembler::RemoveNode(size_t node) {
   if (node >= num_nodes_) return;
+  if (provenance_ != nullptr) provenance_->OnNodeRemoved(node);
   removed_[node] = true;
   leftover_[node].clear();
   candidates_[node].clear();
@@ -103,6 +119,7 @@ void WindowAssembler::RemoveNode(size_t node) {
 
 void WindowAssembler::ReadmitNode(size_t node) {
   if (node >= num_nodes_) return;
+  if (provenance_ != nullptr) provenance_->OnNodeRejoined(node);
   removed_[node] = false;
   eos_[node] = false;
   leftover_[node].clear();
@@ -415,6 +432,7 @@ WindowAssembler::Outcome WindowAssembler::TryAssemble(WindowAssembly* out) {
 }
 
 void WindowAssembler::BeginCorrection() {
+  if (provenance_ != nullptr) provenance_->OnCorrectionBegin(next_window_);
   correcting_ = true;
   pending_.clear();
   for (auto& q : leftover_) q.clear();
@@ -453,6 +471,9 @@ Status WindowAssembler::AddCandidates(size_t node, const EventVec& events,
     list.push_back(TimedEvent{e, create_mean});
   }
   candidates_present_[node] = true;
+  if (provenance_ != nullptr) {
+    provenance_->OnCorrectionResponse(next_window_, node, create_mean);
+  }
   return Status::OK();
 }
 

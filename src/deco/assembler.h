@@ -39,6 +39,8 @@
 
 namespace deco {
 
+class ProvenanceTracker;
+
 /// \brief Total-order key of an event: `(timestamp, stream, id)`.
 struct EventKey {
   EventTime ts = INT64_MIN;
@@ -216,6 +218,13 @@ class WindowAssembler {
   /// processing; assemble spans carry it (critical-path join key).
   void set_causal_msg_id(uint64_t msg_id) { causal_msg_id_ = msg_id; }
 
+  /// \brief Provenance collection point (src/obs/provenance.h); may be
+  /// null (the default — no recording). Not owned. Region acceptance,
+  /// duplicates, EOS, removal/readmission and correction restarts are
+  /// reported exactly where this assembler acts on them, so a provenance
+  /// record can never claim an input the assembly did not use.
+  void set_provenance(ProvenanceTracker* tracker) { provenance_ = tracker; }
+
   /// \brief Signed carryover of `node` after the last assembled window:
   /// positive = unselected end events held at the root; negative = the cut
   /// extended into the next window's front buffer by that many events.
@@ -249,6 +258,7 @@ class WindowAssembler {
   bool expect_front_ = false;
   NodeId trace_node_ = 0;
   uint64_t causal_msg_id_ = 0;
+  ProvenanceTracker* provenance_ = nullptr;
 
   std::vector<std::deque<TimedEvent>> leftover_;
   std::vector<int64_t> carry_;

@@ -90,6 +90,7 @@ Status DecoLocalNode::HandleCrash() {
   report.window_index = last_assignment_window_;
   report.event_rate = source_->TotalRate();
   report.stream_position = source_->position();
+  report.incarnation = fabric_->node_incarnation(id_);
   BinaryWriter writer;
   EncodeRateReport(report, &writer);
   Message msg;
@@ -131,6 +132,7 @@ Status DecoLocalNode::BroadcastPeerRate(uint64_t w, bool end_of_stream) {
   report.event_rate = end_of_stream ? 0.0 : source_->TotalRate();
   report.stream_position = source_->position();
   report.end_of_stream = end_of_stream;
+  report.incarnation = fabric_->node_incarnation(id_);
   BinaryWriter writer;
   EncodeRateReport(report, &writer);
   const std::string payload = writer.buffer();
@@ -169,6 +171,7 @@ Status DecoLocalNode::SendRateReport(uint64_t w) {
   report.window_index = w;
   report.event_rate = source_->TotalRate();
   report.stream_position = source_->position();
+  report.incarnation = fabric_->node_incarnation(id_);
   BinaryWriter writer;
   EncodeRateReport(report, &writer);
   Message msg;

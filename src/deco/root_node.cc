@@ -6,6 +6,7 @@
 #include "deco/planner.h"
 #include "node/apportion.h"
 #include "obs/metric_registry.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 
 namespace deco {
@@ -74,6 +75,7 @@ Status DecoRootNode::Run() {
       m, func_.get(), ProtocolWindowLength(query_.window));
   assembler_->set_expect_front(scheme_ == DecoScheme::kAsync);
   assembler_->set_trace_node(id_);
+  assembler_->set_provenance(provenance_);
   predictors_.assign(
       m, LocalWindowPredictor(options_.predictor_history_m,
                               options_.delta_floor,
@@ -116,6 +118,7 @@ Status DecoRootNode::Dispatch(const Message& msg) {
   last_heard_[node] = NowNanos();
   causal_msg_id_ = MessageCausalId(msg);
   assembler_->set_causal_msg_id(causal_msg_id_);
+  if (provenance_ != nullptr) provenance_->set_now_nanos(NowNanos());
   if (assembler_->IsRemoved(node) && msg.type != MessageType::kRejoin) {
     // False suspicion: a removed node is still talking, so it was
     // partitioned or slow, not dead — and it has no way to learn of its
@@ -128,6 +131,10 @@ Status DecoRootNode::Dispatch(const Message& msg) {
     // rest of the run.
     RateReport report;
     report.event_rate = latest_rates_[node];
+    // Synthetic report (the node never announced kRejoin): take its
+    // incarnation from the fabric so provenance still attributes the
+    // readmitted contribution correctly.
+    report.incarnation = fabric_->node_incarnation(msg.src);
     return HandleRejoin(node, report);
   }
   switch (msg.type) {
@@ -141,6 +148,9 @@ Status DecoRootNode::Dispatch(const Message& msg) {
       auto& got = rates_received_[report.window_index];
       if (got.empty()) got.assign(topology_.num_locals(), false);
       got[node] = true;
+      if (provenance_ != nullptr) {
+        provenance_->OnIncarnation(node, report.incarnation);
+      }
       return Status::OK();
     }
     case MessageType::kPartialResult: {
@@ -293,6 +303,9 @@ Status DecoRootNode::SendCorrectionRequest(size_t node, uint64_t topup) {
   request.wm_id = last_watermark_.id;
   request.round = ++correction_round_[node];
   correction_requested_at_[node] = NowNanos();
+  if (provenance_ != nullptr) {
+    provenance_->OnCorrectionSolicit(correction_window_, node);
+  }
   BinaryWriter writer;
   EncodeCorrectionRequest(request, &writer);
   Message msg;
@@ -316,6 +329,9 @@ Status DecoRootNode::HandleRejoin(size_t node, const RateReport& report) {
   last_consumed_[node] = 0;
   if (report.event_rate > 0.0) latest_rates_[node] = report.event_rate;
   last_heard_[node] = NowNanos();
+  if (provenance_ != nullptr) {
+    provenance_->OnIncarnation(node, report.incarnation);
+  }
   report_->membership.push_back(
       MembershipEvent{NowNanos(), node, /*rejoined=*/true});
   NodesRejoinedCounter()->Increment();
@@ -351,6 +367,14 @@ Status DecoRootNode::EmitProtocolWindow(const WindowAssembly& assembly,
     DECO_TRACE_SPAN_MSG(id_, TracePhase::kEmit, record.window_index,
                         static_cast<int64_t>(record.event_count),
                         causal_msg_id_);
+    if (provenance_ != nullptr) {
+      // `TryAssemble`/`TryAssembleCorrected` already advanced the window
+      // counter, so the window just assembled is `next_window() - 1`; for
+      // tumbling queries protocol windows and report windows are 1:1.
+      provenance_->OnWindowEmitted(assembler_->next_window() - 1,
+                                   record.window_index, corrected,
+                                   NowNanos());
+    }
     return Status::OK();
   }
 
@@ -365,6 +389,13 @@ Status DecoRootNode::EmitProtocolWindow(const WindowAssembly& assembly,
                         assembly.create_count, corrected});
   ++panes_seen_;
   report_->events_processed += assembly.event_count;
+  if (provenance_ != nullptr) {
+    // Sliding queries get one provenance record per protocol pane (the
+    // unit the protocol actually assembles); composed report windows are
+    // not separately tracked, so accuracy estimation is tumbling-only.
+    provenance_->OnWindowEmitted(assembler_->next_window() - 1,
+                                 panes_seen_ - 1, corrected, NowNanos());
+  }
 
   const bool closes = panes_seen_ >= panes_per_window &&
                       (panes_seen_ - panes_per_window) % panes_per_slide == 0;
@@ -598,6 +629,9 @@ Status DecoRootNode::BroadcastShutdown() {
 
 Status DecoRootNode::CheckNodeTimeouts() {
   const TimeNanos now = NowNanos();
+  // Timeout-driven removals/corrections can fire without a message in
+  // hand, so the tracker's clock may be stale from the last dispatch.
+  if (provenance_ != nullptr) provenance_->set_now_nanos(now);
   bool stalled = false;
   if (assembler_->correcting() ||
       assembler_->next_window() != stall_window_) {

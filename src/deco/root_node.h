@@ -69,6 +69,13 @@ class DecoRootNode final : public Actor {
                DecoScheme scheme, RunReport* report,
                DecoRootOptions options = {});
 
+  /// \brief Installs a provenance collection point (src/obs/provenance.h);
+  /// must be called before the actor starts. The root shares it with its
+  /// assembler and adds the control-plane events the assembler cannot see
+  /// (correction solicits, incarnation reports, emission). May be null
+  /// (the default — no recording); not owned.
+  void set_provenance(ProvenanceTracker* tracker) { provenance_ = tracker; }
+
  protected:
   Status Run() override;
 
@@ -141,6 +148,7 @@ class DecoRootNode final : public Actor {
 
   uint64_t epoch_ = 0;
   bool finished_ = false;
+  ProvenanceTracker* provenance_ = nullptr;
   // Causal id of the message currently being processed (`Dispatch` sets
   // it); emit/correct spans carry it so the critical-path analyzer can
   // identify the exact hop that completed a window.

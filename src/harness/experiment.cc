@@ -8,11 +8,13 @@
 #include "baseline/centralized_root.h"
 #include "baseline/forwarding_local.h"
 #include "common/logging.h"
+#include "harness/oracle.h"
 #include "node/runtime.h"
 #include "obs/export.h"
 #include "obs/metric_registry.h"
 #include "obs/perfetto_export.h"
 #include "obs/profiler.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 
 namespace deco {
@@ -240,6 +242,30 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
   RunReport report;
   report.scheme = SchemeToString(config.scheme);
 
+  // Provenance collection (DESIGN.md §10). Enabled telemetry implies it:
+  // schema v4 always carries the provenance section. The tracker lives on
+  // the harness but is driven exclusively from the root actor thread; it
+  // is read back only after the joins below.
+  std::unique_ptr<ProvenanceTracker> provenance_tracker;
+  const bool provenance_on =
+      config.provenance.enabled || config.provenance.sink != nullptr ||
+      !config.provenance.json_out.empty() || config.telemetry.enabled;
+  if (provenance_on) {
+    const uint64_t regions_per_window =
+        config.scheme == Scheme::kDecoAsync ? 3
+        : config.scheme == Scheme::kDecoMon ||
+                config.scheme == Scheme::kDecoSync ||
+                config.scheme == Scheme::kDecoMonLocal
+            ? 2
+            : 1;
+    provenance_tracker = std::make_unique<ProvenanceTracker>(
+        config.num_locals, regions_per_window);
+    provenance_tracker->SetFabric(&fabric, topology.locals);
+    if (config.provenance.max_windows > 0) {
+      provenance_tracker->set_max_windows(config.provenance.max_windows);
+    }
+  }
+
   Runtime runtime(&fabric);
   Actor* root_actor = nullptr;
 
@@ -259,9 +285,11 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
       const WireFormat format = config.scheme == Scheme::kDisco
                                     ? WireFormat::kText
                                     : WireFormat::kBinary;
-      add_root(std::make_unique<CentralizedRoot>(
+      auto central = std::make_unique<CentralizedRoot>(
           &fabric, topology.root, clock, topology, config.query, mode,
-          &report));
+          &report);
+      central->set_provenance(provenance_tracker.get());
+      add_root(std::move(central));
       for (size_t i = 0; i < config.num_locals; ++i) {
         runtime.AddActor(std::make_unique<ForwardingLocalNode>(
             &fabric, topology.locals[i], clock, topology, ingest_for(i),
@@ -270,9 +298,10 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
       break;
     }
     case Scheme::kApprox: {
-      add_root(std::make_unique<ApproxRoot>(&fabric, topology.root, clock,
-                                            topology, config.query,
-                                            &report));
+      auto approx = std::make_unique<ApproxRoot>(
+          &fabric, topology.root, clock, topology, config.query, &report);
+      approx->set_provenance(provenance_tracker.get());
+      add_root(std::move(approx));
       for (size_t i = 0; i < config.num_locals; ++i) {
         runtime.AddActor(std::make_unique<ApproxLocalNode>(
             &fabric, topology.locals[i], clock, topology, ingest_for(i),
@@ -297,9 +326,11 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
         root_options.peer_rate_exchange = true;
         local_options.peer_rate_exchange = true;
       }
-      add_root(std::make_unique<DecoRootNode>(&fabric, topology.root, clock,
-                                              topology, config.query, scheme,
-                                              &report, root_options));
+      auto deco_root = std::make_unique<DecoRootNode>(
+          &fabric, topology.root, clock, topology, config.query, scheme,
+          &report, root_options);
+      deco_root->set_provenance(provenance_tracker.get());
+      add_root(std::move(deco_root));
       for (size_t i = 0; i < config.num_locals; ++i) {
         runtime.AddActor(std::make_unique<DecoLocalNode>(
             &fabric, topology.locals[i], clock, topology, ingest_for(i),
@@ -395,6 +426,36 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
   report.network = fabric.Stats();
   report.delivery_hash = fabric.delivery_hash();
 
+  // Provenance post-pass: attach the accuracy estimates (oracle tap) and
+  // fold the summary into the report before any exporter runs.
+  ProvenanceLog provenance_log;
+  if (provenance_tracker != nullptr) {
+    provenance_log = provenance_tracker->TakeLog();
+    if (config.provenance.estimate &&
+        config.query.window.type != WindowType::kSliding) {
+      AttributionOptions attribution;
+      // Sim runs estimate every window (virtual time makes the replay
+      // free); wall-clock runs cap the emitted records by reservoir.
+      attribution.reservoir =
+          config.sim ? 0 : config.provenance.accuracy_reservoir;
+      attribution.seed = config.seed;
+      Result<std::vector<WindowAccuracy>> accuracy =
+          AttributeWindowError(config, report, attribution);
+      if (accuracy.ok()) {
+        provenance_log.accuracy = std::move(*accuracy);
+      } else {
+        DECO_LOG(WARNING) << "accuracy attribution failed: "
+                          << accuracy.status().ToString();
+      }
+    }
+    report.provenance = ComputeProvenanceSummary(provenance_log);
+    if (!config.provenance.json_out.empty()) {
+      DECO_RETURN_NOT_OK(WriteProvenanceJson(config.provenance.json_out,
+                                             report.scheme,
+                                             provenance_log));
+    }
+  }
+
   if (config.telemetry.enabled) {
     TelemetryLog log;
     log.samples = sampler->Samples();
@@ -402,6 +463,7 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
     log.spans_dropped = trace_sink->dropped();
     log.hops = trace_sink->DrainHops();
     log.hops_dropped = trace_sink->hops_dropped();
+    log.provenance = provenance_log;
     if (log.spans_dropped > 0 || log.hops_dropped > 0) {
       DECO_LOG(WARNING) << "telemetry truncated: " << log.spans_dropped
                         << " spans and " << log.hops_dropped
@@ -426,6 +488,9 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
     if (config.telemetry.sink != nullptr) {
       *config.telemetry.sink = std::move(log);
     }
+  }
+  if (config.provenance.sink != nullptr) {
+    *config.provenance.sink = std::move(provenance_log);
   }
   if (chaos != nullptr && config.chaos.audit != nullptr) {
     *config.chaos.audit = chaos->AuditLog();

@@ -91,6 +91,46 @@ struct ProfilerOptions {
   bool count_allocs = true;
 };
 
+/// \brief Window-provenance and accuracy-attribution options (DESIGN.md
+/// §10, deco_run `--provenance_out`).
+///
+/// When active, the harness installs a `ProvenanceTracker` on the root for
+/// the duration of the run; every emitted window gets a provenance record
+/// (contributing locals with incarnations, expected/received/missing
+/// partials, correction rounds, per-partial staleness, state transitions),
+/// and — for tumbling queries — the post-run oracle tap attaches a
+/// per-window error estimate decomposed into drop / staleness /
+/// approximation components that sum to the observed error.
+struct ProvenanceOptions {
+  /// Master switch. Setting `json_out` or `sink` below also activates
+  /// collection, as does enabled telemetry (schema v4 always carries the
+  /// provenance section).
+  bool enabled = false;
+
+  /// Run the accuracy estimator after the run (tumbling queries only;
+  /// silently skipped for sliding queries, which get provenance records
+  /// per pane without truth alignment).
+  bool estimate = true;
+
+  /// Wall-clock runs estimate only this many reservoir-sampled windows
+  /// (the estimator replays the full streams, which is fine in virtual
+  /// time but measurable in wall time); sim runs estimate every window.
+  /// 0 = every window regardless.
+  size_t accuracy_reservoir = 256;
+
+  /// Retained per-window record cap (`ProvenanceLog::windows_dropped`
+  /// counts the excess); 0 = unbounded.
+  size_t max_windows = 0;
+
+  /// Standalone provenance JSON output path (deco_run
+  /// `--provenance_out`); empty = no file.
+  std::string json_out;
+
+  /// If non-null, receives the collected log (caller-owned; for tests and
+  /// embedding without file I/O).
+  ProvenanceLog* sink = nullptr;
+};
+
 /// \brief Chaos-injection options of one experiment run (DESIGN.md §6).
 ///
 /// A non-empty schedule makes the harness attach a `ChaosController` to the
@@ -178,6 +218,9 @@ struct ExperimentConfig {
 
   /// Per-thread CPU/allocation profiling.
   ProfilerOptions profile;
+
+  /// Window provenance records + live accuracy attribution.
+  ProvenanceOptions provenance;
 
   /// Scheduled fault injection (crash/restart/drop/lag/partition/surge).
   ChaosOptions chaos;

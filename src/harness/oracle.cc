@@ -1,6 +1,7 @@
 #include "harness/oracle.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "baseline/root_merger.h"
@@ -100,6 +101,205 @@ Result<std::vector<double>> RecomputeWindowValues(
     values.push_back(func->Finalize(partial));
   }
   return values;
+}
+
+namespace {
+
+// Per-node prefix sums of event contributions ("weight"), captured only at
+// the positions attribution actually evaluates — O(#windows) memory per
+// node instead of O(#events).
+class BoundarySums {
+ public:
+  BoundarySums(std::vector<uint64_t> positions, const EventVec& events,
+               bool count_space) {
+    std::sort(positions.begin(), positions.end());
+    positions.erase(std::unique(positions.begin(), positions.end()),
+                    positions.end());
+    positions_ = std::move(positions);
+    sums_.reserve(positions_.size());
+    double running = 0.0;
+    size_t pos = 0;
+    for (uint64_t boundary : positions_) {
+      const size_t clamped =
+          std::min(static_cast<size_t>(boundary), events.size());
+      for (; pos < clamped; ++pos) {
+        running += count_space ? 1.0 : events[pos].value;
+      }
+      sums_.push_back(running);
+    }
+  }
+
+  /// Contribution sum over positions `[a, b)`. Both must be boundaries.
+  double Range(uint64_t a, uint64_t b) const {
+    if (b <= a) return 0.0;
+    return At(b) - At(a);
+  }
+
+ private:
+  double At(uint64_t position) const {
+    const auto it =
+        std::lower_bound(positions_.begin(), positions_.end(), position);
+    // Callers only evaluate positions they registered.
+    return sums_[static_cast<size_t>(it - positions_.begin())];
+  }
+
+  std::vector<uint64_t> positions_;
+  std::vector<double> sums_;
+};
+
+// Deterministic reservoir of `k` window indices out of `n` (Algorithm R
+// with a splitmix64 PRNG): wall-clock runs cap the emitted accuracy
+// records without biasing toward either end of the run.
+std::vector<bool> SampleWindows(size_t n, size_t k, uint64_t seed) {
+  std::vector<bool> sampled(n, true);
+  if (k == 0 || n <= k) return sampled;
+  uint64_t state = seed ^ 0x9e3779b97f4a7c15ull;
+  const auto next = [&state]() {
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  std::vector<size_t> reservoir(k);
+  for (size_t i = 0; i < k; ++i) reservoir[i] = i;
+  for (size_t i = k; i < n; ++i) {
+    const size_t j = static_cast<size_t>(next() % (i + 1));
+    if (j < k) reservoir[j] = i;
+  }
+  std::fill(sampled.begin(), sampled.end(), false);
+  for (size_t idx : reservoir) sampled[idx] = true;
+  return sampled;
+}
+
+}  // namespace
+
+Result<std::vector<WindowAccuracy>> AttributeWindowError(
+    const ExperimentConfig& config, const RunReport& report,
+    const AttributionOptions& options) {
+  if (config.query.window.type == WindowType::kSliding) {
+    return Status::InvalidArgument(
+        "accuracy attribution supports tumbling windows only (sliding "
+        "queries get per-pane provenance records without truth alignment)");
+  }
+  const ConsumptionLog& run = report.consumption;
+  if (run.num_nodes() != config.num_locals) {
+    return Status::InvalidArgument(
+        "run consumption log width does not match the config");
+  }
+  DECO_ASSIGN_OR_RETURN(OracleReference ref, ComputeOracleReference(config));
+  DECO_ASSIGN_OR_RETURN(std::vector<double> recomputed,
+                        RecomputeWindowValues(config, run));
+  DECO_ASSIGN_OR_RETURN(std::vector<EventVec> locals,
+                        RegenerateLocalStreams(config));
+
+  const size_t windows =
+      std::min({report.windows.size(), ref.windows.size(),
+                run.num_windows(), recomputed.size()});
+  const std::vector<bool> sampled =
+      SampleWindows(windows, options.reservoir, options.seed);
+
+  const bool count_space = config.query.aggregate == AggregateKind::kCount;
+  const bool exact_split =
+      config.query.aggregate == AggregateKind::kSum || count_space;
+
+  const size_t m = config.num_locals;
+  std::vector<uint64_t> run_total(m, 0);
+  for (size_t n = 0; n < m; ++n) {
+    run_total[n] = run.CumulativeBefore(run.num_windows(), n);
+  }
+  std::vector<BoundarySums> sums;
+  sums.reserve(m);
+  for (size_t n = 0; n < m; ++n) {
+    std::vector<uint64_t> boundaries;
+    boundaries.reserve(2 * windows + 3);
+    for (size_t w = 0; w <= windows; ++w) {
+      boundaries.push_back(run.CumulativeBefore(w, n));
+      boundaries.push_back(ref.consumption.CumulativeBefore(w, n));
+    }
+    boundaries.push_back(run_total[n]);
+    sums.emplace_back(std::move(boundaries), locals[n], count_space);
+  }
+
+  std::vector<WindowAccuracy> out;
+  out.reserve(options.reservoir > 0
+                  ? std::min(windows, options.reservoir)
+                  : windows);
+  for (size_t w = 0; w < windows; ++w) {
+    if (!sampled[w]) continue;
+    double dropped_sum = 0.0;
+    double shifted_in_sum = 0.0;
+    double shifted_out_sum = 0.0;
+    WindowAccuracy acc;
+    acc.window_index = w;
+    for (size_t n = 0; n < m; ++n) {
+      const uint64_t oa = ref.consumption.CumulativeBefore(w, n);
+      const uint64_t ob = ref.consumption.CumulativeBefore(w + 1, n);
+      const uint64_t ra = run.CumulativeBefore(w, n);
+      const uint64_t rb = run.CumulativeBefore(w + 1, n);
+      const uint64_t total = run_total[n];
+      // Oracle events the run never consumed at all (positions past the
+      // node's final consumed prefix).
+      const uint64_t drop_lo = std::max(oa, total);
+      if (ob > drop_lo) {
+        dropped_sum += sums[n].Range(drop_lo, ob);
+        acc.dropped_events += ob - drop_lo;
+      }
+      // Oracle events consumed, but by some *other* window: O \ R clipped
+      // to the consumed prefix. O \ R is at most two intervals.
+      const auto shifted_out = [&](uint64_t lo, uint64_t hi) {
+        hi = std::min(hi, total);
+        if (hi > lo) {
+          shifted_out_sum += sums[n].Range(lo, hi);
+          acc.shifted_out_events += hi - lo;
+        }
+      };
+      shifted_out(oa, std::min(ob, ra));
+      shifted_out(std::max(oa, rb), ob);
+      // Run events the oracle placed elsewhere: R \ O (consumed by
+      // construction).
+      const auto shifted_in = [&](uint64_t lo, uint64_t hi) {
+        if (hi > lo) {
+          shifted_in_sum += sums[n].Range(lo, hi);
+          acc.shifted_in_events += hi - lo;
+        }
+      };
+      shifted_in(ra, std::min(rb, oa));
+      shifted_in(std::max(ra, ob), rb);
+    }
+    const double emitted = report.windows[w].value;
+    const double truth = ref.windows[w].value;
+    const double recomputed_value = recomputed[w];
+    acc.emitted_value = emitted;
+    acc.truth_value = truth;
+    acc.recomputed_value = recomputed_value;
+    acc.observed_error = emitted - truth;
+    acc.approx_error = emitted - recomputed_value;
+    const double membership = recomputed_value - truth;
+    if (exact_split) {
+      // sum/count: membership error is exactly the sum-space delta;
+      // assign the drop part directly and let staleness absorb the
+      // floating-point residue so the three components always add up.
+      acc.drop_error = -dropped_sum;
+    } else {
+      // Nonlinear aggregate: split `recomputed − truth` proportionally to
+      // the sum-space magnitudes of the two mechanisms.
+      const double drop_mag = std::fabs(dropped_sum);
+      const double shift_mag = std::fabs(shifted_in_sum - shifted_out_sum);
+      acc.drop_error = drop_mag + shift_mag > 0.0
+                           ? membership * drop_mag / (drop_mag + shift_mag)
+                           : 0.0;
+    }
+    acc.staleness_error = membership - acc.drop_error;
+    if (config.scheme == Scheme::kApprox) {
+      // Approx's only mechanism is the fixed-share apportionment; what
+      // looks like boundary shift *is* the approximation error.
+      acc.approx_error += acc.staleness_error;
+      acc.staleness_error = 0.0;
+    }
+    out.push_back(acc);
+  }
+  return out;
 }
 
 }  // namespace deco

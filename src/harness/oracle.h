@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "harness/experiment.h"
+#include "obs/provenance.h"
 
 /// \file oracle.h
 /// \brief Single-threaded reference oracle for differential testing.
@@ -55,5 +56,49 @@ Result<OracleReference> ComputeOracleReference(const ExperimentConfig& config);
 /// the true aggregate of a contiguous per-node consumption.
 Result<std::vector<double>> RecomputeWindowValues(
     const ExperimentConfig& config, const ConsumptionLog& consumption);
+
+/// \brief Options of `AttributeWindowError`.
+struct AttributionOptions {
+  /// When > 0, only a deterministic seeded reservoir of this many windows
+  /// gets an accuracy estimate (wall-clock runs, where estimating every
+  /// window would cost more than the run). 0 = estimate every window (the
+  /// sim default; structural work is O(windows · nodes) either way, the
+  /// reservoir only bounds the emitted records).
+  size_t reservoir = 0;
+
+  /// Reservoir PRNG seed; typically the experiment seed so the sampled
+  /// window set replays deterministically.
+  uint64_t seed = 0;
+};
+
+/// \brief Live accuracy attribution (DESIGN.md §10): decomposes each
+/// emitted tumbling window's observed error `emitted − truth` into three
+/// components that sum to it exactly:
+///
+///  - `drop_error`      — oracle-window events the run *never* consumed
+///                        (crashed nodes, removed nodes, truncated tails);
+///  - `staleness_error` — events consumed in a *different* window than the
+///                        oracle placed them (asynchronous boundary shift:
+///                        shifted-in minus shifted-out contributions);
+///  - `approx_error`    — `emitted − recomputed`: any difference between
+///                        the reported value and the exact aggregate of
+///                        the events the run claims to have consumed. For
+///                        `Scheme::kApprox` the shift component is folded
+///                        in here too: the fixed-share apportionment *is*
+///                        the approximation mechanism.
+///
+/// Every scheme consumes each node's stream as a contiguous prefix, so the
+/// oracle/run window memberships are interval overlaps on per-node
+/// cumulative positions (same observation as `CompareConsumption`); value
+/// sums over those intervals come from per-node prefix sums captured at
+/// the interval boundaries in one streaming pass. For `sum`/`count` the
+/// per-component values are exact; for nonlinear aggregates the membership
+/// deltas are computed in sum-space and `recomputed − truth` is split
+/// proportionally between drop and staleness (the sum stays exact by
+/// construction). Sliding windows are rejected (per-pane provenance
+/// records carry no truth alignment).
+Result<std::vector<WindowAccuracy>> AttributeWindowError(
+    const ExperimentConfig& config, const RunReport& report,
+    const AttributionOptions& options = {});
 
 }  // namespace deco

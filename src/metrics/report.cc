@@ -76,6 +76,43 @@ std::string ProfileReportJson(const ProfileReport& profile) {
   return out;
 }
 
+std::string ProvenanceSummaryJson(const ProvenanceSummary& summary) {
+  std::string out;
+  out.reserve(512);
+  out += "{\"enabled\":";
+  out += summary.enabled ? "true" : "false";
+  out += ",\"windows_tracked\":";
+  AppendU64(&out, summary.windows_tracked);
+  out += ",\"windows_corrected\":";
+  AppendU64(&out, summary.windows_corrected);
+  out += ",\"correction_rounds\":";
+  AppendU64(&out, summary.correction_rounds);
+  out += ",\"partials_expected\":";
+  AppendU64(&out, summary.partials_expected);
+  out += ",\"partials_received\":";
+  AppendU64(&out, summary.partials_received);
+  out += ",\"partials_missing\":";
+  AppendU64(&out, summary.partials_missing);
+  out += ",\"partials_duplicate\":";
+  AppendU64(&out, summary.partials_duplicate);
+  out += ",\"mean_staleness_nanos\":";
+  AppendDouble(&out, summary.mean_staleness_nanos);
+  out += ",\"windows_estimated\":";
+  AppendU64(&out, summary.windows_estimated);
+  out += ",\"mean_abs_error\":";
+  AppendDouble(&out, summary.mean_abs_error);
+  out += ",\"max_abs_error\":";
+  AppendDouble(&out, summary.max_abs_error);
+  out += ",\"mean_abs_drop_error\":";
+  AppendDouble(&out, summary.mean_abs_drop_error);
+  out += ",\"mean_abs_staleness_error\":";
+  AppendDouble(&out, summary.mean_abs_staleness_error);
+  out += ",\"mean_abs_approx_error\":";
+  AppendDouble(&out, summary.mean_abs_approx_error);
+  out += "}";
+  return out;
+}
+
 std::string RunReportJson(const RunReport& report) {
   std::string out;
   out.reserve(4096 + report.windows.size() * 96);
@@ -181,6 +218,11 @@ std::string RunReportJson(const RunReport& report) {
   // unprofiled runs, so v2 consumers that ignore unknown keys still parse.
   out += ",\"profile\":";
   out += ProfileReportJson(report.profile);
+
+  // Additive since the provenance layer (DESIGN.md §10); disabled-and-zero
+  // when no tracker was installed.
+  out += ",\"provenance\":";
+  out += ProvenanceSummaryJson(report.provenance);
   out += "}";
   return out;
 }

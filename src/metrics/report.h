@@ -96,6 +96,32 @@ struct ProfileReport {
   }
 };
 
+/// \brief Whole-run roll-up of the per-window provenance records
+/// (src/obs/provenance.h, DESIGN.md §10). Plain summary POD so the metrics
+/// layer stays independent of the observability library; default state is
+/// "disabled, all zero", so consumers never need an existence check.
+struct ProvenanceSummary {
+  bool enabled = false;          ///< a tracker was installed for this run
+  uint64_t windows_tracked = 0;  ///< provenance records retained
+  uint64_t windows_corrected = 0;
+  uint64_t correction_rounds = 0;  ///< solicit rounds across all windows
+  uint64_t partials_expected = 0;
+  uint64_t partials_received = 0;
+  uint64_t partials_missing = 0;   ///< expected - received, summed
+  uint64_t partials_duplicate = 0;
+  /// Mean staleness (partial arrival minus mean event creation) across all
+  /// accepted partials that carried creation metadata, nanoseconds.
+  double mean_staleness_nanos = 0.0;
+
+  // Accuracy attribution (zero unless the oracle estimator ran).
+  uint64_t windows_estimated = 0;
+  double mean_abs_error = 0.0;   ///< mean |emitted - oracle| per window
+  double max_abs_error = 0.0;
+  double mean_abs_drop_error = 0.0;
+  double mean_abs_staleness_error = 0.0;
+  double mean_abs_approx_error = 0.0;
+};
+
 /// \brief Full measurement record of one run.
 struct RunReport {
   std::string scheme;
@@ -145,6 +171,11 @@ struct RunReport {
   /// `--profile`).
   ProfileReport profile;
 
+  /// Roll-up of the run's per-window provenance records and accuracy
+  /// attribution; disabled-and-zero unless provenance collection was on
+  /// (`ExperimentConfig::provenance`, deco_run `--provenance_out`).
+  ProvenanceSummary provenance;
+
   /// \brief Network bytes sent per processed event.
   double BytesPerEvent() const {
     return events_processed == 0
@@ -168,6 +199,11 @@ std::string RunReportJson(const RunReport& report);
 /// the `profile` section of `RunReportJson` and the `cpu_breakdown`
 /// section of the bench JSON.
 std::string ProfileReportJson(const ProfileReport& profile);
+
+/// \brief Canonical JSON rendering of a provenance summary (same
+/// determinism rules); the `provenance` section of `RunReportJson` and the
+/// `summary` part of the telemetry document's provenance section.
+std::string ProvenanceSummaryJson(const ProvenanceSummary& summary);
 
 /// \brief Result of `TimeAlignedTailError`.
 struct TailError {

@@ -52,6 +52,7 @@ void EncodeRateReport(const RateReport& report, BinaryWriter* writer) {
   writer->PutDouble(report.event_rate);
   writer->PutU64(report.stream_position);
   writer->PutU8(report.end_of_stream ? 1 : 0);
+  writer->PutU64(report.incarnation);
 }
 
 Result<RateReport> DecodeRateReport(BinaryReader* reader) {
@@ -61,6 +62,7 @@ Result<RateReport> DecodeRateReport(BinaryReader* reader) {
   DECO_ASSIGN_OR_RETURN(report.stream_position, reader->GetU64());
   DECO_ASSIGN_OR_RETURN(uint8_t eos, reader->GetU8());
   report.end_of_stream = eos != 0;
+  DECO_ASSIGN_OR_RETURN(report.incarnation, reader->GetU64());
   return report;
 }
 

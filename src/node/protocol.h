@@ -88,6 +88,12 @@ struct RateReport {
   /// further rate reports will follow. Peers apportion it zero share for
   /// every later window instead of waiting for reports that never come.
   bool end_of_stream = false;
+
+  /// Sender's incarnation: how many crash/restart cycles it has completed
+  /// (0 for a node that never crashed). Carried so the root's provenance
+  /// records attribute each contribution to the producing incarnation
+  /// without consulting the fabric (DESIGN.md §10).
+  uint64_t incarnation = 0;
 };
 
 void EncodeRateReport(const RateReport& report, BinaryWriter* writer);

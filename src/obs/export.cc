@@ -141,7 +141,7 @@ std::string TelemetryToJson(const RunReport& report,
   std::string out;
   out.reserve(4096 + log.samples.size() * 512 + log.spans.size() * 96);
 
-  out += "{\n  \"schema_version\": 3,\n  \"scheme\": ";
+  out += "{\n  \"schema_version\": 4,\n  \"scheme\": ";
   AppendEscaped(&out, report.scheme);
   out += ",\n  \"report\": {\"events_processed\": ";
   AppendUint(&out, report.events_processed);
@@ -327,6 +327,15 @@ std::string TelemetryToJson(const RunReport& report,
     out += "}";
   }
   out += attribution.windows.empty() ? "]}" : "\n  ]}";
+
+  // Schema v4: per-window provenance records + accuracy attribution and
+  // their run-level summary. Always present (empty arrays and a
+  // disabled-and-zero summary when the run collected none), so consumers
+  // need no existence check.
+  out += ",\n  \"provenance_summary\": ";
+  out += ProvenanceSummaryJson(report.provenance);
+  out += ",\n  \"provenance\": ";
+  out += ProvenanceJson(log.provenance);
   out += "\n}\n";
   return out;
 }

@@ -10,13 +10,13 @@
 /// \brief Serializes one run's telemetry (sampler time series, window
 /// lifecycle spans, final `RunReport`) to machine-readable JSON and CSV.
 ///
-/// JSON document layout (schema_version 3; every version-1/2 field is
+/// JSON document layout (schema_version 4; every version-1/2/3 field is
 /// preserved with unchanged meaning, so older consumers keep working —
 /// tests/obs_test.cc's schema-compat case parses the document with a
 /// v2-era reader):
 /// \code{.json}
 /// {
-///   "schema_version": 3,
+///   "schema_version": 4,
 ///   "scheme": "deco-async",
 ///   "report": { "events_processed": n, "wall_seconds": s,
 ///               "throughput_eps": r, "windows_emitted": n,
@@ -51,7 +51,12 @@
 ///       "unattributed": n, "mean": {components},
 ///       "windows": [ { "window": n, "root": id, "critical_src": id,
 ///                      "corrected": b, "exact": b,
-///                      "components": {components} } ] }
+///                      "components": {components} } ] },
+///   "provenance_summary": { "enabled": b, "windows_tracked": n, ... }
+///       (the `RunReport::provenance` POD, metrics/report.h),
+///   "provenance": { "windows_tracked": n, "windows_dropped": n,
+///       "windows": [ per-window records ], "accuracy": [ per-window
+///       error decompositions ] } (obs/provenance.h `ProvenanceJson`)
 /// }
 /// \endcode
 /// where `{components}` is `{ "total_nanos": x, "local_compute_nanos": x,
@@ -66,7 +71,10 @@
 /// message types with nonzero counts appear in `sent_by_type`. Since v3
 /// the document carries `cpu_breakdown`, the run's per-thread CPU/alloc
 /// profile (`{"enabled": false, ..., "threads": []}` when the run was not
-/// profiled — null-safe defaults, never absent).
+/// profiled — null-safe defaults, never absent). Since v4 it carries
+/// `provenance_summary` and `provenance` (DESIGN.md §10) — again always
+/// present, with empty arrays and a disabled summary when no provenance
+/// was collected.
 
 namespace deco {
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -44,6 +45,12 @@ void AppendUint(std::string* out, uint64_t v) {
   *out += buf;
 }
 
+void AppendDouble(std::string* out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out += buf;
+}
+
 /// Microseconds since `origin`, with sub-microsecond precision (the
 /// trace-event spec allows fractional `ts`).
 void AppendTs(std::string* out, TimeNanos t, TimeNanos origin) {
@@ -64,6 +71,9 @@ TimeNanos TraceOrigin(const TelemetryLog& log) {
   for (const TelemetrySample& s : log.samples) consider(s.t_nanos);
   for (const TraceEvent& s : log.spans) consider(s.t_nanos);
   for (const HopRecord& h : log.hops) consider(h.enqueue_nanos);
+  for (const WindowProvenance& w : log.provenance.windows) {
+    consider(w.emit_nanos);
+  }
   return origin;
 }
 
@@ -221,6 +231,58 @@ std::string PerfettoTraceJson(const TelemetryLog& log) {
     out += ", \"tid\": 0, \"ts\": ";
     AppendTs(&out, end, origin);
     out += "}";
+  }
+
+  // Live-accuracy counter tracks (ISSUE 6 / DESIGN.md §10): one counter
+  // event per estimated window at its emit time, on a synthetic "accuracy"
+  // process track so the error series never collides with a fabric node's
+  // pid. Perfetto renders each args key as its own series, so the signed
+  // decomposition (drop + staleness + approx = total) is directly
+  // comparable on one track, with |total| as a separate magnitude track.
+  if (!log.provenance.accuracy.empty()) {
+    const uint64_t accuracy_pid =
+        node_names.empty() ? 0 : node_names.rbegin()->first + 1;
+    begin_event();
+    out += "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": ";
+    AppendUint(&out, accuracy_pid);
+    out += ", \"tid\": 0, \"args\": {\"name\": \"accuracy\"}}";
+
+    // Emit times come from the matching provenance record (the estimator
+    // runs post-hoc and carries no clock); windows without one — e.g. when
+    // `max_windows` evicted the record — fall back to the previous
+    // counter's timestamp so the series stays monotonic.
+    std::map<uint64_t, TimeNanos> emit_times;
+    for (const WindowProvenance& w : log.provenance.windows) {
+      emit_times[w.window_index] = w.emit_nanos;
+    }
+    TimeNanos last_ts = origin;
+    for (const WindowAccuracy& acc : log.provenance.accuracy) {
+      auto it = emit_times.find(acc.window_index);
+      const TimeNanos ts = it != emit_times.end() ? it->second : last_ts;
+      last_ts = ts;
+      begin_event();
+      out += "{\"name\": \"live-error\", \"cat\": \"accuracy\", "
+             "\"ph\": \"C\", \"pid\": ";
+      AppendUint(&out, accuracy_pid);
+      out += ", \"tid\": 0, \"ts\": ";
+      AppendTs(&out, ts, origin);
+      out += ", \"args\": {\"drop\": ";
+      AppendDouble(&out, acc.drop_error);
+      out += ", \"staleness\": ";
+      AppendDouble(&out, acc.staleness_error);
+      out += ", \"approx\": ";
+      AppendDouble(&out, acc.approx_error);
+      out += "}}";
+      begin_event();
+      out += "{\"name\": \"abs-error\", \"cat\": \"accuracy\", "
+             "\"ph\": \"C\", \"pid\": ";
+      AppendUint(&out, accuracy_pid);
+      out += ", \"tid\": 0, \"ts\": ";
+      AppendTs(&out, ts, origin);
+      out += ", \"args\": {\"abs\": ";
+      AppendDouble(&out, std::abs(acc.observed_error));
+      out += "}}";
+    }
   }
 
   out += first ? "]}\n" : "\n]}\n";

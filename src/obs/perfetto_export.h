@@ -21,7 +21,12 @@
 ///    event, so assembly and correction rounds are visible as bars;
 ///  - each message hop becomes an async begin/end pair (category `"net"`,
 ///    id = the causal msg_id) from enqueue at the sender to dequeue at the
-///    receiver, with bytes, type and shaping delay as args.
+///    receiver, with bytes, type and shaping delay as args;
+///  - when the log carries accuracy attribution (DESIGN.md §10), a
+///    synthetic `"accuracy"` process gets counter tracks (`ph: "C"`):
+///    `live-error` with the signed drop/staleness/approx decomposition and
+///    `abs-error` with the observed-error magnitude, one point per
+///    estimated window at its emit time.
 ///
 /// Timestamps (`ts`) are microseconds since the log's first event, per the
 /// trace-event spec.

@@ -10,6 +10,7 @@
 #include "common/clock.h"
 #include "net/fabric.h"
 #include "obs/metric_registry.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 
 /// \file sampler.h
@@ -52,6 +53,9 @@ struct TelemetryLog {
   uint64_t spans_dropped = 0;
   std::vector<HopRecord> hops;
   uint64_t hops_dropped = 0;
+  /// Per-window provenance records and accuracy estimates (schema v4);
+  /// empty when the run collected no provenance.
+  ProvenanceLog provenance;
 };
 
 /// \brief Periodic snapshot thread over a fabric and a registry.

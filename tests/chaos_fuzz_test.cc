@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -8,6 +9,7 @@
 #include "common/random.h"
 #include "harness/experiment.h"
 #include "metrics/report.h"
+#include "obs/provenance.h"
 
 namespace deco {
 namespace {
@@ -22,7 +24,12 @@ namespace {
 //    membership;
 //  - bounded post-recovery error: once the last fault has healed, the
 //    surviving windows' values stay within 1% of a fault-free twin run,
-//    compared on the event-time axis (window indices shift after a crash).
+//    compared on the event-time axis (window indices shift after a crash);
+//  - consistent provenance (ISSUE 6 satellite): every window record
+//    satisfies expected == received + missing with a state log ending in
+//    `final`, corrected windows carry a correction trail, the
+//    crashed-and-rejoined node reappears with a bumped incarnation, and
+//    the accuracy components sum to the observed error per window.
 //
 // Runs are paced with a CPU throttle so virtual time advances through the
 // stream and the fault offsets land mid-run. Environment knobs:
@@ -136,6 +143,9 @@ TEST(ChaosFuzzTest, RandomFaultSchedulesRecoverOnDecoSchemes) {
     auto schedule = ChaosSchedule::Parse(fuzz.spec);
     ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
     config.chaos.schedule = *schedule;
+    ProvenanceLog provenance;
+    config.provenance.enabled = true;
+    config.provenance.sink = &provenance;
     auto chaotic = RunExperiment(config);
     // Termination *is* the no-deadlock assertion: a wedged protocol comes
     // back as `Internal` (sim deadlock) or `Timeout` (virtual-time limit).
@@ -152,6 +162,55 @@ TEST(ChaosFuzzTest, RandomFaultSchedulesRecoverOnDecoSchemes) {
     }
     EXPECT_TRUE(!removed || rejoined)
         << "node " << fuzz.crashed_node << " was removed but never rejoined";
+
+    // Provenance bookkeeping contract: totals and per-node parts balance
+    // on every record, the state log ends in `final`, and a window marked
+    // corrected carries its correction trail.
+    ASSERT_FALSE(provenance.windows.empty());
+    uint64_t corrected_records = 0;
+    uint64_t max_incarnation_seen = 0;
+    for (const WindowProvenance& w : provenance.windows) {
+      EXPECT_EQ(w.expected_total, w.received_total + w.missing_total)
+          << "window " << w.window_index;
+      for (const PartialProvenance& p : w.parts) {
+        EXPECT_EQ(p.expected, p.received + p.missing)
+            << "window " << w.window_index << " node " << p.node;
+        if (p.node == fuzz.crashed_node) {
+          max_incarnation_seen = std::max(max_incarnation_seen,
+                                          p.incarnation);
+        }
+      }
+      ASSERT_FALSE(w.transitions.empty());
+      EXPECT_EQ(w.transitions.back().state, ProvState::kFinal);
+      if (w.corrected) {
+        ++corrected_records;
+        bool saw_correction_trail = false;
+        for (const ProvTransition& t : w.transitions) {
+          saw_correction_trail |= t.state == ProvState::kCorrecting ||
+                                  t.state == ProvState::kCorrected;
+        }
+        EXPECT_TRUE(saw_correction_trail) << "window " << w.window_index;
+      }
+    }
+    if (chaotic->correction_steps > 0) {
+      EXPECT_GT(corrected_records, 0u)
+          << "the root corrected but no window record is marked corrected";
+    }
+    if (removed && rejoined) {
+      EXPECT_GE(max_incarnation_seen, 1u)
+          << "rejoined node " << fuzz.crashed_node
+          << " never reappeared with a bumped incarnation";
+    }
+    // Accuracy attribution: in sim mode every window is estimated, and
+    // drop + staleness + approx must sum to the observed error.
+    EXPECT_EQ(provenance.accuracy.size(), chaotic->windows_emitted);
+    for (const WindowAccuracy& acc : provenance.accuracy) {
+      const double parts =
+          acc.drop_error + acc.staleness_error + acc.approx_error;
+      EXPECT_NEAR(acc.observed_error, parts,
+                  std::max(0.01 * std::abs(acc.observed_error), 1e-6))
+          << "window " << acc.window_index;
+    }
 
     // Post-recovery accuracy: the last 20% of windows end well after the
     // restart (paced stream spans ~3 virtual seconds; faults heal by

@@ -63,6 +63,7 @@ TEST(ProtocolTest, RateReportRoundTrip) {
   report.window_index = 3;
   report.event_rate = 99.25;
   report.stream_position = 4096;
+  report.incarnation = 2;
   BinaryWriter writer;
   EncodeRateReport(report, &writer);
   BinaryReader reader(writer.buffer());
@@ -70,6 +71,7 @@ TEST(ProtocolTest, RateReportRoundTrip) {
   EXPECT_EQ(decoded.window_index, 3u);
   EXPECT_DOUBLE_EQ(decoded.event_rate, 99.25);
   EXPECT_EQ(decoded.stream_position, 4096u);
+  EXPECT_EQ(decoded.incarnation, 2u);
 }
 
 TEST(ProtocolTest, CorrectionRequestRoundTrip) {

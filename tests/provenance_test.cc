@@ -1,0 +1,316 @@
+#include "obs/provenance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/oracle.h"
+
+namespace deco {
+namespace {
+
+// Unit tests of the ProvenanceTracker bookkeeping contract (DESIGN.md
+// §10) — `expected == received + missing` on every record, state logs
+// that end in `final`, EOS waivers, correction discards — plus
+// integration coverage of the post-run accuracy estimator: on every
+// simulated run the drop/staleness/approx components must sum to the
+// oracle-measured error per window (the ISSUE 6 acceptance bound is 1%).
+
+TEST(ProvenanceTrackerTest, CleanWindowBalancesAndFinalizes) {
+  ProvenanceTracker tracker(/*num_nodes=*/2, /*regions_per_window=*/3);
+  tracker.set_now_nanos(100);
+  for (size_t node = 0; node < 2; ++node) {
+    tracker.OnRegion(0, node, ProvRegion::kSlice, 0.0);
+    tracker.OnRegion(0, node, ProvRegion::kFront, 0.0);
+    tracker.OnRegion(0, node, ProvRegion::kEnd, 0.0);
+  }
+  tracker.set_now_nanos(250);
+  tracker.OnWindowEmitted(/*protocol_window=*/0, /*report_index=*/0,
+                          /*corrected=*/false, /*emit_nanos=*/250);
+
+  const ProvenanceLog log = tracker.TakeLog();
+  ASSERT_EQ(log.windows.size(), 1u);
+  const WindowProvenance& w = log.windows[0];
+  EXPECT_EQ(w.expected_total, 6u);
+  EXPECT_EQ(w.received_total, 6u);
+  EXPECT_EQ(w.missing_total, 0u);
+  EXPECT_FALSE(w.corrected);
+  EXPECT_EQ(w.emit_nanos, 250);
+  ASSERT_EQ(w.parts.size(), 2u);
+  for (const PartialProvenance& p : w.parts) {
+    EXPECT_EQ(p.expected, p.received + p.missing);
+  }
+  ASSERT_EQ(w.transitions.size(), 2u);
+  EXPECT_EQ(w.transitions.front().state, ProvState::kProvisional);
+  EXPECT_EQ(w.transitions.back().state, ProvState::kFinal);
+}
+
+TEST(ProvenanceTrackerTest, MissingRegionsAreCounted) {
+  ProvenanceTracker tracker(2, 2);
+  tracker.OnRegion(0, 0, ProvRegion::kSlice, 0.0);
+  tracker.OnRegion(0, 0, ProvRegion::kEnd, 0.0);
+  tracker.OnRegion(0, 1, ProvRegion::kSlice, 0.0);  // node 1 lost its end
+  tracker.OnWindowEmitted(0, 0, false, 10);
+
+  const ProvenanceLog log = tracker.TakeLog();
+  ASSERT_EQ(log.windows.size(), 1u);
+  EXPECT_EQ(log.windows[0].missing_total, 1u);
+  EXPECT_EQ(log.windows[0].expected_total,
+            log.windows[0].received_total + log.windows[0].missing_total);
+  EXPECT_EQ(log.windows[0].parts[1].missing, 1u);
+}
+
+TEST(ProvenanceTrackerTest, EosWaivesUnshippedRegions) {
+  ProvenanceTracker tracker(2, 2);
+  tracker.OnRegion(0, 0, ProvRegion::kSlice, 0.0);
+  tracker.OnRegion(0, 0, ProvRegion::kEnd, 0.0);
+  // Node 1 announced end-of-stream before contributing to this window:
+  // it owes nothing, so nothing of its is missing.
+  tracker.OnEos(1);
+  tracker.OnWindowEmitted(0, 0, false, 10);
+
+  const ProvenanceLog log = tracker.TakeLog();
+  ASSERT_EQ(log.windows.size(), 1u);
+  EXPECT_EQ(log.windows[0].missing_total, 0u);
+  EXPECT_EQ(log.windows[0].parts[1].expected, 0u);
+}
+
+TEST(ProvenanceTrackerTest, CorrectionDiscardsAndTrailsAreRecorded) {
+  ProvenanceTracker tracker(2, 2);
+  tracker.set_now_nanos(10);
+  for (size_t node = 0; node < 2; ++node) {
+    tracker.OnRegion(3, node, ProvRegion::kSlice, 0.0);
+    tracker.OnRegion(3, node, ProvRegion::kEnd, 0.0);
+  }
+  tracker.set_now_nanos(20);
+  tracker.OnCorrectionBegin(3);
+  tracker.OnCorrectionSolicit(3, 0);
+  tracker.OnCorrectionSolicit(3, 1);
+  tracker.set_now_nanos(30);
+  tracker.OnCorrectionResponse(3, 0, 0.0);
+  tracker.OnCorrectionResponse(3, 1, 0.0);
+  tracker.OnWindowEmitted(3, 3, /*corrected=*/true, 40);
+
+  const ProvenanceLog log = tracker.TakeLog();
+  ASSERT_EQ(log.windows.size(), 1u);
+  const WindowProvenance& w = log.windows[0];
+  EXPECT_TRUE(w.corrected);
+  EXPECT_EQ(w.correction_rounds, 1u);
+  // The provisional regions were discarded by the rollback; the record
+  // balances on the correction responses alone.
+  EXPECT_EQ(w.expected_total, 2u);
+  EXPECT_EQ(w.received_total, 2u);
+  EXPECT_EQ(w.missing_total, 0u);
+  for (const PartialProvenance& p : w.parts) {
+    EXPECT_EQ(p.discarded, 2u);
+  }
+  ASSERT_EQ(w.transitions.size(), 4u);
+  EXPECT_EQ(w.transitions[0].state, ProvState::kProvisional);
+  EXPECT_EQ(w.transitions[1].state, ProvState::kCorrecting);
+  EXPECT_EQ(w.transitions[2].state, ProvState::kCorrected);
+  EXPECT_EQ(w.transitions[3].state, ProvState::kFinal);
+}
+
+TEST(ProvenanceTrackerTest, DuplicatesIncarnationsAndWindowCap) {
+  ProvenanceTracker tracker(1, 1);
+  tracker.set_max_windows(1);
+  tracker.OnIncarnation(0, 2);
+  tracker.OnRegion(0, 0, ProvRegion::kSlice, 0.0);
+  tracker.OnDuplicate(0, 0, ProvRegion::kSlice);
+  tracker.OnWindowEmitted(0, 0, false, 10);
+  tracker.OnRegion(1, 0, ProvRegion::kSlice, 0.0);
+  tracker.OnWindowEmitted(1, 1, false, 20);  // over the cap: dropped
+
+  const ProvenanceLog log = tracker.TakeLog();
+  ASSERT_EQ(log.windows.size(), 1u);
+  EXPECT_EQ(log.windows_dropped, 1u);
+  EXPECT_EQ(log.windows[0].duplicate_total, 1u);
+  EXPECT_EQ(log.windows[0].parts[0].incarnation, 2u);
+}
+
+TEST(ProvenanceTrackerTest, SynthesizedWindowCoversLiveNodesOnly) {
+  ProvenanceTracker tracker(3, 1);
+  tracker.OnSynthesizedWindow(/*report_index=*/7, {true, false, true},
+                              /*create_mean=*/100.0, /*emit_nanos=*/500);
+  const ProvenanceLog log = tracker.TakeLog();
+  ASSERT_EQ(log.windows.size(), 1u);
+  const WindowProvenance& w = log.windows[0];
+  EXPECT_EQ(w.window_index, 7u);
+  ASSERT_EQ(w.parts.size(), 2u);
+  EXPECT_EQ(w.parts[0].node, 0u);
+  EXPECT_EQ(w.parts[1].node, 2u);
+  EXPECT_EQ(w.expected_total, w.received_total);
+  EXPECT_DOUBLE_EQ(w.parts[0].MeanStalenessNanos(), 400.0);
+}
+
+TEST(ProvenanceSummaryTest, AggregatesRecordsAndAccuracy) {
+  ProvenanceLog log;
+  WindowProvenance w;
+  w.corrected = true;
+  w.correction_rounds = 2;
+  w.expected_total = 6;
+  w.received_total = 5;
+  w.missing_total = 1;
+  log.windows.push_back(w);
+  WindowAccuracy acc;
+  acc.observed_error = -4.0;
+  acc.drop_error = -3.0;
+  acc.staleness_error = -1.0;
+  log.accuracy.push_back(acc);
+
+  const ProvenanceSummary summary = ComputeProvenanceSummary(log);
+  EXPECT_TRUE(summary.enabled);
+  EXPECT_EQ(summary.windows_tracked, 1u);
+  EXPECT_EQ(summary.windows_corrected, 1u);
+  EXPECT_EQ(summary.correction_rounds, 2u);
+  EXPECT_EQ(summary.partials_expected, 6u);
+  EXPECT_EQ(summary.partials_missing, 1u);
+  EXPECT_EQ(summary.windows_estimated, 1u);
+  EXPECT_DOUBLE_EQ(summary.mean_abs_error, 4.0);
+  EXPECT_DOUBLE_EQ(summary.max_abs_error, 4.0);
+  EXPECT_DOUBLE_EQ(summary.mean_abs_drop_error, 3.0);
+  EXPECT_DOUBLE_EQ(summary.mean_abs_staleness_error, 1.0);
+}
+
+TEST(ProvenanceJsonTest, CarriesRecordsAndAccuracySections) {
+  ProvenanceLog log;
+  WindowProvenance w;
+  w.window_index = 4;
+  w.corrected = true;
+  w.transitions.push_back(ProvTransition{ProvState::kProvisional, 1, 0});
+  w.transitions.push_back(ProvTransition{ProvState::kFinal, 2, 0});
+  PartialProvenance part;
+  part.node = 1;
+  part.incarnation = 3;
+  part.expected = 2;
+  part.received = 2;
+  w.parts.push_back(part);
+  log.windows.push_back(w);
+  WindowAccuracy acc;
+  acc.window_index = 4;
+  acc.observed_error = 1.5;
+  log.accuracy.push_back(acc);
+
+  const std::string json = ProvenanceJson(log);
+  EXPECT_NE(json.find("\"windows_tracked\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"corrected\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"incarnation\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"state\": \"provisional\""), std::string::npos);
+  EXPECT_NE(json.find("\"observed_error\": 1.5"), std::string::npos);
+}
+
+// Integration: one small simulated run per scheme; the attribution
+// components must sum to the oracle-measured error on every window, and
+// every provenance record must balance.
+class AccuracyAttributionTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(AccuracyAttributionTest, ComponentsSumToObservedError) {
+  ExperimentConfig config;
+  config.sim = true;
+  config.scheme = GetParam();
+  config.query.window = WindowSpec::CountTumbling(2000);
+  config.num_locals = 3;
+  config.streams_per_local = 2;
+  config.events_per_local = 20'000;
+  config.base_rate = 50'000;
+  config.rate_change = 0.05;
+  config.batch_size = 512;
+  config.seed = 7;
+
+  ProvenanceLog log;
+  config.provenance.enabled = true;
+  config.provenance.sink = &log;
+
+  auto report = RunExperiment(config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  ASSERT_FALSE(log.windows.empty());
+  for (const WindowProvenance& w : log.windows) {
+    EXPECT_EQ(w.expected_total, w.received_total + w.missing_total);
+    for (const PartialProvenance& p : w.parts) {
+      EXPECT_EQ(p.expected, p.received + p.missing);
+    }
+    ASSERT_FALSE(w.transitions.empty());
+    EXPECT_EQ(w.transitions.back().state, ProvState::kFinal);
+  }
+
+  // Sim runs estimate every window.
+  EXPECT_EQ(log.accuracy.size(), report->windows_emitted);
+  for (const WindowAccuracy& acc : log.accuracy) {
+    const double parts =
+        acc.drop_error + acc.staleness_error + acc.approx_error;
+    EXPECT_NEAR(acc.observed_error, parts,
+                std::max(0.01 * std::abs(acc.observed_error), 1e-6))
+        << "window " << acc.window_index;
+    if (config.scheme == Scheme::kApprox) {
+      // Approximation folds the membership error into its own component:
+      // the staleness share would misattribute deliberate sampling error.
+      EXPECT_DOUBLE_EQ(acc.staleness_error, 0.0);
+    }
+  }
+  // The summary lands on the report too (schema v4 surfaces it).
+  EXPECT_TRUE(report->provenance.enabled);
+  EXPECT_EQ(report->provenance.windows_estimated, log.accuracy.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, AccuracyAttributionTest,
+    ::testing::Values(Scheme::kCentral, Scheme::kScotty, Scheme::kDisco,
+                      Scheme::kApprox, Scheme::kDecoMon, Scheme::kDecoSync,
+                      Scheme::kDecoAsync),
+    [](const ::testing::TestParamInfo<Scheme>& info) {
+      std::string name = SchemeToString(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(AccuracyAttributionTest, SlidingWindowsAreRejected) {
+  ExperimentConfig config;
+  config.sim = true;
+  config.scheme = Scheme::kCentral;
+  config.query.window = WindowSpec::CountSliding(4000, 1000);
+  config.num_locals = 2;
+  config.streams_per_local = 2;
+  config.events_per_local = 10'000;
+  config.seed = 7;
+
+  auto report = RunExperiment(config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const auto accuracy = AttributeWindowError(config, *report);
+  EXPECT_FALSE(accuracy.ok());
+  EXPECT_EQ(accuracy.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AccuracyAttributionTest, WallClockReservoirCapsEstimates) {
+  ExperimentConfig config;
+  config.sim = true;
+  config.scheme = Scheme::kDecoSync;
+  config.query.window = WindowSpec::CountTumbling(1000);
+  config.num_locals = 2;
+  config.streams_per_local = 2;
+  config.events_per_local = 10'000;
+  config.seed = 11;
+
+  auto report = RunExperiment(config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  AttributionOptions options;
+  options.reservoir = 5;
+  options.seed = config.seed;
+  const auto accuracy = AttributeWindowError(config, *report, options);
+  ASSERT_TRUE(accuracy.ok()) << accuracy.status().ToString();
+  EXPECT_EQ(accuracy->size(), 5u);
+  for (const WindowAccuracy& acc : *accuracy) {
+    const double parts =
+        acc.drop_error + acc.staleness_error + acc.approx_error;
+    EXPECT_NEAR(acc.observed_error, parts,
+                std::max(0.01 * std::abs(acc.observed_error), 1e-6));
+  }
+}
+
+}  // namespace
+}  // namespace deco

@@ -231,8 +231,9 @@ TEST(TelemetryIntegrationTest, DecoAsyncRunProducesSamplesSpansAndJson) {
   // Exported document: well-formed JSON with the schema's key fields.
   const std::string json = ReadFileOrDie(json_path);
   EXPECT_TRUE(JsonChecker(json).Valid());
-  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"cpu_breakdown\""), std::string::npos);
+  EXPECT_NE(json.find("\"provenance_summary\""), std::string::npos);
   EXPECT_NE(json.find("\"scheme\": \"deco-async\""), std::string::npos);
   EXPECT_NE(json.find("\"queue_depth\""), std::string::npos);
   EXPECT_NE(json.find("\"bytes_per_sec\""), std::string::npos);

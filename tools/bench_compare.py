@@ -28,8 +28,19 @@ Tolerance rules (applied to the per-metric *median* across repeats):
     metrics are informational (wall-clock runs schedule nondeterministically).
   * total_dropped may never rise, in any mode: a throttled or lossy run
     (--drop) is a regression by definition.
+  * Accuracy metrics (bench/accuracy_attribution): under --sim the whole
+    run replays byte-identically, so mean_abs_error and the signed
+    err_total/err_drop/err_staleness/err_approx sums — plus the
+    windows_estimated/windows_corrected/partials_missing counts — must
+    match exactly. In wall-clock mode mean_abs_error may not rise more
+    than 25% (scheduling jitter moves which windows straddle a
+    correction); the signed sums and counts are informational.
   * Every other metric (wall_seconds, cpu_total_nanos, allocations,
     queue_depth_high_water, ...) is informational only.
+
+Baselines are paired on (bench, sim-mode): a --sim document matches the
+checked-in BENCH_<name>.json, a wall-clock document matches
+BENCH_<name>.wall.json, so one directory holds both kinds side by side.
 
 Documents produced under a sanitizer are refused: sanitizer timing is not
 comparable with anything, including itself.
@@ -46,12 +57,14 @@ import sys
 THROUGHPUT_DROP_TOLERANCE = 0.05
 LATENCY_RISE_TOLERANCE = 0.10
 BYTES_PER_EVENT_TOLERANCE = 0.01
+ERROR_RISE_TOLERANCE = 0.25
 
 HIGHER_BETTER = {"throughput_eps": THROUGHPUT_DROP_TOLERANCE}
 LOWER_BETTER = {
     "latency_mean_nanos": LATENCY_RISE_TOLERANCE,
     "latency_p50_nanos": LATENCY_RISE_TOLERANCE,
     "latency_p99_nanos": LATENCY_RISE_TOLERANCE,
+    "mean_abs_error": ERROR_RISE_TOLERANCE,
 }
 STRUCTURAL = {
     "total_messages",
@@ -60,6 +73,16 @@ STRUCTURAL = {
     "correction_steps",
     "events_processed",
     "bytes_per_event",
+    # Accuracy attribution: deterministic replay makes both the counts and
+    # the error decomposition exact under --sim.
+    "windows_estimated",
+    "windows_corrected",
+    "partials_missing",
+    "mean_abs_error",
+    "err_total",
+    "err_drop",
+    "err_staleness",
+    "err_approx",
 }
 EXACT_SCHEMES = {
     "central", "scotty", "disco", "deco-mon", "deco-sync", "deco-monlocal",
@@ -87,6 +110,13 @@ def load(path):
         fail(f"{path}: refusing document built with -fsanitize={sanitizer}; "
              "sanitizer timings are not comparable")
     return doc
+
+
+def baseline_name(doc):
+    """Checked-in baseline filename for a document: sim documents pair
+    with BENCH_<name>.json, wall-clock ones with BENCH_<name>.wall.json."""
+    suffix = "" if doc["config"].get("sim") else ".wall"
+    return f"BENCH_{doc['bench']}{suffix}.json"
 
 
 def row_scheme(label):
@@ -217,15 +247,13 @@ def main():
             os.makedirs(args.baseline_dir, exist_ok=True)
             for path in args.files:
                 doc = load(path)
-                dest = os.path.join(args.baseline_dir,
-                                    f"BENCH_{doc['bench']}.json")
+                dest = os.path.join(args.baseline_dir, baseline_name(doc))
                 shutil.copyfile(path, dest)
                 print(f"updated {dest}")
             return 0
         for path in args.files:
             doc = load(path)
-            base_path = os.path.join(args.baseline_dir,
-                                     f"BENCH_{doc['bench']}.json")
+            base_path = os.path.join(args.baseline_dir, baseline_name(doc))
             if not os.path.exists(base_path):
                 fail(f"no baseline for bench '{doc['bench']}' "
                      f"(expected {base_path}; run with --update-baseline "

@@ -13,7 +13,12 @@ Checks, per document:
   * every metric aggregate is self-consistent: non-empty values list,
     min <= median <= max, min/max actually bound the values, and the
     mean lies within [min, max] (up to a few ulps: summing identical
-    doubles and dividing back can land one ulp outside the range).
+    doubles and dividing back can land one ulp outside the range);
+  * rows carrying the accuracy-attribution metrics (err_total, err_drop,
+    err_staleness, err_approx — signed per-repeat sums emitted by
+    bench/accuracy_attribution) satisfy the decomposition invariant on
+    every repeat: drop + staleness + approx must equal the observed
+    total within 1% (with a small absolute floor for near-exact runs).
 
 Exits non-zero with a per-file message on the first violation in each
 file; prints a one-line OK per valid file.
@@ -63,6 +68,38 @@ def check_metric(name, agg, where):
     expect(agg["stddev"] >= 0, f"{where}: metric '{name}': negative stddev")
 
 
+ATTRIBUTION_METRICS = ("err_total", "err_drop", "err_staleness",
+                       "err_approx")
+ATTRIBUTION_REL_TOLERANCE = 0.01
+ATTRIBUTION_ABS_FLOOR = 1e-6
+
+
+def check_attribution(metrics, where):
+    """Per-repeat decomposition check: the signed component sums must
+    telescope to the observed error on every index of the values lists
+    (aggregates like the median do not telescope, the raw repeats do)."""
+    present = [m for m in ATTRIBUTION_METRICS if m in metrics]
+    if not present:
+        return
+    expect(len(present) == len(ATTRIBUTION_METRICS),
+           f"{where}: partial attribution metrics (have {present}, "
+           f"need all of {list(ATTRIBUTION_METRICS)})")
+    series = {m: metrics[m]["values"] for m in ATTRIBUTION_METRICS}
+    lengths = {len(v) for v in series.values()}
+    expect(len(lengths) == 1,
+           f"{where}: attribution metrics have mismatched repeat counts")
+    for i in range(lengths.pop()):
+        total = series["err_total"][i]
+        parts = (series["err_drop"][i] + series["err_staleness"][i] +
+                 series["err_approx"][i])
+        bound = max(ATTRIBUTION_REL_TOLERANCE * abs(total),
+                    ATTRIBUTION_ABS_FLOOR)
+        expect(abs(parts - total) <= bound,
+               f"{where}: repeat {i}: err_drop + err_staleness + "
+               f"err_approx = {parts!r} does not sum to err_total "
+               f"{total!r} (bound {bound:g})")
+
+
 def check_profile(profile, where):
     for key in ("enabled", "alloc_counted", "threads"):
         expect(key in profile, f"{where}: cpu_breakdown missing '{key}'")
@@ -106,6 +143,7 @@ def check_doc(doc, path):
                f"{where} ('{label}'): no metrics")
         for name, agg in row["metrics"].items():
             check_metric(name, agg, f"{where} ('{label}')")
+        check_attribution(row["metrics"], f"{where} ('{label}')")
         if row["cpu_breakdown"] is not None:
             check_profile(row["cpu_breakdown"], f"{where} ('{label}')")
 

@@ -9,6 +9,8 @@ drags a broken trace into ui.perfetto.dev:
   * every event has the mandatory fields for its phase ("ph")
   * every async begin ("b") is balanced by an end ("e") with the same
     (cat, id) and a timestamp >= the begin
+  * every counter ("C") event carries a non-empty numeric args object,
+    and counter timestamps never run backwards per (pid, name) track
   * every non-metadata event's pid has a process_name metadata record
 
 Usage: check_perfetto_trace.py <trace.json>
@@ -39,7 +41,9 @@ def main():
 
     named_pids = set()
     open_async = {}  # (cat, id) -> begin ts
+    counter_last_ts = {}  # (pid, name) -> last ts
     balanced = 0
+    counters = 0
     for i, event in enumerate(events):
         ph = event.get("ph")
         if ph is None:
@@ -73,6 +77,18 @@ def main():
         elif ph == "i":
             if event.get("s") not in ("t", "p", "g"):
                 fail(f"instant event {i} has invalid scope {event.get('s')}")
+        elif ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                fail(f"counter event {i} has no args")
+            for key, value in args.items():
+                if not isinstance(value, (int, float)):
+                    fail(f"counter event {i} arg {key!r} is not numeric")
+            track = (event["pid"], event["name"])
+            if event["ts"] < counter_last_ts.get(track, event["ts"]):
+                fail(f"counter event {i} ({event['name']}) goes back in time")
+            counter_last_ts[track] = event["ts"]
+            counters += 1
         else:
             fail(f"event {i} has unexpected ph {ph!r}")
 
@@ -83,7 +99,8 @@ def main():
         fail("no process_name metadata records")
 
     print(f"check_perfetto_trace: OK: {len(events)} events, "
-          f"{len(named_pids)} node tracks, {balanced} balanced async pairs")
+          f"{len(named_pids)} node tracks, {balanced} balanced async pairs, "
+          f"{counters} counter samples")
 
 
 if __name__ == "__main__":

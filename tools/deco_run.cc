@@ -75,6 +75,16 @@ void PrintUsage() {
       "                      telemetry JSON\n"
       "  --profile_allocs=<b>     count per-thread allocations while\n"
       "                           profiling (default true)\n"
+      "  --provenance        window provenance + live accuracy attribution\n"
+      "                      (DESIGN.md §10): per-window records of who\n"
+      "                      contributed what, plus a drop/staleness/approx\n"
+      "                      error decomposition; prints the summary line\n"
+      "  --provenance_out=<f>     write the full provenance log (records +\n"
+      "                           per-window accuracy) as JSON to <f>;\n"
+      "                           implies --provenance\n"
+      "  --provenance_reservoir=<n>  wall-clock runs estimate accuracy on\n"
+      "                           this many sampled windows (default 256;\n"
+      "                           0 = all; sim runs always estimate all)\n"
       "  --log_level=<name>  debug|info|warning|error|fatal (default info)\n"
       "  --compare           also run Central and report correctness\n"
       "  --verbose           print every emitted window\n"
@@ -153,11 +163,40 @@ int main(int argc, char** argv) {
                              !config.telemetry.perfetto_out.empty();
   config.profile.enabled = flags.GetBool("profile", false);
   config.profile.count_allocs = flags.GetBool("profile_allocs", true);
+  config.provenance.json_out = flags.GetString("provenance_out", "");
+  config.provenance.enabled = flags.GetBool("provenance", false) ||
+                              !config.provenance.json_out.empty();
+  config.provenance.accuracy_reservoir = static_cast<size_t>(
+      flags.GetInt("provenance_reservoir", 256));
 
   auto result = RunExperiment(config);
   if (!result.ok()) return Fail(result.status());
   const RunReport& report = *result;
   std::printf("%s\n", report.Summary().c_str());
+
+  if (report.provenance.enabled) {
+    const ProvenanceSummary& prov = report.provenance;
+    std::printf(
+        "provenance: %llu windows (%llu corrected, %llu correction rounds), "
+        "partials %llu/%llu received (%llu missing, %llu duplicate), "
+        "mean staleness %.3fms\n",
+        (unsigned long long)prov.windows_tracked,
+        (unsigned long long)prov.windows_corrected,
+        (unsigned long long)prov.correction_rounds,
+        (unsigned long long)prov.partials_received,
+        (unsigned long long)prov.partials_expected,
+        (unsigned long long)prov.partials_missing,
+        (unsigned long long)prov.partials_duplicate,
+        prov.mean_staleness_nanos / 1e6);
+    if (prov.windows_estimated > 0) {
+      std::printf(
+          "accuracy: %llu windows estimated, mean |err|=%.6g max=%.6g "
+          "(drop %.6g + staleness %.6g + approx %.6g)\n",
+          (unsigned long long)prov.windows_estimated, prov.mean_abs_error,
+          prov.max_abs_error, prov.mean_abs_drop_error,
+          prov.mean_abs_staleness_error, prov.mean_abs_approx_error);
+    }
+  }
 
   if (!audit.empty()) {
     std::printf("chaos audit (%zu actions fired):\n", audit.size());
