@@ -1,0 +1,120 @@
+// Marginal cost of co-resident queries (the serving-layer acceptance
+// benchmark): sweep the number of concurrently served queries over the
+// same stream and measure how network cost grows. Deco schemes share one
+// slice store — the Nth query adds only a per-pane slot partial per local
+// — so bytes/event must stay nearly flat; the centralized baselines rerun
+// the stream once per query, so their cost grows linearly. The JSON rows
+// are labeled `<scheme>/q<N>` and carry a `queries` metric so the
+// regression gate can recompute the marginal cost.
+//
+//   qps_marginal_cost [--scale=<f>] [--schemes=a,b,c] [--locals=<n>]
+//                     [--repeat=<n>] [--json_out=<f>] [--sim]
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "serve/registry.h"
+
+using namespace deco;
+
+namespace {
+
+// Aggregate mix for the co-queries: five distinct kinds, so a 64-query
+// sweep still folds into five shared slots (the dedup the layer exists
+// for), cycling tenants t0..t3 to exercise per-tenant accounting.
+ServedQuery MakeServedQuery(size_t index, uint64_t window) {
+  static const AggregateKind kAggs[] = {
+      AggregateKind::kSum, AggregateKind::kCount, AggregateKind::kMin,
+      AggregateKind::kMax, AggregateKind::kAvg};
+  ServedQuery q;
+  q.query.aggregate = kAggs[index % 5];
+  q.query.window = WindowSpec::CountTumbling(window);
+  q.tenant = "t" + std::to_string(index % 4);
+  return q;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts =
+      bench::BenchOptions::Parse(argc, argv, "qps_marginal_cost");
+  const uint64_t window = opts.Scaled(10'000);
+  const uint64_t events = opts.Scaled(200'000);
+  const size_t locals =
+      static_cast<size_t>(opts.flags.GetInt("locals", 4));
+
+  BenchRecorder recorder(opts.bench_name);
+  opts.RecordConfig(&recorder);
+  recorder.SetConfig("window", static_cast<int64_t>(window));
+  recorder.SetConfig("events_per_local", static_cast<int64_t>(events));
+  recorder.SetConfig("locals", static_cast<int64_t>(locals));
+  recorder.SetConfig("seed", static_cast<int64_t>(42));
+
+  const std::vector<Scheme> schemes = opts.Schemes(
+      {Scheme::kDecoSync, Scheme::kDecoAsync, Scheme::kCentral});
+  static const size_t kQueryCounts[] = {1, 2, 4, 8, 16, 32, 64};
+
+  std::printf("Marginal query cost: %zu locals, window=%llu, "
+              "events/node=%llu, 1..64 co-resident queries\n",
+              locals, static_cast<unsigned long long>(window),
+              static_cast<unsigned long long>(events));
+
+  for (Scheme scheme : schemes) {
+    std::printf("\n=== %s — queries 1,2,4,...,64 ===\n",
+                SchemeToString(scheme));
+    std::printf("  %-6s %14s %20s %8s\n", "q", "bytes/event",
+                "marginal(b/ev/query)", "slots");
+    double single_bpe = 0.0;
+    for (size_t count : kQueryCounts) {
+      ExperimentConfig config;
+      config.scheme = scheme;
+      config.num_locals = locals;
+      config.streams_per_local = 2;
+      config.events_per_local = events;
+      config.base_rate = 200'000.0;
+      config.rate_change = 0.05;
+      config.batch_size = 512;
+      config.seed = 42;
+      config.sim_time_limit_nanos = 600 * kNanosPerSecond;
+      for (size_t i = 0; i < count; ++i) {
+        config.serve.queries.push_back(MakeServedQuery(i, window));
+      }
+      opts.ApplyCommon(&config,
+                       std::string(SchemeToString(scheme)) + ".q" +
+                           std::to_string(count));
+      const std::string label = std::string(SchemeToString(scheme)) +
+                                "/q" + std::to_string(count);
+      std::printf("  %-6zu ", count);
+      for (int r = 0; r < opts.repeat; ++r) {
+        auto result = RunExperiment(config);
+        if (!result.ok()) {
+          std::printf("%-14s ERROR: %s\n", label.c_str(),
+                      result.status().ToString().c_str());
+          return 1;
+        }
+        if (r == 0) {
+          if (count == 1) single_bpe = result->BytesPerEvent();
+          const double marginal =
+              count > 1 ? (result->BytesPerEvent() - single_bpe) /
+                              static_cast<double>(count - 1)
+                        : 0.0;
+          std::printf("%14.2f %20.4f %8llu\n", result->BytesPerEvent(),
+                      marginal,
+                      static_cast<unsigned long long>(
+                          result->serving.slots));
+        }
+        recorder.AddReport(label, *result);
+        recorder.AddMetric(label, "queries", static_cast<double>(count));
+        recorder.AddMetric(label, "serve_slots",
+                           static_cast<double>(result->serving.slots));
+        recorder.AddMetric(
+            label, "marginal_bytes_per_event",
+            count > 1 ? (result->BytesPerEvent() - single_bpe) /
+                            static_cast<double>(count - 1)
+                      : 0.0);
+      }
+    }
+  }
+  return bench::Finish(opts, recorder);
+}

@@ -359,14 +359,65 @@ WindowAssembler::Outcome WindowAssembler::TryAssemble(WindowAssembly* out) {
     }
   }
 
+  // Multi-query serving: a slice that should carry an active extra slot
+  // but does not (a local missed the kQueryAdd broadcast) cannot be
+  // assembled — the correction fallback recomputes every slot exactly
+  // from raws, and the root re-broadcasts the slot schedule.
+  const size_t nslots = slot_bank_ == nullptr ? 0 : slot_bank_->size();
+  std::vector<bool> slot_active(nslots, false);
+  for (size_t s = 1; s < nslots; ++s) {
+    slot_active[s] =
+        slot_bank_->ActiveAt(static_cast<uint16_t>(s), next_window_);
+  }
+  if (nslots > 1 && pw != nullptr) {
+    for (size_t n = 0; n < num_nodes_; ++n) {
+      if (removed_[n]) continue;
+      const NodeWindowState& st = pw->nodes[n];
+      if (!st.slice.has_value() || st.slice->event_count == 0) continue;
+      for (size_t s = 1; s < nslots; ++s) {
+        if (!slot_active[s]) continue;
+        bool found = false;
+        for (const SlotPartial& extra : st.slice->extras) {
+          if (extra.slot == s) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          DECO_LOG(DEBUG) << "assembler w" << next_window_ << ": node " << n
+                          << " slice missing active slot " << s
+                          << " partial; correcting";
+          return Outcome::kNeedCorrection;
+        }
+      }
+    }
+  }
+
   // Verified: build the window.
   out->partial = func_->CreatePartial();
+  out->slots.clear();
+  out->slots.resize(nslots);
+  for (size_t s = 1; s < nslots; ++s) {
+    if (slot_active[s]) {
+      out->slots[s] =
+          slot_bank_->func(static_cast<uint16_t>(s))->CreatePartial();
+    }
+  }
+  auto accumulate_slots = [&](double value) {
+    for (size_t s = 1; s < nslots; ++s) {
+      if (slot_active[s]) {
+        slot_bank_->func(static_cast<uint16_t>(s))
+            ->Accumulate(&out->slots[s], value);
+      }
+    }
+  };
   out->consumed.assign(num_nodes_, 0);
   for (size_t n = 0; n < num_nodes_; ++n) {
     if (removed_[n]) continue;
     uint64_t consumed = 0;
     for (const TimedEvent& te : leftover_[n]) {
       func_->Accumulate(&out->partial, te.event.value);
+      accumulate_slots(te.event.value);
       fold_create(te.create_nanos, 1);
       ++consumed;
     }
@@ -375,6 +426,7 @@ WindowAssembler::Outcome WindowAssembler::TryAssemble(WindowAssembly* out) {
       NodeWindowState& st = pw->nodes[n];
       for (const TimedEvent& te : st.front) {
         func_->Accumulate(&out->partial, te.event.value);
+        accumulate_slots(te.event.value);
         fold_create(te.create_nanos, 1);
         ++consumed;
       }
@@ -384,6 +436,15 @@ WindowAssembler::Outcome WindowAssembler::TryAssemble(WindowAssembly* out) {
           // Cannot happen with homogeneous queries; treat as corruption.
           return Outcome::kNeedCorrection;
         }
+        for (const SlotPartial& extra : st.slice->extras) {
+          if (extra.slot < nslots && slot_active[extra.slot]) {
+            Status slot_merge =
+                slot_bank_->func(extra.slot)
+                    ->Merge(&out->slots[extra.slot], extra.partial);
+            if (!slot_merge.ok()) return Outcome::kNeedCorrection;
+          }
+          // Extras for slots the root has since retired are ignored.
+        }
         fold_create(st.slice_create, st.slice->event_count);
         consumed += st.slice->event_count;
       }
@@ -392,6 +453,7 @@ WindowAssembler::Outcome WindowAssembler::TryAssemble(WindowAssembly* out) {
       const size_t from_front = sel[n] - from_end;
       for (size_t i = 0; i < from_end; ++i) {
         func_->Accumulate(&out->partial, st.end[i].event.value);
+        accumulate_slots(st.end[i].event.value);
         fold_create(st.end[i].create_nanos, 1);
         ++consumed;
       }
@@ -405,6 +467,7 @@ WindowAssembler::Outcome WindowAssembler::TryAssemble(WindowAssembly* out) {
         auto* front = next_front(n);
         for (size_t i = 0; i < from_front; ++i) {
           func_->Accumulate(&out->partial, (*front)[i].event.value);
+          accumulate_slots((*front)[i].event.value);
           fold_create((*front)[i].create_nanos, 1);
           ++consumed;
         }
@@ -415,6 +478,7 @@ WindowAssembler::Outcome WindowAssembler::TryAssemble(WindowAssembly* out) {
     }
     out->consumed[n] = consumed;
   }
+  if (nslots > 0) out->slots[0] = out->partial;
   out->event_count = global_size_;
   out->watermark = R > 0 ? std::max(forced_max, last_selected,
                                     [](const EventKey& a, const EventKey& b) {
@@ -527,6 +591,20 @@ WindowAssembler::CorrectionOutcome WindowAssembler::TryAssembleCorrected(
   if (!need_more->empty()) return CorrectionOutcome::kNeedMore;
 
   out->partial = func_->CreatePartial();
+  // Corrections recompute every serve slot exactly from raws — slice
+  // extras are unnecessary here (and were discarded with the slices).
+  const size_t nslots = slot_bank_ == nullptr ? 0 : slot_bank_->size();
+  out->slots.clear();
+  out->slots.resize(nslots);
+  std::vector<bool> slot_active(nslots, false);
+  for (size_t s = 1; s < nslots; ++s) {
+    slot_active[s] =
+        slot_bank_->ActiveAt(static_cast<uint16_t>(s), next_window_);
+    if (slot_active[s]) {
+      out->slots[s] =
+          slot_bank_->func(static_cast<uint16_t>(s))->CreatePartial();
+    }
+  }
   out->consumed.assign(num_nodes_, 0);
   out->create_mean = 0.0;
   out->create_count = 0;
@@ -535,6 +613,12 @@ WindowAssembler::CorrectionOutcome WindowAssembler::TryAssembleCorrected(
     for (uint64_t i = 0; i < sel[n]; ++i) {
       const TimedEvent& te = candidates_[n][i];
       func_->Accumulate(&out->partial, te.event.value);
+      for (size_t s = 1; s < nslots; ++s) {
+        if (slot_active[s]) {
+          slot_bank_->func(static_cast<uint16_t>(s))
+              ->Accumulate(&out->slots[s], te.event.value);
+        }
+      }
       const uint64_t total_meta = out->create_count + 1;
       out->create_mean =
           (out->create_mean * static_cast<double>(out->create_count) +
@@ -546,6 +630,7 @@ WindowAssembler::CorrectionOutcome WindowAssembler::TryAssembleCorrected(
     candidates_[n].clear();
     candidates_present_[n] = false;
   }
+  if (nslots > 0) out->slots[0] = out->partial;
   out->event_count = global_size_;
   out->watermark = last_selected;
 

@@ -11,6 +11,7 @@
 #include "event/event.h"
 #include "net/message.h"
 #include "node/protocol.h"
+#include "serve/slice_store.h"
 
 /// \file assembler.h
 /// \brief Root-side assembly of global count windows from local slices and
@@ -73,6 +74,12 @@ struct TimedEvent {
 /// \brief A fully assembled (verified or corrected) global window.
 struct WindowAssembly {
   Partial partial;
+
+  /// Per-slot partials of the multi-query serving layer (DESIGN.md §11);
+  /// empty unless a `SlotBank` is installed. `slots[0]` mirrors `partial`;
+  /// slots inactive at this window hold an empty partial.
+  std::vector<Partial> slots;
+
   uint64_t event_count = 0;
 
   /// Events consumed from each local node (the "actual local window
@@ -218,6 +225,15 @@ class WindowAssembler {
   /// processing; assemble spans carry it (critical-path join key).
   void set_causal_msg_id(uint64_t msg_id) { causal_msg_id_ = msg_id; }
 
+  /// \brief Installs the multi-query slot bank (serve layer, DESIGN.md
+  /// §11); may be null (the default — single-aggregate assembly, `slots`
+  /// left empty). Not owned. When set, every verified or corrected window
+  /// also carries per-slot partials: raw events are accumulated into every
+  /// slot active at the window's pane, slice extras are merged into their
+  /// slots, and a slice missing an expected active slot triggers the
+  /// correction fallback (which recomputes every slot exactly from raws).
+  void set_slot_bank(const SlotBank* bank) { slot_bank_ = bank; }
+
   /// \brief Provenance collection point (src/obs/provenance.h); may be
   /// null (the default — no recording). Not owned. Region acceptance,
   /// duplicates, EOS, removal/readmission and correction restarts are
@@ -259,6 +275,7 @@ class WindowAssembler {
   NodeId trace_node_ = 0;
   uint64_t causal_msg_id_ = 0;
   ProvenanceTracker* provenance_ = nullptr;
+  const SlotBank* slot_bank_ = nullptr;
 
   std::vector<std::deque<TimedEvent>> leftover_;
   std::vector<int64_t> carry_;

@@ -217,18 +217,31 @@ Status DecoLocalNode::ProduceWindow(uint64_t w, const SlicePlan& plan) {
     DECO_RETURN_NOT_OK(SendOrCrash(std::move(msg)));
   }
 
-  // Slice: incremental local aggregation (the decentralized work).
+  // Slice: incremental local aggregation (the decentralized work). With a
+  // serving registry the shared slice store computes every active
+  // aggregate slot in the same pass; slot 0 rides in the summary's
+  // `partial` exactly as before, the others travel as tagged extras.
   {
     std::vector<TimedEvent> slice_events;
     slice_events.reserve(plan.slice);
     TakeRegion(plan.slice, &slice_events);
     SliceSummary summary;
-    summary.partial = func_->CreatePartial();
     Message msg;
     double create_sum = 0.0;
-    for (const TimedEvent& te : slice_events) {
-      func_->Accumulate(&summary.partial, te.event.value);
-      create_sum += te.create_nanos;
+    if (serve_ != nullptr) {
+      slice_store_.BeginPane(w);
+      for (const TimedEvent& te : slice_events) {
+        slice_store_.Accumulate(te.event.value);
+        create_sum += te.create_nanos;
+      }
+      summary.partial = slice_store_.primary();
+      summary.extras = slice_store_.TakeExtras();
+    } else {
+      summary.partial = func_->CreatePartial();
+      for (const TimedEvent& te : slice_events) {
+        func_->Accumulate(&summary.partial, te.event.value);
+        create_sum += te.create_nanos;
+      }
     }
     if (!slice_events.empty()) {
       msg.MergeLatencyMeta(
@@ -246,6 +259,14 @@ Status DecoLocalNode::ProduceWindow(uint64_t w, const SlicePlan& plan) {
     summary.event_rate = source_->TotalRate();
     BinaryWriter writer;
     EncodeSliceSummary(summary, &writer);
+    if (serve_ != nullptr) {
+      size_t extras_bytes = 0;
+      for (const SlotPartial& extra : summary.extras) {
+        extras_bytes += SlotPartialWireSize(extra);
+      }
+      accounting_.OnSlice(w, writer.buffer().size() - extras_bytes,
+                          slice_events.size(), summary.extras);
+    }
     msg.type = MessageType::kPartialResult;
     msg.dst = topology_.root;
     msg.window_index = w;
@@ -364,6 +385,28 @@ Status DecoLocalNode::HandleControl(const Message& msg) {
     }
     case MessageType::kCorrectionRequest:
       return HandleCorrectionRequest(msg);
+    case MessageType::kQueryAdd:
+    case MessageType::kQueryRemove: {
+      if (serve_ == nullptr) return Status::OK();
+      BinaryReader reader(msg.payload);
+      DECO_ASSIGN_OR_RETURN(QueryUpdate update, DecodeQueryUpdate(&reader));
+      // Not epoch-gated: the schedule is keyed by absolute pane indices,
+      // which survive correction rollbacks, and activation/retirement are
+      // idempotent — a stale or replayed update cannot corrupt it.
+      slice_store_.ApplyUpdate(update);
+      DECO_LOG(DEBUG) << "local " << id_ << ": query " << update.query_id
+                      << (update.add ? " adds" : " removes") << " slot "
+                      << update.slot << " at pane " << update.effective_pane;
+      return Status::OK();
+    }
+    case MessageType::kQueryConfig: {
+      if (serve_ == nullptr) return Status::OK();
+      BinaryReader reader(msg.payload);
+      DECO_ASSIGN_OR_RETURN(ServeSnapshot snapshot,
+                            DecodeServeSnapshot(&reader));
+      slice_store_.ApplySnapshot(snapshot);
+      return Status::OK();
+    }
     case MessageType::kRateExchange: {
       BinaryReader reader(msg.payload);
       DECO_ASSIGN_OR_RETURN(RateReport report, DecodeRateReport(&reader));
@@ -500,6 +543,13 @@ Status DecoLocalNode::Run() {
   source_ = std::make_unique<IngestSource>(ingest_config_, clock_);
   DECO_ASSIGN_OR_RETURN(func_,
                         MakeAggregate(query_.aggregate, query_.quantile_q));
+  if (serve_ != nullptr) {
+    DECO_RETURN_NOT_OK(slice_store_.Init(serve_));
+    DECO_RETURN_NOT_OK(accounting_.Init(serve_));
+    pane_length_ = serve_->PaneLength();
+  } else {
+    pane_length_ = ProtocolWindowLength(query_.window);
+  }
   DECO_ASSIGN_OR_RETURN(self_ordinal_, topology_.OrdinalOf(id_));
   peer_eos_.assign(topology_.num_locals(), false);
 
@@ -607,8 +657,7 @@ Status DecoLocalNode::Run() {
       if (crashed_ || rolled_back_) continue;
       DECO_ASSIGN_OR_RETURN(
           std::vector<uint64_t> shares,
-          ApportionWindow(ProtocolWindowLength(query_.window),
-                          peer_rates_[w]));
+          ApportionWindow(pane_length_, peer_rates_[w]));
       // In peer mode the root's assignment carries this node's leftover
       // (events already buffered at the root) in `local_window_size`.
       const uint64_t leftover = assigned_size_;

@@ -9,6 +9,9 @@
 #include "node/ingest.h"
 #include "node/query.h"
 #include "node/topology.h"
+#include "serve/accounting.h"
+#include "serve/registry.h"
+#include "serve/slice_store.h"
 
 /// \file local_node.h
 /// \brief Deco local node (paper §4.2): plans each predicted local window
@@ -70,6 +73,12 @@ class DecoLocalNode final : public Actor {
                 const QueryConfig& query, DecoScheme scheme,
                 DecoLocalOptions options = {});
 
+  /// \brief Installs the multi-query serving registry (DESIGN.md §11);
+  /// must be called before the actor starts, must match the root's, and
+  /// must outlive the actor. Null (the default) computes only the
+  /// constructor query's slice — the pre-serving behavior.
+  void set_serve(const QueryRegistry* registry) { serve_ = registry; }
+
  protected:
   Status Run() override;
 
@@ -125,6 +134,17 @@ class DecoLocalNode final : public Actor {
 
   std::unique_ptr<IngestSource> source_;
   std::unique_ptr<AggregateFunction> func_;
+
+  // Multi-query serving layer (DESIGN.md §11): the shared slice store
+  // computes every active aggregate slot in one pass over each pane; the
+  // accounting splits the produced bytes/ops across tenants. Unused when
+  // `serve_` is null.
+  const QueryRegistry* serve_ = nullptr;
+  SliceStore slice_store_;
+  ServeAccounting accounting_;
+  // Shared pane length: the registry's gcd when serving, else the
+  // constructor query's protocol window length.
+  uint64_t pane_length_ = 0;
 
   // Raw events not yet covered by a root watermark, in stream order.
   std::deque<TimedEvent> retained_;

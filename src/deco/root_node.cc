@@ -70,12 +70,60 @@ Status DecoRootNode::Run() {
         "functions are processed centrally (paper footnote 2) — use the "
         "Central scheme");
   }
+  if (serve_ == nullptr) {
+    // Legacy construction path: serve the constructor's query through an
+    // internal single-entry registry.
+    ServedQuery primary;
+    primary.query = query_;
+    DECO_RETURN_NOT_OK(fallback_registry_.Add(std::move(primary)));
+    serve_ = &fallback_registry_;
+  }
+  pane_length_ = serve_->PaneLength();
+  if (pane_length_ == 0) {
+    return Status::InvalidArgument("serve registry has no queries");
+  }
+  DECO_RETURN_NOT_OK(slot_bank_.Init(serve_));
+  serve_sync_needed_ =
+      slot_bank_.size() > 1 || serve_->HasRuntimeSchedule();
+  track_consumption_ = query_.window.type != WindowType::kSliding &&
+                       pane_length_ == query_.window.length;
+  serve_states_.clear();
+  serve_triggers_.clear();
+  report_->query_results.clear();
+  for (size_t qi = 0; qi < serve_->queries().size(); ++qi) {
+    const ServedQuery& q = serve_->queries()[qi];
+    ServeQueryState state;
+    state.composer = std::make_unique<QueryComposer>(
+        q, slot_bank_.func(q.slot), pane_length_);
+    serve_states_.push_back(std::move(state));
+    QueryRunResult result;
+    result.query_id = q.id;
+    result.tenant = q.tenant;
+    result.spec = q.spec;
+    result.start_pane = 0;
+    result.end_pane = kServePaneNever;
+    result.activated = q.add_pane == 0;
+    report_->query_results.push_back(std::move(result));
+    if (q.add_pane != 0) serve_triggers_.push_back({q.add_pane, qi, true});
+    if (q.remove_pane != kServePaneNever) {
+      serve_triggers_.push_back({q.remove_pane, qi, false});
+    }
+  }
+  std::stable_sort(serve_triggers_.begin(), serve_triggers_.end(),
+                   [](const ServeTrigger& a, const ServeTrigger& b) {
+                     if (a.pane != b.pane) return a.pane < b.pane;
+                     return a.add && !b.add;
+                   });
   const size_t m = topology_.num_locals();
-  assembler_ = std::make_unique<WindowAssembler>(
-      m, func_.get(), ProtocolWindowLength(query_.window));
+  assembler_ =
+      std::make_unique<WindowAssembler>(m, func_.get(), pane_length_);
   assembler_->set_expect_front(scheme_ == DecoScheme::kAsync);
   assembler_->set_trace_node(id_);
   assembler_->set_provenance(provenance_);
+  assembler_->set_slot_bank(&slot_bank_);
+  if (serve_sync_needed_) {
+    DECO_RETURN_NOT_OK(SendServeSnapshot(SIZE_MAX));
+  }
   predictors_.assign(
       m, LocalWindowPredictor(options_.predictor_history_m,
                               options_.delta_floor,
@@ -287,6 +335,12 @@ Status DecoRootNode::StartCorrection() {
   ++epoch_;
   std::fill(correction_responded_.begin(), correction_responded_.end(),
             false);
+  if (serve_sync_needed_) {
+    // Re-broadcast the authoritative slot schedule with the rollback: if
+    // the correction was triggered by a local that missed a query
+    // add/remove, this heals it before the re-produced panes arrive.
+    DECO_RETURN_NOT_OK(SendServeSnapshot(SIZE_MAX));
+  }
   for (size_t n = 0; n < topology_.num_locals(); ++n) {
     if (assembler_->IsRemoved(n)) continue;
     DECO_RETURN_NOT_OK(SendCorrectionRequest(n, /*topup=*/0));
@@ -335,6 +389,11 @@ Status DecoRootNode::HandleRejoin(size_t node, const RateReport& report) {
   report_->membership.push_back(
       MembershipEvent{NowNanos(), node, /*rejoined=*/true});
   NodesRejoinedCounter()->Increment();
+  if (serve_sync_needed_) {
+    // The reborn local lost every in-flight add/remove broadcast; restore
+    // its slot schedule before re-soliciting its retained stream.
+    DECO_RETURN_NOT_OK(SendServeSnapshot(node));
+  }
   if (assembler_->correcting()) {
     // Fold the rejoined node into the in-flight correction: solicit its
     // full retained region alongside the outstanding responses.
@@ -348,92 +407,159 @@ Status DecoRootNode::HandleRejoin(size_t node, const RateReport& report) {
 
 Status DecoRootNode::EmitProtocolWindow(const WindowAssembly& assembly,
                                         bool corrected) {
-  if (query_.window.type != WindowType::kSliding) {
-    GlobalWindowRecord record;
-    record.window_index = report_->windows_emitted;
-    record.value = func_->Finalize(assembly.partial);
-    record.event_count = assembly.event_count;
-    record.corrected = corrected;
-    record.end_ts = assembly.watermark.ts;
-    record.mean_latency_nanos =
-        static_cast<double>(NowNanos()) - assembly.create_mean;
-    report_->windows.push_back(record);
-    report_->latency.Record(static_cast<int64_t>(record.mean_latency_nanos));
-    report_->consumption.AddWindow(assembly.consumed);
-    report_->events_processed += assembly.event_count;
-    ++report_->windows_emitted;
-    WindowsEmittedCounter()->Increment();
-    EventsEmittedCounter()->Add(static_cast<int64_t>(record.event_count));
-    DECO_TRACE_SPAN_MSG(id_, TracePhase::kEmit, record.window_index,
-                        static_cast<int64_t>(record.event_count),
-                        causal_msg_id_);
-    if (provenance_ != nullptr) {
-      // `TryAssemble`/`TryAssembleCorrected` already advanced the window
-      // counter, so the window just assembled is `next_window() - 1`; for
-      // tumbling queries protocol windows and report windows are 1:1.
-      provenance_->OnWindowEmitted(assembler_->next_window() - 1,
-                                   record.window_index, corrected,
-                                   NowNanos());
-    }
-    return Status::OK();
-  }
-
-  // Sliding count query: the protocol ran on one pane of
-  // gcd(length, slide) events; compose overlapping windows from the pane
-  // ring (an extension beyond the paper, which falls back to centralized
-  // processing for sliding count windows).
-  const uint64_t pane = ProtocolWindowLength(query_.window);
-  const uint64_t panes_per_window = query_.window.length / pane;
-  const uint64_t panes_per_slide = query_.window.slide / pane;
-  panes_.push_back(Pane{assembly.partial, assembly.create_mean,
-                        assembly.create_count, corrected});
-  ++panes_seen_;
+  // `TryAssemble`/`TryAssembleCorrected` already advanced the window
+  // counter, so the pane just assembled is `next_window() - 1`.
+  const uint64_t pane_index = assembler_->next_window() - 1;
+  const uint64_t pane_ordinal = panes_seen_++;
   report_->events_processed += assembly.event_count;
+  if (track_consumption_) report_->consumption.AddWindow(assembly.consumed);
   if (provenance_ != nullptr) {
-    // Sliding queries get one provenance record per protocol pane (the
-    // unit the protocol actually assembles); composed report windows are
-    // not separately tracked, so accuracy estimation is tumbling-only.
-    provenance_->OnWindowEmitted(assembler_->next_window() - 1,
-                                 panes_seen_ - 1, corrected, NowNanos());
+    // One provenance record per protocol pane (the unit the protocol
+    // actually assembles); per-query composed windows are tracked
+    // separately below. When panes and primary windows are 1:1 the pane
+    // ordinal equals the legacy emitted-window index.
+    provenance_->OnWindowEmitted(pane_index, pane_ordinal, corrected,
+                                 NowNanos());
   }
 
-  const bool closes = panes_seen_ >= panes_per_window &&
-                      (panes_seen_ - panes_per_window) % panes_per_slide == 0;
-  if (!closes) return Status::OK();
+  for (size_t qi = 0; qi < serve_states_.size(); ++qi) {
+    const ServedQuery& q = serve_->queries()[qi];
+    const Partial& partial =
+        assembly.slots.empty() ? assembly.partial : assembly.slots[q.slot];
+    std::optional<ComposedWindow> win = serve_states_[qi].composer->AddPane(
+        pane_index, partial, assembly.create_mean, assembly.create_count,
+        corrected, assembly.watermark.ts);
+    if (!win.has_value()) continue;
 
-  Partial merged = func_->CreatePartial();
-  double create_mean = 0.0;
-  uint64_t create_count = 0;
-  bool any_corrected = false;
-  for (const Pane& p : panes_) {
-    DECO_RETURN_NOT_OK(func_->Merge(&merged, p.partial));
-    if (p.create_count > 0) {
-      const uint64_t total = create_count + p.create_count;
-      create_mean = (create_mean * static_cast<double>(create_count) +
-                     p.create_mean * static_cast<double>(p.create_count)) /
-                    static_cast<double>(total);
-      create_count = total;
+    QueryRunResult& qr = report_->query_results[qi];
+    GlobalWindowRecord record;
+    record.window_index = qr.windows.size();
+    record.value = win->value;
+    record.event_count = win->event_count;
+    record.corrected = win->corrected;
+    record.end_ts = win->end_ts;
+    record.mean_latency_nanos =
+        static_cast<double>(NowNanos()) - win->create_mean;
+    qr.windows.push_back(record);
+    if (provenance_ != nullptr) {
+      provenance_->OnQueryWindowEmitted(q.id, record.window_index,
+                                        win->first_pane, win->last_pane,
+                                        win->corrected);
     }
-    any_corrected = any_corrected || p.corrected;
+    if (qi == 0) {
+      // The primary query also feeds the legacy report surfaces.
+      report_->windows.push_back(record);
+      report_->latency.Record(
+          static_cast<int64_t>(record.mean_latency_nanos));
+      ++report_->windows_emitted;
+      WindowsEmittedCounter()->Increment();
+      EventsEmittedCounter()->Add(static_cast<int64_t>(record.event_count));
+      DECO_TRACE_SPAN_MSG(id_, TracePhase::kEmit, record.window_index,
+                          static_cast<int64_t>(record.event_count),
+                          causal_msg_id_);
+    }
   }
-  GlobalWindowRecord record;
-  record.window_index = report_->windows_emitted;
-  record.value = func_->Finalize(merged);
-  record.event_count = query_.window.length;
-  record.corrected = any_corrected;
-  record.end_ts = assembly.watermark.ts;
-  record.mean_latency_nanos =
-      static_cast<double>(NowNanos()) - create_mean;
-  report_->windows.push_back(record);
-  report_->latency.Record(static_cast<int64_t>(record.mean_latency_nanos));
-  ++report_->windows_emitted;
-  WindowsEmittedCounter()->Increment();
-  EventsEmittedCounter()->Add(static_cast<int64_t>(record.event_count));
-  DECO_TRACE_SPAN_MSG(id_, TracePhase::kEmit, record.window_index,
-                      static_cast<int64_t>(record.event_count),
-                      causal_msg_id_);
-  for (uint64_t i = 0; i < panes_per_slide && !panes_.empty(); ++i) {
-    panes_.pop_front();
+  return Status::OK();
+}
+
+Status DecoRootNode::ProcessServeTriggers(uint64_t pane) {
+  // The effective pane must clear every local's planning horizon: locals
+  // may already be producing (async runs ahead of the assignments), so the
+  // transition lands a safety margin past both the assembly frontier and
+  // the assignment frontier. A local that still misses the broadcast
+  // produces a slice without the expected slot partial, which the
+  // assembler repairs with a correction (exact recompute from raws).
+  constexpr uint64_t kActivationMargin = 8;
+  while (!serve_triggers_.empty() && serve_triggers_.front().pane <= pane) {
+    const ServeTrigger trigger = serve_triggers_.front();
+    serve_triggers_.pop_front();
+    const ServedQuery& q = serve_->queries()[trigger.query];
+    const uint64_t horizon =
+        std::max(assignment_window_, assembler_->next_window());
+    const uint64_t effective =
+        std::max(trigger.pane, horizon + kActivationMargin);
+    QueryRunResult& qr = report_->query_results[trigger.query];
+    QueryUpdate update;
+    update.query_id = q.id;
+    update.slot = q.slot;
+    update.effective_pane = effective;
+    update.add = trigger.add;
+    update.query = q.query;
+    if (trigger.add) {
+      slot_bank_.schedule()->Activate(q.slot, effective);
+      serve_states_[trigger.query].composer->set_start_pane(effective);
+      qr.start_pane = effective;
+      qr.activated = true;
+      DECO_LOG(DEBUG) << "root: query " << q.id << " (" << q.spec
+                      << ") activates at pane " << effective;
+    } else {
+      // Retire the slot only when no other query still needs it; a query
+      // scheduled to activate later re-opens it with a fresh interval.
+      bool still_needed = false;
+      for (size_t qj = 0; qj < serve_states_.size(); ++qj) {
+        if (qj == trigger.query) continue;
+        const ServedQuery& other = serve_->queries()[qj];
+        if (other.slot != q.slot) continue;
+        const QueryRunResult& other_r = report_->query_results[qj];
+        if (other_r.activated && other_r.end_pane > effective) {
+          still_needed = true;
+          break;
+        }
+      }
+      update.slot_retired = !still_needed;
+      if (update.slot_retired) {
+        slot_bank_.schedule()->Retire(q.slot, effective);
+      }
+      serve_states_[trigger.query].composer->Close(effective);
+      qr.end_pane = effective;
+      DECO_LOG(DEBUG) << "root: query " << q.id << " (" << q.spec
+                      << ") retires at pane " << effective
+                      << (update.slot_retired ? " (slot retired)" : "");
+    }
+    DECO_RETURN_NOT_OK(BroadcastQueryUpdate(update));
+  }
+  return Status::OK();
+}
+
+Status DecoRootNode::BroadcastQueryUpdate(const QueryUpdate& update) {
+  BinaryWriter writer;
+  EncodeQueryUpdate(update, &writer);
+  const std::string payload = writer.buffer();
+  for (size_t n = 0; n < topology_.num_locals(); ++n) {
+    if (assembler_->IsRemoved(n)) continue;  // resynced via rejoin snapshot
+    Message msg;
+    msg.type = update.add ? MessageType::kQueryAdd
+                          : MessageType::kQueryRemove;
+    msg.dst = topology_.locals[n];
+    msg.window_index = update.effective_pane;
+    msg.epoch = epoch_;
+    msg.payload = payload;
+    Status status = Send(std::move(msg));
+    if (!status.ok() && !status.IsNodeFailed()) return status;
+  }
+  return Status::OK();
+}
+
+Status DecoRootNode::SendServeSnapshot(size_t node) {
+  ServeSnapshot snapshot;
+  snapshot.pane_length = pane_length_;
+  snapshot.schedule.CopyFrom(*slot_bank_.schedule());
+  BinaryWriter writer;
+  EncodeServeSnapshot(snapshot, &writer);
+  const std::string payload = writer.buffer();
+  for (size_t n = 0; n < topology_.num_locals(); ++n) {
+    if (node != SIZE_MAX && n != node) continue;
+    if (node == SIZE_MAX && assembler_ != nullptr &&
+        assembler_->IsRemoved(n)) {
+      continue;
+    }
+    Message msg;
+    msg.type = MessageType::kQueryConfig;
+    msg.dst = topology_.locals[n];
+    msg.epoch = epoch_;
+    msg.payload = payload;
+    Status status = Send(std::move(msg));
+    if (!status.ok() && !status.IsNodeFailed()) return status;
   }
   return Status::OK();
 }
@@ -450,6 +576,12 @@ Status DecoRootNode::FinishWindow(const WindowAssembly& assembly,
                     << (corrected ? " (corrected)" : "")
                     << " leftovers: " << leftovers;
   }
+  // Fire runtime add/remove transitions whose requested pane has been
+  // reached *before* feeding the pane to the composers: an activation's
+  // effective pane is always in the future, so the pane emitted right now
+  // must not be consumed by a query activating at it.
+  DECO_RETURN_NOT_OK(
+      ProcessServeTriggers(assembler_->next_window() - 1));
   DECO_RETURN_NOT_OK(EmitProtocolWindow(assembly, corrected));
 
   // Feed the predictors with the paper's rate-derived actual sizes
@@ -468,8 +600,7 @@ Status DecoRootNode::FinishWindow(const WindowAssembly& assembly,
     for (size_t n = 0; n < topology_.num_locals(); ++n) {
       if (!assembler_->IsRemoved(n)) weights[n] = latest_rates_[n];
     }
-    auto apportioned =
-        ApportionWindow(ProtocolWindowLength(query_.window), weights);
+    auto apportioned = ApportionWindow(pane_length_, weights);
     if (apportioned.ok()) estimates = std::move(apportioned).value();
   }
   for (size_t n = 0; n < topology_.num_locals(); ++n) {
@@ -503,7 +634,7 @@ Status DecoRootNode::MaybeSendAssignments() {
       const bool have_fresh = RatesComplete(w);
       if (!have_fresh && !last_window_corrected_) return Status::OK();
       DECO_ASSIGN_OR_RETURN(
-          sizes, ApportionWindow(ProtocolWindowLength(query_.window),
+          sizes, ApportionWindow(pane_length_,
                                  have_fresh ? rates_[w] : latest_rates_));
       rates_.erase(w);
       rates_received_.erase(w);

@@ -12,6 +12,9 @@
 #include "node/actor.h"
 #include "node/query.h"
 #include "node/topology.h"
+#include "serve/composer.h"
+#include "serve/registry.h"
+#include "serve/slice_store.h"
 
 /// \file root_node.h
 /// \brief Deco root node (paper §4.2): runs prediction, verification and
@@ -76,6 +79,12 @@ class DecoRootNode final : public Actor {
   /// (the default — no recording); not owned.
   void set_provenance(ProvenanceTracker* tracker) { provenance_ = tracker; }
 
+  /// \brief Installs the multi-query serving registry (DESIGN.md §11);
+  /// must be called before the actor starts and must outlive it. Null (the
+  /// default) serves the constructor's single query through an internal
+  /// registry — behaviorally identical to the pre-serving protocol.
+  void set_serve(const QueryRegistry* registry) { serve_ = registry; }
+
  protected:
   Status Run() override;
 
@@ -83,10 +92,25 @@ class DecoRootNode final : public Actor {
   Status Dispatch(const Message& msg);
   Status Progress();
 
-  /// Emits the assembled protocol window. For tumbling queries this is the
-  /// global window itself; for sliding count queries it is one pane, and
-  /// consecutive pane partials are composed into overlapping windows.
+  /// Emits the assembled protocol window (one *pane* of the shared pane
+  /// length) into every registered query's composer; a query whose window
+  /// the pane completes emits a per-query window record, and the primary
+  /// query additionally feeds the legacy report surfaces (windows list,
+  /// latency histogram, emit counters/spans).
   Status EmitProtocolWindow(const WindowAssembly& assembly, bool corrected);
+
+  /// Fires every pending runtime add/remove whose requested pane is at or
+  /// before the pane about to be emitted: picks the effective pane (past
+  /// every local's planning horizon), updates the slot schedule and the
+  /// query's composer, and broadcasts `kQueryAdd`/`kQueryRemove`.
+  Status ProcessServeTriggers(uint64_t pane);
+  Status BroadcastQueryUpdate(const QueryUpdate& update);
+
+  /// Sends the authoritative slot schedule (`kQueryConfig` payload) to one
+  /// local, or to all of them (`node == SIZE_MAX`). Re-broadcast on every
+  /// correction and rejoin so a lost add/remove cannot wedge a local on a
+  /// stale slot set.
+  Status SendServeSnapshot(size_t node);
   Status StartCorrection();
 
   /// Sends one correction request (full resend when `topup == 0`), tagged
@@ -136,14 +160,34 @@ class DecoRootNode final : public Actor {
   uint64_t assignment_window_ = 0;
   EventKey last_watermark_;
 
-  // Sliding-window pane composition (decentralized sliding extension).
-  struct Pane {
-    Partial partial;
-    double create_mean = 0.0;
-    uint64_t create_count = 0;
-    bool corrected = false;
+  // --- Multi-query serving layer (DESIGN.md §11) ----------------------
+  // The protocol assembles *panes* of `pane_length_` events (the gcd over
+  // all registered queries); each query re-composes its windows from the
+  // panes of its aggregate slot.
+  const QueryRegistry* serve_ = nullptr;
+  QueryRegistry fallback_registry_;  ///< single-query default
+  SlotBank slot_bank_;
+  uint64_t pane_length_ = 0;
+  // Per-node consumption is tracked only when panes and primary windows
+  // are 1:1 (the legacy tumbling case the differential tests check).
+  bool track_consumption_ = false;
+  // True when there is anything to synchronize beyond slot 0 (extra slots
+  // or a runtime schedule); gates the `kQueryConfig` re-sync broadcasts.
+  bool serve_sync_needed_ = false;
+  struct ServeQueryState {
+    std::unique_ptr<QueryComposer> composer;
   };
-  std::deque<Pane> panes_;
+  std::vector<ServeQueryState> serve_states_;
+  // Requested runtime transitions, sorted by pane (adds before removes at
+  // the same pane); drained as the emitted pane index passes them.
+  struct ServeTrigger {
+    uint64_t pane = 0;
+    size_t query = 0;
+    bool add = true;
+  };
+  std::deque<ServeTrigger> serve_triggers_;
+  // Emitted protocol panes (provenance pane ordinal; equals the legacy
+  // emitted-window count when panes and primary windows are 1:1).
   uint64_t panes_seen_ = 0;
 
   uint64_t epoch_ = 0;

@@ -1,6 +1,7 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <utility>
 
@@ -62,26 +63,13 @@ bool IsDecentralized(Scheme scheme) {
   }
 }
 
-Status ExperimentConfig::Validate() const {
+namespace {
+
+/// Per-query restrictions shared by the single-query path and every entry
+/// of a served set (the harness drives count windows; scheme limits apply
+/// to each query a scheme will actually execute).
+Status ValidateServedQuery(Scheme scheme, const QueryConfig& query) {
   DECO_RETURN_NOT_OK(query.Validate());
-  if (num_locals == 0) {
-    return Status::InvalidArgument("need at least one local node");
-  }
-  if (streams_per_local == 0) {
-    return Status::InvalidArgument("need at least one stream per local");
-  }
-  if (events_per_local == 0) {
-    return Status::InvalidArgument("events_per_local must be positive");
-  }
-  if (batch_size == 0) {
-    return Status::InvalidArgument("batch_size must be positive");
-  }
-  if (!(base_rate > 0.0)) {
-    return Status::InvalidArgument("base_rate must be positive");
-  }
-  if (rate_change < 0.0) {
-    return Status::InvalidArgument("rate_change must be non-negative");
-  }
   if (query.window.measure != WindowMeasure::kCount) {
     return Status::NotSupported(
         "the experiment harness drives count-based windows (the paper's "
@@ -105,6 +93,71 @@ Status ExperimentConfig::Validate() const {
     return Status::NotSupported(
         "holistic aggregates are processed centrally (paper footnote 2); "
         "use the central scheme");
+  }
+  return Status::OK();
+}
+
+/// True for the schemes whose root/local nodes execute the serving layer
+/// natively (shared slice store + runtime add/remove protocol). The other
+/// schemes serve query sets via the loop-per-query fallback.
+bool ServesNatively(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kDecoMon:
+    case Scheme::kDecoSync:
+    case Scheme::kDecoAsync:
+    case Scheme::kDecoMonLocal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Status ExperimentConfig::Validate() const {
+  DECO_RETURN_NOT_OK(ValidateServedQuery(
+      scheme, serve.queries.empty() ? query : serve.queries[0].query));
+  if (!serve.queries.empty()) {
+    bool runtime_schedule = false;
+    for (const ServedQuery& q : serve.queries) {
+      DECO_RETURN_NOT_OK(ValidateServedQuery(scheme, q.query));
+      if (q.add_pane != 0 || q.remove_pane != kServePaneNever) {
+        runtime_schedule = true;
+      }
+    }
+    if (runtime_schedule && !(scheme == Scheme::kDecoMon ||
+                              scheme == Scheme::kDecoSync ||
+                              scheme == Scheme::kDecoAsync)) {
+      return Status::NotSupported(
+          "runtime query add/remove rides the root's assignment protocol; "
+          "it needs a root-coordinated Deco scheme (deco-mon, deco-sync or "
+          "deco-async)");
+    }
+    if (serve.queries.size() > 1 && !ServesNatively(scheme) &&
+        !chaos.schedule.empty()) {
+      return Status::NotSupported(
+          "baseline schemes serve query sets as one sub-run per query; a "
+          "chaos schedule would be replayed per sub-run and the summed "
+          "costs would be meaningless — use a Deco scheme");
+    }
+  }
+  if (num_locals == 0) {
+    return Status::InvalidArgument("need at least one local node");
+  }
+  if (streams_per_local == 0) {
+    return Status::InvalidArgument("need at least one stream per local");
+  }
+  if (events_per_local == 0) {
+    return Status::InvalidArgument("events_per_local must be positive");
+  }
+  if (batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  if (!(base_rate > 0.0)) {
+    return Status::InvalidArgument("base_rate must be positive");
+  }
+  if (rate_change < 0.0) {
+    return Status::InvalidArgument("rate_change must be non-negative");
   }
   if (!chaos.schedule.empty()) {
     DECO_RETURN_NOT_OK(chaos.schedule.Validate());
@@ -177,8 +230,37 @@ IngestConfig MakeIngestConfig(const ExperimentConfig& config,
   return ingest;
 }
 
-Result<RunReport> RunExperiment(const ExperimentConfig& config) {
-  DECO_RETURN_NOT_OK(config.Validate());
+namespace {
+
+/// Baseline fallback for served query sets: one full sub-run per query
+/// (declared below RunExperiment, which it recurses into).
+Result<RunReport> RunServeFallback(const ExperimentConfig& input,
+                                   const QueryRegistry& registry);
+
+}  // namespace
+
+Result<RunReport> RunExperiment(const ExperimentConfig& input) {
+  DECO_RETURN_NOT_OK(input.Validate());
+
+  // Multi-query serving (DESIGN.md §11): build the registry (admission
+  // control rejects over-budget sets loudly, before any actor exists).
+  // Entry 0 overrides `input.query` as the primary for the whole run.
+  const bool serving = !input.serve.queries.empty();
+  ServeAdmission admission = input.serve.admission;
+  admission.num_locals = input.num_locals;
+  QueryRegistry registry(admission);
+  if (serving) {
+    for (const ServedQuery& q : input.serve.queries) {
+      DECO_RETURN_NOT_OK(registry.Add(q));
+    }
+    if (!ServesNatively(input.scheme) && registry.queries().size() > 1) {
+      // Baselines have no shared slice store: loop-per-query fallback.
+      return RunServeFallback(input, registry);
+    }
+  }
+  ExperimentConfig config = input;
+  if (serving) config.query = registry.queries()[0].query;
+
   // Sim mode: one scheduler owns the virtual clock and every scheduling
   // decision. Declared before the fabric so it outlives it (the fabric may
   // hold queued delivery events referencing fabric state).
@@ -330,11 +412,14 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
           &fabric, topology.root, clock, topology, config.query, scheme,
           &report, root_options);
       deco_root->set_provenance(provenance_tracker.get());
+      if (serving) deco_root->set_serve(&registry);
       add_root(std::move(deco_root));
       for (size_t i = 0; i < config.num_locals; ++i) {
-        runtime.AddActor(std::make_unique<DecoLocalNode>(
+        auto local = std::make_unique<DecoLocalNode>(
             &fabric, topology.locals[i], clock, topology, ingest_for(i),
-            config.query, scheme, local_options));
+            config.query, scheme, local_options);
+        if (serving) local->set_serve(&registry);
+        runtime.AddActor(std::move(local));
       }
       break;
     }
@@ -363,6 +448,30 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
   if (config.profile.enabled) {
     profiler = std::make_unique<Profiler>(config.profile.count_allocs);
     Profiler::Install(profiler.get());
+  }
+
+  // Per-tenant accounting baseline: the `serve.tenant.*` counters live in
+  // the process-global registry (so telemetry samples see them), which
+  // accumulates across runs in one process — diff a before/after reading
+  // to isolate this run. Hoisted after the telemetry Reset above.
+  struct TenantBaseline {
+    Counter* bytes = nullptr;
+    Counter* agg_ops = nullptr;
+    int64_t bytes_before = 0;
+    int64_t agg_ops_before = 0;
+  };
+  std::vector<TenantBaseline> tenant_baselines;
+  if (serving) {
+    for (const std::string& tenant : registry.tenants()) {
+      TenantBaseline b;
+      b.bytes = MetricRegistry::Global()->counter(
+          "serve.tenant." + tenant + ".bytes");
+      b.agg_ops = MetricRegistry::Global()->counter(
+          "serve.tenant." + tenant + ".agg_ops");
+      b.bytes_before = b.bytes->value();
+      b.agg_ops_before = b.agg_ops->value();
+      tenant_baselines.push_back(b);
+    }
   }
 
   const TimeNanos start = clock->NowNanos();
@@ -426,13 +535,60 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
   report.network = fabric.Stats();
   report.delivery_hash = fabric.delivery_hash();
 
+  // Serving summary + per-tenant accounting (counter diff; CPU estimated
+  // by scaling the profiler's measured local-node CPU by each tenant's
+  // share of aggregate ops — an attribution, not a measurement).
+  if (serving) {
+    report.serving.enabled = true;
+    report.serving.pane_length = registry.PaneLength();
+    report.serving.queries = registry.queries().size();
+    report.serving.slots = registry.slots().size();
+    for (const QueryRunResult& qr : report.query_results) {
+      report.serving.total_query_windows += qr.windows.size();
+    }
+    uint64_t local_cpu_nanos = 0;
+    for (const ThreadProfile& t : report.profile.threads) {
+      if (t.name.rfind("local-", 0) == 0) local_cpu_nanos += t.cpu_nanos;
+    }
+    uint64_t total_ops = 0;
+    std::vector<TenantUsage> usages;
+    for (size_t t = 0; t < tenant_baselines.size(); ++t) {
+      const TenantBaseline& b = tenant_baselines[t];
+      TenantUsage usage;
+      usage.tenant = registry.tenants()[t];
+      usage.bytes = static_cast<uint64_t>(
+          std::max<int64_t>(0, b.bytes->value() - b.bytes_before));
+      usage.agg_ops = static_cast<uint64_t>(
+          std::max<int64_t>(0, b.agg_ops->value() - b.agg_ops_before));
+      total_ops += usage.agg_ops;
+      for (const ServedQuery& q : registry.queries()) {
+        if (q.tenant == usage.tenant) ++usage.queries;
+      }
+      usages.push_back(std::move(usage));
+    }
+    for (TenantUsage& usage : usages) {
+      if (total_ops > 0 && local_cpu_nanos > 0) {
+        usage.cpu_nanos_est = static_cast<uint64_t>(
+            static_cast<double>(local_cpu_nanos) *
+            (static_cast<double>(usage.agg_ops) /
+             static_cast<double>(total_ops)));
+      }
+      report.serving.tenants.push_back(std::move(usage));
+    }
+  }
+
   // Provenance post-pass: attach the accuracy estimates (oracle tap) and
   // fold the summary into the report before any exporter runs.
   ProvenanceLog provenance_log;
   if (provenance_tracker != nullptr) {
     provenance_log = provenance_tracker->TakeLog();
+    // The oracle tap replays the primary query against the pane-level
+    // provenance records; it only lines up when panes and primary windows
+    // coincide (tumbling primary, no smaller-gcd co-query).
     if (config.provenance.estimate &&
-        config.query.window.type != WindowType::kSliding) {
+        config.query.window.type != WindowType::kSliding &&
+        (!serving ||
+         registry.PaneLength() == config.query.window.length)) {
       AttributionOptions attribution;
       // Sim runs estimate every window (virtual time makes the replay
       // free); wall-clock runs cap the emitted records by reservoir.
@@ -497,5 +653,78 @@ Result<RunReport> RunExperiment(const ExperimentConfig& config) {
   }
   return report;
 }
+
+namespace {
+
+Result<RunReport> RunServeFallback(const ExperimentConfig& input,
+                                   const QueryRegistry& registry) {
+  // The centralized baselines have no shared slice store, so a served set
+  // costs them one full pass over the streams *per query*: the primary
+  // sub-run keeps the caller's observability options, every other query
+  // runs stripped (no telemetry/profiling/provenance), and the cost
+  // counters are summed so BytesPerEvent reflects what the baseline
+  // actually spends serving the whole set (events_processed stays the
+  // primary's — the marginal-cost comparison divides by one stream pass).
+  ExperimentConfig primary_cfg = input;
+  primary_cfg.serve = ServeOptions{};
+  primary_cfg.query = registry.queries()[0].query;
+  DECO_ASSIGN_OR_RETURN(RunReport report, RunExperiment(primary_cfg));
+  report.query_results.clear();
+
+  std::map<std::string, TenantUsage> usage_by_tenant;
+  for (size_t i = 0; i < registry.queries().size(); ++i) {
+    const ServedQuery& q = registry.queries()[i];
+    QueryRunResult qr;
+    qr.query_id = q.id;
+    qr.tenant = q.tenant;
+    qr.spec = q.spec;
+    qr.activated = true;
+    uint64_t query_bytes = 0;
+    if (i == 0) {
+      qr.windows = report.windows;
+      query_bytes = report.network.total_bytes;
+    } else {
+      ExperimentConfig sub_cfg = primary_cfg;
+      sub_cfg.query = q.query;
+      if (sub_cfg.rate_epoch_events == 0) {
+        // Ingest rate epochs derive from the query window when unset;
+        // pin them to the primary's derivation so every sub-run consumes
+        // the identical stream (one logical input, many queries).
+        sub_cfg.rate_epoch_events = std::max<uint64_t>(
+            64, primary_cfg.query.window.length /
+                    std::max<size_t>(1, primary_cfg.num_locals) / 16);
+      }
+      sub_cfg.telemetry = TelemetryOptions{};
+      sub_cfg.profile = ProfilerOptions{};
+      sub_cfg.provenance = ProvenanceOptions{};
+      sub_cfg.provenance.estimate = false;
+      DECO_ASSIGN_OR_RETURN(RunReport sub, RunExperiment(sub_cfg));
+      report.network.total_messages += sub.network.total_messages;
+      report.network.total_bytes += sub.network.total_bytes;
+      report.network.total_dropped += sub.network.total_dropped;
+      report.correction_steps += sub.correction_steps;
+      query_bytes = sub.network.total_bytes;
+      qr.windows = std::move(sub.windows);
+    }
+    TenantUsage& usage = usage_by_tenant[q.tenant];
+    usage.tenant = q.tenant;
+    usage.bytes += query_bytes;
+    ++usage.queries;
+    report.serving.total_query_windows += qr.windows.size();
+    report.query_results.push_back(std::move(qr));
+  }
+
+  report.serving.enabled = true;
+  report.serving.pane_length = registry.PaneLength();
+  report.serving.queries = registry.queries().size();
+  report.serving.slots = registry.slots().size();
+  // Registry tenant order keeps the report deterministic.
+  for (const std::string& tenant : registry.tenants()) {
+    report.serving.tenants.push_back(usage_by_tenant[tenant]);
+  }
+  return report;
+}
+
+}  // namespace
 
 }  // namespace deco

@@ -10,6 +10,7 @@
 #include "metrics/report.h"
 #include "node/query.h"
 #include "obs/sampler.h"
+#include "serve/registry.h"
 
 /// \file experiment.h
 /// \brief One-call experiment driver used by every benchmark, example and
@@ -131,6 +132,28 @@ struct ProvenanceOptions {
   ProvenanceLog* sink = nullptr;
 };
 
+/// \brief Multi-query serving options (DESIGN.md §11, deco_run
+/// `--queries=`).
+///
+/// A non-empty `queries` list replaces the single `ExperimentConfig::query`
+/// with a registry of served queries over the same streams: entry 0 is the
+/// primary (it also populates the legacy `RunReport` surfaces), the rest
+/// share the primary's protocol via per-pane slot partials. Deco schemes
+/// serve the whole set in one pass; the centralized baselines fall back to
+/// one sub-run per query (whole-run queries only) so every scheme stays
+/// comparable.
+struct ServeOptions {
+  /// Served queries in admission order; empty = legacy single-query run
+  /// (no registry is installed). When non-empty, entry 0 *overrides*
+  /// `ExperimentConfig::query` as the primary.
+  std::vector<ServedQuery> queries;
+
+  /// Admission budget. `num_locals` is filled from the experiment config;
+  /// the other limits reject over-budget registries loudly
+  /// (`ResourceExhausted`) before any actor starts.
+  ServeAdmission admission;
+};
+
 /// \brief Chaos-injection options of one experiment run (DESIGN.md §6).
 ///
 /// A non-empty schedule makes the harness attach a `ChaosController` to the
@@ -224,6 +247,9 @@ struct ExperimentConfig {
 
   /// Scheduled fault injection (crash/restart/drop/lag/partition/surge).
   ChaosOptions chaos;
+
+  /// Multi-query serving layer (registry + admission budget).
+  ServeOptions serve;
 
   Status Validate() const;
 };

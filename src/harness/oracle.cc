@@ -71,6 +71,71 @@ Result<OracleReference> ComputeOracleReference(
   return ref;
 }
 
+Result<std::vector<GlobalWindowRecord>> ComputeQueryOracle(
+    const ExperimentConfig& config, const QueryConfig& query,
+    uint64_t pane_length, uint64_t start_pane, uint64_t end_pane) {
+  if (pane_length == 0) {
+    return Status::InvalidArgument("pane_length must be positive");
+  }
+  const uint64_t protocol = ProtocolWindowLength(query.window);
+  if (protocol % pane_length != 0) {
+    return Status::InvalidArgument(
+        "pane_length must divide the query's protocol window length");
+  }
+  DECO_ASSIGN_OR_RETURN(
+      auto func, MakeAggregate(query.aggregate, query.quantile_q));
+  // Stream regeneration must mirror the harness exactly: a served run
+  // replaces `config.query` with the registry's primary before building
+  // ingest configs (whose rate epochs derive from the query window), so
+  // an un-normalized caller config would regenerate different streams.
+  ExperimentConfig stream_config = config;
+  if (!config.serve.queries.empty()) {
+    stream_config.query = config.serve.queries[0].query;
+  }
+  DECO_ASSIGN_OR_RETURN(std::vector<EventVec> locals,
+                        RegenerateLocalStreams(stream_config));
+
+  // The same k-way merge every root performs, flattened.
+  RootMerger merger(config.num_locals);
+  for (size_t i = 0; i < config.num_locals; ++i) {
+    merger.Append(i, std::move(locals[i]), 0.0);
+    merger.MarkEos(i);
+  }
+  EventVec global;
+  global.reserve(config.num_locals *
+                 static_cast<size_t>(config.events_per_local));
+  Event event;
+  double create_nanos = 0.0;
+  size_t from_node = 0;
+  while (merger.PopNext(&event, &create_nanos, &from_node)) {
+    global.push_back(event);
+  }
+
+  const uint64_t full_panes = global.size() / pane_length;
+  const uint64_t ppw = query.window.length / pane_length;
+  const uint64_t pps = query.window.type == WindowType::kSliding
+                           ? query.window.slide / pane_length
+                           : ppw;
+  const uint64_t limit = std::min(end_pane, full_panes);
+
+  std::vector<GlobalWindowRecord> out;
+  for (uint64_t ws = start_pane; ws + ppw <= limit; ws += pps) {
+    Partial partial = func->CreatePartial();
+    const uint64_t lo = ws * pane_length;
+    const uint64_t hi = (ws + ppw) * pane_length;
+    for (uint64_t i = lo; i < hi; ++i) {
+      func->Accumulate(&partial, global[static_cast<size_t>(i)].value);
+    }
+    GlobalWindowRecord record;
+    record.window_index = out.size();
+    record.value = func->Finalize(partial);
+    record.event_count = hi - lo;
+    record.end_ts = global[static_cast<size_t>(hi) - 1].timestamp;
+    out.push_back(record);
+  }
+  return out;
+}
+
 Result<std::vector<double>> RecomputeWindowValues(
     const ExperimentConfig& config, const ConsumptionLog& consumption) {
   if (consumption.num_nodes() != config.num_locals) {

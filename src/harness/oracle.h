@@ -44,6 +44,20 @@ struct OracleReference {
 /// shaping and chaos are ignored (the oracle models a perfect network).
 Result<OracleReference> ComputeOracleReference(const ExperimentConfig& config);
 
+/// \brief Ground truth for one query of a served set (DESIGN.md §11):
+/// replays the merged global event order, cuts it into protocol panes of
+/// `pane_length` events, and composes `query`'s windows from the panes in
+/// `[start_pane, end_pane)` exactly the way the root's `QueryComposer`
+/// does — window `j` covers panes `[start_pane + j*pps, … + ppw)`. Pass
+/// the *effective* panes the run reports (`QueryRunResult::start_pane` /
+/// `end_pane`), not the requested schedule: the root activates at or after
+/// the requested pane. Only complete panes count; a partial tail pane at
+/// end-of-stream never feeds a window (matching the protocol).
+Result<std::vector<GlobalWindowRecord>> ComputeQueryOracle(
+    const ExperimentConfig& config, const QueryConfig& query,
+    uint64_t pane_length, uint64_t start_pane = 0,
+    uint64_t end_pane = UINT64_MAX);
+
 /// \brief Recomputes each window's aggregate from a run's own consumption
 /// log: window `w`'s value is re-derived by pulling exactly
 /// `consumption.window(w)[n]` events from node `n`'s regenerated stream, in

@@ -223,7 +223,70 @@ std::string RunReportJson(const RunReport& report) {
   // when no tracker was installed.
   out += ",\"provenance\":";
   out += ProvenanceSummaryJson(report.provenance);
+
+  // Additive since the serving layer (DESIGN.md §11). Per-query summaries
+  // only — the primary's windows are already in "windows", and a 64-query
+  // run would multiply the document size; full per-query window arrays
+  // stay in the report struct for programmatic consumers.
+  out += ",\"queries\":[";
+  for (size_t i = 0; i < report.query_results.size(); ++i) {
+    const QueryRunResult& q = report.query_results[i];
+    if (i > 0) out += ",";
+    out += "{\"id\":";
+    AppendU64(&out, q.query_id);
+    out += ",\"tenant\":\"";
+    out += q.tenant;
+    out += "\",\"spec\":\"";
+    out += q.spec;
+    out += "\",\"start_pane\":";
+    AppendU64(&out, q.start_pane);
+    out += ",\"end_pane\":";
+    AppendU64(&out, q.end_pane);
+    out += ",\"activated\":";
+    out += q.activated ? "true" : "false";
+    out += ",\"windows\":";
+    AppendU64(&out, q.windows.size());
+    out += ",\"last_value\":";
+    AppendDouble(&out, q.windows.empty() ? 0.0 : q.windows.back().value);
+    out += "}";
+  }
+  out += "]";
+
+  out += ",\"serving\":";
+  out += ServingSummaryJson(report.serving);
   out += "}";
+  return out;
+}
+
+std::string ServingSummaryJson(const ServingSummary& serving) {
+  std::string out;
+  out += "{\"enabled\":";
+  out += serving.enabled ? "true" : "false";
+  out += ",\"pane_length\":";
+  AppendU64(&out, serving.pane_length);
+  out += ",\"queries\":";
+  AppendU64(&out, serving.queries);
+  out += ",\"slots\":";
+  AppendU64(&out, serving.slots);
+  out += ",\"total_query_windows\":";
+  AppendU64(&out, serving.total_query_windows);
+  out += ",\"tenants\":[";
+  for (size_t i = 0; i < serving.tenants.size(); ++i) {
+    const TenantUsage& t = serving.tenants[i];
+    if (i > 0) out += ",";
+    out += "{\"tenant\":\"";
+    out += t.tenant;
+    out += "\",\"bytes\":";
+    AppendU64(&out, t.bytes);
+    out += ",\"agg_ops\":";
+    AppendU64(&out, t.agg_ops);
+    out += ",\"cpu_nanos_est\":";
+    AppendU64(&out, t.cpu_nanos_est);
+    out += ",\"queries\":";
+    AppendU64(&out, t.queries);
+    out += "}";
+  }
+  out += "]}";
   return out;
 }
 

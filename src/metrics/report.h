@@ -122,6 +122,54 @@ struct ProvenanceSummary {
   double mean_abs_approx_error = 0.0;
 };
 
+/// \brief One registered query's results in a multi-query run
+/// (serving layer, DESIGN.md §11). The primary query (id 0) duplicates
+/// its windows into `RunReport::windows` for legacy consumers.
+struct QueryRunResult {
+  uint32_t query_id = 0;
+  std::string tenant;
+  std::string spec;  ///< canonical key=value spec string
+
+  /// Effective activation pane (0 for whole-run queries; for runtime adds,
+  /// the pane the root actually activated at — at or after the requested
+  /// one, recorded so oracles can replay the run exactly).
+  uint64_t start_pane = 0;
+
+  /// Effective retirement pane, exclusive (`UINT64_MAX` = run end).
+  uint64_t end_pane = UINT64_MAX;
+
+  /// False only for a scheduled add whose trigger never fired (stream
+  /// ended first).
+  bool activated = false;
+
+  /// This query's emitted windows, in order.
+  std::vector<GlobalWindowRecord> windows;
+};
+
+/// \brief Resource usage attributed to one tenant (serving layer
+/// accounting; bytes and aggregate ops come from the `serve.tenant.*`
+/// counters, CPU is estimated by scaling the profiler's measured local
+/// CPU by the tenant's share of aggregate ops).
+struct TenantUsage {
+  std::string tenant;
+  uint64_t bytes = 0;          ///< attributed wire bytes
+  uint64_t agg_ops = 0;        ///< attributed aggregate accumulations
+  uint64_t cpu_nanos_est = 0;  ///< 0 unless the profiler ran
+  uint64_t queries = 0;        ///< registered queries owned by the tenant
+};
+
+/// \brief Serving-layer roll-up for one run. Default state is "disabled,
+/// empty" (single legacy query, no accounting), so consumers never need an
+/// existence check.
+struct ServingSummary {
+  bool enabled = false;       ///< a query registry was installed
+  uint64_t pane_length = 0;   ///< shared protocol pane (gcd across queries)
+  uint64_t queries = 0;       ///< registered queries
+  uint64_t slots = 0;         ///< distinct aggregate slots
+  uint64_t total_query_windows = 0;  ///< windows summed over all queries
+  std::vector<TenantUsage> tenants;
+};
+
 /// \brief Full measurement record of one run.
 struct RunReport {
   std::string scheme;
@@ -176,6 +224,14 @@ struct RunReport {
   /// (`ExperimentConfig::provenance`, deco_run `--provenance_out`).
   ProvenanceSummary provenance;
 
+  /// Per-query results of the multi-query serving layer, registry order.
+  /// Entry 0 is the primary query, whose windows also populate `windows`.
+  std::vector<QueryRunResult> query_results;
+
+  /// Serving-layer summary + per-tenant accounting (filled by the
+  /// harness; disabled-and-empty for direct node runs).
+  ServingSummary serving;
+
   /// \brief Network bytes sent per processed event.
   double BytesPerEvent() const {
     return events_processed == 0
@@ -204,6 +260,11 @@ std::string ProfileReportJson(const ProfileReport& profile);
 /// determinism rules); the `provenance` section of `RunReportJson` and the
 /// `summary` part of the telemetry document's provenance section.
 std::string ProvenanceSummaryJson(const ProvenanceSummary& summary);
+
+/// \brief Canonical JSON rendering of a serving summary (same determinism
+/// rules); the `serving` section of `RunReportJson` and of the telemetry
+/// document (schema v5).
+std::string ServingSummaryJson(const ServingSummary& serving);
 
 /// \brief Result of `TimeAlignedTailError`.
 struct TailError {

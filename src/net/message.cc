@@ -26,6 +26,10 @@ const char* MessageTypeToString(MessageType type) {
       return "shutdown";
     case MessageType::kRejoin:
       return "rejoin";
+    case MessageType::kQueryAdd:
+      return "query-add";
+    case MessageType::kQueryRemove:
+      return "query-remove";
   }
   return "unknown";
 }

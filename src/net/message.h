@@ -58,10 +58,20 @@ enum class MessageType : uint8_t {
   /// Payload: `RateReport` with the node's current rate and cumulative
   /// stream position.
   kRejoin = 10,
+
+  /// Root → local: a query was admitted at runtime; the payload
+  /// (`QueryUpdate`) names the aggregate slot the local must start
+  /// computing and the first protocol window (pane) it takes effect in
+  /// (multi-query serving layer, DESIGN.md §11).
+  kQueryAdd = 11,
+
+  /// Root → local: a query was retired at runtime; payload (`QueryUpdate`)
+  /// names the slot and the first pane it no longer applies to.
+  kQueryRemove = 12,
 };
 
 /// Number of `MessageType` values; sizes per-type counter arrays.
-inline constexpr size_t kNumMessageTypes = 11;
+inline constexpr size_t kNumMessageTypes = 13;
 
 /// \brief Returns a short name for logging ("event-batch", ...).
 const char* MessageTypeToString(MessageType type);

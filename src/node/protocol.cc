@@ -10,6 +10,11 @@ void EncodeSliceSummary(const SliceSummary& summary, BinaryWriter* writer) {
   writer->PutU32(summary.max_stream_id);
   writer->PutU64(summary.max_event_id);
   writer->PutDouble(summary.event_rate);
+  writer->PutU32(static_cast<uint32_t>(summary.extras.size()));
+  for (const SlotPartial& extra : summary.extras) {
+    writer->PutU32(extra.slot);
+    EncodePartial(extra.partial, writer);
+  }
 }
 
 Result<SliceSummary> DecodeSliceSummary(BinaryReader* reader) {
@@ -21,7 +26,49 @@ Result<SliceSummary> DecodeSliceSummary(BinaryReader* reader) {
   DECO_ASSIGN_OR_RETURN(summary.max_stream_id, reader->GetU32());
   DECO_ASSIGN_OR_RETURN(summary.max_event_id, reader->GetU64());
   DECO_ASSIGN_OR_RETURN(summary.event_rate, reader->GetDouble());
+  DECO_ASSIGN_OR_RETURN(uint32_t num_extras, reader->GetU32());
+  summary.extras.reserve(num_extras);
+  for (uint32_t i = 0; i < num_extras; ++i) {
+    SlotPartial extra;
+    DECO_ASSIGN_OR_RETURN(uint32_t slot, reader->GetU32());
+    if (slot > UINT16_MAX) {
+      return Status::InvalidArgument("slice extra slot id out of range");
+    }
+    extra.slot = static_cast<uint16_t>(slot);
+    DECO_ASSIGN_OR_RETURN(extra.partial, DecodePartial(reader));
+    summary.extras.push_back(std::move(extra));
+  }
   return summary;
+}
+
+size_t SlotPartialWireSize(const SlotPartial& extra) {
+  return sizeof(uint32_t) + extra.partial.WireSize();
+}
+
+void EncodeQueryUpdate(const QueryUpdate& update, BinaryWriter* writer) {
+  writer->PutU32(update.query_id);
+  writer->PutU32(update.slot);
+  writer->PutU64(update.effective_pane);
+  writer->PutU8(update.add ? 1 : 0);
+  writer->PutU8(update.slot_retired ? 1 : 0);
+  EncodeQueryConfig(update.query, writer);
+}
+
+Result<QueryUpdate> DecodeQueryUpdate(BinaryReader* reader) {
+  QueryUpdate update;
+  DECO_ASSIGN_OR_RETURN(update.query_id, reader->GetU32());
+  DECO_ASSIGN_OR_RETURN(uint32_t slot, reader->GetU32());
+  if (slot > UINT16_MAX) {
+    return Status::InvalidArgument("query update slot id out of range");
+  }
+  update.slot = static_cast<uint16_t>(slot);
+  DECO_ASSIGN_OR_RETURN(update.effective_pane, reader->GetU64());
+  DECO_ASSIGN_OR_RETURN(uint8_t add, reader->GetU8());
+  update.add = add != 0;
+  DECO_ASSIGN_OR_RETURN(uint8_t retired, reader->GetU8());
+  update.slot_retired = retired != 0;
+  DECO_ASSIGN_OR_RETURN(update.query, DecodeQueryConfig(reader));
+  return update;
 }
 
 void EncodeWindowAssignment(const WindowAssignment& assignment,

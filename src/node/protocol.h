@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "agg/aggregate.h"
 #include "common/result.h"
 #include "event/event.h"
 #include "event/serde.h"
+#include "node/query.h"
 
 /// \file protocol.h
 /// \brief Typed payloads of the messages exchanged by the schemes, with
@@ -21,8 +23,21 @@ namespace deco {
 /// slice plus the statistics the root needs for verification (paper §4.2.2:
 /// "partial results ... and the statistics including the number of events
 /// and the first and the last event's timestamps" plus the event rate).
+/// \brief One extra aggregate computed over the same slice for another
+/// registered query (multi-query serving, DESIGN.md §11). Slot 0 — the
+/// primary query's aggregate — stays in `SliceSummary::partial` so the
+/// single-query wire format is unchanged apart from the extras count.
+struct SlotPartial {
+  uint16_t slot = 0;
+  Partial partial;
+};
+
 struct SliceSummary {
   Partial partial;
+
+  /// Per-slot partials for aggregate slots beyond the primary (slot 0),
+  /// computed in the same pass over the slice. Empty in single-query runs.
+  std::vector<SlotPartial> extras;
 
   /// Events aggregated into the slice.
   uint64_t event_count = 0;
@@ -44,6 +59,41 @@ struct SliceSummary {
 
 void EncodeSliceSummary(const SliceSummary& summary, BinaryWriter* writer);
 Result<SliceSummary> DecodeSliceSummary(BinaryReader* reader);
+
+/// \brief Wire size of one encoded `SlotPartial` extra; the marginal
+/// bytes/pane one additional aggregate slot costs on a slice message.
+size_t SlotPartialWireSize(const SlotPartial& extra);
+
+/// \brief `kQueryAdd` / `kQueryRemove` payload: root → local runtime change
+/// to the served query set (multi-query serving layer, DESIGN.md §11).
+///
+/// The root picks `effective_pane` far enough ahead of every local's
+/// planning horizon that all slices for panes >= `effective_pane` carry
+/// (add) or stop carrying (remove) the slot. A lost add is healed by the
+/// correction path: the root detects the missing slot partial, corrects the
+/// pane from raw events (exact for every slot), and re-broadcasts the
+/// registry snapshot.
+struct QueryUpdate {
+  uint32_t query_id = 0;
+  uint16_t slot = 0;
+
+  /// First protocol window (pane) the change applies to.
+  uint64_t effective_pane = 0;
+
+  /// True for `kQueryAdd`, false for `kQueryRemove`.
+  bool add = true;
+
+  /// Remove only: no other active query shares the slot at or after
+  /// `effective_pane`, so locals stop computing it entirely.
+  bool slot_retired = false;
+
+  /// Add only: the query definition (informational on locals — slices ship
+  /// partials, so only the aggregate kind and quantile matter there).
+  QueryConfig query;
+};
+
+void EncodeQueryUpdate(const QueryUpdate& update, BinaryWriter* writer);
+Result<QueryUpdate> DecodeQueryUpdate(BinaryReader* reader);
 
 /// \brief `kWindowAssignment` payload: root → local window-planning values
 /// for the next global window.

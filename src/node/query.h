@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cmath>
+
 #include "agg/aggregate.h"
 #include "common/result.h"
 #include "event/serde.h"
@@ -21,6 +23,13 @@ struct QueryConfig {
   double quantile_q = 0.5;
 
   Status Validate() const {
+    if (aggregate == AggregateKind::kQuantile &&
+        (!std::isfinite(quantile_q) || quantile_q <= 0.0 ||
+         quantile_q >= 1.0)) {
+      return Status::InvalidArgument(
+          "quantile_q must be a finite value strictly inside (0, 1), got " +
+          std::to_string(quantile_q));
+    }
     return window.Validate();
   }
 };

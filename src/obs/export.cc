@@ -141,7 +141,7 @@ std::string TelemetryToJson(const RunReport& report,
   std::string out;
   out.reserve(4096 + log.samples.size() * 512 + log.spans.size() * 96);
 
-  out += "{\n  \"schema_version\": 4,\n  \"scheme\": ";
+  out += "{\n  \"schema_version\": 5,\n  \"scheme\": ";
   AppendEscaped(&out, report.scheme);
   out += ",\n  \"report\": {\"events_processed\": ";
   AppendUint(&out, report.events_processed);
@@ -336,6 +336,33 @@ std::string TelemetryToJson(const RunReport& report,
   out += ProvenanceSummaryJson(report.provenance);
   out += ",\n  \"provenance\": ";
   out += ProvenanceJson(log.provenance);
+
+  // Schema v5: the multi-query serving roll-up (per-query window counts +
+  // per-tenant accounting). Always present — disabled-and-empty for
+  // single-query runs — so consumers need no existence check.
+  out += ",\n  \"serving\": ";
+  out += ServingSummaryJson(report.serving);
+  out += ",\n  \"queries\": [";
+  for (size_t i = 0; i < report.query_results.size(); ++i) {
+    const QueryRunResult& q = report.query_results[i];
+    out += i == 0 ? "\n    {" : ",\n    {";
+    out += "\"id\": ";
+    AppendUint(&out, q.query_id);
+    out += ", \"tenant\": ";
+    AppendEscaped(&out, q.tenant);
+    out += ", \"spec\": ";
+    AppendEscaped(&out, q.spec);
+    out += ", \"start_pane\": ";
+    AppendUint(&out, q.start_pane);
+    out += ", \"end_pane\": ";
+    AppendUint(&out, q.end_pane);
+    out += ", \"activated\": ";
+    out += q.activated ? "true" : "false";
+    out += ", \"windows\": ";
+    AppendUint(&out, q.windows.size());
+    out += "}";
+  }
+  out += report.query_results.empty() ? "]" : "\n  ]";
   out += "\n}\n";
   return out;
 }

@@ -264,6 +264,20 @@ void ProvenanceTracker::OnSynthesizedWindow(uint64_t report_index,
   log_.windows.push_back(std::move(record));
 }
 
+void ProvenanceTracker::OnQueryWindowEmitted(uint32_t query_id,
+                                             uint64_t window_index,
+                                             uint64_t first_pane,
+                                             uint64_t last_pane,
+                                             bool corrected) {
+  QueryWindowProvenance record;
+  record.query_id = query_id;
+  record.window_index = window_index;
+  record.first_pane = first_pane;
+  record.last_pane = last_pane;
+  record.corrected = corrected;
+  log_.query_windows.push_back(record);
+}
+
 ProvenanceLog ProvenanceTracker::TakeLog() {
   ProvenanceLog out = std::move(log_);
   log_ = ProvenanceLog();
@@ -409,7 +423,24 @@ std::string ProvenanceJson(const ProvenanceLog& log) {
     JsonAppendU64(&out, a.shifted_out_events);
     out += "}";
   }
-  out += log.accuracy.empty() ? "]}" : "\n    ]}";
+  out += log.accuracy.empty() ? "]" : "\n    ]";
+  out += ",\n    \"query_windows\": [";
+  for (size_t i = 0; i < log.query_windows.size(); ++i) {
+    const QueryWindowProvenance& q = log.query_windows[i];
+    out += i == 0 ? "\n      {" : ",\n      {";
+    out += "\"query\": ";
+    JsonAppendU64(&out, q.query_id);
+    out += ", \"window\": ";
+    JsonAppendU64(&out, q.window_index);
+    out += ", \"first_pane\": ";
+    JsonAppendU64(&out, q.first_pane);
+    out += ", \"last_pane\": ";
+    JsonAppendU64(&out, q.last_pane);
+    out += ", \"corrected\": ";
+    out += q.corrected ? "true" : "false";
+    out += "}";
+  }
+  out += log.query_windows.empty() ? "]}" : "\n    ]}";
   return out;
 }
 

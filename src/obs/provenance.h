@@ -142,12 +142,28 @@ struct WindowAccuracy {
   uint64_t shifted_out_events = 0;  ///< oracle says here, consumed elsewhere
 };
 
+/// \brief Provenance of one composed query window (multi-query serving
+/// layer, DESIGN.md §11): which protocol panes the window was built from.
+/// Pane-level input detail lives in the matching `WindowProvenance`
+/// records (keyed by pane ordinal); this record only adds the
+/// (query, window) → pane-range mapping.
+struct QueryWindowProvenance {
+  uint32_t query_id = 0;
+  uint64_t window_index = 0;  ///< per-query window order
+  uint64_t first_pane = 0;    ///< pane indices, inclusive
+  uint64_t last_pane = 0;
+  bool corrected = false;     ///< any covered pane needed a correction
+};
+
 /// \brief Everything one run's provenance collection produces.
 struct ProvenanceLog {
   std::vector<WindowProvenance> windows;  ///< emission order
   /// Per-window accuracy estimates: every window under --sim, a
   /// deterministic seeded reservoir in wall-clock runs. Window-index order.
   std::vector<WindowAccuracy> accuracy;
+  /// Composed query windows (multi-query runs; empty otherwise). Emission
+  /// order, which interleaves queries.
+  std::vector<QueryWindowProvenance> query_windows;
   uint64_t windows_dropped = 0;  ///< records beyond the retention cap
 };
 
@@ -218,6 +234,15 @@ class ProvenanceTracker {
   void OnSynthesizedWindow(uint64_t report_index,
                            const std::vector<bool>& live,
                            double create_mean_nanos, TimeNanos emit_nanos);
+
+  /// \brief A composed query window was emitted (serving layer): query
+  /// `query_id`'s window `window_index` covers protocol panes
+  /// `[first_pane, last_pane]`. Not subject to the window retention cap
+  /// (the record is a few words, and per-query window counts are what the
+  /// multi-query tests assert on).
+  void OnQueryWindowEmitted(uint32_t query_id, uint64_t window_index,
+                            uint64_t first_pane, uint64_t last_pane,
+                            bool corrected);
 
   /// \brief Collected records (accuracy is appended later by the harness).
   ProvenanceLog TakeLog();

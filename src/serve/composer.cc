@@ -1,0 +1,65 @@
+#include "serve/composer.h"
+
+namespace deco {
+
+QueryComposer::QueryComposer(const ServedQuery& query,
+                             const AggregateFunction* func,
+                             uint64_t pane_length)
+    : query_(query), func_(func), pane_length_(pane_length) {
+  panes_per_window_ = query.query.window.length / pane_length;
+  panes_per_slide_ = query.query.window.type == WindowType::kSliding
+                         ? query.query.window.slide / pane_length
+                         : panes_per_window_;
+  start_pane_ = query.add_pane;
+  if (query.remove_pane != kServePaneNever) end_pane_ = query.remove_pane;
+}
+
+std::optional<ComposedWindow> QueryComposer::AddPane(
+    uint64_t pane_index, const Partial& partial, double create_mean,
+    uint64_t create_count, bool corrected, EventTime end_ts) {
+  if (pane_index < start_pane_ || pane_index >= end_pane_) return std::nullopt;
+
+  Pane pane;
+  pane.partial = partial;
+  pane.event_count = pane_length_;
+  pane.create_mean = create_mean;
+  pane.create_count = create_count;
+  pane.corrected = corrected;
+  pane.end_ts = end_ts;
+  pane.index = pane_index;
+  panes_.push_back(std::move(pane));
+  ++panes_seen_;
+
+  const bool closes =
+      panes_seen_ >= panes_per_window_ &&
+      (panes_seen_ - panes_per_window_) % panes_per_slide_ == 0;
+  if (!closes) return std::nullopt;
+
+  ComposedWindow out;
+  Partial merged = func_->CreatePartial();
+  for (const Pane& p : panes_) {
+    Status st = func_->Merge(&merged, p.partial);
+    (void)st;  // same-kind merges cannot fail
+    out.event_count += p.event_count;
+    if (p.create_count > 0) {
+      const uint64_t total = out.create_count + p.create_count;
+      out.create_mean =
+          (out.create_mean * static_cast<double>(out.create_count) +
+           p.create_mean * static_cast<double>(p.create_count)) /
+          static_cast<double>(total);
+      out.create_count = total;
+    }
+    out.corrected = out.corrected || p.corrected;
+  }
+  out.value = func_->Finalize(merged);
+  out.end_ts = panes_.back().end_ts;
+  out.first_pane = panes_.front().index;
+  out.last_pane = panes_.back().index;
+  for (uint64_t i = 0; i < panes_per_slide_ && !panes_.empty(); ++i) {
+    panes_.pop_front();
+  }
+  ++windows_emitted_;
+  return out;
+}
+
+}  // namespace deco

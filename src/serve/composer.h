@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "agg/aggregate.h"
+#include "event/event.h"
+#include "serve/registry.h"
+
+/// \file composer.h
+/// \brief Root-side per-query window composition from shared pane
+/// partials (DESIGN.md §11).
+///
+/// The decentralized protocol runs on *panes* of
+/// `QueryRegistry::PaneLength()` events. Each registered query re-composes
+/// its windows from consecutive panes of its aggregate slot: a query with
+/// window length L and slide S consumes L/pane panes per window and
+/// advances by S/pane panes (tumbling: S = L). This generalizes the
+/// sliding-window pane composition the root previously special-cased for
+/// the single query.
+
+namespace deco {
+
+/// \brief One fully composed query window.
+struct ComposedWindow {
+  double value = 0.0;
+  uint64_t event_count = 0;
+  /// Weighted mean event-creation wall time across the composed panes
+  /// (latency side-channel), with its weight.
+  double create_mean = 0.0;
+  uint64_t create_count = 0;
+  bool corrected = false;  ///< any composed pane needed a correction
+  EventTime end_ts = 0;    ///< last pane's final event timestamp
+  uint64_t first_pane = 0;
+  uint64_t last_pane = 0;  ///< inclusive
+};
+
+/// \brief Streams panes of one slot into one query's windows.
+class QueryComposer {
+ public:
+  /// \pre the query's `ProtocolWindowLength` is a multiple of
+  /// `pane_length` (guaranteed by the registry's gcd construction).
+  QueryComposer(const ServedQuery& query, const AggregateFunction* func,
+                uint64_t pane_length);
+
+  /// \brief First pane this query consumes (the root's effective
+  /// activation pane; defaults to the registry's `add_pane`).
+  void set_start_pane(uint64_t pane) { start_pane_ = pane; }
+  uint64_t start_pane() const { return start_pane_; }
+
+  /// \brief Stops consumption at `end_pane` (exclusive): a window needing
+  /// panes at or beyond it is never emitted.
+  void Close(uint64_t end_pane) { end_pane_ = end_pane; }
+  uint64_t end_pane() const { return end_pane_; }
+
+  /// \brief Feeds the next pane (panes arrive in strictly increasing
+  /// order); returns a window when this pane completes one.
+  std::optional<ComposedWindow> AddPane(uint64_t pane_index,
+                                        const Partial& partial,
+                                        double create_mean,
+                                        uint64_t create_count, bool corrected,
+                                        EventTime end_ts);
+
+  const ServedQuery& query() const { return query_; }
+  uint64_t windows_emitted() const { return windows_emitted_; }
+
+ private:
+  struct Pane {
+    Partial partial;
+    uint64_t event_count = 0;
+    double create_mean = 0.0;
+    uint64_t create_count = 0;
+    bool corrected = false;
+    EventTime end_ts = 0;
+    uint64_t index = 0;
+  };
+
+  ServedQuery query_;
+  const AggregateFunction* func_;  ///< not owned (root's slot bank)
+  uint64_t panes_per_window_;
+  uint64_t panes_per_slide_;
+  uint64_t pane_length_;
+  uint64_t start_pane_ = 0;
+  uint64_t end_pane_ = kServePaneNever;  ///< exclusive
+  uint64_t panes_seen_ = 0;              ///< consumed since `start_pane_`
+  uint64_t windows_emitted_ = 0;
+  std::deque<Pane> panes_;
+};
+
+}  // namespace deco

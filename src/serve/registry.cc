@@ -1,0 +1,295 @@
+#include "serve/registry.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <numeric>
+
+#include "agg/aggregate.h"
+#include "event/serde.h"
+#include "node/protocol.h"
+
+namespace deco {
+
+namespace {
+
+bool SameSlot(const SlotSpec& slot, AggregateKind kind, double quantile_q) {
+  if (slot.kind != kind) return false;
+  if (kind != AggregateKind::kQuantile) return true;
+  return slot.quantile_q == quantile_q;
+}
+
+}  // namespace
+
+Status QueryRegistry::Add(ServedQuery q) {
+  DECO_RETURN_NOT_OK(q.query.Validate());
+  if (q.tenant.empty()) q.tenant = "default";
+  if (q.remove_pane <= q.add_pane) {
+    return Status::InvalidArgument(
+        "query remove pane " + std::to_string(q.remove_pane) +
+        " must be after its add pane " + std::to_string(q.add_pane));
+  }
+  if (queries_.empty()) {
+    // The primary query anchors the run: the report's legacy window list,
+    // rate bootstrap and EOS handling all key off it.
+    if (q.add_pane != 0 || q.remove_pane != kServePaneNever) {
+      return Status::InvalidArgument(
+          "the primary (first) query must be active for the whole run; "
+          "schedule add/remove on a later query instead");
+    }
+  }
+  if (queries_.size() >= admission_.max_queries) {
+    return Status::ResourceExhausted(
+        "query admission rejected: registry already serves " +
+        std::to_string(queries_.size()) + " queries, max_queries=" +
+        std::to_string(admission_.max_queries) +
+        " (raise --max_queries to admit more)");
+  }
+
+  q.id = static_cast<uint32_t>(queries_.size());
+
+  // Slot assignment: share with an existing identical aggregate.
+  uint16_t slot = 0;
+  for (; slot < slots_.size(); ++slot) {
+    if (SameSlot(slots_[slot], q.query.aggregate, q.query.quantile_q)) break;
+  }
+  if (slot == slots_.size()) {
+    slots_.push_back(SlotSpec{q.query.aggregate, q.query.quantile_q});
+  }
+  q.slot = slot;
+  q.spec = CanonicalQuerySpec(q);
+
+  queries_.push_back(std::move(q));
+  if (std::find(tenants_.begin(), tenants_.end(), queries_.back().tenant) ==
+      tenants_.end()) {
+    tenants_.push_back(queries_.back().tenant);
+  }
+
+  // Bytes budget: checked after the slot table update so the estimate sees
+  // the post-admission steady state. Roll back on violation so a rejected
+  // query leaves no trace.
+  if (admission_.max_extra_bytes_per_event > 0.0) {
+    const double estimate = ExtraBytesPerEvent();
+    if (estimate > admission_.max_extra_bytes_per_event) {
+      const ServedQuery rejected = queries_.back();
+      queries_.pop_back();
+      // Recompute the slot and tenant tables from the surviving queries.
+      slots_.clear();
+      tenants_.clear();
+      std::vector<ServedQuery> survivors = std::move(queries_);
+      queries_.clear();
+      for (ServedQuery& s : survivors) {
+        Status st = Add(std::move(s));
+        (void)st;  // previously admitted; re-admission cannot fail
+      }
+      return Status::ResourceExhausted(
+          "query admission rejected: adding '" + rejected.spec +
+          "' would cost an estimated " + std::to_string(estimate) +
+          " extra bytes/event, over the budget of " +
+          std::to_string(admission_.max_extra_bytes_per_event) +
+          " (raise --query_budget or drop an aggregate slot)");
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t QueryRegistry::PaneLength() const {
+  uint64_t pane = 0;
+  for (const ServedQuery& q : queries_) {
+    pane = std::gcd(pane, ProtocolWindowLength(q.query.window));
+  }
+  return pane;
+}
+
+bool QueryRegistry::HasRuntimeSchedule() const {
+  for (const ServedQuery& q : queries_) {
+    if (q.add_pane != 0 || q.remove_pane != kServePaneNever) return true;
+  }
+  return false;
+}
+
+size_t QueryRegistry::SlotWireBytes(uint16_t slot) const {
+  if (slot == 0 || slot >= slots_.size()) return 0;
+  const SlotSpec& spec = slots_[slot];
+  Result<std::unique_ptr<AggregateFunction>> func =
+      MakeAggregate(spec.kind, spec.quantile_q);
+  if (!func.ok()) return 0;
+  SlotPartial extra;
+  extra.slot = slot;
+  extra.partial = (*func)->CreatePartial();
+  return SlotPartialWireSize(extra);
+}
+
+double QueryRegistry::ExtraBytesPerEvent() const {
+  const uint64_t pane = PaneLength();
+  if (pane == 0) return 0.0;
+  size_t extra_bytes_per_pane = 0;
+  for (uint16_t slot = 1; slot < slots_.size(); ++slot) {
+    extra_bytes_per_pane += SlotWireBytes(slot);
+  }
+  const size_t locals = std::max<size_t>(1, admission_.num_locals);
+  return static_cast<double>(extra_bytes_per_pane * locals) /
+         static_cast<double>(pane);
+}
+
+namespace {
+
+Result<uint64_t> ParsePaneIndex(const std::string& value,
+                                const std::string& key) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad " + key + " value '" + value +
+                                   "' in query spec");
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+Status ApplyKeyValue(ServedQuery* q, uint64_t* slide,
+                     const std::string& key, const std::string& value) {
+  if (key == "tenant") {
+    if (value.empty()) {
+      return Status::InvalidArgument("empty tenant in query spec");
+    }
+    q->tenant = value;
+    return Status::OK();
+  }
+  if (key == "agg") {
+    DECO_ASSIGN_OR_RETURN(q->query.aggregate,
+                          AggregateKindFromString(value));
+    return Status::OK();
+  }
+  if (key == "window") {
+    DECO_ASSIGN_OR_RETURN(uint64_t length, ParsePaneIndex(value, key));
+    q->query.window.length = length;
+    return Status::OK();
+  }
+  if (key == "slide") {
+    DECO_ASSIGN_OR_RETURN(*slide, ParsePaneIndex(value, key));
+    return Status::OK();
+  }
+  if (key == "q") {
+    char* end = nullptr;
+    q->query.quantile_q = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad q value '" + value +
+                                     "' in query spec");
+    }
+    return Status::OK();
+  }
+  if (key == "add") {
+    DECO_ASSIGN_OR_RETURN(q->add_pane, ParsePaneIndex(value, key));
+    return Status::OK();
+  }
+  if (key == "rm") {
+    DECO_ASSIGN_OR_RETURN(q->remove_pane, ParsePaneIndex(value, key));
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown key '" + key + "' in query spec");
+}
+
+}  // namespace
+
+Result<ServedQuery> ParseQuerySpec(const std::string& spec) {
+  if (spec.empty()) {
+    return Status::InvalidArgument("empty query spec");
+  }
+  ServedQuery q;
+  q.query.window = WindowSpec::CountTumbling(1);
+  uint64_t slide = 0;
+  bool saw_window = false;
+
+  if (spec.find('=') == std::string::npos) {
+    // Positional shorthand: agg:window[:slide].
+    std::vector<std::string> parts;
+    size_t start = 0;
+    while (true) {
+      const size_t colon = spec.find(':', start);
+      parts.push_back(spec.substr(start, colon - start));
+      if (colon == std::string::npos) break;
+      start = colon + 1;
+    }
+    if (parts.size() < 2 || parts.size() > 3) {
+      return Status::InvalidArgument(
+          "positional query spec must be agg:window[:slide], got '" + spec +
+          "'");
+    }
+    DECO_ASSIGN_OR_RETURN(q.query.aggregate,
+                          AggregateKindFromString(parts[0]));
+    DECO_ASSIGN_OR_RETURN(uint64_t length,
+                          ParsePaneIndex(parts[1], "window"));
+    q.query.window.length = length;
+    saw_window = true;
+    if (parts.size() == 3) {
+      DECO_ASSIGN_OR_RETURN(slide, ParsePaneIndex(parts[2], "slide"));
+    }
+  } else {
+    size_t start = 0;
+    while (start <= spec.size()) {
+      const size_t comma = spec.find(',', start);
+      const std::string item = spec.substr(start, comma - start);
+      const size_t eq = item.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("query spec item '" + item +
+                                       "' is not key=value");
+      }
+      DECO_RETURN_NOT_OK(ApplyKeyValue(&q, &slide, item.substr(0, eq),
+                                       item.substr(eq + 1)));
+      if (item.substr(0, eq) == "window") saw_window = true;
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  if (!saw_window) {
+    return Status::InvalidArgument("query spec '" + spec +
+                                   "' is missing window=<events>");
+  }
+  if (slide > 0 && slide != q.query.window.length) {
+    q.query.window =
+        WindowSpec::CountSliding(q.query.window.length, slide);
+  } else {
+    q.query.window = WindowSpec::CountTumbling(q.query.window.length);
+  }
+  DECO_RETURN_NOT_OK(q.query.Validate());
+  return q;
+}
+
+Result<std::vector<ServedQuery>> ParseQueryList(const std::string& list) {
+  std::vector<ServedQuery> out;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t semi = list.find(';', start);
+    const std::string item = list.substr(start, semi - start);
+    if (!item.empty()) {
+      DECO_ASSIGN_OR_RETURN(ServedQuery q, ParseQuerySpec(item));
+      out.push_back(std::move(q));
+    }
+    if (semi == std::string::npos) break;
+    start = semi + 1;
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("query list '" + list +
+                                   "' contains no specs");
+  }
+  return out;
+}
+
+std::string CanonicalQuerySpec(const ServedQuery& q) {
+  std::string out = "tenant=" + q.tenant +
+                    ",agg=" + std::string(AggregateKindToString(
+                                  q.query.aggregate)) +
+                    ",window=" + std::to_string(q.query.window.length);
+  if (q.query.window.type == WindowType::kSliding) {
+    out += ",slide=" + std::to_string(q.query.window.slide);
+  }
+  if (q.query.aggregate == AggregateKind::kQuantile) {
+    out += ",q=" + std::to_string(q.query.quantile_q);
+  }
+  if (q.add_pane != 0) out += ",add=" + std::to_string(q.add_pane);
+  if (q.remove_pane != kServePaneNever) {
+    out += ",rm=" + std::to_string(q.remove_pane);
+  }
+  return out;
+}
+
+}  // namespace deco

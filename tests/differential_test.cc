@@ -254,6 +254,90 @@ TEST(DifferentialTest, AllSchemesMatchOracleOverSampledConfigs) {
   }
 }
 
+// Multi-query serving differential (ISSUE 7): a quarter-sized sweep of
+// sampled configurations gains 1..3 co-queries sharing the primary's
+// stream, and every query's composed windows must match the per-query
+// pane oracle — natively served (shared slice store) for the exact Deco
+// schemes, loop-per-query fallback for Central. Co-query windows are
+// multiples of the primary's protocol pane so the shared pane (the gcd)
+// never collapses below it.
+TEST(DifferentialTest, MultiQueryServingMatchesPerQueryOracle) {
+  const uint64_t master_seed = EnvU64("DECO_DIFF_SEED", 42) ^ 0x5e7fe;
+  const uint64_t num_configs = EnvU64("DECO_DIFF_MULTIQ", 20);
+
+  static const Scheme kServeSchemes[] = {Scheme::kDecoMon,
+                                         Scheme::kDecoSync,
+                                         Scheme::kCentral};
+  static const AggregateKind kCoAggs[] = {
+      AggregateKind::kSum, AggregateKind::kCount, AggregateKind::kMin,
+      AggregateKind::kMax, AggregateKind::kAvg};
+
+  Rng rng(master_seed);
+  for (uint64_t c = 0; c < num_configs; ++c) {
+    SampledConfig sampled = SampleConfig(&rng);
+    ExperimentConfig& config = sampled.config;
+
+    ServedQuery primary;
+    primary.query = config.query;
+    config.serve.queries.push_back(primary);
+
+    const uint64_t pane = ProtocolWindowLength(config.query.window);
+    const int co_queries = rng.NextInt(1, 3);
+    for (int i = 0; i < co_queries; ++i) {
+      ServedQuery co;
+      co.query.aggregate = kCoAggs[rng.NextBounded(5)];
+      const uint64_t length =
+          pane * static_cast<uint64_t>(rng.NextInt(1, 4));
+      if (rng.NextBool(0.3) && length > pane) {
+        co.query.window = WindowSpec::CountSliding(length, pane);
+      } else {
+        co.query.window = WindowSpec::CountTumbling(length);
+      }
+      co.tenant = i % 2 == 0 ? "even" : "odd";
+      config.serve.queries.push_back(co);
+    }
+    std::string queries_flag = " --queries=";
+    for (size_t qi = 0; qi < config.serve.queries.size(); ++qi) {
+      if (qi > 0) queries_flag += ";";
+      queries_flag += CanonicalQuerySpec(config.serve.queries[qi]);
+    }
+    SCOPED_TRACE("config " + std::to_string(c) + ": " +
+                 sampled.repro_base + queries_flag);
+
+    for (Scheme scheme : kServeSchemes) {
+      SCOPED_TRACE(std::string("scheme ") + SchemeToString(scheme));
+      config.scheme = scheme;
+      auto result = RunExperiment(config);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      const RunReport& report = *result;
+      ASSERT_EQ(report.query_results.size(), config.serve.queries.size());
+      ASSERT_TRUE(report.serving.enabled);
+      for (size_t qi = 0; qi < report.query_results.size(); ++qi) {
+        const QueryRunResult& qr = report.query_results[qi];
+        SCOPED_TRACE("query " + std::to_string(qr.query_id) + " [" +
+                     qr.spec + "]");
+        auto oracle = ComputeQueryOracle(
+            config, config.serve.queries[qi].query,
+            report.serving.pane_length, qr.start_pane, qr.end_pane);
+        ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+        ASSERT_EQ(qr.windows.size(), oracle->size());
+        for (size_t i = 0; i < qr.windows.size(); ++i) {
+          EXPECT_EQ(qr.windows[i].event_count, (*oracle)[i].event_count)
+              << "window " << i;
+          EXPECT_EQ(qr.windows[i].end_ts, (*oracle)[i].end_ts)
+              << "window " << i;
+          EXPECT_NEAR(qr.windows[i].value, (*oracle)[i].value,
+                      RelTolerance((*oracle)[i].value))
+              << "window " << i;
+        }
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+    // Reset for the next sample (SampleConfig returns a fresh config, but
+    // the loop mutated this one's scheme/serve fields in place).
+  }
+}
+
 // The oracle must agree with an actual Central run byte-for-byte on counts
 // and timestamps — the anchor that ties the synthetic reference to the
 // real pipeline.

@@ -108,6 +108,55 @@ TEST(HarnessConfigTest, ProtocolWindowLengthForSliding) {
   EXPECT_EQ(ProtocolWindowLength(WindowSpec::CountSliding(900, 600)), 300u);
 }
 
+TEST(HarnessConfigTest, ProtocolWindowLengthCoprimeSlide) {
+  // Coprime length/slide: the only common pane is a single event. Legal
+  // but degenerate — every event is its own protocol window.
+  EXPECT_EQ(ProtocolWindowLength(WindowSpec::CountSliding(1000, 333)), 1u);
+  EXPECT_EQ(ProtocolWindowLength(WindowSpec::CountSliding(7, 5)), 1u);
+}
+
+TEST(HarnessConfigTest, ProtocolWindowLengthSlideEqualsLength) {
+  // slide == length is semantically tumbling; the pane decomposition must
+  // agree with the tumbling spec of the same length.
+  EXPECT_EQ(ProtocolWindowLength(WindowSpec::CountSliding(500, 500)), 500u);
+  EXPECT_EQ(ProtocolWindowLength(WindowSpec::CountSliding(500, 500)),
+            ProtocolWindowLength(WindowSpec::CountTumbling(500)));
+}
+
+TEST(HarnessConfigTest, ProtocolWindowLengthSlideLargerThanLength) {
+  // slide > length (sampling windows with gaps): gcd still divides both,
+  // so pane boundaries align with every window start *and* end. Built via
+  // direct field assignment — WindowSpec::CountSliding's factory contract
+  // is slide <= length, but the protocol math must stay total.
+  WindowSpec spec = WindowSpec::CountTumbling(400);
+  spec.type = WindowType::kSliding;
+  spec.slide = 1000;
+  EXPECT_EQ(ProtocolWindowLength(spec), 200u);
+  spec.slide = 400 * 3;
+  EXPECT_EQ(ProtocolWindowLength(spec), 400u);
+}
+
+TEST(HarnessConfigTest, MultiQueryPaneIsGcdOfProtocolLengths) {
+  // The registry's shared pane composes per-query protocol lengths by gcd:
+  // tumbling 600 (pane 600), sliding 400/300 (pane 100) -> shared 100;
+  // adding tumbling 450 (pane 450) drops the gcd to 50.
+  QueryRegistry registry;
+  ServedQuery a;
+  a.query.window = WindowSpec::CountTumbling(600);
+  ASSERT_TRUE(registry.Add(a).ok());
+  EXPECT_EQ(registry.PaneLength(), 600u);
+
+  ServedQuery b;
+  b.query.window = WindowSpec::CountSliding(400, 300);
+  ASSERT_TRUE(registry.Add(b).ok());
+  EXPECT_EQ(registry.PaneLength(), 100u);
+
+  ServedQuery c;
+  c.query.window = WindowSpec::CountTumbling(450);
+  ASSERT_TRUE(registry.Add(c).ok());
+  EXPECT_EQ(registry.PaneLength(), 50u);
+}
+
 TEST(HarnessConfigTest, DecentralizedClassification) {
   EXPECT_FALSE(IsDecentralized(Scheme::kCentral));
   EXPECT_FALSE(IsDecentralized(Scheme::kScotty));

@@ -320,12 +320,16 @@ TEST(ExportTest, JsonContainsDerivedRatesAndSpans) {
   report.scheme = "deco-async";
   report.events_processed = 500;
   const std::string json = TelemetryToJson(report, MakeLog());
-  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
   EXPECT_NE(json.find("\"scheme\": \"deco-async\""), std::string::npos);
   // v4: the provenance sections are always present, empty when the run
   // collected none.
   EXPECT_NE(json.find("\"provenance_summary\""), std::string::npos);
   EXPECT_NE(json.find("\"provenance\""), std::string::npos);
+  // v5: the multi-query serving sections are always present, disabled
+  // and empty for single-query runs.
+  EXPECT_NE(json.find("\"serving\""), std::string::npos);
+  EXPECT_NE(json.find("\"queries\""), std::string::npos);
   // Second sample: 500 events over 1 s and 1000 bytes over 1 s.
   EXPECT_NE(json.find("\"events_per_sec\": 500"), std::string::npos);
   EXPECT_NE(json.find("\"bytes_per_sec\": 1000"), std::string::npos);

@@ -231,7 +231,8 @@ TEST(TelemetryIntegrationTest, DecoAsyncRunProducesSamplesSpansAndJson) {
   // Exported document: well-formed JSON with the schema's key fields.
   const std::string json = ReadFileOrDie(json_path);
   EXPECT_TRUE(JsonChecker(json).Valid());
-  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"serving\""), std::string::npos);
   EXPECT_NE(json.find("\"cpu_breakdown\""), std::string::npos);
   EXPECT_NE(json.find("\"provenance_summary\""), std::string::npos);
   EXPECT_NE(json.find("\"scheme\": \"deco-async\""), std::string::npos);

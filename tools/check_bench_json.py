@@ -18,7 +18,15 @@ Checks, per document:
     err_staleness, err_approx — signed per-repeat sums emitted by
     bench/accuracy_attribution) satisfy the decomposition invariant on
     every repeat: drop + staleness + approx must equal the observed
-    total within 1% (with a small absolute floor for near-exact runs).
+    total within 1% (with a small absolute floor for near-exact runs);
+  * multi-query serving rows (label `<scheme>/q<N>`, emitted by
+    bench/qps_marginal_cost with a `queries` metric) are self-consistent
+    — the label's query count matches the metric, every sweep has a q=1
+    anchor — and the Deco schemes satisfy the serving-layer acceptance
+    bound: the marginal bytes/event of the largest query count must stay
+    under 20% of the single-query cost (the shared slice store makes the
+    Nth query nearly free; rerun-per-query baselines like central are
+    exempt — their linear growth is the point of the comparison).
 
 Exits non-zero with a per-file message on the first violation in each
 file; prints a one-line OK per valid file.
@@ -100,6 +108,50 @@ def check_attribution(metrics, where):
                f"{total!r} (bound {bound:g})")
 
 
+MARGINAL_COST_BOUND = 0.20
+SHARED_STORE_SCHEME_PREFIX = "deco"
+
+
+def check_marginal_cost(doc, path):
+    """Cross-row checks for the multi-query serving sweep: every
+    `<scheme>/q<N>` row's `queries` metric must agree with its label, each
+    scheme's sweep needs a q=1 anchor, and the Deco schemes must keep the
+    marginal bytes/event of their largest query count under
+    MARGINAL_COST_BOUND of the single-query cost (computed from medians,
+    like the regression comparison)."""
+    sweeps = {}  # scheme -> {count: row}
+    for i, row in enumerate(doc["rows"]):
+        label = row["label"]
+        metrics = row["metrics"]
+        if "queries" not in metrics:
+            continue
+        where = f"rows[{i}] ('{label}')"
+        expect("/" in label and label.rsplit("/", 1)[1].startswith("q"),
+               f"{where}: serving row labels must look like <scheme>/q<N>")
+        scheme, qpart = label.rsplit("/", 1)
+        expect(qpart[1:].isdigit(), f"{where}: bad query count '{qpart}'")
+        count = int(qpart[1:])
+        expect(metrics["queries"]["median"] == count,
+               f"{where}: 'queries' metric {metrics['queries']['median']!r} "
+               f"disagrees with label count {count}")
+        expect("bytes_per_event" in metrics,
+               f"{where}: serving row missing bytes_per_event")
+        sweeps.setdefault(scheme, {})[count] = (where, metrics)
+    for scheme, rows in sweeps.items():
+        expect(1 in rows,
+               f"serving sweep for '{scheme}' has no q=1 anchor row")
+        single = rows[1][1]["bytes_per_event"]["median"]
+        top = max(rows)
+        if top == 1 or not scheme.startswith(SHARED_STORE_SCHEME_PREFIX):
+            continue
+        where, metrics = rows[top]
+        marginal = (metrics["bytes_per_event"]["median"] - single) / (top - 1)
+        expect(marginal < MARGINAL_COST_BOUND * single,
+               f"{where}: marginal cost {marginal:.4f} bytes/event/query at "
+               f"q={top} exceeds {MARGINAL_COST_BOUND:.0%} of the "
+               f"single-query cost {single:.4f}")
+
+
 def check_profile(profile, where):
     for key in ("enabled", "alloc_counted", "threads"):
         expect(key in profile, f"{where}: cpu_breakdown missing '{key}'")
@@ -146,6 +198,7 @@ def check_doc(doc, path):
         check_attribution(row["metrics"], f"{where} ('{label}')")
         if row["cpu_breakdown"] is not None:
             check_profile(row["cpu_breakdown"], f"{where} ('{label}')")
+    check_marginal_cost(doc, path)
 
 
 def main():

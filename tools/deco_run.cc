@@ -49,6 +49,21 @@ void PrintUsage() {
       "                      optional +<duration> and =<value>\n"
       "  --timeout=<ms>      root failure-detection timeout; required for\n"
       "                      crash chaos against a Deco scheme (default 0)\n"
+      "  --queries=<list>    serve a ;-separated query set over the same\n"
+      "                      streams (DESIGN.md §11). Specs: positional\n"
+      "                      agg:window[:slide] or key=value\n"
+      "                      (tenant=,agg=,window=,slide=,q=,add=,rm=);\n"
+      "                      add/rm schedule runtime add/remove at that\n"
+      "                      protocol pane. Entry 0 is the primary and\n"
+      "                      overrides --window/--agg. Example:\n"
+      "                      --queries='sum:100000;tenant=b,agg=max,"
+      "window=50000;tenant=b,agg=avg,window=100000,add=4,rm=12'\n"
+      "  --max_queries=<n>   admission cap on registered queries "
+      "(default 64)\n"
+      "  --query_budget=<f>  admission cap on estimated extra slice bytes\n"
+      "                      per event from the non-primary slots\n"
+      "                      (0 = unlimited); over-budget sets are rejected\n"
+      "                      before the run starts\n"
       "  --seed=<n>          PRNG seed (default 42)\n"
       "  --sim               deterministic simulation mode (DESIGN.md §8):\n"
       "                      virtual-time scheduler seeded with --seed; the\n"
@@ -143,6 +158,16 @@ int main(int argc, char** argv) {
   config.sim_time_limit_nanos = static_cast<TimeNanos>(
       flags.GetDouble("sim_limit_ms", 0.0) * kNanosPerMilli);
 
+  if (flags.Has("queries")) {
+    auto queries = ParseQueryList(flags.GetString("queries", ""));
+    if (!queries.ok()) return Fail(queries.status());
+    config.serve.queries = std::move(*queries);
+  }
+  config.serve.admission.max_queries =
+      static_cast<size_t>(flags.GetInt("max_queries", 64));
+  config.serve.admission.max_extra_bytes_per_event =
+      flags.GetDouble("query_budget", 0.0);
+
   std::vector<ChaosAuditEntry> audit;
   if (flags.Has("chaos")) {
     auto schedule = ChaosSchedule::Parse(flags.GetString("chaos", ""));
@@ -173,6 +198,38 @@ int main(int argc, char** argv) {
   if (!result.ok()) return Fail(result.status());
   const RunReport& report = *result;
   std::printf("%s\n", report.Summary().c_str());
+
+  if (report.serving.enabled) {
+    std::printf(
+        "serving: %llu queries in %llu slots, pane=%llu, "
+        "%llu query windows\n",
+        (unsigned long long)report.serving.queries,
+        (unsigned long long)report.serving.slots,
+        (unsigned long long)report.serving.pane_length,
+        (unsigned long long)report.serving.total_query_windows);
+    for (const QueryRunResult& q : report.query_results) {
+      char end_pane[32];
+      if (q.end_pane == UINT64_MAX) {
+        std::snprintf(end_pane, sizeof(end_pane), "end");
+      } else {
+        std::snprintf(end_pane, sizeof(end_pane), "%llu",
+                      (unsigned long long)q.end_pane);
+      }
+      std::printf("  query %u [%s] %s: %zu windows, panes [%llu, %s)%s\n",
+                  q.query_id, q.tenant.c_str(), q.spec.c_str(),
+                  q.windows.size(), (unsigned long long)q.start_pane,
+                  end_pane, q.activated ? "" : " (never activated)");
+    }
+    for (const TenantUsage& t : report.serving.tenants) {
+      std::printf(
+          "  tenant %-10s bytes=%llu agg_ops=%llu cpu_est=%.2fms "
+          "queries=%llu\n",
+          t.tenant.c_str(), (unsigned long long)t.bytes,
+          (unsigned long long)t.agg_ops,
+          static_cast<double>(t.cpu_nanos_est) / 1e6,
+          (unsigned long long)t.queries);
+    }
+  }
 
   if (report.provenance.enabled) {
     const ProvenanceSummary& prov = report.provenance;
