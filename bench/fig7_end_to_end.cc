@@ -50,5 +50,29 @@ int main(int argc, char** argv) {
     opts.ApplyCommon(&config, SchemeToString(scheme));
     bench::RunAndRecord(config, opts, &recorder, SchemeToString(scheme));
   }
+
+  // --ops_overhead: rerun the Deco row with the full live ops plane on
+  // (metrics endpoint, watchdog on the sampler tick, flight recorder) as
+  // `<scheme>/ops`. check_bench_json.py asserts the paired sim rows'
+  // throughput medians stay within 2% — the observability tax must stay
+  // in the noise.
+  if (opts.flags.GetBool("ops_overhead", false)) {
+    ExperimentConfig config;
+    config.scheme = Scheme::kDecoAsync;
+    config.query.window = WindowSpec::CountTumbling(window);
+    config.query.aggregate = AggregateKind::kSum;
+    config.num_locals = locals;
+    config.streams_per_local = 4;
+    config.events_per_local = events;
+    config.base_rate = 1e6;
+    config.rate_change = 0.01;
+    config.batch_size = 8192;
+    config.seed = 42;
+    opts.ApplyCommon(&config, "deco-async.ops");
+    config.ops.ops_port = 0;  // ephemeral; scraped by nobody, still serving
+    config.ops.watchdog = true;
+    config.ops.flight_recorder = true;
+    bench::RunAndRecord(config, opts, &recorder, "deco-async/ops");
+  }
   return bench::Finish(opts, recorder);
 }

@@ -37,6 +37,21 @@ Counter* NodesRejoinedCounter() {
       MetricRegistry::Global()->counter("root.nodes_rejoined");
   return c;
 }
+// Live-progress gauges the ops plane scrapes (/statusz, watchdog): the
+// assembly frontier, whether a correction is in flight, and how many
+// locals the failure detector currently believes are alive.
+Gauge* NextWindowGauge() {
+  static Gauge* g = MetricRegistry::Global()->gauge("root.next_window");
+  return g;
+}
+Gauge* CorrectingGauge() {
+  static Gauge* g = MetricRegistry::Global()->gauge("root.correcting");
+  return g;
+}
+Gauge* NodesLiveGauge() {
+  static Gauge* g = MetricRegistry::Global()->gauge("root.nodes_live");
+  return g;
+}
 
 }  // namespace
 
@@ -157,8 +172,19 @@ Status DecoRootNode::Run() {
       DECO_RETURN_NOT_OK(CheckNodeTimeouts());
     }
     DECO_RETURN_NOT_OK(Progress());
+    UpdateOpsGauges();
   }
   return BroadcastShutdown();
+}
+
+void DecoRootNode::UpdateOpsGauges() {
+  NextWindowGauge()->Set(static_cast<int64_t>(assembler_->next_window()));
+  CorrectingGauge()->Set(assembler_->correcting() ? 1 : 0);
+  int64_t live = 0;
+  for (size_t n = 0; n < topology_.num_locals(); ++n) {
+    if (!assembler_->IsRemoved(n)) ++live;
+  }
+  NodesLiveGauge()->Set(live);
 }
 
 Status DecoRootNode::Dispatch(const Message& msg) {

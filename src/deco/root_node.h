@@ -92,6 +92,10 @@ class DecoRootNode final : public Actor {
   Status Dispatch(const Message& msg);
   Status Progress();
 
+  /// Refreshes the live-progress gauges (`root.next_window`,
+  /// `root.correcting`, `root.nodes_live`) the ops plane scrapes.
+  void UpdateOpsGauges();
+
   /// Emits the assembled protocol window (one *pane* of the shared pane
   /// length) into every registered query's composer; a query whose window
   /// the pane completes emits a per-query window record, and the primary

@@ -1,18 +1,24 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <chrono>
+#include <iomanip>
 #include <map>
 #include <memory>
+#include <sstream>
+#include <thread>
 #include <utility>
 
 #include "baseline/approx.h"
 #include "baseline/centralized_root.h"
 #include "baseline/forwarding_local.h"
+#include "common/json.h"
 #include "common/logging.h"
 #include "harness/oracle.h"
 #include "node/runtime.h"
 #include "obs/export.h"
 #include "obs/metric_registry.h"
+#include "obs/ops_server.h"
 #include "obs/perfetto_export.h"
 #include "obs/profiler.h"
 #include "obs/provenance.h"
@@ -427,18 +433,163 @@ Result<RunReport> RunExperiment(const ExperimentConfig& input) {
 
   // Live telemetry: reset the process-global registry so counters cover
   // this run only, install a trace sink for the window-lifecycle spans, and
-  // sample the fabric in the background for the duration of the run.
+  // sample the fabric in the background for the duration of the run. The
+  // live ops plane (DESIGN.md §12) shares the substrate: any ops piece
+  // being on also resets the registry and runs the sampler (without a
+  // trace sink) so the watchdog has a tick and the endpoints fresh state.
+  const bool ops_on = config.ops.Any();
+  const bool watchdog_on =
+      ops_on && (config.ops.watchdog || config.ops.ops_port >= 0);
+  const bool recorder_on =
+      ops_on && (config.ops.flight_recorder ||
+                 config.ops.dump_flight_recorder || watchdog_on ||
+                 config.ops.crash_handler);
+  const std::string flight_path = config.ops.flight_recorder_out.empty()
+                                      ? "deco_flight_recorder.json"
+                                      : config.ops.flight_recorder_out;
   std::unique_ptr<TraceSink> trace_sink;
   std::unique_ptr<Sampler> sampler;
-  if (config.telemetry.enabled) {
+  if (config.telemetry.enabled || ops_on) {
     MetricRegistry::Global()->Reset();
-    trace_sink =
-        std::make_unique<TraceSink>(clock, config.telemetry.trace_capacity);
-    TraceSink::Install(trace_sink.get());
     sampler = std::make_unique<Sampler>(
         clock, &fabric, MetricRegistry::Global(),
         config.telemetry.sample_interval_nanos, sim.get());
-    sampler->Start();
+  }
+  if (config.telemetry.enabled) {
+    trace_sink =
+        std::make_unique<TraceSink>(clock, config.telemetry.trace_capacity);
+    TraceSink::Install(trace_sink.get());
+  }
+
+  std::unique_ptr<FlightRecorder> flight_recorder;
+  if (recorder_on) {
+    flight_recorder = std::make_unique<FlightRecorder>(
+        clock, config.ops.flight_recorder_options);
+    FlightRecorder::Install(flight_recorder.get());
+    if (config.ops.crash_handler) {
+      FlightRecorder::InstallCrashHandler(flight_path);
+    }
+  }
+  std::unique_ptr<Watchdog> watchdog;
+  if (watchdog_on) {
+    watchdog = std::make_unique<Watchdog>(config.ops.watchdog_options,
+                                          MetricRegistry::Global());
+    if (flight_recorder != nullptr) {
+      watchdog->SetFlightRecorder(flight_recorder.get(), flight_path);
+    }
+    sampler->SetObserver([w = watchdog.get()](const TelemetrySample& s) {
+      w->OnSample(s);
+    });
+  }
+  if (sampler != nullptr) sampler->Start();
+
+  // The HTTP endpoints read shared state only; the serve registry and the
+  // chaos controller arrive as an opaque JSON fragment because this layer
+  // sits above the obs library in the dependency graph.
+  std::unique_ptr<OpsServer> ops_server;
+  if (config.ops.ops_port >= 0) {
+    OpsServer::Options server_options;
+    server_options.port = config.ops.ops_port;
+    server_options.clock = clock;
+    server_options.fabric = &fabric;
+    server_options.registry = MetricRegistry::Global();
+    server_options.watchdog = watchdog.get();
+    server_options.sim = config.sim;
+    const QueryRegistry* serve_registry = serving ? &registry : nullptr;
+    ChaosController* chaos_ptr = chaos.get();
+    server_options.statusz_extra = [serve_registry, chaos_ptr]() {
+      std::string out = "\"serving\":{\"enabled\":";
+      out += serve_registry != nullptr ? "true" : "false";
+      if (serve_registry != nullptr) {
+        out += ",\"queries\":[";
+        const auto& queries = serve_registry->queries();
+        for (size_t i = 0; i < queries.size(); ++i) {
+          if (i != 0) out += ",";
+          out += "{\"id\":";
+          JsonAppendU64(&out, queries[i].id);
+          out += ",\"tenant\":";
+          JsonAppendString(&out, queries[i].tenant);
+          out += "}";
+        }
+        out += "],\"pane_length\":";
+        JsonAppendU64(&out, serve_registry->PaneLength());
+        out += ",\"slots\":";
+        JsonAppendU64(&out, serve_registry->slots().size());
+      }
+      out += "},\"chaos\":{\"enabled\":";
+      out += chaos_ptr != nullptr ? "true" : "false";
+      if (chaos_ptr != nullptr) {
+        out += ",\"actions\":";
+        JsonAppendU64(&out, chaos_ptr->action_count());
+        out += ",\"fired\":";
+        JsonAppendU64(&out, chaos_ptr->fired_count());
+      }
+      out += "}";
+      return out;
+    };
+    ops_server = std::make_unique<OpsServer>(std::move(server_options));
+    const Status server_started = ops_server->Start();
+    if (!server_started.ok()) {
+      if (trace_sink != nullptr) TraceSink::Install(nullptr);
+      if (flight_recorder != nullptr) FlightRecorder::Install(nullptr);
+      return server_started;
+    }
+    if (config.ops.bound_port != nullptr) {
+      *config.ops.bound_port = ops_server->port();
+    }
+  }
+
+  // One-line stderr heartbeat (deco_run --status_interval_ms). Counter
+  // pointers are stable, so hoist the lookups out of the tick.
+  std::unique_ptr<StatusTicker> status_ticker;
+  if (config.ops.status_interval_nanos > 0) {
+    MetricRegistry* reg = MetricRegistry::Global();
+    Counter* events_in = reg->counter("local.events_ingested");
+    Counter* panes = reg->counter("local.windows_produced");
+    Counter* windows = reg->counter("root.windows_emitted");
+    Counter* corrections = reg->counter("root.corrections");
+    Watchdog* wd = watchdog.get();
+    const TimeNanos t0 = clock->NowNanos();
+    status_ticker = std::make_unique<StatusTicker>(
+        config.ops.status_interval_nanos,
+        [clock, t0, events_in, panes, windows, corrections, wd]() {
+          std::ostringstream line;
+          line << "[deco] t=" << std::fixed << std::setprecision(1)
+               << static_cast<double>(clock->NowNanos() - t0) / 1e9
+               << "s events_in=" << events_in->value()
+               << " panes=" << panes->value()
+               << " windows=" << windows->value()
+               << " corrections=" << corrections->value();
+          if (wd != nullptr) {
+            line << " alerts=" << wd->fired_count();
+          }
+          return line.str();
+        });
+    status_ticker->Start();
+  }
+
+  // Cooperative interrupt (deco_run SIGINT/SIGTERM): a watcher thread
+  // polls the flag and, once set, stops the actors and closes the fabric
+  // so the joins below unblock — after which the normal export path runs.
+  std::atomic<bool> interrupted{false};
+  std::atomic<bool> run_done{false};
+  std::thread interrupt_watcher;
+  if (config.ops.interrupt != nullptr) {
+    std::atomic<bool>* flag = config.ops.interrupt;
+    interrupt_watcher = std::thread([&runtime, &fabric, &interrupted,
+                                     &run_done, flag] {
+      while (!run_done.load(std::memory_order_acquire)) {
+        if (flag->load(std::memory_order_acquire)) {
+          interrupted.store(true, std::memory_order_release);
+          DECO_LOG(WARNING)
+              << "interrupt: stopping actors, flushing telemetry";
+          runtime.StopAll();
+          fabric.Shutdown();
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
   }
 
   // In-run profiler: installed before the actors start so every actor
@@ -479,8 +630,16 @@ Result<RunReport> RunExperiment(const ExperimentConfig& input) {
   if (chaos != nullptr) {
     const Status chaos_started = chaos->Start();
     if (!chaos_started.ok()) {
-      // The profiler is process-global; never leave a dangling install.
+      // The profiler, trace sink and flight recorder are process-global;
+      // never leave a dangling install. The ops surfaces reference the
+      // fabric, so they stop here too.
       if (profiler != nullptr) Profiler::Install(nullptr);
+      if (trace_sink != nullptr) TraceSink::Install(nullptr);
+      if (flight_recorder != nullptr) FlightRecorder::Install(nullptr);
+      run_done.store(true, std::memory_order_release);
+      if (interrupt_watcher.joinable()) interrupt_watcher.join();
+      if (status_ticker != nullptr) status_ticker->Stop();
+      if (ops_server != nullptr) ops_server->Stop();
       return chaos_started;
     }
   }
@@ -514,12 +673,47 @@ Result<RunReport> RunExperiment(const ExperimentConfig& input) {
     const Status drained = sim->DrainAll();
     if (sim_run.ok() && !drained.ok()) sim_run = drained;
   }
-  const Status joined = runtime.JoinAll();
+  Status joined = runtime.JoinAll();
   // Collect after every actor thread has joined (so each slot is final)
   // but before the error returns below: a failed run still uninstalls.
   if (profiler != nullptr) {
     Profiler::Install(nullptr);
     report.profile = profiler->Collect();
+  }
+
+  // Ops-plane teardown: the run is over, so retire the watcher and the
+  // live surfaces, dump the black box if asked (a watchdog trip already
+  // dumped once on its own), and uninstall the global recorder.
+  run_done.store(true, std::memory_order_release);
+  if (interrupt_watcher.joinable()) interrupt_watcher.join();
+  if (status_ticker != nullptr) status_ticker->Stop();
+  if (ops_server != nullptr) ops_server->Stop();
+  if (flight_recorder != nullptr) {
+    FlightRecorder::Install(nullptr);
+    if (config.ops.dump_flight_recorder || interrupted.load()) {
+      flight_recorder->DumpJson(
+          flight_path, interrupted.load() ? "interrupt" : "requested");
+      DECO_LOG(INFO) << "flight recorder dumped to " << flight_path;
+    }
+  }
+  if (config.ops.alerts != nullptr && watchdog != nullptr) {
+    *config.ops.alerts = watchdog->Alerts();
+  }
+  if (interrupted.load()) {
+    // An interrupted run tears the fabric down under the actors: their
+    // cancelled sends and closed mailboxes surface as errors that would
+    // normally fail the run. The whole point of cooperative shutdown is
+    // to still flush every exporter, so downgrade them to warnings.
+    if (!joined.ok()) {
+      DECO_LOG(WARNING) << "interrupted run: ignoring actor error: "
+                        << joined.ToString();
+      joined = Status::OK();
+    }
+    if (!sim_run.ok()) {
+      DECO_LOG(WARNING) << "interrupted run: ignoring sim error: "
+                        << sim_run.ToString();
+      sim_run = Status::OK();
+    }
   }
   DECO_RETURN_NOT_OK(sim_run);
   DECO_RETURN_NOT_OK(joined);
@@ -620,6 +814,10 @@ Result<RunReport> RunExperiment(const ExperimentConfig& input) {
     log.hops = trace_sink->DrainHops();
     log.hops_dropped = trace_sink->hops_dropped();
     log.provenance = provenance_log;
+    // Schema v6: the alert history rides the telemetry document whenever
+    // both telemetry and the watchdog were on.
+    log.alerts_enabled = watchdog != nullptr;
+    if (watchdog != nullptr) log.alerts = watchdog->Alerts();
     if (log.spans_dropped > 0 || log.hops_dropped > 0) {
       DECO_LOG(WARNING) << "telemetry truncated: " << log.spans_dropped
                         << " spans and " << log.hops_dropped

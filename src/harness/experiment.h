@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <string>
 
 #include "chaos/controller.h"
@@ -9,7 +10,9 @@
 #include "deco/root_node.h"
 #include "metrics/report.h"
 #include "node/query.h"
+#include "obs/flight_recorder.h"
 #include "obs/sampler.h"
+#include "obs/watchdog.h"
 #include "serve/registry.h"
 
 /// \file experiment.h
@@ -168,6 +171,63 @@ struct ChaosOptions {
   std::vector<ChaosAuditEntry>* audit = nullptr;
 };
 
+/// \brief Live ops plane options (DESIGN.md §12, deco_run `--ops_port`).
+///
+/// Three independently toggleable pieces share one substrate: the embedded
+/// HTTP server (`/metrics`, `/healthz`, `/statusz`), the anomaly watchdog
+/// (evaluated on the sampler tick) and the flight recorder (bounded
+/// black-box ring dumped on watchdog trip, fatal signal, interrupt or on
+/// demand). Any of them being on makes the harness run a sampler even when
+/// telemetry is otherwise disabled.
+struct OpsOptions {
+  /// HTTP server port on 127.0.0.1: -1 = off, 0 = ephemeral (the bound
+  /// port is logged and written to `bound_port`).
+  int ops_port = -1;
+
+  /// If non-null, receives the actually bound port once the server is up.
+  int* bound_port = nullptr;
+
+  /// One-line stderr progress heartbeat interval; 0 = off.
+  TimeNanos status_interval_nanos = 0;
+
+  /// Anomaly watchdog master switch (also turned on by `ops_port >= 0`).
+  bool watchdog = false;
+  WatchdogOptions watchdog_options;
+
+  /// Flight recorder master switch (also turned on by `watchdog` — alert
+  /// trips want a black box to dump).
+  bool flight_recorder = false;
+  FlightRecorder::Options flight_recorder_options;
+
+  /// Dump path for the flight recorder; empty = `deco_flight_<nanos>.json`
+  /// next to the working directory when a dump triggers.
+  std::string flight_recorder_out;
+
+  /// Always dump the flight recorder at the end of the run (deco_run
+  /// `--dump_flight_recorder`), not only on a trip/crash/interrupt.
+  bool dump_flight_recorder = false;
+
+  /// Install SIGSEGV/SIGABRT handlers that dump the flight recorder
+  /// before re-raising (deco_run turns this on with the recorder).
+  bool crash_handler = false;
+
+  /// Cooperative-interrupt flag (deco_run's SIGINT/SIGTERM handlers set
+  /// it): when it flips to true mid-run, the harness stops the actors,
+  /// dumps the flight recorder, and still flushes every exporter —
+  /// the report notes `interrupted`. Null = not interruptible.
+  std::atomic<bool>* interrupt = nullptr;
+
+  /// If non-null, receives the fired-alert history after the run (also
+  /// exported in telemetry JSON schema v6).
+  std::vector<Alert>* alerts = nullptr;
+
+  /// True when any live-ops piece is requested.
+  bool Any() const {
+    return ops_port >= 0 || status_interval_nanos > 0 || watchdog ||
+           flight_recorder || dump_flight_recorder || interrupt != nullptr;
+  }
+};
+
 /// \brief Full description of one experiment run.
 struct ExperimentConfig {
   Scheme scheme = Scheme::kDecoAsync;
@@ -250,6 +310,9 @@ struct ExperimentConfig {
 
   /// Multi-query serving layer (registry + admission budget).
   ServeOptions serve;
+
+  /// Live ops plane (HTTP endpoints + watchdog + flight recorder).
+  OpsOptions ops;
 
   Status Validate() const;
 };

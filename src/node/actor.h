@@ -119,9 +119,11 @@ class Actor {
   void FinishHop(std::optional<Message>& msg) {
     if (!msg.has_value() || msg->hop.msg_id == 0) return;
     TraceSink* sink = TraceSink::Active();
-    if (sink == nullptr) return;
+    const bool record_flight = ActiveFlightRecorder() != nullptr;
+    if (sink == nullptr && !record_flight) return;
     msg->hop.dequeue_nanos = clock_->NowNanos();
-    sink->RecordHop(*msg);
+    if (sink != nullptr) sink->RecordHop(*msg);
+    if (record_flight) FlightRecorderHop(*msg);
   }
 #else
   void FinishHop(std::optional<Message>&) {}

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+
+/// \file alert.h
+/// \brief Structured anomaly-alert records shared by the watchdog (which
+/// fires them), the telemetry log (schema v6 carries them) and the ops
+/// endpoints (which serve them). Dependency-free so `sampler.h` and
+/// `watchdog.h` can both include it without a cycle.
+
+namespace deco {
+
+/// \brief Detector kind of an alert.
+enum class AlertKind : uint8_t {
+  kWindowStall = 0,
+  kQueueGrowth = 1,
+  kHeartbeatSilence = 2,
+  kCorrectionStorm = 3,
+  kByteBudgetBurn = 4,
+};
+
+std::string_view AlertKindToString(AlertKind kind);
+
+/// \brief One fired anomaly. Appended when the detector trips; resolved in
+/// place when the condition clears.
+struct Alert {
+  AlertKind kind = AlertKind::kWindowStall;
+  std::string subject;            ///< node / tenant / "root"
+  TimeNanos fired_at_nanos = 0;
+  TimeNanos resolved_at_nanos = 0;  ///< 0 while still active
+  double observed = 0.0;          ///< value that breached
+  double threshold = 0.0;         ///< configured limit it breached
+  std::string message;            ///< human-readable one-liner
+};
+
+}  // namespace deco

@@ -141,7 +141,7 @@ std::string TelemetryToJson(const RunReport& report,
   std::string out;
   out.reserve(4096 + log.samples.size() * 512 + log.spans.size() * 96);
 
-  out += "{\n  \"schema_version\": 5,\n  \"scheme\": ";
+  out += "{\n  \"schema_version\": 6,\n  \"scheme\": ";
   AppendEscaped(&out, report.scheme);
   out += ",\n  \"report\": {\"events_processed\": ";
   AppendUint(&out, report.events_processed);
@@ -363,6 +363,45 @@ std::string TelemetryToJson(const RunReport& report,
     out += "}";
   }
   out += report.query_results.empty() ? "]" : "\n  ]";
+
+  // Schema v6: the watchdog alert section. Always present — disabled and
+  // empty when no watchdog ran — so consumers need no existence check.
+  out += ",\n  \"alerts\": {\"enabled\": ";
+  out += log.alerts_enabled ? "true" : "false";
+  out += ", \"fired\": ";
+  AppendUint(&out, log.alerts.size());
+  size_t active_alerts = 0;
+  for (const Alert& a : log.alerts) {
+    if (a.resolved_at_nanos == 0) ++active_alerts;
+  }
+  out += ", \"active\": ";
+  AppendUint(&out, active_alerts);
+  out += ", \"items\": [";
+  for (size_t i = 0; i < log.alerts.size(); ++i) {
+    const Alert& a = log.alerts[i];
+    out += i == 0 ? "\n    {" : ",\n    {";
+    out += "\"kind\": ";
+    AppendEscaped(&out, std::string(AlertKindToString(a.kind)));
+    out += ", \"subject\": ";
+    AppendEscaped(&out, a.subject);
+    out += ", \"fired_at_ms\": ";
+    AppendDouble(&out, static_cast<double>(a.fired_at_nanos - origin) / 1e6);
+    out += ", \"resolved_at_ms\": ";
+    if (a.resolved_at_nanos == 0) {
+      out += "null";
+    } else {
+      AppendDouble(&out,
+                   static_cast<double>(a.resolved_at_nanos - origin) / 1e6);
+    }
+    out += ", \"observed\": ";
+    AppendDouble(&out, a.observed);
+    out += ", \"threshold\": ";
+    AppendDouble(&out, a.threshold);
+    out += ", \"message\": ";
+    AppendEscaped(&out, a.message);
+    out += "}";
+  }
+  out += log.alerts.empty() ? "]}" : "\n  ]}";
   out += "\n}\n";
   return out;
 }

@@ -10,13 +10,13 @@
 /// \brief Serializes one run's telemetry (sampler time series, window
 /// lifecycle spans, final `RunReport`) to machine-readable JSON and CSV.
 ///
-/// JSON document layout (schema_version 4; every version-1/2/3 field is
+/// JSON document layout (schema_version 6; every version-1..5 field is
 /// preserved with unchanged meaning, so older consumers keep working —
 /// tests/obs_test.cc's schema-compat case parses the document with a
 /// v2-era reader):
 /// \code{.json}
 /// {
-///   "schema_version": 4,
+///   "schema_version": 6,
 ///   "scheme": "deco-async",
 ///   "report": { "events_processed": n, "wall_seconds": s,
 ///               "throughput_eps": r, "windows_emitted": n,
@@ -56,7 +56,15 @@
 ///       (the `RunReport::provenance` POD, metrics/report.h),
 ///   "provenance": { "windows_tracked": n, "windows_dropped": n,
 ///       "windows": [ per-window records ], "accuracy": [ per-window
-///       error decompositions ] } (obs/provenance.h `ProvenanceJson`)
+///       error decompositions ] } (obs/provenance.h `ProvenanceJson`),
+///   "serving": { multi-query roll-up + per-tenant accounting
+///       (metrics/report.h `ServingSummary`) },
+///   "queries": [ { "id": n, "tenant": s, "spec": s, "start_pane": n,
+///                  "end_pane": n, "activated": b, "windows": n } ],
+///   "alerts": { "enabled": b, "fired": n, "active": n,
+///       "items": [ { "kind": s, "subject": s, "fired_at_ms": x,
+///                    "resolved_at_ms": x|null, "observed": x,
+///                    "threshold": x, "message": s } ] }
 /// }
 /// \endcode
 /// where `{components}` is `{ "total_nanos": x, "local_compute_nanos": x,
@@ -74,7 +82,11 @@
 /// profiled — null-safe defaults, never absent). Since v4 it carries
 /// `provenance_summary` and `provenance` (DESIGN.md §10) — again always
 /// present, with empty arrays and a disabled summary when no provenance
-/// was collected.
+/// was collected. Since v5 it carries the multi-query serving roll-up
+/// (`serving` + `queries`, DESIGN.md §11; disabled-and-empty for
+/// single-query runs). Since v6 it carries `alerts`, the watchdog's
+/// fired-alert log (DESIGN.md §12; `{"enabled": false, "fired": 0,
+/// "active": 0, "items": []}` when no watchdog ran).
 
 namespace deco {
 

@@ -1,0 +1,489 @@
+#include "obs/ops_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace deco {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's
+/// dotted names map onto that with '.' (and anything else) -> '_'.
+std::string PromName(const std::string& name) {
+  std::string out = "deco_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Prometheus label values escape backslash, quote and newline.
+std::string PromLabelValue(const std::string& value) {
+  std::string out;
+  for (char c : value) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+void AppendPromValue(std::string* out, double v) {
+  std::ostringstream os;
+  os << v;
+  *out += os.str();
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(code);
+  out += " ";
+  out += reason;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+constexpr char kPromContentType[] =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace
+
+OpsServer::OpsServer(Options options) : options_(std::move(options)) {}
+
+OpsServer::~OpsServer() { Stop(); }
+
+Status OpsServer::Start() {
+  if (running_.load()) return Status::OK();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("ops server: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("ops server: cannot bind 127.0.0.1:" +
+                           std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("ops server: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  bound_port_ = ntohs(addr.sin_port);
+
+  running_.store(true);
+  thread_ = std::thread([this] { Serve(); });
+  DECO_LOG(INFO) << "ops server listening on http://127.0.0.1:"
+                 << bound_port_ << " (/metrics /healthz /statusz)";
+  return Status::OK();
+}
+
+void OpsServer::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void OpsServer::Serve() {
+  while (running_.load(std::memory_order_relaxed)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    // 100 ms poll bound keeps Stop() responsive without busy-waiting.
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void OpsServer::HandleConnection(int fd) {
+  // Requests of interest are single-line GETs; 4 KiB is plenty.
+  char buf[4096];
+  size_t have = 0;
+  while (have < sizeof(buf) - 1) {
+    const ssize_t n = ::recv(fd, buf + have, sizeof(buf) - 1 - have, 0);
+    if (n <= 0) break;
+    have += static_cast<size_t>(n);
+    buf[have] = '\0';
+    if (std::strstr(buf, "\r\n\r\n") != nullptr) break;
+  }
+  if (have == 0) return;
+  buf[have] = '\0';
+
+  std::string method, path;
+  {
+    std::istringstream line(std::string(buf, have));
+    line >> method >> path;
+  }
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  std::string response;
+  if (method != "GET") {
+    response = HttpResponse(405, "Method Not Allowed", "text/plain",
+                            "only GET is served\n");
+  } else if (path == "/metrics") {
+    response = HttpResponse(200, "OK", kPromContentType, RenderMetrics());
+  } else if (path == "/healthz") {
+    response =
+        HttpResponse(200, "OK", "application/health+json", RenderHealthz());
+  } else if (path == "/statusz") {
+    response =
+        HttpResponse(200, "OK", "application/json", RenderStatusz());
+  } else if (path == "/") {
+    response = HttpResponse(200, "OK", "text/plain",
+                            "deco ops server\n"
+                            "endpoints: /metrics /healthz /statusz\n");
+  } else {
+    response = HttpResponse(404, "Not Found", "text/plain",
+                            "unknown path; try /metrics /healthz /statusz\n");
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n =
+        ::send(fd, response.data() + sent, response.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string OpsServer::RenderMetrics() const {
+  std::string out;
+  out.reserve(1 << 14);
+
+  out += "# HELP deco_time_nanos Current run clock (virtual under --sim).\n";
+  out += "# TYPE deco_time_nanos gauge\n";
+  out += "deco_time_nanos ";
+  if (options_.clock != nullptr) {
+    out += std::to_string(options_.clock->NowNanos());
+  } else {
+    out += "0";
+  }
+  out += "\n";
+
+  if (options_.registry != nullptr) {
+    const MetricsSnapshot snapshot = options_.registry->Snapshot();
+    for (const auto& [name, value] : snapshot.counters) {
+      const std::string prom = PromName(name) + "_total";
+      out += "# HELP " + prom + " Counter " + name + "\n";
+      out += "# TYPE " + prom + " counter\n";
+      out += prom + " " + std::to_string(value) + "\n";
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+      const std::string prom = PromName(name);
+      out += "# HELP " + prom + " Gauge " + name + "\n";
+      out += "# TYPE " + prom + " gauge\n";
+      out += prom + " " + std::to_string(value) + "\n";
+    }
+    for (const HistogramSnapshot& h : snapshot.histograms) {
+      const std::string prom = PromName(h.name);
+      out += "# HELP " + prom + " Histogram " + h.name + "\n";
+      out += "# TYPE " + prom + " summary\n";
+      out += prom + "{quantile=\"0.5\"} " + std::to_string(h.p50) + "\n";
+      out += prom + "{quantile=\"0.99\"} " + std::to_string(h.p99) + "\n";
+      out += prom + "_sum ";
+      AppendPromValue(&out, h.mean * static_cast<double>(h.count));
+      out += "\n";
+      out += prom + "_count " + std::to_string(h.count) + "\n";
+    }
+  }
+
+  if (options_.fabric != nullptr) {
+    const size_t n = options_.fabric->node_count();
+    const struct {
+      const char* name;
+      const char* help;
+    } kSeries[] = {
+        {"deco_node_queue_depth", "Mailbox backlog per node."},
+        {"deco_node_messages_sent", "Cumulative egress messages per node."},
+        {"deco_node_bytes_sent", "Cumulative egress bytes per node."},
+        {"deco_node_messages_received",
+         "Cumulative ingress messages per node."},
+        {"deco_node_down", "1 while the node is failed/down."},
+    };
+    for (const auto& series : kSeries) {
+      out += std::string("# HELP ") + series.name + " " + series.help + "\n";
+      out += std::string("# TYPE ") + series.name + " gauge\n";
+      for (NodeId id = 0; id < n; ++id) {
+        const std::string label =
+            "{node=\"" + PromLabelValue(options_.fabric->node_name(id)) +
+            "\"} ";
+        uint64_t value = 0;
+        if (std::strcmp(series.name, "deco_node_queue_depth") == 0) {
+          value = options_.fabric->queue_depth(id);
+        } else if (std::strcmp(series.name, "deco_node_down") == 0) {
+          value = options_.fabric->IsNodeDown(id) ? 1 : 0;
+        } else {
+          const NodeTrafficStats stats = options_.fabric->node_stats(id);
+          if (std::strcmp(series.name, "deco_node_messages_sent") == 0) {
+            value = stats.messages_sent;
+          } else if (std::strcmp(series.name, "deco_node_bytes_sent") == 0) {
+            value = stats.bytes_sent;
+          } else {
+            value = stats.messages_received;
+          }
+        }
+        out += series.name + label + std::to_string(value) + "\n";
+      }
+    }
+    out += "# HELP deco_fabric_dropped_total Messages dropped fabric-wide.\n";
+    out += "# TYPE deco_fabric_dropped_total counter\n";
+    out += "deco_fabric_dropped_total " +
+           std::to_string(options_.fabric->Stats().total_dropped) + "\n";
+  }
+
+  if (options_.watchdog != nullptr) {
+    out += "# HELP deco_watchdog_alerts_active Alerts currently firing.\n";
+    out += "# TYPE deco_watchdog_alerts_active gauge\n";
+    out += "deco_watchdog_alerts_active " +
+           std::to_string(options_.watchdog->active_count()) + "\n";
+    out += "# HELP deco_watchdog_alerts_fired_total Alerts fired so far.\n";
+    out += "# TYPE deco_watchdog_alerts_fired_total counter\n";
+    out += "deco_watchdog_alerts_fired_total " +
+           std::to_string(options_.watchdog->fired_count()) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+void AppendAlertJson(std::string* out, const Alert& alert) {
+  *out += "{\"kind\":";
+  JsonAppendString(out, std::string(AlertKindToString(alert.kind)));
+  *out += ",\"subject\":";
+  JsonAppendString(out, alert.subject);
+  *out += ",\"fired_at_nanos\":";
+  JsonAppendI64(out, alert.fired_at_nanos);
+  *out += ",\"resolved_at_nanos\":";
+  JsonAppendI64(out, alert.resolved_at_nanos);
+  *out += ",\"observed\":";
+  JsonAppendDouble(out, alert.observed);
+  *out += ",\"threshold\":";
+  JsonAppendDouble(out, alert.threshold);
+  *out += ",\"message\":";
+  JsonAppendString(out, alert.message);
+  *out += "}";
+}
+
+}  // namespace
+
+std::string OpsServer::RenderHealthz() const {
+  // draft-inadarei-api-health-check shape: overall status plus a checks
+  // map. Active stall/silence alerts mean the pipeline is wedged -> fail;
+  // any other active alert or a down node degrades to warn.
+  size_t nodes_down = 0;
+  size_t node_count = 0;
+  if (options_.fabric != nullptr) {
+    node_count = options_.fabric->node_count();
+    for (NodeId id = 0; id < node_count; ++id) {
+      if (options_.fabric->IsNodeDown(id)) ++nodes_down;
+    }
+  }
+  std::vector<Alert> alerts;
+  size_t active = 0;
+  bool wedged = false;
+  if (options_.watchdog != nullptr) {
+    alerts = options_.watchdog->Alerts();
+    for (const Alert& alert : alerts) {
+      if (alert.resolved_at_nanos != 0) continue;
+      ++active;
+      if (alert.kind == AlertKind::kWindowStall ||
+          alert.kind == AlertKind::kHeartbeatSilence) {
+        wedged = true;
+      }
+    }
+  }
+  const char* status =
+      wedged ? "fail" : (active > 0 || nodes_down > 0) ? "warn" : "pass";
+
+  std::string out = "{\"status\":";
+  JsonAppendString(&out, status);
+  out += ",\"version\":\"1\",\"description\":\"deco live ops plane\"";
+  out += ",\"checks\":{\"fabric:nodes\":[{\"observedValue\":";
+  JsonAppendU64(&out, node_count);
+  out += ",\"observedUnit\":\"nodes\",\"status\":";
+  JsonAppendString(&out, nodes_down == 0 ? "pass" : "warn");
+  out += ",\"output\":";
+  JsonAppendString(&out, std::to_string(nodes_down) + " down");
+  out += "}],\"watchdog:alerts\":[{\"observedValue\":";
+  JsonAppendU64(&out, active);
+  out += ",\"observedUnit\":\"active alerts\",\"status\":";
+  JsonAppendString(&out, active == 0 ? "pass" : (wedged ? "fail" : "warn"));
+  out += "}]}";
+  out += ",\"alerts\":[";
+  bool first = true;
+  for (const Alert& alert : alerts) {
+    if (!first) out += ",";
+    first = false;
+    AppendAlertJson(&out, alert);
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string OpsServer::RenderStatusz() const {
+  std::string out = "{\"t_nanos\":";
+  JsonAppendI64(&out,
+                options_.clock != nullptr ? options_.clock->NowNanos() : 0);
+  out += ",\"sim\":";
+  out += options_.sim ? "true" : "false";
+
+  if (options_.registry != nullptr) {
+    // The progress gauges the nodes maintain (root.next_window etc.) plus
+    // every counter, so the scrape shows live pane/window movement.
+    const MetricsSnapshot snapshot = options_.registry->Snapshot();
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : snapshot.counters) {
+      if (!first) out += ",";
+      first = false;
+      JsonAppendString(&out, name);
+      out += ":";
+      JsonAppendI64(&out, value);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : snapshot.gauges) {
+      if (!first) out += ",";
+      first = false;
+      JsonAppendString(&out, name);
+      out += ":";
+      JsonAppendI64(&out, value);
+    }
+    out += "}";
+  }
+
+  if (options_.fabric != nullptr) {
+    out += ",\"nodes\":[";
+    const size_t n = options_.fabric->node_count();
+    for (NodeId id = 0; id < n; ++id) {
+      if (id != 0) out += ",";
+      out += "{\"id\":";
+      JsonAppendU64(&out, id);
+      out += ",\"name\":";
+      JsonAppendString(&out, options_.fabric->node_name(id));
+      out += ",\"queue_depth\":";
+      JsonAppendU64(&out, options_.fabric->queue_depth(id));
+      const NodeTrafficStats stats = options_.fabric->node_stats(id);
+      out += ",\"messages_sent\":";
+      JsonAppendU64(&out, stats.messages_sent);
+      out += ",\"messages_received\":";
+      JsonAppendU64(&out, stats.messages_received);
+      out += ",\"bytes_sent\":";
+      JsonAppendU64(&out, stats.bytes_sent);
+      out += ",\"down\":";
+      out += options_.fabric->IsNodeDown(id) ? "true" : "false";
+      out += ",\"incarnation\":";
+      JsonAppendU64(&out, options_.fabric->node_incarnation(id));
+      out += "}";
+    }
+    out += "]";
+  }
+
+  if (options_.watchdog != nullptr) {
+    out += ",\"alerts\":[";
+    bool first = true;
+    for (const Alert& alert : options_.watchdog->Alerts()) {
+      if (!first) out += ",";
+      first = false;
+      AppendAlertJson(&out, alert);
+    }
+    out += "]";
+  }
+
+  if (options_.statusz_extra) {
+    const std::string extra = options_.statusz_extra();
+    if (!extra.empty()) {
+      out += ",";
+      out += extra;
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+StatusTicker::StatusTicker(TimeNanos interval_nanos,
+                           std::function<std::string()> line)
+    : interval_nanos_(std::max<TimeNanos>(interval_nanos, kNanosPerMilli)),
+      line_(std::move(line)) {}
+
+StatusTicker::~StatusTicker() { Stop(); }
+
+void StatusTicker::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void StatusTicker::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, std::chrono::nanoseconds(interval_nanos_),
+                     [&] { return stop_; })) {
+      break;
+    }
+    lock.unlock();
+    std::fputs((line_() + "\n").c_str(), stderr);
+    lock.lock();
+  }
+}
+
+void StatusTicker::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::fputs((line_() + "\n").c_str(), stderr);
+}
+
+}  // namespace deco

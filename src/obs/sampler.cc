@@ -44,6 +44,7 @@ TelemetrySample Sampler::SampleNow() {
     std::lock_guard<std::mutex> lock(mu_);
     samples_.push_back(sample);
   }
+  if (observer_) observer_(sample);
   return sample;
 }
 

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <condition_variable>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -9,6 +10,7 @@
 
 #include "common/clock.h"
 #include "net/fabric.h"
+#include "obs/alert.h"
 #include "obs/metric_registry.h"
 #include "obs/provenance.h"
 #include "obs/trace.h"
@@ -56,6 +58,10 @@ struct TelemetryLog {
   /// Per-window provenance records and accuracy estimates (schema v4);
   /// empty when the run collected no provenance.
   ProvenanceLog provenance;
+  /// Watchdog alert history (schema v6); always-present section, empty
+  /// and disabled when no watchdog ran.
+  std::vector<Alert> alerts;
+  bool alerts_enabled = false;
 };
 
 /// \brief Periodic snapshot thread over a fabric and a registry.
@@ -86,6 +92,14 @@ class Sampler {
   /// \brief One on-demand snapshot, appended to the series (thread-safe).
   TelemetrySample SampleNow();
 
+  /// \brief Registers a callback invoked with every snapshot right after
+  /// it is appended, on the sampling thread (or sim event). Set before
+  /// `Start`; the watchdog's detector tick rides here, which keeps alert
+  /// evaluation as deterministic as the sample series itself.
+  void SetObserver(std::function<void(const TelemetrySample&)> observer) {
+    observer_ = std::move(observer);
+  }
+
   /// \brief Copy of the series collected so far.
   std::vector<TelemetrySample> Samples() const;
 
@@ -101,6 +115,8 @@ class Sampler {
   MetricRegistry* registry_;
   TimeNanos interval_nanos_;
   SimScheduler* sim_;
+
+  std::function<void(const TelemetrySample&)> observer_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -122,11 +122,22 @@ size_t TraceSink::size() const {
 }
 
 TraceSink* TraceSink::Install(TraceSink* sink) {
-  // Hop stamping follows the sink's lifetime: messages carry causal ids
-  // exactly while someone is listening. The flag lives in the net layer so
-  // the fabric does not depend on this library.
-  SetHopStampingEnabled(sink != nullptr);
-  return active_.exchange(sink, std::memory_order_acq_rel);
+  TraceSink* previous = active_.exchange(sink, std::memory_order_acq_rel);
+  internal::RefreshHopStamping();
+  return previous;
 }
+
+namespace internal {
+
+void RefreshHopStamping() {
+  // Hop stamping follows the listeners' lifetimes: messages carry causal
+  // ids exactly while a trace sink or a flight recorder is live. The flag
+  // lives in the net layer so the fabric does not depend on this library.
+  SetHopStampingEnabled(TraceSink::Active() != nullptr ||
+                        g_flight_recorder.load(std::memory_order_acquire) !=
+                            nullptr);
+}
+
+}  // namespace internal
 
 }  // namespace deco

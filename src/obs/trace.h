@@ -139,6 +139,35 @@ class TraceSink {
   static std::atomic<TraceSink*> active_;
 };
 
+// --- flight-recorder bridge ------------------------------------------
+// The black-box recorder (flight_recorder.h) taps the same span macros and
+// hop path as the trace sink, through its own global pointer so either can
+// be live without the other. The atomic lives here so the macro below
+// stays a single relaxed load when nothing is installed; the forwarding
+// function is defined in flight_recorder.cc.
+class FlightRecorder;
+
+namespace internal {
+extern std::atomic<FlightRecorder*> g_flight_recorder;
+
+/// Re-derives the fabric's hop stamping from both global recording
+/// targets; called by `TraceSink::Install` and `FlightRecorder::Install`.
+void RefreshHopStamping();
+}  // namespace internal
+
+/// \brief The installed flight recorder, or nullptr (cheap inline check).
+inline FlightRecorder* ActiveFlightRecorder() {
+  return internal::g_flight_recorder.load(std::memory_order_acquire);
+}
+
+/// \brief Out-of-line span forwarding into the active flight recorder.
+void FlightRecorderSpan(NodeId node, TracePhase phase, uint64_t window_index,
+                        int64_t value, uint64_t msg_id);
+
+/// \brief Out-of-line hop forwarding into the active flight recorder;
+/// called by `Actor::FinishHop` after the dequeue timestamp is set.
+void FlightRecorderHop(const Message& msg);
+
 }  // namespace deco
 
 #ifndef DECO_TRACE_ENABLED
@@ -158,6 +187,10 @@ class TraceSink {
     if (_deco_trace_sink != nullptr) {                                 \
       _deco_trace_sink->Record((node), (phase), (window), (value),     \
                                (msg_id));                              \
+    }                                                                  \
+    if (::deco::ActiveFlightRecorder() != nullptr) {                   \
+      ::deco::FlightRecorderSpan((node), (phase), (window), (value),   \
+                                 (msg_id));                            \
     }                                                                  \
   } while (false)
 #else

@@ -1,0 +1,300 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/flight_recorder.h"
+
+namespace deco {
+
+std::string_view AlertKindToString(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kWindowStall:
+      return "window-stall";
+    case AlertKind::kQueueGrowth:
+      return "queue-growth";
+    case AlertKind::kHeartbeatSilence:
+      return "heartbeat-silence";
+    case AlertKind::kCorrectionStorm:
+      return "correction-storm";
+    case AlertKind::kByteBudgetBurn:
+      return "byte-budget-burn";
+  }
+  return "?";
+}
+
+namespace {
+
+int64_t CounterValue(const MetricsSnapshot& metrics, std::string_view name) {
+  for (const auto& [counter_name, value] : metrics.counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+std::string DetectorKey(AlertKind kind, const std::string& subject) {
+  std::string key(AlertKindToString(kind));
+  key.push_back('|');
+  key += subject;
+  return key;
+}
+
+constexpr std::string_view kTenantBytesPrefix = "serve.tenant.";
+constexpr std::string_view kTenantBytesSuffix = ".bytes";
+
+}  // namespace
+
+Watchdog::Watchdog(WatchdogOptions options, MetricRegistry* registry)
+    : options_(options), registry_(registry) {
+  options_.trip_ticks = std::max(1, options_.trip_ticks);
+  options_.clear_ticks = std::max(1, options_.clear_ticks);
+}
+
+void Watchdog::SetFlightRecorder(FlightRecorder* recorder,
+                                 std::string trip_dump_path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recorder_ = recorder;
+  trip_dump_path_ = std::move(trip_dump_path);
+}
+
+void Watchdog::OnSample(const TelemetrySample& sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TimeNanos now = sample.t_nanos;
+
+  const int64_t windows = CounterValue(sample.metrics, "root.windows_emitted");
+  const int64_t corrections = CounterValue(sample.metrics, "root.corrections");
+  uint64_t traffic = 0;
+  for (const NodeSample& node : sample.nodes) traffic += node.messages_sent;
+
+  if (!has_prev_) {
+    // First sample seeds the trackers; nothing can breach yet.
+    has_prev_ = true;
+    prev_t_nanos_ = now;
+    prev_windows_ = windows;
+    prev_corrections_ = corrections;
+    last_window_progress_nanos_ = now;
+    traffic_at_window_progress_ = traffic;
+    for (const NodeSample& node : sample.nodes) {
+      node_last_sent_[node.name] = {node.messages_sent, now,
+                                    traffic - node.messages_sent};
+    }
+    for (const auto& [name, value] : sample.metrics.counters) {
+      if (name.rfind(kTenantBytesPrefix, 0) == 0 &&
+          name.size() > kTenantBytesSuffix.size() &&
+          name.compare(name.size() - kTenantBytesSuffix.size(),
+                       kTenantBytesSuffix.size(), kTenantBytesSuffix) == 0) {
+        tenant_prev_bytes_[name] = {value, now};
+      }
+    }
+    return;
+  }
+
+  const double dt_sec =
+      static_cast<double>(std::max<TimeNanos>(now - prev_t_nanos_, 1)) / 1e9;
+
+  // --- window-progress stall -------------------------------------------
+  // The root is stalled only if windows stopped while the fabric kept
+  // moving: a finished (quiescent) run freezes both and must not alert.
+  if (windows > prev_windows_ || windows == 0) {
+    last_window_progress_nanos_ = now;
+    traffic_at_window_progress_ = traffic;
+  }
+  if (options_.stall_nanos > 0) {
+    const TimeNanos frozen_for = now - last_window_progress_nanos_;
+    const bool breaching = frozen_for >= options_.stall_nanos &&
+                           traffic > traffic_at_window_progress_;
+    std::ostringstream msg;
+    msg << "no window emitted for " << frozen_for / kNanosPerMilli
+        << " ms while traffic flows (at window " << windows << ")";
+    Step(AlertKind::kWindowStall, "root", breaching,
+         static_cast<double>(frozen_for),
+         static_cast<double>(options_.stall_nanos), msg.str(), now);
+  }
+
+  // --- per-node detectors ----------------------------------------------
+  for (const NodeSample& node : sample.nodes) {
+    if (options_.queue_depth_limit > 0) {
+      const bool breaching =
+          node.queue_depth > static_cast<uint64_t>(options_.queue_depth_limit);
+      std::ostringstream msg;
+      msg << "mailbox depth " << node.queue_depth << " above limit "
+          << options_.queue_depth_limit;
+      Step(AlertKind::kQueueGrowth, node.name, breaching,
+           static_cast<double>(node.queue_depth),
+           static_cast<double>(options_.queue_depth_limit), msg.str(), now);
+    }
+
+    const uint64_t others = traffic - node.messages_sent;
+    auto [it, inserted] = node_last_sent_.try_emplace(
+        node.name, NodeSilenceState{node.messages_sent, now, others});
+    if (!inserted && node.messages_sent != it->second.messages_sent) {
+      it->second = {node.messages_sent, now, others};
+    }
+    if (options_.silence_nanos > 0) {
+      const TimeNanos silent_for = now - it->second.changed_nanos;
+      // A node is silent only relative to a live fabric: its egress frozen
+      // while the *other* nodes' traffic kept advancing. A quiescent run
+      // tail freezes everyone at once and must not alert.
+      const bool fabric_alive = others > it->second.others_at_change;
+      const bool breaching = node.messages_sent > 0 &&
+                             silent_for >= options_.silence_nanos &&
+                             fabric_alive;
+      std::ostringstream msg;
+      msg << "no message sent for " << silent_for / kNanosPerMilli
+          << " ms while the fabric advances";
+      Step(AlertKind::kHeartbeatSilence, node.name, breaching,
+           static_cast<double>(silent_for),
+           static_cast<double>(options_.silence_nanos), msg.str(), now);
+    }
+  }
+
+  // --- correction storm -------------------------------------------------
+  if (options_.corrections_per_sec > 0) {
+    const double rate =
+        static_cast<double>(corrections - prev_corrections_) / dt_sec;
+    std::ostringstream msg;
+    msg << "correction rate " << rate << "/s above limit "
+        << options_.corrections_per_sec << "/s";
+    Step(AlertKind::kCorrectionStorm, "root",
+         rate > options_.corrections_per_sec, rate,
+         options_.corrections_per_sec, msg.str(), now);
+  }
+
+  // --- per-tenant byte-budget burn --------------------------------------
+  if (options_.tenant_bytes_per_sec > 0) {
+    for (const auto& [name, value] : sample.metrics.counters) {
+      if (name.rfind(kTenantBytesPrefix, 0) != 0 ||
+          name.size() <= kTenantBytesPrefix.size() + kTenantBytesSuffix.size() ||
+          name.compare(name.size() - kTenantBytesSuffix.size(),
+                       kTenantBytesSuffix.size(), kTenantBytesSuffix) != 0) {
+        continue;
+      }
+      const std::string tenant = name.substr(
+          kTenantBytesPrefix.size(),
+          name.size() - kTenantBytesPrefix.size() - kTenantBytesSuffix.size());
+      auto [it, inserted] = tenant_prev_bytes_.try_emplace(name, value, now);
+      if (inserted) continue;  // first sight: no rate yet
+      const double rate =
+          static_cast<double>(value - it->second.first) /
+          (static_cast<double>(std::max<TimeNanos>(now - it->second.second, 1)) /
+           1e9);
+      it->second = {value, now};
+      std::ostringstream msg;
+      msg << "tenant '" << tenant << "' burning " << rate
+          << " bytes/s above budget " << options_.tenant_bytes_per_sec;
+      Step(AlertKind::kByteBudgetBurn, tenant,
+           rate > options_.tenant_bytes_per_sec, rate,
+           options_.tenant_bytes_per_sec, msg.str(), now);
+    }
+  }
+
+  prev_t_nanos_ = now;
+  prev_windows_ = windows;
+  prev_corrections_ = corrections;
+}
+
+void Watchdog::Step(AlertKind kind, const std::string& subject, bool breaching,
+                    double observed, double threshold,
+                    const std::string& message, TimeNanos now) {
+  DetectorState& state = detectors_[DetectorKey(kind, subject)];
+  if (breaching) {
+    state.clear_streak = 0;
+    if (state.alert_index >= 0) return;  // already active: no re-fire
+    if (++state.breach_streak < options_.trip_ticks) return;
+    state.breach_streak = 0;
+    Fire(kind, subject, observed, threshold, message, now);
+    state.alert_index = static_cast<int>(alerts_.size()) - 1;
+  } else {
+    state.breach_streak = 0;
+    if (state.alert_index < 0) return;
+    if (++state.clear_streak < options_.clear_ticks) return;
+    state.clear_streak = 0;
+    Resolve(&state, now);
+  }
+}
+
+void Watchdog::Fire(AlertKind kind, const std::string& subject,
+                    double observed, double threshold,
+                    const std::string& message, TimeNanos now) {
+  Alert alert;
+  alert.kind = kind;
+  alert.subject = subject;
+  alert.fired_at_nanos = now;
+  alert.observed = observed;
+  alert.threshold = threshold;
+  alert.message = message;
+  alerts_.push_back(alert);
+  ++fired_;
+  ++active_;
+
+  DECO_LOG(WARNING) << "watchdog: " << AlertKindToString(kind) << " on '"
+                    << subject << "': " << message;
+  if (registry_ != nullptr) {
+    registry_->counter("watchdog.alerts_fired")->Increment();
+    registry_->counter(std::string("watchdog.fired.") +
+                       std::string(AlertKindToString(kind)))
+        ->Increment();
+    registry_->gauge("watchdog.alerts_active")
+        ->Set(static_cast<int64_t>(active_));
+  }
+  if (recorder_ != nullptr) {
+    AlertTransition transition;
+    transition.t_nanos = now;
+    transition.kind = std::string(AlertKindToString(kind));
+    transition.subject = subject;
+    transition.fired = true;
+    transition.observed = observed;
+    transition.threshold = threshold;
+    recorder_->RecordAlert(transition);
+    if (!trip_dump_path_.empty() && !trip_dumped_) {
+      trip_dumped_ = true;
+      std::string reason = "watchdog:" + transition.kind;
+      if (recorder_->DumpJson(trip_dump_path_, reason)) {
+        DECO_LOG(WARNING) << "watchdog: flight recorder dumped to "
+                          << trip_dump_path_;
+      }
+    }
+  }
+}
+
+void Watchdog::Resolve(DetectorState* state, TimeNanos now) {
+  Alert& alert = alerts_[static_cast<size_t>(state->alert_index)];
+  alert.resolved_at_nanos = now;
+  state->alert_index = -1;
+  --active_;
+
+  DECO_LOG(INFO) << "watchdog: " << AlertKindToString(alert.kind) << " on '"
+                 << alert.subject << "' resolved";
+  if (registry_ != nullptr) {
+    registry_->gauge("watchdog.alerts_active")
+        ->Set(static_cast<int64_t>(active_));
+  }
+  if (recorder_ != nullptr) {
+    AlertTransition transition;
+    transition.t_nanos = now;
+    transition.kind = std::string(AlertKindToString(alert.kind));
+    transition.subject = alert.subject;
+    transition.fired = false;
+    transition.observed = alert.observed;
+    transition.threshold = alert.threshold;
+    recorder_->RecordAlert(transition);
+  }
+}
+
+std::vector<Alert> Watchdog::Alerts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alerts_;
+}
+
+uint64_t Watchdog::fired_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+size_t Watchdog::active_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+}  // namespace deco

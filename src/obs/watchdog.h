@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/alert.h"
+#include "obs/metric_registry.h"
+#include "obs/sampler.h"
+
+/// \file watchdog.h
+/// \brief In-process anomaly detectors evaluated on the sampler tick.
+///
+/// The watchdog consumes the same `TelemetrySample` stream the exporters
+/// serialize — it adds no probes of its own, so a detector firing in a
+/// `--sim` run is exactly as deterministic as the sample series itself.
+/// Five detectors cover the failure modes the chaos suite injects:
+///
+///  * window-progress stall: `root.windows_emitted` frozen while fabric
+///    traffic still flows (distinguishes a wedged root from a finished run);
+///  * unbounded queue growth: a mailbox depth above the limit;
+///  * heartbeat silence: a node's egress counter frozen while the rest of
+///    the fabric advances (a crashed or partitioned node);
+///  * correction storm: correction rate above the limit (a root thrashing
+///    on mispredictions);
+///  * byte-budget burn: a serving tenant's byte rate above its budget.
+///
+/// Detectors use hysteresis — `trip_ticks` consecutive breaching samples to
+/// fire, `clear_ticks` clean samples to resolve — so one noisy snapshot
+/// neither fires nor clears an alert. Each (detector, subject) pair fires
+/// at most once per breach episode: the `Alert` record is appended on the
+/// fire transition and annotated with `resolved_at_nanos` on the clear
+/// transition, giving the "fired exactly once" semantics the tests assert.
+
+namespace deco {
+
+class FlightRecorder;
+
+/// \brief Detector thresholds. A non-positive threshold disables that
+/// detector; the defaults are conservative enough for the stock workloads.
+struct WatchdogOptions {
+  /// Window-progress stall: no new window for this long while traffic
+  /// still flows.
+  TimeNanos stall_nanos = 2 * kNanosPerSecond;
+  /// Unbounded queue growth: any mailbox deeper than this.
+  int64_t queue_depth_limit = 100000;
+  /// Heartbeat silence: a node's egress frozen this long while other
+  /// nodes' traffic advances.
+  TimeNanos silence_nanos = 2 * kNanosPerSecond;
+  /// Correction storm: root corrections per second above this.
+  double corrections_per_sec = 100.0;
+  /// Byte-budget burn: any serving tenant above this many bytes/sec
+  /// (0 disables — budgets are workload-specific).
+  double tenant_bytes_per_sec = 0.0;
+  /// Consecutive breaching samples before an alert fires.
+  int trip_ticks = 2;
+  /// Consecutive clean samples before an active alert resolves.
+  int clear_ticks = 2;
+};
+
+/// \brief Evaluates the detectors against each telemetry sample and keeps
+/// the cumulative alert history. Thread-safe: `OnSample` runs on the
+/// sampler tick (thread or sim event), readers are the ops server and the
+/// end-of-run exporters.
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogOptions options,
+                    MetricRegistry* registry = nullptr);
+
+  /// \brief When set, alert transitions are recorded into the flight
+  /// recorder, and the first fire of the run dumps it to `trip_dump_path`
+  /// (empty path = record transitions only).
+  void SetFlightRecorder(FlightRecorder* recorder, std::string trip_dump_path);
+
+  /// \brief Evaluates every detector against one sample.
+  void OnSample(const TelemetrySample& sample);
+
+  /// \brief Copy of the alert history, fire-order. Resolved alerts carry
+  /// `resolved_at_nanos`.
+  std::vector<Alert> Alerts() const;
+
+  /// \brief Alerts fired so far (monotonic).
+  uint64_t fired_count() const;
+
+  /// \brief Alerts currently active (fired, not yet resolved).
+  size_t active_count() const;
+
+  const WatchdogOptions& options() const { return options_; }
+
+ private:
+  struct DetectorState {
+    int breach_streak = 0;
+    int clear_streak = 0;
+    int alert_index = -1;  ///< index into alerts_ while active
+  };
+
+  /// One hysteresis step for detector `kind` on `subject`: `breaching` is
+  /// this tick's raw condition; fires/resolves per the configured streaks.
+  void Step(AlertKind kind, const std::string& subject, bool breaching,
+            double observed, double threshold, const std::string& message,
+            TimeNanos now);
+
+  void Fire(AlertKind kind, const std::string& subject, double observed,
+            double threshold, const std::string& message, TimeNanos now);
+  void Resolve(DetectorState* state, TimeNanos now);
+
+  WatchdogOptions options_;
+  MetricRegistry* registry_;  ///< may be null (unit tests)
+
+  mutable std::mutex mu_;
+  std::map<std::string, DetectorState> detectors_;  ///< key: kind|subject
+  std::vector<Alert> alerts_;
+  uint64_t fired_ = 0;
+  size_t active_ = 0;
+
+  FlightRecorder* recorder_ = nullptr;
+  std::string trip_dump_path_;
+  bool trip_dumped_ = false;
+
+  // Progress trackers carried between samples.
+  bool has_prev_ = false;
+  TimeNanos prev_t_nanos_ = 0;
+  int64_t prev_windows_ = 0;
+  int64_t prev_corrections_ = 0;
+  TimeNanos last_window_progress_nanos_ = 0;
+  uint64_t traffic_at_window_progress_ = 0;
+  struct NodeSilenceState {
+    uint64_t messages_sent = 0;   ///< egress counter at last change
+    TimeNanos changed_nanos = 0;  ///< when it last changed
+    uint64_t others_at_change = 0;  ///< everyone else's egress at that time
+  };
+  std::map<std::string, NodeSilenceState> node_last_sent_;
+  std::map<std::string, std::pair<int64_t, TimeNanos>>
+      tenant_prev_bytes_;  ///< tenant -> (bytes counter, sample time)
+};
+
+}  // namespace deco

@@ -1,0 +1,214 @@
+// Ops server tests: a real loopback HTTP client GETs /metrics, /healthz
+// and /statusz from a running server and checks status lines, content
+// types and body shape (Prometheus exposition lines, health JSON fields,
+// per-node status entries). The render methods are also exercised
+// directly so failures localize.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/clock.h"
+#include "net/fabric.h"
+#include "obs/metric_registry.h"
+#include "obs/ops_server.h"
+#include "obs/watchdog.h"
+
+namespace deco {
+namespace {
+
+/// Minimal blocking HTTP/1.0 GET against 127.0.0.1:port; returns the raw
+/// response (status line + headers + body), empty string on failure.
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) < 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+class OpsServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fabric_ = std::make_unique<NetworkFabric>(&clock_);
+    root_ = fabric_->RegisterNode("root");
+    local_ = fabric_->RegisterNode("local-0");
+    registry_.counter("root.windows_emitted")->Add(7);
+    registry_.gauge("root.next_window")->Set(7);
+    registry_.histogram("assemble.latency")->Record(1000);
+
+    OpsServer::Options options;
+    options.port = 0;  // ephemeral
+    options.clock = &clock_;
+    options.fabric = fabric_.get();
+    options.registry = &registry_;
+    options.watchdog = &watchdog_;
+    options.statusz_extra = [] {
+      return std::string("\"serving\": {\"enabled\": false}");
+    };
+    server_ = std::make_unique<OpsServer>(options);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  SystemClock clock_;
+  MetricRegistry registry_;
+  Watchdog watchdog_{WatchdogOptions()};
+  std::unique_ptr<NetworkFabric> fabric_;
+  NodeId root_ = 0;
+  NodeId local_ = 0;
+  std::unique_ptr<OpsServer> server_;
+};
+
+TEST_F(OpsServerTest, MetricsEndpointServesPrometheusText) {
+  const std::string response = HttpGet(server_->port(), "/metrics");
+  ASSERT_FALSE(response.empty());
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  // Counter with _total suffix, HELP/TYPE headers, gauge, histogram
+  // summary and the per-node series.
+  EXPECT_NE(response.find("# TYPE deco_root_windows_emitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(response.find("deco_root_windows_emitted_total 7"),
+            std::string::npos);
+  EXPECT_NE(response.find("deco_root_next_window 7"), std::string::npos);
+  EXPECT_NE(response.find("# TYPE deco_assemble_latency summary"),
+            std::string::npos);
+  EXPECT_NE(response.find("deco_assemble_latency_count 1"),
+            std::string::npos);
+  EXPECT_NE(response.find("deco_node_queue_depth{node=\"root\"}"),
+            std::string::npos);
+  EXPECT_NE(response.find("deco_node_queue_depth{node=\"local-0\"}"),
+            std::string::npos);
+}
+
+TEST_F(OpsServerTest, HealthzReportsPassOnCleanFabric) {
+  const std::string response = HttpGet(server_->port(), "/healthz");
+  ASSERT_FALSE(response.empty());
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/health+json"), std::string::npos);
+  EXPECT_NE(response.find("\"status\":\"pass\""), std::string::npos);
+  EXPECT_NE(response.find("\"fabric:nodes\""), std::string::npos);
+  EXPECT_NE(response.find("\"watchdog:alerts\""), std::string::npos);
+  EXPECT_NE(response.find("\"alerts\":[]"), std::string::npos);
+}
+
+TEST_F(OpsServerTest, StatuszListsNodesAndExtraFragment) {
+  const std::string response = HttpGet(server_->port(), "/statusz");
+  ASSERT_FALSE(response.empty());
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\"name\":\"root\""), std::string::npos);
+  EXPECT_NE(response.find("\"name\":\"local-0\""), std::string::npos);
+  EXPECT_NE(response.find("\"root.windows_emitted\":7"), std::string::npos);
+  // The harness-injected fragment (serving/chaos state) rides along.
+  EXPECT_NE(response.find("\"serving\": {\"enabled\": false}"),
+            std::string::npos);
+}
+
+TEST_F(OpsServerTest, UnknownPathIs404AndPostIs405) {
+  EXPECT_NE(HttpGet(server_->port(), "/nope").find("404"),
+            std::string::npos);
+  // Raw POST request.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server_->port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request = "POST /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_GT(::send(fd, request.data(), request.size(), 0), 0);
+  std::string response;
+  char buf[1024];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("405"), std::string::npos);
+}
+
+TEST_F(OpsServerTest, QueryStringIsIgnoredAndRequestsAreCounted) {
+  const uint64_t before = server_->requests_served();
+  const std::string response =
+      HttpGet(server_->port(), "/metrics?debug=1");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_GT(server_->requests_served(), before);
+}
+
+TEST_F(OpsServerTest, ActiveAlertSurfacesInHealthzAndMetrics) {
+  // Drive the watchdog into an active queue-growth alert by hand.
+  WatchdogOptions options;
+  options.queue_depth_limit = 10;
+  options.trip_ticks = 1;
+  Watchdog tripped(options, &registry_);
+  TelemetrySample sample;
+  sample.t_nanos = kNanosPerSecond;
+  NodeSample node;
+  node.name = "local-0";
+  node.messages_sent = 1;
+  sample.nodes.push_back(node);
+  tripped.OnSample(sample);  // seed
+  sample.t_nanos += kNanosPerSecond;
+  sample.nodes[0].queue_depth = 500;
+  sample.nodes[0].messages_sent = 2;
+  tripped.OnSample(sample);
+  ASSERT_EQ(tripped.active_count(), 1u);
+
+  OpsServer::Options server_options;
+  server_options.port = 0;
+  server_options.clock = &clock_;
+  server_options.fabric = fabric_.get();
+  server_options.registry = &registry_;
+  server_options.watchdog = &tripped;
+  OpsServer alerting(server_options);
+  ASSERT_TRUE(alerting.Start().ok());
+
+  const std::string health = HttpGet(alerting.port(), "/healthz");
+  EXPECT_NE(health.find("\"status\":\"warn\""), std::string::npos)
+      << health;
+  EXPECT_NE(health.find("queue-growth"), std::string::npos);
+
+  const std::string metrics = HttpGet(alerting.port(), "/metrics");
+  EXPECT_NE(metrics.find("deco_watchdog_alerts_active 1"),
+            std::string::npos);
+  alerting.Stop();
+}
+
+TEST_F(OpsServerTest, StopIsIdempotentAndPortCloses) {
+  const int port = server_->port();
+  server_->Stop();
+  server_->Stop();
+  EXPECT_TRUE(HttpGet(port, "/metrics").empty());
+}
+
+}  // namespace
+}  // namespace deco

@@ -231,7 +231,10 @@ TEST(TelemetryIntegrationTest, DecoAsyncRunProducesSamplesSpansAndJson) {
   // Exported document: well-formed JSON with the schema's key fields.
   const std::string json = ReadFileOrDie(json_path);
   EXPECT_TRUE(JsonChecker(json).Valid());
-  EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 6"), std::string::npos);
+  // Schema v6: the alerts section is always present, disabled and empty
+  // when no watchdog ran.
+  EXPECT_NE(json.find("\"alerts\""), std::string::npos);
   EXPECT_NE(json.find("\"serving\""), std::string::npos);
   EXPECT_NE(json.find("\"cpu_breakdown\""), std::string::npos);
   EXPECT_NE(json.find("\"provenance_summary\""), std::string::npos);

@@ -1,0 +1,421 @@
+// Watchdog detector tests: hand-built telemetry samples exercise each
+// detector's threshold and the hysteresis state machine (trip streak,
+// fire-once-per-episode, resolve streak), then deterministic --sim chaos
+// runs provoke the detectors end to end through the harness.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "harness/experiment.h"
+#include "obs/flight_recorder.h"
+#include "obs/metric_registry.h"
+#include "obs/sampler.h"
+#include "obs/watchdog.h"
+
+namespace deco {
+namespace {
+
+constexpr TimeNanos kTick = 100 * kNanosPerMilli;
+
+NodeSample MakeNode(const std::string& name, uint64_t sent,
+                    uint64_t queue_depth = 0) {
+  NodeSample node;
+  node.name = name;
+  node.messages_sent = sent;
+  node.queue_depth = queue_depth;
+  return node;
+}
+
+TelemetrySample MakeSample(TimeNanos t, int64_t windows, int64_t corrections,
+                           std::vector<NodeSample> nodes) {
+  TelemetrySample sample;
+  sample.t_nanos = t;
+  sample.nodes = std::move(nodes);
+  sample.metrics.counters.emplace_back("root.corrections", corrections);
+  sample.metrics.counters.emplace_back("root.windows_emitted", windows);
+  return sample;
+}
+
+WatchdogOptions FastOptions() {
+  WatchdogOptions options;
+  options.stall_nanos = 2 * kTick;
+  options.queue_depth_limit = 100;
+  options.silence_nanos = 2 * kTick;
+  options.corrections_per_sec = 50.0;
+  options.trip_ticks = 2;
+  options.clear_ticks = 2;
+  return options;
+}
+
+// ------------------------------------------------------------ hysteresis
+
+TEST(WatchdogTest, QueueGrowthNeedsTripTicksToFire) {
+  Watchdog watchdog(FastOptions());
+  TimeNanos t = kNanosPerSecond;
+  // Seed sample, then one breaching tick: not enough for trip_ticks=2.
+  watchdog.OnSample(MakeSample(t, 0, 0, {MakeNode("local-0", 1, 0)}));
+  t += kTick;
+  watchdog.OnSample(MakeSample(t, 0, 0, {MakeNode("local-0", 2, 500)}));
+  EXPECT_EQ(watchdog.fired_count(), 0u);
+  // Second consecutive breach fires.
+  t += kTick;
+  watchdog.OnSample(MakeSample(t, 0, 0, {MakeNode("local-0", 3, 500)}));
+  ASSERT_EQ(watchdog.fired_count(), 1u);
+  const Alert alert = watchdog.Alerts()[0];
+  EXPECT_EQ(alert.kind, AlertKind::kQueueGrowth);
+  EXPECT_EQ(alert.subject, "local-0");
+  EXPECT_DOUBLE_EQ(alert.observed, 500.0);
+  EXPECT_DOUBLE_EQ(alert.threshold, 100.0);
+  EXPECT_EQ(alert.resolved_at_nanos, 0);
+}
+
+TEST(WatchdogTest, BreachStreakResetsOnCleanSample) {
+  Watchdog watchdog(FastOptions());
+  TimeNanos t = kNanosPerSecond;
+  watchdog.OnSample(MakeSample(t, 0, 0, {MakeNode("local-0", 1, 0)}));
+  // Alternating breach/clean never reaches trip_ticks=2.
+  for (int i = 0; i < 6; ++i) {
+    t += kTick;
+    const uint64_t depth = (i % 2 == 0) ? 500 : 0;
+    watchdog.OnSample(
+        MakeSample(t, 0, 0, {MakeNode("local-0", 1 + i, depth)}));
+  }
+  EXPECT_EQ(watchdog.fired_count(), 0u);
+}
+
+TEST(WatchdogTest, FiresExactlyOncePerEpisodeAndResolves) {
+  Watchdog watchdog(FastOptions());
+  TimeNanos t = kNanosPerSecond;
+  watchdog.OnSample(MakeSample(t, 0, 0, {MakeNode("local-0", 1, 0)}));
+  // Long breach episode: exactly one alert no matter how long it lasts.
+  for (int i = 0; i < 10; ++i) {
+    t += kTick;
+    watchdog.OnSample(
+        MakeSample(t, 0, 0, {MakeNode("local-0", 2 + i, 500)}));
+  }
+  EXPECT_EQ(watchdog.fired_count(), 1u);
+  EXPECT_EQ(watchdog.active_count(), 1u);
+
+  // One clean tick is not enough to resolve (clear_ticks=2)...
+  t += kTick;
+  watchdog.OnSample(MakeSample(t, 0, 0, {MakeNode("local-0", 20, 0)}));
+  EXPECT_EQ(watchdog.active_count(), 1u);
+  // ...the second clears it and stamps resolved_at_nanos.
+  t += kTick;
+  watchdog.OnSample(MakeSample(t, 0, 0, {MakeNode("local-0", 21, 0)}));
+  EXPECT_EQ(watchdog.active_count(), 0u);
+  ASSERT_EQ(watchdog.Alerts().size(), 1u);
+  EXPECT_EQ(watchdog.Alerts()[0].resolved_at_nanos, t);
+
+  // A fresh breach episode fires a second, distinct alert.
+  for (int i = 0; i < 2; ++i) {
+    t += kTick;
+    watchdog.OnSample(
+        MakeSample(t, 0, 0, {MakeNode("local-0", 22 + i, 999)}));
+  }
+  EXPECT_EQ(watchdog.fired_count(), 2u);
+  EXPECT_EQ(watchdog.Alerts()[1].resolved_at_nanos, 0);
+}
+
+// ------------------------------------------------------- window stall
+
+TEST(WatchdogTest, StallFiresOnlyWhileTrafficFlows) {
+  Watchdog watchdog(FastOptions());
+  TimeNanos t = kNanosPerSecond;
+  // Windows advance normally, then freeze at 5 while traffic keeps moving.
+  watchdog.OnSample(MakeSample(t, 4, 0, {MakeNode("local-0", 10)}));
+  t += kTick;
+  watchdog.OnSample(MakeSample(t, 5, 0, {MakeNode("local-0", 20)}));
+  for (int i = 0; i < 4; ++i) {
+    t += kTick;
+    watchdog.OnSample(
+        MakeSample(t, 5, 0, {MakeNode("local-0", 30 + 10 * i)}));
+  }
+  ASSERT_GE(watchdog.fired_count(), 1u);
+  EXPECT_EQ(watchdog.Alerts()[0].kind, AlertKind::kWindowStall);
+  EXPECT_EQ(watchdog.Alerts()[0].subject, "root");
+}
+
+TEST(WatchdogTest, QuiescentRunTailDoesNotStall) {
+  Watchdog watchdog(FastOptions());
+  TimeNanos t = kNanosPerSecond;
+  watchdog.OnSample(MakeSample(t, 5, 0, {MakeNode("local-0", 20)}));
+  // Windows frozen AND traffic frozen: a finished run, not a stall. The
+  // silence detector must stay quiet too — nobody else is advancing.
+  for (int i = 0; i < 10; ++i) {
+    t += kTick;
+    watchdog.OnSample(MakeSample(t, 5, 0, {MakeNode("local-0", 20)}));
+  }
+  EXPECT_EQ(watchdog.fired_count(), 0u);
+}
+
+// --------------------------------------------------- heartbeat silence
+
+TEST(WatchdogTest, SilenceFiresForFrozenNodeWhileOthersAdvance) {
+  Watchdog watchdog(FastOptions());
+  TimeNanos t = kNanosPerSecond;
+  watchdog.OnSample(MakeSample(
+      t, 0, 0, {MakeNode("local-0", 10), MakeNode("local-1", 10)}));
+  // local-1 freezes; local-0 keeps sending (windows advance so the stall
+  // detector stays out of the picture).
+  for (int i = 1; i <= 5; ++i) {
+    t += kTick;
+    watchdog.OnSample(MakeSample(
+        t, i, 0, {MakeNode("local-0", 10 + 10 * i), MakeNode("local-1", 10)}));
+  }
+  ASSERT_GE(watchdog.fired_count(), 1u);
+  const Alert alert = watchdog.Alerts()[0];
+  EXPECT_EQ(alert.kind, AlertKind::kHeartbeatSilence);
+  EXPECT_EQ(alert.subject, "local-1");
+}
+
+// ---------------------------------------------------- correction storm
+
+TEST(WatchdogTest, CorrectionStormFiresOnRate) {
+  Watchdog watchdog(FastOptions());  // limit: 50 corrections/s
+  TimeNanos t = kNanosPerSecond;
+  int64_t corrections = 0;
+  watchdog.OnSample(MakeSample(t, 1, corrections, {MakeNode("local-0", 1)}));
+  // 20 corrections per 100 ms tick = 200/s, well above the limit.
+  for (int i = 1; i <= 3; ++i) {
+    t += kTick;
+    corrections += 20;
+    watchdog.OnSample(
+        MakeSample(t, 1 + i, corrections, {MakeNode("local-0", 1 + i)}));
+  }
+  ASSERT_GE(watchdog.fired_count(), 1u);
+  EXPECT_EQ(watchdog.Alerts()[0].kind, AlertKind::kCorrectionStorm);
+  EXPECT_GT(watchdog.Alerts()[0].observed, 50.0);
+}
+
+// --------------------------------------------------- byte-budget burn
+
+TEST(WatchdogTest, TenantByteBurnFiresAbovebudget) {
+  WatchdogOptions options = FastOptions();
+  options.tenant_bytes_per_sec = 1000.0;
+  Watchdog watchdog(options);
+  TimeNanos t = kNanosPerSecond;
+
+  auto sample_with_bytes = [&](TimeNanos at, int64_t windows, int64_t acme,
+                               int64_t zen) {
+    TelemetrySample sample =
+        MakeSample(at, windows, 0, {MakeNode("local-0", windows + 1)});
+    sample.metrics.counters.emplace_back("serve.tenant.acme.bytes", acme);
+    sample.metrics.counters.emplace_back("serve.tenant.zen.bytes", zen);
+    return sample;
+  };
+
+  // acme burns 1000 bytes per 100 ms tick = 10 kB/s; zen stays cold.
+  watchdog.OnSample(sample_with_bytes(t, 0, 0, 0));
+  for (int i = 1; i <= 3; ++i) {
+    t += kTick;
+    watchdog.OnSample(sample_with_bytes(t, i, 1000 * i, 10 * i));
+  }
+  ASSERT_EQ(watchdog.fired_count(), 1u);
+  const Alert alert = watchdog.Alerts()[0];
+  EXPECT_EQ(alert.kind, AlertKind::kByteBudgetBurn);
+  EXPECT_EQ(alert.subject, "acme");
+  EXPECT_GT(alert.observed, 1000.0);
+}
+
+// ------------------------------------------------ registry + recorder
+
+TEST(WatchdogTest, RegistryCountersTrackFireAndResolve) {
+  MetricRegistry registry;
+  Watchdog watchdog(FastOptions(), &registry);
+  TimeNanos t = kNanosPerSecond;
+  watchdog.OnSample(MakeSample(t, 0, 0, {MakeNode("local-0", 1, 0)}));
+  for (int i = 0; i < 2; ++i) {
+    t += kTick;
+    watchdog.OnSample(
+        MakeSample(t, 0, 0, {MakeNode("local-0", 2 + i, 500)}));
+  }
+  EXPECT_EQ(registry.counter("watchdog.alerts_fired")->value(), 1);
+  EXPECT_EQ(registry.counter("watchdog.fired.queue-growth")->value(), 1);
+  EXPECT_EQ(registry.gauge("watchdog.alerts_active")->value(), 1);
+  for (int i = 0; i < 2; ++i) {
+    t += kTick;
+    watchdog.OnSample(
+        MakeSample(t, 0, 0, {MakeNode("local-0", 10 + i, 0)}));
+  }
+  EXPECT_EQ(registry.gauge("watchdog.alerts_active")->value(), 0);
+}
+
+TEST(WatchdogTest, FirstFireDumpsFlightRecorderOnce) {
+  const std::string dump_path =
+      ::testing::TempDir() + "/watchdog_trip_dump.json";
+  std::remove(dump_path.c_str());
+
+  SystemClock clock;
+  FlightRecorder recorder(&clock);
+  Watchdog watchdog(FastOptions());
+  watchdog.SetFlightRecorder(&recorder, dump_path);
+
+  TimeNanos t = kNanosPerSecond;
+  watchdog.OnSample(MakeSample(t, 0, 0, {MakeNode("local-0", 1, 0)}));
+  for (int i = 0; i < 4; ++i) {
+    t += kTick;
+    watchdog.OnSample(
+        MakeSample(t, 0, 0, {MakeNode("local-0", 2 + i, 500)}));
+  }
+  ASSERT_EQ(watchdog.fired_count(), 1u);
+  EXPECT_EQ(recorder.alerts_recorded(), 1u);
+
+  std::FILE* f = std::fopen(dump_path.c_str(), "r");
+  ASSERT_NE(f, nullptr) << dump_path;
+  std::string content;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  EXPECT_NE(content.find("\"reason\": \"watchdog:queue-growth\""),
+            std::string::npos)
+      << content.substr(0, 200);
+  std::remove(dump_path.c_str());
+}
+
+// ------------------------------------------------------ sim integration
+
+// A deterministic sim run whose chaos schedule lags the root for long
+// enough that windows freeze while the locals keep streaming: the stall
+// detector must fire exactly once and resolve after the lag lifts.
+TEST(WatchdogSimTest, ChaosLagTripsStallDetectorOnce) {
+  ExperimentConfig config;
+  config.scheme = Scheme::kDecoSync;
+  config.query.window = WindowSpec::CountTumbling(10'000);
+  config.query.aggregate = AggregateKind::kSum;
+  config.num_locals = 2;
+  config.streams_per_local = 2;
+  config.events_per_local = 400'000;
+  config.base_rate = 1e6;
+  config.rate_change = 0.01;
+  config.batch_size = 2048;
+  config.seed = 7;
+  config.sim = true;
+  config.cpu_events_per_sec = 200'000;  // pace the run so chaos lands mid-stream
+  config.chaos.schedule.LatencySpike("root", 500 * kNanosPerMilli,
+                                     600 * kNanosPerMilli,
+                                     kNanosPerSecond);
+
+  std::vector<Alert> alerts;
+  config.ops.watchdog = true;
+  config.ops.watchdog_options.stall_nanos = 200 * kNanosPerMilli;
+  config.ops.watchdog_options.silence_nanos = 0;  // isolate the stall detector
+  config.ops.watchdog_options.trip_ticks = 2;
+  // Wide clear streak: while the delayed backlog trickles in, a single
+  // window arriving must not split the stall into two episodes.
+  config.ops.watchdog_options.clear_ticks = 6;
+  config.ops.alerts = &alerts;
+  config.telemetry.sample_interval_nanos = 50 * kNanosPerMilli;
+
+  auto report = RunExperiment(config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->windows_emitted, 0u);
+
+  size_t stalls = 0;
+  for (const Alert& alert : alerts) {
+    if (alert.kind == AlertKind::kWindowStall) {
+      ++stalls;
+      EXPECT_EQ(alert.subject, "root");
+      // The episode may still be active when the run drains; when it did
+      // resolve, the resolve edge must come after the fire edge.
+      if (alert.resolved_at_nanos != 0) {
+        EXPECT_GT(alert.resolved_at_nanos, alert.fired_at_nanos);
+      }
+    }
+  }
+  EXPECT_EQ(stalls, 1u) << "stall must fire exactly once per episode";
+}
+
+// Crashing a local under deco-sync (no failure detector configured in this
+// run — timeout set so the run completes) freezes that node's egress while
+// the survivor keeps streaming: the silence detector names the dead node.
+TEST(WatchdogSimTest, ChaosCrashTripsSilenceDetector) {
+  ExperimentConfig config;
+  config.scheme = Scheme::kDecoSync;
+  config.query.window = WindowSpec::CountTumbling(10'000);
+  config.query.aggregate = AggregateKind::kSum;
+  config.num_locals = 2;
+  config.streams_per_local = 2;
+  config.events_per_local = 400'000;
+  config.base_rate = 1e6;
+  config.rate_change = 0.01;
+  config.batch_size = 2048;
+  config.seed = 11;
+  config.sim = true;
+  config.cpu_events_per_sec = 200'000;
+  config.root_options.node_timeout_nanos = 300 * kNanosPerMilli;
+  config.chaos.schedule.Crash("local-1", 400 * kNanosPerMilli);
+
+  std::vector<Alert> alerts;
+  config.ops.watchdog = true;
+  config.ops.watchdog_options.stall_nanos = 0;  // isolate silence
+  // Above the root's 300 ms partial-timeout stall so only the dead
+  // node (frozen forever) trips, not the waiting root.
+  config.ops.watchdog_options.silence_nanos = 450 * kNanosPerMilli;
+  config.ops.watchdog_options.trip_ticks = 2;
+  config.ops.alerts = &alerts;
+  config.telemetry.sample_interval_nanos = 50 * kNanosPerMilli;
+
+  auto report = RunExperiment(config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  size_t silences = 0;
+  for (const Alert& alert : alerts) {
+    if (alert.kind == AlertKind::kHeartbeatSilence) {
+      ++silences;
+      EXPECT_EQ(alert.subject, "local-1");
+    }
+  }
+  EXPECT_EQ(silences, 1u);
+}
+
+// The same seeded sim run must produce the identical alert trace twice:
+// the watchdog rides the deterministic sample series, so its output is
+// replayable too.
+TEST(WatchdogSimTest, AlertTraceIsDeterministic) {
+  auto run_once = [](std::vector<Alert>* alerts) {
+    ExperimentConfig config;
+    config.scheme = Scheme::kDecoSync;
+    config.query.window = WindowSpec::CountTumbling(10'000);
+    config.query.aggregate = AggregateKind::kSum;
+    config.num_locals = 2;
+    config.streams_per_local = 2;
+    config.events_per_local = 400'000;
+    config.base_rate = 1e6;
+    config.rate_change = 0.01;
+    config.batch_size = 2048;
+    config.seed = 7;
+    config.sim = true;
+    config.cpu_events_per_sec = 200'000;
+    config.chaos.schedule.LatencySpike("root", 500 * kNanosPerMilli,
+                                       600 * kNanosPerMilli,
+                                       kNanosPerSecond);
+    config.ops.watchdog = true;
+    config.ops.watchdog_options.stall_nanos = 200 * kNanosPerMilli;
+    config.ops.watchdog_options.silence_nanos = 0;
+    config.ops.watchdog_options.clear_ticks = 6;
+    config.ops.alerts = alerts;
+    config.telemetry.sample_interval_nanos = 50 * kNanosPerMilli;
+    auto report = RunExperiment(config);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+  };
+
+  std::vector<Alert> first, second;
+  run_once(&first);
+  run_once(&second);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].kind, second[i].kind);
+    EXPECT_EQ(first[i].subject, second[i].subject);
+    EXPECT_EQ(first[i].fired_at_nanos, second[i].fired_at_nanos);
+    EXPECT_EQ(first[i].resolved_at_nanos, second[i].resolved_at_nanos);
+  }
+}
+
+}  // namespace
+}  // namespace deco

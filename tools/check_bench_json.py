@@ -26,7 +26,10 @@ Checks, per document:
     bound: the marginal bytes/event of the largest query count must stay
     under 20% of the single-query cost (the shared slice store makes the
     Nth query nearly free; rerun-per-query baselines like central are
-    exempt — their linear growth is the point of the comparison).
+    exempt — their linear growth is the point of the comparison);
+  * ops-overhead pairs (a `<scheme>/ops` row next to its `<scheme>` row,
+    emitted by fig7_end_to_end --ops_overhead) in sim documents keep the
+    live ops plane's throughput cost within 2% of the plain run.
 
 Exits non-zero with a per-file message on the first violation in each
 file; prints a one-line OK per valid file.
@@ -152,6 +155,52 @@ def check_marginal_cost(doc, path):
                f"single-query cost {single:.4f}")
 
 
+OPS_OVERHEAD_BOUND = 0.02
+
+
+def check_ops_overhead(doc, path):
+    """Cross-row check for the live ops plane: when a bench carries both a
+    `<scheme>` row and its `<scheme>/ops` twin (same workload rerun with
+    the metrics endpoint, watchdog and flight recorder on), their
+    throughput medians must agree within OPS_OVERHEAD_BOUND. Only sim rows
+    are gated — virtual-time throughput is deterministic, wall-clock
+    throughput is too noisy for a 2% bar."""
+    if not doc.get("config", {}).get("sim", False):
+        return
+    rows = {row["label"]: (i, row) for i, row in enumerate(doc["rows"])}
+    for label, (i, row) in rows.items():
+        if not label.endswith("/ops"):
+            continue
+        base_label = label[: -len("/ops")]
+        expect(base_label in rows,
+               f"rows[{i}] ('{label}'): no matching '{base_label}' row to "
+               "compare against")
+        where = f"rows[{i}] ('{label}')"
+        base = rows[base_label][1]["metrics"]
+        ops = row["metrics"]
+        # Virtual time makes the structural metrics exact: the ops plane
+        # (pure reads + sampler-tick detectors) must not perturb the data
+        # plane at all.
+        for name in ("windows", "total_bytes", "total_messages",
+                     "corrections"):
+            if name not in base or name not in ops:
+                continue
+            expect(ops[name]["median"] == base[name]["median"],
+                   f"{where}: ops plane changed {name} "
+                   f"({ops[name]['median']!r} vs {base[name]['median']!r}) "
+                   "— endpoints must be pure reads")
+        # Unpaced sim runs report zero eps (no virtual elapsed time); when
+        # throughput is measurable (--cpu-paced sim), hold the 2% bound.
+        plain = base.get("throughput_eps", {}).get("median", 0)
+        with_ops = ops.get("throughput_eps", {}).get("median", 0)
+        if plain > 0:
+            overhead = (plain - with_ops) / plain
+            expect(overhead <= OPS_OVERHEAD_BOUND,
+                   f"{where}: ops plane costs {overhead:.2%} throughput "
+                   f"({with_ops:.0f} vs {plain:.0f} ev/s), above the "
+                   f"{OPS_OVERHEAD_BOUND:.0%} bound")
+
+
 def check_profile(profile, where):
     for key in ("enabled", "alloc_counted", "threads"):
         expect(key in profile, f"{where}: cpu_breakdown missing '{key}'")
@@ -199,6 +248,7 @@ def check_doc(doc, path):
         if row["cpu_breakdown"] is not None:
             check_profile(row["cpu_breakdown"], f"{where} ('{label}')")
     check_marginal_cost(doc, path)
+    check_ops_overhead(doc, path)
 
 
 def main():

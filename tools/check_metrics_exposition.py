@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (0.0.4) document.
+
+Used by the CI ops-smoke job on the body scraped from `deco_run
+--ops_port`'s /metrics endpoint. Checks, line by line:
+
+  * HELP/TYPE comment grammar: `# HELP <name> <docstring>` and
+    `# TYPE <name> counter|gauge|summary|histogram|untyped`;
+  * sample grammar: `name{label="value",...} value [timestamp]` with
+    metric/label names matching [a-zA-Z_:][a-zA-Z0-9_:]*;
+  * every TYPE declared at most once per metric, before its samples;
+  * counter sample names end in `_total` (+ finite, non-negative values);
+  * summaries expose `_count` and `_sum` alongside quantile samples;
+  * all sample values parse as floats (NaN allowed only for quantiles).
+
+Exit 0 and a one-line summary when valid; exit 1 with every violation
+otherwise.
+
+Usage:
+  check_metrics_exposition.py metrics.txt
+  curl -s localhost:9900/metrics | check_metrics_exposition.py -
+  check_metrics_exposition.py metrics.txt --require deco_root_windows_emitted_total
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name, optional {labels}, value, optional timestamp
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?\s*$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+VALID_TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def base_name(sample_name, metric_type):
+    """The declared metric family a sample belongs to."""
+    if metric_type in ("summary", "histogram"):
+        for suffix in ("_count", "_sum", "_bucket"):
+            if sample_name.endswith(suffix):
+                return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def parse_labels(raw, lineno, errors):
+    pos = 0
+    out = {}
+    while pos < len(raw):
+        m = LABEL_RE.match(raw, pos)
+        if not m:
+            errors.append(f"line {lineno}: malformed label set '{{{raw}}}'")
+            return out
+        out[m.group(1)] = m.group(2)
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                errors.append(
+                    f"line {lineno}: expected ',' between labels in '{{{raw}}}'")
+                return out
+            pos += 1
+    return out
+
+
+def check(text):
+    errors = []
+    types = {}       # metric family -> declared type
+    helps = set()
+    samples = {}     # family -> list of (sample_name, labels, value)
+    sample_count = 0
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                # Arbitrary comments are legal; only malformed HELP/TYPE
+                # shapes are flagged.
+                if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                    errors.append(f"line {lineno}: truncated {parts[1]} comment")
+                continue
+            kind, name = parts[1], parts[2]
+            if not NAME_RE.match(name):
+                errors.append(f"line {lineno}: bad metric name '{name}'")
+                continue
+            if kind == "HELP":
+                if name in helps:
+                    errors.append(f"line {lineno}: duplicate HELP for '{name}'")
+                helps.add(name)
+            else:  # TYPE
+                declared = parts[3].strip() if len(parts) > 3 else ""
+                if declared not in VALID_TYPES:
+                    errors.append(
+                        f"line {lineno}: invalid TYPE '{declared}' for '{name}'")
+                    continue
+                if name in types:
+                    errors.append(f"line {lineno}: duplicate TYPE for '{name}'")
+                if name in samples:
+                    errors.append(
+                        f"line {lineno}: TYPE for '{name}' after its samples")
+                types[name] = declared
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample line '{line}'")
+            continue
+        sample_name = m.group("name")
+        labels = parse_labels(m.group("labels") or "", lineno, errors)
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            errors.append(
+                f"line {lineno}: non-numeric value '{m.group('value')}'")
+            continue
+
+        family = sample_name
+        for declared, metric_type in types.items():
+            if base_name(sample_name, metric_type) == declared:
+                family = declared
+                break
+        samples.setdefault(family, []).append((sample_name, labels, value))
+        sample_count += 1
+
+        metric_type = types.get(family)
+        if metric_type == "counter":
+            if not sample_name.endswith("_total"):
+                errors.append(
+                    f"line {lineno}: counter sample '{sample_name}' "
+                    "must end in _total")
+            if math.isnan(value) or value < 0:
+                errors.append(
+                    f"line {lineno}: counter '{sample_name}' value {value} "
+                    "must be finite and >= 0")
+        elif metric_type == "summary":
+            if math.isnan(value) and "quantile" not in labels:
+                errors.append(
+                    f"line {lineno}: NaN only allowed for quantile samples")
+
+    # Cross-line checks: every summary exposes _count and _sum.
+    for family, metric_type in types.items():
+        if metric_type != "summary":
+            continue
+        names = {s[0] for s in samples.get(family, [])}
+        for required in (family + "_count", family + "_sum"):
+            if required not in names:
+                errors.append(f"summary '{family}' is missing {required}")
+
+    return errors, types, sample_count
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate Prometheus text exposition (0.0.4)")
+    parser.add_argument("path", help="file to check, or '-' for stdin")
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="NAME",
+        help="fail unless a sample of this metric family is present "
+             "(repeatable)")
+    args = parser.parse_args()
+
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.path, "r", encoding="utf-8") as f:
+            text = f.read()
+
+    errors, types, sample_count = check(text)
+
+    present = set(types)
+    all_sample_names = set()
+    for line in text.splitlines():
+        m = SAMPLE_RE.match(line)
+        if m and not line.startswith("#"):
+            all_sample_names.add(m.group("name"))
+    for name in args.require:
+        if name not in present and name not in all_sample_names:
+            errors.append(f"required metric '{name}' not found")
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        print(f"{len(errors)} violation(s)", file=sys.stderr)
+        return 1
+
+    print(f"OK: {sample_count} samples across {len(types)} declared "
+          f"metric families")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

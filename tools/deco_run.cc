@@ -7,7 +7,10 @@
 // window. With --compare, the run is repeated with the Central ground
 // truth and the correctness overlap is reported (paper Fig. 10d metric).
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <ctime>
 
 #include "common/flags.h"
 #include "common/logging.h"
@@ -20,6 +23,36 @@ namespace {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+// SIGINT/SIGTERM flip this flag; the harness's interrupt watcher sees it,
+// stops the actors cleanly and still flushes telemetry/provenance/bench
+// output on the way out. A second signal falls back to the default
+// disposition (hard kill) so a wedged run stays killable.
+std::atomic<bool> g_interrupted{false};
+
+void HandleInterrupt(int signo) {
+  g_interrupted.store(true, std::memory_order_release);
+  std::signal(signo, SIG_DFL);
+}
+
+void InstallInterruptHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = &HandleInterrupt;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+// Default flight-recorder dump path, timestamped so repeated runs in one
+// directory never clobber each other's post-mortems.
+std::string DefaultFlightRecorderPath() {
+  char buf[64];
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_buf = {};
+  localtime_r(&now, &tm_buf);
+  std::strftime(buf, sizeof(buf), "deco_flight_%Y%m%d_%H%M%S.json", &tm_buf);
+  return buf;
 }
 
 void PrintUsage() {
@@ -100,6 +133,37 @@ void PrintUsage() {
       "  --provenance_reservoir=<n>  wall-clock runs estimate accuracy on\n"
       "                           this many sampled windows (default 256;\n"
       "                           0 = all; sim runs always estimate all)\n"
+      "  --ops_port=<n>      serve live ops HTTP endpoints on\n"
+      "                      127.0.0.1:<n> for the duration of the run\n"
+      "                      (DESIGN.md §12): /metrics (Prometheus text\n"
+      "                      exposition), /healthz (RFC health JSON),\n"
+      "                      /statusz (per-node + query JSON). 0 picks an\n"
+      "                      ephemeral port (printed at startup). Implies\n"
+      "                      the watchdog and the flight recorder\n"
+      "  --status_interval_ms=<n> print a one-line live progress heartbeat\n"
+      "                      (events in, panes, windows, alerts) to stderr\n"
+      "                      every <n> ms (0 = off)\n"
+      "  --watchdog          run the anomaly watchdog on the sampler tick:\n"
+      "                      window-stall, queue-growth, node-silence,\n"
+      "                      correction-storm and tenant byte-burn\n"
+      "                      detectors; alerts land in the log, /healthz\n"
+      "                      and telemetry JSON (schema v6)\n"
+      "  --watchdog_stall_ms=<n>    stall threshold (default 2000)\n"
+      "  --watchdog_queue_limit=<n> mailbox depth limit (default 100000)\n"
+      "  --watchdog_silence_ms=<n>  node-silence threshold (default 2000)\n"
+      "  --watchdog_corrections_per_sec=<f> correction-storm rate limit\n"
+      "                      (default 100)\n"
+      "  --watchdog_tenant_bytes_per_sec=<f> per-tenant byte-budget burn\n"
+      "                      rate limit (default 0 = off)\n"
+      "  --flight_recorder   keep a bounded in-memory ring of recent\n"
+      "                      message hops, span events and alert\n"
+      "                      transitions; dumped to JSON on a watchdog\n"
+      "                      trip, a fatal signal (SIGSEGV/SIGABRT) or\n"
+      "                      --dump_flight_recorder\n"
+      "  --flight_recorder_out=<f>  dump path (default\n"
+      "                      deco_flight_<timestamp>.json)\n"
+      "  --dump_flight_recorder     always dump the flight recorder at the\n"
+      "                      end of the run; implies --flight_recorder\n"
       "  --log_level=<name>  debug|info|warning|error|fatal (default info)\n"
       "  --compare           also run Central and report correctness\n"
       "  --verbose           print every emitted window\n"
@@ -194,6 +258,42 @@ int main(int argc, char** argv) {
   config.provenance.accuracy_reservoir = static_cast<size_t>(
       flags.GetInt("provenance_reservoir", 256));
 
+  int bound_port = -1;
+  std::vector<Alert> alerts;
+  config.ops.ops_port =
+      flags.Has("ops_port") ? static_cast<int>(flags.GetInt("ops_port", 0))
+                            : -1;
+  config.ops.bound_port = &bound_port;
+  config.ops.status_interval_nanos = static_cast<TimeNanos>(
+      flags.GetInt("status_interval_ms", 0) * kNanosPerMilli);
+  config.ops.watchdog = flags.GetBool("watchdog", false);
+  config.ops.watchdog_options.stall_nanos = static_cast<TimeNanos>(
+      flags.GetInt("watchdog_stall_ms", 2000) * kNanosPerMilli);
+  config.ops.watchdog_options.queue_depth_limit =
+      flags.GetInt("watchdog_queue_limit", 100000);
+  config.ops.watchdog_options.silence_nanos = static_cast<TimeNanos>(
+      flags.GetInt("watchdog_silence_ms", 2000) * kNanosPerMilli);
+  config.ops.watchdog_options.corrections_per_sec =
+      flags.GetDouble("watchdog_corrections_per_sec", 100.0);
+  config.ops.watchdog_options.tenant_bytes_per_sec =
+      flags.GetDouble("watchdog_tenant_bytes_per_sec", 0.0);
+  config.ops.dump_flight_recorder =
+      flags.GetBool("dump_flight_recorder", false);
+  config.ops.flight_recorder = flags.GetBool("flight_recorder", false) ||
+                               flags.Has("flight_recorder_out") ||
+                               config.ops.dump_flight_recorder;
+  config.ops.flight_recorder_out = flags.GetString(
+      "flight_recorder_out",
+      config.ops.flight_recorder || config.ops.watchdog ||
+              config.ops.ops_port >= 0
+          ? DefaultFlightRecorderPath()
+          : "");
+  config.ops.crash_handler =
+      config.ops.flight_recorder || config.ops.ops_port >= 0;
+  config.ops.interrupt = &g_interrupted;
+  config.ops.alerts = &alerts;
+  InstallInterruptHandlers();
+
   auto result = RunExperiment(config);
   if (!result.ok()) return Fail(result.status());
   const RunReport& report = *result;
@@ -261,6 +361,17 @@ int main(int argc, char** argv) {
       std::printf("  %s\n", entry.Describe().c_str());
     }
   }
+
+  if (!alerts.empty()) {
+    std::printf("alerts (%zu fired):\n", alerts.size());
+    for (const Alert& alert : alerts) {
+      std::printf("  %s [%s] observed=%.6g threshold=%.6g%s: %s\n",
+                  std::string(AlertKindToString(alert.kind)).c_str(),
+                  alert.subject.c_str(), alert.observed, alert.threshold,
+                  alert.resolved_at_nanos > 0 ? " (resolved)" : " (active)",
+                  alert.message.c_str());
+    }
+  }
   if (report.profile.enabled) {
     std::printf("cpu profile%s:\n", report.profile.alloc_counted
                                         ? " (with alloc counters)"
@@ -326,6 +437,10 @@ int main(int argc, char** argv) {
                                  static_cast<double>(
                                      truth->network.total_bytes));
     std::printf("network saving vs central: %.1f%%\n", saving);
+  }
+  if (g_interrupted.load(std::memory_order_acquire)) {
+    std::fprintf(stderr, "deco_run: interrupted — partial results above\n");
+    return 130;
   }
   return 0;
 }
