@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <iomanip>
 #include <map>
 #include <memory>
@@ -348,6 +349,7 @@ Result<RunReport> RunExperiment(const ExperimentConfig& input) {
             : 1;
     provenance_tracker = std::make_unique<ProvenanceTracker>(
         config.num_locals, regions_per_window);
+    provenance_tracker->SetGovernance(config.obs_governance);
     provenance_tracker->SetFabric(&fabric, topology.locals);
     if (config.provenance.max_windows > 0) {
       provenance_tracker->set_max_windows(config.provenance.max_windows);
@@ -454,6 +456,7 @@ Result<RunReport> RunExperiment(const ExperimentConfig& input) {
     sampler = std::make_unique<Sampler>(
         clock, &fabric, MetricRegistry::Global(),
         config.telemetry.sample_interval_nanos, sim.get());
+    sampler->SetGovernance(config.obs_governance);
   }
   if (config.telemetry.enabled) {
     trace_sink =
@@ -486,15 +489,22 @@ Result<RunReport> RunExperiment(const ExperimentConfig& input) {
   // The HTTP endpoints read shared state only; the serve registry and the
   // chaos controller arrive as an opaque JSON fragment because this layer
   // sits above the obs library in the dependency graph.
+  // The server object is also built port-less when only a final /metrics
+  // render is requested (`metrics_out` / `metrics_sink`): the renderers
+  // need no socket.
+  const bool metrics_render_on = !config.ops.metrics_out.empty() ||
+                                 config.ops.metrics_sink != nullptr;
   std::unique_ptr<OpsServer> ops_server;
-  if (config.ops.ops_port >= 0) {
+  if (config.ops.ops_port >= 0 || metrics_render_on) {
     OpsServer::Options server_options;
-    server_options.port = config.ops.ops_port;
+    server_options.port = std::max(config.ops.ops_port, 0);
     server_options.clock = clock;
     server_options.fabric = &fabric;
     server_options.registry = MetricRegistry::Global();
     server_options.watchdog = watchdog.get();
     server_options.sim = config.sim;
+    server_options.governance = config.obs_governance;
+    server_options.sampler = sampler.get();
     const QueryRegistry* serve_registry = serving ? &registry : nullptr;
     ChaosController* chaos_ptr = chaos.get();
     server_options.statusz_extra = [serve_registry, chaos_ptr]() {
@@ -528,14 +538,16 @@ Result<RunReport> RunExperiment(const ExperimentConfig& input) {
       return out;
     };
     ops_server = std::make_unique<OpsServer>(std::move(server_options));
-    const Status server_started = ops_server->Start();
-    if (!server_started.ok()) {
-      if (trace_sink != nullptr) TraceSink::Install(nullptr);
-      if (flight_recorder != nullptr) FlightRecorder::Install(nullptr);
-      return server_started;
-    }
-    if (config.ops.bound_port != nullptr) {
-      *config.ops.bound_port = ops_server->port();
+    if (config.ops.ops_port >= 0) {
+      const Status server_started = ops_server->Start();
+      if (!server_started.ok()) {
+        if (trace_sink != nullptr) TraceSink::Install(nullptr);
+        if (flight_recorder != nullptr) FlightRecorder::Install(nullptr);
+        return server_started;
+      }
+      if (config.ops.bound_port != nullptr) {
+        *config.ops.bound_port = ops_server->port();
+      }
     }
   }
 
@@ -699,6 +711,28 @@ Result<RunReport> RunExperiment(const ExperimentConfig& input) {
   if (config.ops.alerts != nullptr && watchdog != nullptr) {
     *config.ops.alerts = watchdog->Alerts();
   }
+  // Final /metrics render (deco_run --metrics_out): the fabric object and
+  // the registry outlive the shutdown above, so a port-less render here
+  // sees the run's final counters.
+  if (ops_server != nullptr && metrics_render_on) {
+    const std::string exposition = ops_server->RenderMetrics();
+    if (config.ops.metrics_sink != nullptr) {
+      *config.ops.metrics_sink = exposition;
+    }
+    if (!config.ops.metrics_out.empty()) {
+      std::FILE* f = std::fopen(config.ops.metrics_out.c_str(), "w");
+      if (f == nullptr) {
+        return Status::IOError("cannot open " + config.ops.metrics_out +
+                               " for writing");
+      }
+      const size_t written =
+          std::fwrite(exposition.data(), 1, exposition.size(), f);
+      const bool close_ok = std::fclose(f) == 0;
+      if (written != exposition.size() || !close_ok) {
+        return Status::IOError("short write to " + config.ops.metrics_out);
+      }
+    }
+  }
   if (interrupted.load()) {
     // An interrupted run tears the fabric down under the actors: their
     // cancelled sends and closed mailboxes surface as errors that would
@@ -818,6 +852,23 @@ Result<RunReport> RunExperiment(const ExperimentConfig& input) {
     // both telemetry and the watchdog were on.
     log.alerts_enabled = watchdog != nullptr;
     if (watchdog != nullptr) log.alerts = watchdog->Alerts();
+    // Schema v7: the plane's self-metering. The wall-clock nanos fields
+    // here are the document's only non-replayable values under --sim.
+    log.obs_self.enabled = true;
+    log.obs_self.sampler = sampler->SelfStats();
+    if (ops_server != nullptr) {
+      log.obs_self.scrapes = ops_server->requests_served();
+      const QuantileSketch scrape_latency = ops_server->ScrapeLatency();
+      log.obs_self.scrape_nanos_mean =
+          scrape_latency.count() == 0
+              ? 0.0
+              : scrape_latency.sum() /
+                    static_cast<double>(scrape_latency.count());
+      log.obs_self.scrape_nanos_p99 = scrape_latency.Quantile(0.99);
+      log.obs_self.exposition_bytes = ops_server->last_exposition_bytes();
+    }
+    log.obs_self.node_detail_limit = config.obs_governance.node_detail_limit;
+    log.obs_self.top_k = config.obs_governance.top_k;
     if (log.spans_dropped > 0 || log.hops_dropped > 0) {
       DECO_LOG(WARNING) << "telemetry truncated: " << log.spans_dropped
                         << " spans and " << log.hops_dropped

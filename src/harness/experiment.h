@@ -11,6 +11,7 @@
 #include "metrics/report.h"
 #include "node/query.h"
 #include "obs/flight_recorder.h"
+#include "obs/governance.h"
 #include "obs/sampler.h"
 #include "obs/watchdog.h"
 #include "serve/registry.h"
@@ -221,10 +222,21 @@ struct OpsOptions {
   /// exported in telemetry JSON schema v6).
   std::vector<Alert>* alerts = nullptr;
 
+  /// Final `/metrics` Prometheus exposition output path (deco_run
+  /// `--metrics_out`), rendered once after the run; empty = no file. Works
+  /// without an HTTP port — the renderer needs no socket.
+  std::string metrics_out;
+
+  /// If non-null, receives the final `/metrics` exposition text
+  /// (caller-owned; for tests and benches without file I/O).
+  std::string* metrics_sink = nullptr;
+
   /// True when any live-ops piece is requested.
   bool Any() const {
     return ops_port >= 0 || status_interval_nanos > 0 || watchdog ||
-           flight_recorder || dump_flight_recorder || interrupt != nullptr;
+           flight_recorder || dump_flight_recorder ||
+           interrupt != nullptr || !metrics_out.empty() ||
+           metrics_sink != nullptr;
   }
 };
 
@@ -313,6 +325,15 @@ struct ExperimentConfig {
 
   /// Live ops plane (HTTP endpoints + watchdog + flight recorder).
   OpsOptions ops;
+
+  /// Cardinality governance of every observability surface (DESIGN.md
+  /// §13, deco_run `--obs_node_detail_limit`): above
+  /// `node_detail_limit` locals, per-node telemetry/metrics/provenance
+  /// detail collapses into fleet aggregates plus top-k offenders.
+  /// `node_detail_limit = 0` disables governance (unlimited detail);
+  /// at or below the limit every surface is byte-identical to the
+  /// ungoverned output.
+  ObsGovernance obs_governance;
 
   Status Validate() const;
 };

@@ -7,11 +7,10 @@
 namespace deco {
 
 namespace {
-// Hop-stamping switch and the process-unique message-id source. Both live
-// here (not in the TraceSink) so the net layer stays free of an obs
-// dependency; `TraceSink::Install` toggles the switch.
+// Hop-stamping switch. It lives here (not in the TraceSink) so the net
+// layer stays free of an obs dependency; `TraceSink::Install` toggles
+// the switch.
 std::atomic<bool> g_hop_stamping{false};
-std::atomic<uint64_t> g_next_msg_id{1};  // 0 is reserved for "untraced"
 }  // namespace
 
 void SetHopStampingEnabled(bool enabled) {
@@ -187,7 +186,7 @@ Status NetworkFabric::Send(Message msg) {
 #if DECO_TRACE_ENABLED
   const bool stamp_hop = HopStampingEnabled();
   if (stamp_hop) {
-    msg.hop.msg_id = g_next_msg_id.fetch_add(1, std::memory_order_relaxed);
+    msg.hop.msg_id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
     msg.hop.enqueue_nanos = clock_->NowNanos();
   }
 #endif

@@ -249,6 +249,12 @@ class NetworkFabric {
 
   Clock* clock_;
   SimScheduler* sim_ = nullptr;
+  // Per-fabric so message ids restart at 1 for every experiment: a
+  // process running several back-to-back runs (benches, the serving
+  // layer's tests) would otherwise leak the previous run's id offset
+  // into trace hop records and break sim replay identity. 0 is reserved
+  // for "untraced".
+  std::atomic<uint64_t> next_msg_id_{1};
   // FNV-1a offset basis; see delivery_hash().
   std::atomic<uint64_t> delivery_hash_{1469598103934665603ull};
   std::atomic<size_t> flow_control_limit_{512};

@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -81,6 +82,35 @@ double Rate(uint64_t prev, uint64_t curr, TimeNanos prev_t, TimeNanos curr_t) {
          static_cast<double>(curr_t - prev_t);
 }
 
+/// The previous sample's record for `node`, by id — governed samples hold
+/// strided subsets, so positional lookup would pair different nodes.
+/// Sample node lists are id-sorted, so a binary search suffices.
+const NodeSample* FindNode(const TelemetrySample* sample, NodeId node) {
+  if (sample == nullptr) return nullptr;
+  auto it = std::lower_bound(
+      sample->nodes.begin(), sample->nodes.end(), node,
+      [](const NodeSample& s, NodeId id) { return s.node < id; });
+  if (it == sample->nodes.end() || it->node != node) return nullptr;
+  return &*it;
+}
+
+void AppendFleetMetric(std::string* out, const char* key,
+                       const FleetMetricSummary& m) {
+  *out += ", \"";
+  *out += key;
+  *out += "\": {\"sum\": ";
+  AppendUint(out, m.sum);
+  *out += ", \"min\": ";
+  AppendDouble(out, m.min);
+  *out += ", \"max\": ";
+  AppendDouble(out, m.max);
+  *out += ", \"p50\": ";
+  AppendDouble(out, m.p50);
+  *out += ", \"p99\": ";
+  AppendDouble(out, m.p99);
+  *out += "}";
+}
+
 TimeNanos SeriesOrigin(const TelemetryLog& log) {
   if (!log.samples.empty()) return log.samples.front().t_nanos;
   if (!log.spans.empty()) return log.spans.front().t_nanos;
@@ -141,7 +171,7 @@ std::string TelemetryToJson(const RunReport& report,
   std::string out;
   out.reserve(4096 + log.samples.size() * 512 + log.spans.size() * 96);
 
-  out += "{\n  \"schema_version\": 6,\n  \"scheme\": ";
+  out += "{\n  \"schema_version\": 7,\n  \"scheme\": ";
   AppendEscaped(&out, report.scheme);
   out += ",\n  \"report\": {\"events_processed\": ";
   AppendUint(&out, report.events_processed);
@@ -225,7 +255,52 @@ std::string TelemetryToJson(const RunReport& report,
       AppendInt(&out, hist.max);
       out += "}";
     }
-    out += "], \"nodes\": [";
+    // Schema v7: registered quantile sketches ride along with every
+    // snapshot, like histograms but with sketch-native fields.
+    out += "], \"sketches\": [";
+    for (size_t s = 0; s < sample.metrics.sketches.size(); ++s) {
+      const SketchSnapshot& sketch = sample.metrics.sketches[s];
+      if (s > 0) out += ", ";
+      out += "{\"name\": ";
+      AppendEscaped(&out, sketch.name);
+      out += ", \"count\": ";
+      AppendUint(&out, sketch.count);
+      out += ", \"sum\": ";
+      AppendDouble(&out, sketch.sum);
+      out += ", \"min\": ";
+      AppendDouble(&out, sketch.min);
+      out += ", \"max\": ";
+      AppendDouble(&out, sketch.max);
+      out += ", \"p50\": ";
+      AppendDouble(&out, sketch.p50);
+      out += ", \"p90\": ";
+      AppendDouble(&out, sketch.p90);
+      out += ", \"p99\": ";
+      AppendDouble(&out, sketch.p99);
+      out += "}";
+    }
+    // Schema v7: fleet aggregates — the authoritative totals when the
+    // nodes array below holds only a governed subset.
+    out += "], \"fleet\": {\"collapsed\": ";
+    out += sample.fleet.collapsed ? "true" : "false";
+    out += ", \"node_count\": ";
+    AppendUint(&out, sample.fleet.node_count);
+    out += ", \"detail_nodes\": ";
+    AppendUint(&out, sample.fleet.detail_nodes);
+    out += ", \"nodes_down\": ";
+    AppendUint(&out, sample.fleet.nodes_down);
+    out += ", \"total_messages_sent\": ";
+    AppendUint(&out, sample.fleet.total_messages_sent);
+    out += ", \"total_bytes_sent\": ";
+    AppendUint(&out, sample.fleet.total_bytes_sent);
+    out += ", \"total_messages_received\": ";
+    AppendUint(&out, sample.fleet.total_messages_received);
+    out += ", \"total_bytes_received\": ";
+    AppendUint(&out, sample.fleet.total_bytes_received);
+    AppendFleetMetric(&out, "queue_depth", sample.fleet.queue_depth);
+    AppendFleetMetric(&out, "messages_sent", sample.fleet.messages_sent);
+    AppendFleetMetric(&out, "bytes_sent", sample.fleet.bytes_sent);
+    out += "}, \"nodes\": [";
     for (size_t n = 0; n < sample.nodes.size(); ++n) {
       const NodeSample& node = sample.nodes[n];
       if (n > 0) out += ", ";
@@ -258,14 +333,12 @@ std::string TelemetryToJson(const RunReport& report,
         out += "}";
       }
       out += "}, \"bytes_per_sec\": ";
-      const NodeSample* prev_node =
-          prev != nullptr && n < prev->nodes.size() ? &prev->nodes[n]
-                                                    : nullptr;
+      const NodeSample* prev_node = FindNode(prev, node.node);
       if (prev_node != nullptr) {
         AppendDouble(&out, Rate(prev_node->bytes_sent, node.bytes_sent,
                                 prev->t_nanos, sample.t_nanos));
       } else {
-        out += "null";  // first sample: no interval to rate over
+        out += "null";  // no prior record of this node: nothing to rate
       }
       out += "}";
     }
@@ -402,6 +475,43 @@ std::string TelemetryToJson(const RunReport& report,
     out += "}";
   }
   out += log.alerts.empty() ? "]}" : "\n  ]}";
+
+  // Schema v7: self-metering of the observability plane. Always present
+  // (zeroed when no sampler ran) and deliberately flat — wall-clock
+  // fields are scrubbed by byte-identity gates, which is easiest when the
+  // section has no nested objects.
+  const TelemetryLog::ObsSelf& self = log.obs_self;
+  out += ",\n  \"obs_self\": {\"enabled\": ";
+  out += self.enabled ? "true" : "false";
+  out += ", \"sampler_ticks\": ";
+  AppendUint(&out, self.sampler.ticks);
+  out += ", \"sampler_tick_mean_nanos\": ";
+  AppendDouble(&out, self.sampler.tick_nanos_mean);
+  out += ", \"sampler_tick_p50_nanos\": ";
+  AppendDouble(&out, self.sampler.tick_nanos_p50);
+  out += ", \"sampler_tick_p99_nanos\": ";
+  AppendDouble(&out, self.sampler.tick_nanos_p99);
+  out += ", \"sampler_tick_max_nanos\": ";
+  AppendDouble(&out, self.sampler.tick_nanos_max);
+  out += ", \"tracker_bytes\": ";
+  AppendUint(&out, self.sampler.tracker_bytes);
+  out += ", \"scrapes\": ";
+  AppendUint(&out, self.scrapes);
+  out += ", \"scrape_nanos_mean\": ";
+  AppendDouble(&out, self.scrape_nanos_mean);
+  out += ", \"scrape_nanos_p99\": ";
+  AppendDouble(&out, self.scrape_nanos_p99);
+  out += ", \"exposition_bytes\": ";
+  AppendUint(&out, self.exposition_bytes);
+  out += ", \"spans_dropped\": ";
+  AppendUint(&out, log.spans_dropped);
+  out += ", \"hops_dropped\": ";
+  AppendUint(&out, log.hops_dropped);
+  out += ", \"node_detail_limit\": ";
+  AppendUint(&out, self.node_detail_limit);
+  out += ", \"top_k\": ";
+  AppendUint(&out, self.top_k);
+  out += "}";
   out += "\n}\n";
   return out;
 }
@@ -444,13 +554,11 @@ Status WriteSamplesCsv(const std::string& path, const TelemetryLog& log) {
       out += ",";
       AppendUint(&out, node.bytes_received);
       out += ",";
-      const NodeSample* prev_node =
-          prev != nullptr && n < prev->nodes.size() ? &prev->nodes[n]
-                                                    : nullptr;
+      const NodeSample* prev_node = FindNode(prev, node.node);
       if (prev_node != nullptr) {
         AppendDouble(&out, Rate(prev_node->bytes_sent, node.bytes_sent,
                                 prev->t_nanos, sample.t_nanos));
-      }  // first sample: no interval — leave the rate field empty
+      }  // no prior record of this node — leave the rate field empty
       out += "\n";
     }
   }

@@ -10,13 +10,13 @@
 /// \brief Serializes one run's telemetry (sampler time series, window
 /// lifecycle spans, final `RunReport`) to machine-readable JSON and CSV.
 ///
-/// JSON document layout (schema_version 6; every version-1..5 field is
+/// JSON document layout (schema_version 7; every version-1..6 field is
 /// preserved with unchanged meaning, so older consumers keep working —
 /// tests/obs_test.cc's schema-compat case parses the document with a
 /// v2-era reader):
 /// \code{.json}
 /// {
-///   "schema_version": 6,
+///   "schema_version": 7,
 ///   "scheme": "deco-async",
 ///   "report": { "events_processed": n, "wall_seconds": s,
 ///               "throughput_eps": r, "windows_emitted": n,
@@ -35,6 +35,19 @@
 ///                  "gauges": {"name": n, ...},
 ///                  "histograms": [{"name": s, "count": n, "mean": x,
 ///                                  "p50": n, "p99": n, "max": n}],
+///                  "sketches": [{"name": s, "count": n, "sum": x,
+///                                "min": x, "max": x, "p50": x, "p90": x,
+///                                "p99": x}],
+///                  "fleet": { "collapsed": b, "node_count": n,
+///                             "detail_nodes": n, "nodes_down": n,
+///                             "total_messages_sent": n,
+///                             "total_bytes_sent": n,
+///                             "total_messages_received": n,
+///                             "total_bytes_received": n,
+///                             "queue_depth": {"sum": n, "min": x,
+///                                 "max": x, "p50": x, "p99": x},
+///                             "messages_sent": {...},
+///                             "bytes_sent": {...} },
 ///                  "nodes": [ { "node": id, "name": s, "queue_depth": n,
 ///                               "messages_sent": n, "bytes_sent": n,
 ///                               "messages_received": n,
@@ -64,7 +77,13 @@
 ///   "alerts": { "enabled": b, "fired": n, "active": n,
 ///       "items": [ { "kind": s, "subject": s, "fired_at_ms": x,
 ///                    "resolved_at_ms": x|null, "observed": x,
-///                    "threshold": x, "message": s } ] }
+///                    "threshold": x, "message": s } ] },
+///   "obs_self": { "enabled": b, "sampler_ticks": n,
+///       "sampler_tick_mean_nanos": x, "sampler_tick_p50_nanos": x,
+///       "sampler_tick_p99_nanos": x, "sampler_tick_max_nanos": x,
+///       "tracker_bytes": n, "scrapes": n, "scrape_nanos_mean": x,
+///       "scrape_nanos_p99": x, "exposition_bytes": n, "spans_dropped": n,
+///       "hops_dropped": n, "node_detail_limit": n, "top_k": n }
 /// }
 /// \endcode
 /// where `{components}` is `{ "total_nanos": x, "local_compute_nanos": x,
@@ -86,7 +105,13 @@
 /// (`serving` + `queries`, DESIGN.md §11; disabled-and-empty for
 /// single-query runs). Since v6 it carries `alerts`, the watchdog's
 /// fired-alert log (DESIGN.md §12; `{"enabled": false, "fired": 0,
-/// "active": 0, "items": []}` when no watchdog ran).
+/// "active": 0, "items": []}` when no watchdog ran). Since v7 each sample
+/// carries `sketches` (registered quantile sketches) and `fleet`
+/// (bounded fleet aggregates — the authoritative totals when cardinality
+/// governance records only a strided node subset, DESIGN.md §13), and the
+/// document carries `obs_self`, the plane's self-metering (zeroed when no
+/// sampler ran; its wall-clock nanos fields are the one part of the
+/// document that does not replay byte-identically under --sim).
 
 namespace deco {
 

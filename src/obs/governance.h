@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+
+/// \file governance.h
+/// \brief Cardinality-governance knobs shared by every observability
+/// surface (sampler, ops server, telemetry export, provenance tracker,
+/// status prints). One struct so a single `--obs_node_detail_limit` flag
+/// governs them all consistently (DESIGN.md §13).
+
+namespace deco {
+
+/// \brief Bounds on per-node detail emitted by the observability plane.
+struct ObsGovernance {
+  /// Above this many nodes, per-node series collapse into fleet
+  /// aggregates (sum/min/max/p50/p99 sketches) plus top-k offender
+  /// series; 0 means unlimited (never collapse). At or below the limit
+  /// every surface is byte-identical to the ungoverned output.
+  size_t node_detail_limit = 64;
+
+  /// Offenders kept per dimension (deepest queues, most bytes, stalest
+  /// heartbeats) when collapsed, and the cap applied to alert/membership
+  /// summaries printed by the CLI.
+  size_t top_k = 8;
+
+  /// \brief Whether per-node fan-out must collapse for `node_count` nodes.
+  bool Collapsed(size_t node_count) const {
+    return node_detail_limit != 0 && node_count > node_detail_limit;
+  }
+
+  /// \brief Detail-scan stride: collapsed samplers visit every node once
+  /// per `Stride` ticks, bounding per-tick detail cost to roughly
+  /// `node_detail_limit` nodes.
+  size_t Stride(size_t node_count) const {
+    if (!Collapsed(node_count)) return 1;
+    return (node_count + node_detail_limit - 1) / node_detail_limit;
+  }
+};
+
+}  // namespace deco

@@ -69,6 +69,10 @@ ShardedHistogram* MetricRegistry::histogram(const std::string& name) {
   return GetOrCreate(&mu_, &histograms_, name);
 }
 
+SketchMetric* MetricRegistry::sketch(const std::string& name) {
+  return GetOrCreate(&mu_, &sketches_, name);
+}
+
 MetricsSnapshot MetricRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
   std::shared_lock<std::shared_mutex> lock(mu_);
@@ -92,6 +96,10 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
     h.max = merged.max();
     snapshot.histograms.push_back(std::move(h));
   }
+  snapshot.sketches.reserve(sketches_.size());
+  for (const auto& [name, sketch] : sketches_) {
+    snapshot.sketches.push_back(sketch->Snapshot().Snapshot(name));
+  }
   return snapshot;
 }
 
@@ -100,6 +108,7 @@ void MetricRegistry::Reset() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, sketch] : sketches_) sketch->Reset();
 }
 
 MetricRegistry* MetricRegistry::Global() {

@@ -11,9 +11,11 @@
 #include <vector>
 
 #include "metrics/histogram.h"
+#include "obs/quantile_sketch.h"
 
 /// \file metric_registry.h
-/// \brief Lock-cheap registry of named counters, gauges and histograms.
+/// \brief Lock-cheap registry of named counters, gauges, histograms and
+/// quantile sketches.
 ///
 /// Instruments are created once (shared-lock fast path, exclusive lock only
 /// on first use of a name) and then updated without the registry lock:
@@ -84,6 +86,33 @@ class ShardedHistogram {
   std::array<Stripe, kStripes> stripes_;
 };
 
+/// \brief Mutex-wrapped mergeable quantile sketch (quantile_sketch.h).
+/// Observations land on a single lock: sketch writers are low-rate
+/// (sampler ticks, scrape timings), unlike the sharded hot-path counters.
+class SketchMetric {
+ public:
+  void Observe(double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sketch_.Add(value);
+  }
+  void MergeFrom(const QuantileSketch& other) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sketch_.Merge(other);
+  }
+  QuantileSketch Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sketch_;
+  }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    sketch_.Reset();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  QuantileSketch sketch_;
+};
+
 /// \brief Point-in-time summary of a registered histogram.
 struct HistogramSnapshot {
   std::string name;
@@ -99,6 +128,7 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, int64_t>> counters;
   std::vector<std::pair<std::string, int64_t>> gauges;
   std::vector<HistogramSnapshot> histograms;
+  std::vector<SketchSnapshot> sketches;
 };
 
 /// \brief Name -> instrument registry. Instrument pointers are stable for
@@ -112,6 +142,7 @@ class MetricRegistry {
   Counter* counter(const std::string& name);
   Gauge* gauge(const std::string& name);
   ShardedHistogram* histogram(const std::string& name);
+  SketchMetric* sketch(const std::string& name);
 
   /// \brief Merged point-in-time values of every instrument, name-sorted.
   MetricsSnapshot Snapshot() const;
@@ -128,6 +159,7 @@ class MetricRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<ShardedHistogram>> histograms_;
+  std::map<std::string, std::unique_ptr<SketchMetric>> sketches_;
 };
 
 }  // namespace deco

@@ -68,6 +68,82 @@ std::string HttpResponse(int code, const char* reason,
 constexpr char kPromContentType[] =
     "text/plain; version=0.0.4; charset=utf-8";
 
+void AppendSummaryQuantiles(std::string* out, const std::string& prom,
+                            double p50, double p90, double p99) {
+  *out += prom + "{quantile=\"0.5\"} ";
+  AppendPromValue(out, p50);
+  *out += "\n";
+  *out += prom + "{quantile=\"0.9\"} ";
+  AppendPromValue(out, p90);
+  *out += "\n";
+  *out += prom + "{quantile=\"0.99\"} ";
+  AppendPromValue(out, p99);
+  *out += "\n";
+}
+
+/// One collapsed fleet family: a summary (p50/p90/p99 + sum + count from
+/// the sketch) plus `_min`/`_max` gauge companions.
+void AppendFleetSummary(std::string* out, const std::string& name,
+                        const char* help, const QuantileSketch& sketch,
+                        uint64_t sum) {
+  *out += "# HELP " + name + " " + help + "\n";
+  *out += "# TYPE " + name + " summary\n";
+  AppendSummaryQuantiles(out, name, sketch.Quantile(0.5), sketch.Quantile(0.9),
+                         sketch.Quantile(0.99));
+  *out += name + "_sum " + std::to_string(sum) + "\n";
+  *out += name + "_count " + std::to_string(sketch.count()) + "\n";
+  *out += "# HELP " + name + "_min Per-node minimum of " + name + ".\n";
+  *out += "# TYPE " + name + "_min gauge\n";
+  *out += name + "_min ";
+  AppendPromValue(out, sketch.min());
+  *out += "\n";
+  *out += "# HELP " + name + "_max Per-node maximum of " + name + ".\n";
+  *out += "# TYPE " + name + "_max gauge\n";
+  *out += name + "_max ";
+  AppendPromValue(out, sketch.max());
+  *out += "\n";
+}
+
+/// Top-k offender series: per-node labels survive governance, capped at k.
+void AppendOffenderSeries(std::string* out, const std::string& name,
+                          const char* help, const NetworkFabric* fabric,
+                          const std::vector<uint32_t>& ids,
+                          const std::vector<uint64_t>& values) {
+  *out += "# HELP " + name + " " + help + "\n";
+  *out += "# TYPE " + name + " gauge\n";
+  for (uint32_t id : ids) {
+    *out += name + "{node=\"" + PromLabelValue(fabric->node_name(id)) +
+            "\"} " + std::to_string(values[id]) + "\n";
+  }
+}
+
+/// One /statusz offender list: `"key":[{"node":id,"name":s,"weight":w},..]`.
+/// Weight is the space-saving cumulative count of top-k appearances (an
+/// overestimate by at most the entry's inherited error).
+void AppendOffenderListJson(std::string* out, const char* key,
+                            const std::vector<SpaceSavingTopK::Entry>& entries,
+                            const NetworkFabric* fabric) {
+  *out += "\"";
+  *out += key;
+  *out += "\":[";
+  const size_t n = fabric != nullptr ? fabric->node_count() : 0;
+  bool first = true;
+  for (const SpaceSavingTopK::Entry& e : entries) {
+    if (e.key < 0) continue;
+    const auto id = static_cast<NodeId>(e.key);
+    if (!first) *out += ",";
+    first = false;
+    *out += "{\"node\":";
+    JsonAppendU64(out, id);
+    *out += ",\"name\":";
+    JsonAppendString(out, id < n ? fabric->node_name(id) : std::string());
+    *out += ",\"weight\":";
+    JsonAppendDouble(out, e.weight);
+    *out += "}";
+  }
+  *out += "]";
+}
+
 }  // namespace
 
 OpsServer::OpsServer(Options options) : options_(std::move(options)) {}
@@ -136,7 +212,13 @@ void OpsServer::Serve() {
   }
 }
 
+QuantileSketch OpsServer::ScrapeLatency() const {
+  std::lock_guard<std::mutex> lock(self_mu_);
+  return scrape_wall_nanos_;
+}
+
 void OpsServer::HandleConnection(int fd) {
+  const auto wall_start = std::chrono::steady_clock::now();
   // Requests of interest are single-line GETs; 4 KiB is plenty.
   char buf[4096];
   size_t have = 0;
@@ -187,6 +269,15 @@ void OpsServer::HandleConnection(int fd) {
     if (n <= 0) break;
     sent += static_cast<size_t>(n);
   }
+
+  // Self-metering: scrape latency = parse + render + socket write, on the
+  // wall clock (the virtual clock stands still during a scrape).
+  const double scrape_nanos = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  std::lock_guard<std::mutex> lock(self_mu_);
+  scrape_wall_nanos_.Add(scrape_nanos);
 }
 
 std::string OpsServer::RenderMetrics() const {
@@ -228,44 +319,119 @@ std::string OpsServer::RenderMetrics() const {
       out += "\n";
       out += prom + "_count " + std::to_string(h.count) + "\n";
     }
+    for (const SketchSnapshot& s : snapshot.sketches) {
+      const std::string prom = PromName(s.name);
+      out += "# HELP " + prom + " Quantile sketch " + s.name + "\n";
+      out += "# TYPE " + prom + " summary\n";
+      AppendSummaryQuantiles(&out, prom, s.p50, s.p90, s.p99);
+      out += prom + "_sum ";
+      AppendPromValue(&out, s.sum);
+      out += "\n";
+      out += prom + "_count " + std::to_string(s.count) + "\n";
+    }
   }
 
   if (options_.fabric != nullptr) {
     const size_t n = options_.fabric->node_count();
-    const struct {
-      const char* name;
-      const char* help;
-    } kSeries[] = {
-        {"deco_node_queue_depth", "Mailbox backlog per node."},
-        {"deco_node_messages_sent", "Cumulative egress messages per node."},
-        {"deco_node_bytes_sent", "Cumulative egress bytes per node."},
-        {"deco_node_messages_received",
-         "Cumulative ingress messages per node."},
-        {"deco_node_down", "1 while the node is failed/down."},
-    };
-    for (const auto& series : kSeries) {
-      out += std::string("# HELP ") + series.name + " " + series.help + "\n";
-      out += std::string("# TYPE ") + series.name + " gauge\n";
-      for (NodeId id = 0; id < n; ++id) {
-        const std::string label =
-            "{node=\"" + PromLabelValue(options_.fabric->node_name(id)) +
-            "\"} ";
-        uint64_t value = 0;
-        if (std::strcmp(series.name, "deco_node_queue_depth") == 0) {
-          value = options_.fabric->queue_depth(id);
-        } else if (std::strcmp(series.name, "deco_node_down") == 0) {
-          value = options_.fabric->IsNodeDown(id) ? 1 : 0;
-        } else {
-          const NodeTrafficStats stats = options_.fabric->node_stats(id);
-          if (std::strcmp(series.name, "deco_node_messages_sent") == 0) {
-            value = stats.messages_sent;
-          } else if (std::strcmp(series.name, "deco_node_bytes_sent") == 0) {
-            value = stats.bytes_sent;
+    if (!options_.governance.Collapsed(n)) {
+      const struct {
+        const char* name;
+        const char* help;
+      } kSeries[] = {
+          {"deco_node_queue_depth", "Mailbox backlog per node."},
+          {"deco_node_messages_sent", "Cumulative egress messages per node."},
+          {"deco_node_bytes_sent", "Cumulative egress bytes per node."},
+          {"deco_node_messages_received",
+           "Cumulative ingress messages per node."},
+          {"deco_node_down", "1 while the node is failed/down."},
+      };
+      for (const auto& series : kSeries) {
+        out += std::string("# HELP ") + series.name + " " + series.help + "\n";
+        out += std::string("# TYPE ") + series.name + " gauge\n";
+        for (NodeId id = 0; id < n; ++id) {
+          const std::string label =
+              "{node=\"" + PromLabelValue(options_.fabric->node_name(id)) +
+              "\"} ";
+          uint64_t value = 0;
+          if (std::strcmp(series.name, "deco_node_queue_depth") == 0) {
+            value = options_.fabric->queue_depth(id);
+          } else if (std::strcmp(series.name, "deco_node_down") == 0) {
+            value = options_.fabric->IsNodeDown(id) ? 1 : 0;
           } else {
-            value = stats.messages_received;
+            const NodeTrafficStats stats = options_.fabric->node_stats(id);
+            if (std::strcmp(series.name, "deco_node_messages_sent") == 0) {
+              value = stats.messages_sent;
+            } else if (std::strcmp(series.name, "deco_node_bytes_sent") == 0) {
+              value = stats.bytes_sent;
+            } else {
+              value = stats.messages_received;
+            }
           }
+          out += series.name + label + std::to_string(value) + "\n";
         }
-        out += series.name + label + std::to_string(value) + "\n";
+      }
+    } else {
+      // Cardinality governance (DESIGN.md §13): the per-node families
+      // collapse into fleet summaries built from one bounded scalar pass,
+      // plus top-k offender series that keep the per-node label shape.
+      std::vector<uint64_t> depths(n), sent_bytes(n);
+      QuantileSketch depth_sketch, sent_sketch, bytes_sketch, recv_sketch;
+      uint64_t sent_sum = 0, bytes_sum = 0, recv_sum = 0, depth_sum = 0;
+      uint64_t down = 0;
+      for (NodeId id = 0; id < n; ++id) {
+        depths[id] = options_.fabric->queue_depth(id);
+        const NodeTrafficStats stats = options_.fabric->node_stats(id);
+        sent_bytes[id] = stats.bytes_sent;
+        depth_sum += depths[id];
+        sent_sum += stats.messages_sent;
+        bytes_sum += stats.bytes_sent;
+        recv_sum += stats.messages_received;
+        depth_sketch.Add(static_cast<double>(depths[id]));
+        sent_sketch.Add(static_cast<double>(stats.messages_sent));
+        bytes_sketch.Add(static_cast<double>(stats.bytes_sent));
+        recv_sketch.Add(static_cast<double>(stats.messages_received));
+        if (options_.fabric->IsNodeDown(id)) ++down;
+      }
+      out += "# HELP deco_fleet_nodes Fleet size under cardinality "
+             "governance.\n";
+      out += "# TYPE deco_fleet_nodes gauge\n";
+      out += "deco_fleet_nodes " + std::to_string(n) + "\n";
+      out += "# HELP deco_fleet_nodes_down Nodes currently failed/down.\n";
+      out += "# TYPE deco_fleet_nodes_down gauge\n";
+      out += "deco_fleet_nodes_down " + std::to_string(down) + "\n";
+      AppendFleetSummary(&out, "deco_fleet_queue_depth",
+                         "Fleet mailbox backlog distribution.", depth_sketch,
+                         depth_sum);
+      AppendFleetSummary(&out, "deco_fleet_messages_sent",
+                         "Fleet egress message distribution.", sent_sketch,
+                         sent_sum);
+      AppendFleetSummary(&out, "deco_fleet_bytes_sent",
+                         "Fleet egress byte distribution.", bytes_sketch,
+                         bytes_sum);
+      AppendFleetSummary(&out, "deco_fleet_messages_received",
+                         "Fleet ingress message distribution.", recv_sketch,
+                         recv_sum);
+
+      const size_t k = options_.governance.top_k;
+      AppendOffenderSeries(&out, "deco_node_queue_depth",
+                           "Mailbox backlog, top-k deepest offenders.",
+                           options_.fabric, TopKIndices(depths, k), depths);
+      AppendOffenderSeries(&out, "deco_node_bytes_sent",
+                           "Cumulative egress bytes, top-k heaviest "
+                           "offenders.",
+                           options_.fabric, TopKIndices(sent_bytes, k),
+                           sent_bytes);
+      if (options_.sampler != nullptr) {
+        const auto stalest = options_.sampler->StalestNodes(k);
+        out += "# HELP deco_node_silent_for_nanos Nanoseconds since node "
+               "egress last advanced, top-k stalest offenders.\n";
+        out += "# TYPE deco_node_silent_for_nanos gauge\n";
+        for (const auto& [id, silent] : stalest) {
+          if (id >= n) continue;
+          out += "deco_node_silent_for_nanos{node=\"" +
+                 PromLabelValue(options_.fabric->node_name(id)) + "\"} " +
+                 std::to_string(silent) + "\n";
+        }
       }
     }
     out += "# HELP deco_fabric_dropped_total Messages dropped fabric-wide.\n";
@@ -284,6 +450,37 @@ std::string OpsServer::RenderMetrics() const {
     out += "deco_watchdog_alerts_fired_total " +
            std::to_string(options_.watchdog->fired_count()) + "\n";
   }
+
+  // Self-metering family (DESIGN.md §13): the plane reports what the
+  // plane costs. Sampler-side `deco_obs_self_sampler_*` instruments come
+  // through the registry above; the scrape-side meters live here.
+  out += "# HELP deco_obs_self_scrapes_total Ops endpoint requests "
+         "served.\n";
+  out += "# TYPE deco_obs_self_scrapes_total counter\n";
+  out += "deco_obs_self_scrapes_total " + std::to_string(requests_served()) +
+         "\n";
+  {
+    std::lock_guard<std::mutex> lock(self_mu_);
+    out += "# HELP deco_obs_self_scrape_nanos Wall-clock scrape latency "
+           "(parse + render + write).\n";
+    out += "# TYPE deco_obs_self_scrape_nanos summary\n";
+    AppendSummaryQuantiles(&out, "deco_obs_self_scrape_nanos",
+                           scrape_wall_nanos_.Quantile(0.5),
+                           scrape_wall_nanos_.Quantile(0.9),
+                           scrape_wall_nanos_.Quantile(0.99));
+    out += "deco_obs_self_scrape_nanos_sum ";
+    AppendPromValue(&out, scrape_wall_nanos_.sum());
+    out += "\n";
+    out += "deco_obs_self_scrape_nanos_count " +
+           std::to_string(scrape_wall_nanos_.count()) + "\n";
+  }
+  out += "# HELP deco_obs_self_exposition_bytes Bytes of the previous "
+         "/metrics render.\n";
+  out += "# TYPE deco_obs_self_exposition_bytes gauge\n";
+  out += "deco_obs_self_exposition_bytes " +
+         std::to_string(exposition_bytes_.load(std::memory_order_relaxed)) +
+         "\n";
+  exposition_bytes_.store(out.size(), std::memory_order_relaxed);
   return out;
 }
 
@@ -396,10 +593,91 @@ std::string OpsServer::RenderStatusz() const {
   }
 
   if (options_.fabric != nullptr) {
-    out += ",\"nodes\":[";
     const size_t n = options_.fabric->node_count();
-    for (NodeId id = 0; id < n; ++id) {
-      if (id != 0) out += ",";
+    const bool collapsed = options_.governance.Collapsed(n);
+    out += ",\"node_count\":";
+    JsonAppendU64(&out, n);
+    // Governed /statusz keeps the `nodes` table shape but fills it with
+    // only the top-k offenders (deepest queues, most bytes, stalest),
+    // plus fleet aggregates so the totals stay authoritative.
+    std::vector<NodeId> table_ids;
+    if (!collapsed) {
+      table_ids.resize(n);
+      for (NodeId id = 0; id < n; ++id) table_ids[id] = id;
+    } else {
+      std::vector<uint64_t> depths(n), sent_bytes(n);
+      QuantileSketch depth_sketch, bytes_sketch;
+      uint64_t depth_sum = 0, sent_sum = 0, bytes_sum = 0, recv_sum = 0;
+      uint64_t down = 0;
+      for (NodeId id = 0; id < n; ++id) {
+        depths[id] = options_.fabric->queue_depth(id);
+        const NodeTrafficStats stats = options_.fabric->node_stats(id);
+        sent_bytes[id] = stats.bytes_sent;
+        depth_sum += depths[id];
+        sent_sum += stats.messages_sent;
+        bytes_sum += stats.bytes_sent;
+        recv_sum += stats.messages_received;
+        depth_sketch.Add(static_cast<double>(depths[id]));
+        bytes_sketch.Add(static_cast<double>(stats.bytes_sent));
+        if (options_.fabric->IsNodeDown(id)) ++down;
+      }
+      const size_t k = options_.governance.top_k;
+      const std::vector<uint32_t> deep = TopKIndices(depths, k);
+      const std::vector<uint32_t> heavy = TopKIndices(sent_bytes, k);
+      table_ids.insert(table_ids.end(), deep.begin(), deep.end());
+      table_ids.insert(table_ids.end(), heavy.begin(), heavy.end());
+      if (options_.sampler != nullptr) {
+        for (const auto& [id, silent] : options_.sampler->StalestNodes(k)) {
+          (void)silent;
+          if (id < n) table_ids.push_back(id);
+        }
+      }
+      std::sort(table_ids.begin(), table_ids.end());
+      table_ids.erase(std::unique(table_ids.begin(), table_ids.end()),
+                      table_ids.end());
+      out += ",\"nodes_truncated\":true,\"fleet\":{\"nodes_down\":";
+      JsonAppendU64(&out, down);
+      out += ",\"queue_depth\":{\"sum\":";
+      JsonAppendU64(&out, depth_sum);
+      out += ",\"max\":";
+      JsonAppendDouble(&out, depth_sketch.max());
+      out += ",\"p50\":";
+      JsonAppendDouble(&out, depth_sketch.Quantile(0.5));
+      out += ",\"p99\":";
+      JsonAppendDouble(&out, depth_sketch.Quantile(0.99));
+      out += "},\"bytes_sent\":{\"sum\":";
+      JsonAppendU64(&out, bytes_sum);
+      out += ",\"max\":";
+      JsonAppendDouble(&out, bytes_sketch.max());
+      out += ",\"p50\":";
+      JsonAppendDouble(&out, bytes_sketch.Quantile(0.5));
+      out += ",\"p99\":";
+      JsonAppendDouble(&out, bytes_sketch.Quantile(0.99));
+      out += "},\"messages_sent\":";
+      JsonAppendU64(&out, sent_sum);
+      out += ",\"messages_received\":";
+      JsonAppendU64(&out, recv_sum);
+      out += "}";
+      if (options_.sampler != nullptr) {
+        const Sampler::Offenders offenders =
+            options_.sampler->PersistentOffenders(k);
+        out += ",\"offenders\":{";
+        AppendOffenderListJson(&out, "queue_depth", offenders.queue_depth,
+                               options_.fabric);
+        out += ",";
+        AppendOffenderListJson(&out, "bytes_sent", offenders.bytes_sent,
+                               options_.fabric);
+        out += ",";
+        AppendOffenderListJson(&out, "stale", offenders.stale,
+                               options_.fabric);
+        out += "}";
+      }
+    }
+    out += ",\"nodes\":[";
+    bool first_node = true;
+    for (NodeId id : table_ids) {
+      if (!first_node) out += ",";
+      first_node = false;
       out += "{\"id\":";
       JsonAppendU64(&out, id);
       out += ",\"name\":";
@@ -421,6 +699,28 @@ std::string OpsServer::RenderStatusz() const {
     }
     out += "]";
   }
+
+  // Self-metering section (always present): what the plane itself costs.
+  out += ",\"obs_self\":{\"scrapes\":";
+  JsonAppendU64(&out, requests_served());
+  out += ",\"exposition_bytes\":";
+  JsonAppendU64(&out, last_exposition_bytes());
+  if (options_.sampler != nullptr) {
+    const SamplerSelfStats self = options_.sampler->SelfStats();
+    out += ",\"sampler_ticks\":";
+    JsonAppendU64(&out, self.ticks);
+    out += ",\"sampler_tick_p50_nanos\":";
+    JsonAppendDouble(&out, self.tick_nanos_p50);
+    out += ",\"sampler_tick_p99_nanos\":";
+    JsonAppendDouble(&out, self.tick_nanos_p99);
+    out += ",\"tracker_bytes\":";
+    JsonAppendU64(&out, self.tracker_bytes);
+  }
+  out += ",\"node_detail_limit\":";
+  JsonAppendU64(&out, options_.governance.node_detail_limit);
+  out += ",\"top_k\":";
+  JsonAppendU64(&out, options_.governance.top_k);
+  out += "}";
 
   if (options_.watchdog != nullptr) {
     out += ",\"alerts\":[";

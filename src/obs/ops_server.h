@@ -11,7 +11,10 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "net/fabric.h"
+#include "obs/governance.h"
 #include "obs/metric_registry.h"
+#include "obs/quantile_sketch.h"
+#include "obs/sampler.h"
 #include "obs/watchdog.h"
 
 /// \file ops_server.h
@@ -26,7 +29,7 @@
 /// snapshots are simply stamped with the current virtual time.
 ///
 /// The serve registry and the chaos controller live in higher layers this
-/// library must not link (DESIGN.md §13), so their `/statusz` sections
+/// library must not link (DESIGN.md §14), so their `/statusz` sections
 /// arrive through an opaque JSON-fragment callback wired by the harness.
 
 namespace deco {
@@ -43,6 +46,16 @@ class OpsServer {
     MetricRegistry* registry = nullptr;  ///< /metrics source; may be null
     Watchdog* watchdog = nullptr;     ///< alert state; may be null
     bool sim = false;                 ///< stamps /statusz snapshots
+    /// Cardinality governance (DESIGN.md §13): above
+    /// `governance.node_detail_limit` nodes, the per-node families in
+    /// `/metrics` and the `/statusz` node table collapse into fleet
+    /// aggregates (sum/min/max/p50/p99 from quantile sketches) plus
+    /// top-k offender series. At or below the limit the rendering is
+    /// byte-identical to the ungoverned output.
+    ObsGovernance governance;
+    /// Optional sampler: supplies egress-staleness offenders and the
+    /// plane's self-metering stats; may be null.
+    const Sampler* sampler = nullptr;
     /// Extra `/statusz` sections ("\"key\": {...}" fragments, comma-joined
     /// by the server) from layers this library cannot link.
     std::function<std::string()> statusz_extra;
@@ -68,6 +81,14 @@ class OpsServer {
     return requests_.load(std::memory_order_relaxed);
   }
 
+  /// \brief Bytes of the most recent `/metrics` render (self-metering).
+  uint64_t last_exposition_bytes() const {
+    return exposition_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Wall-clock scrape latency sketch (render + socket write).
+  QuantileSketch ScrapeLatency() const;
+
   // Renderers are public so tests and the sim exporters can snapshot the
   // endpoints without a socket round-trip.
   std::string RenderMetrics() const;
@@ -83,6 +104,11 @@ class OpsServer {
   int bound_port_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_{0};
+  /// Self-metering: updated by renders/scrapes, never by the registry —
+  /// a scrape still never mutates the registry or the sample series.
+  mutable std::atomic<uint64_t> exposition_bytes_{0};
+  mutable std::mutex self_mu_;
+  mutable QuantileSketch scrape_wall_nanos_;
   std::thread thread_;
 };
 

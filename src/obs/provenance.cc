@@ -191,6 +191,15 @@ void ProvenanceTracker::OnWindowEmitted(uint64_t protocol_window,
   record.transitions.push_back(
       ProvTransition{ProvState::kFinal, emit_nanos, slot.correction_rounds});
 
+  record.compact = governance_.Collapsed(num_nodes_);
+  if (record.compact) {
+    record.contributor_bits.assign((num_nodes_ + 63) / 64, 0);
+  }
+  // Exemplar budget: room for a top-k of missing-heavy and a top-k of
+  // duplicate-heavy nodes; anomalies beyond it only bump the drop counter
+  // (the window totals already carry their weight).
+  const size_t exemplar_cap = governance_.top_k * 2;
+
   for (size_t n = 0; n < num_nodes_; ++n) {
     PartSlot& part = slot.parts[n];
     // A node that reached end-of-stream owes nothing it did not send: its
@@ -219,7 +228,24 @@ void ProvenanceTracker::OnWindowEmitted(uint64_t protocol_window,
     record.received_total += out.received;
     record.missing_total += out.missing;
     record.duplicate_total += out.duplicates;
-    record.parts.push_back(out);
+    record.staleness_sum_nanos += out.staleness_sum_nanos;
+    record.staleness_samples += out.staleness_samples;
+    if (out.received > 0) ++record.contributor_count;
+    if (!record.compact) {
+      record.parts.push_back(out);
+      continue;
+    }
+    if (out.received > 0) {
+      record.contributor_bits[n / 64] |= uint64_t{1} << (n % 64);
+    }
+    const bool anomalous = out.missing > 0 || out.duplicates > 0 ||
+                           out.discarded > 0 || out.incarnation != 0;
+    if (!anomalous) continue;
+    if (record.parts.size() < exemplar_cap) {
+      record.parts.push_back(out);
+    } else {
+      ++record.exemplars_dropped;
+    }
   }
   open_.erase(protocol_window);
 
@@ -241,6 +267,11 @@ void ProvenanceTracker::OnSynthesizedWindow(uint64_t report_index,
       ProvTransition{ProvState::kProvisional, emit_nanos, 0});
   record.transitions.push_back(
       ProvTransition{ProvState::kFinal, emit_nanos, 0});
+  record.compact = governance_.Collapsed(num_nodes_);
+  if (record.compact) {
+    record.contributor_bits.assign((num_nodes_ + 63) / 64, 0);
+  }
+  const size_t exemplar_cap = governance_.top_k * 2;
   for (size_t n = 0; n < num_nodes_ && n < live.size(); ++n) {
     if (!live[n]) continue;
     PartialProvenance out;
@@ -255,7 +286,20 @@ void ProvenanceTracker::OnSynthesizedWindow(uint64_t report_index,
     }
     record.expected_total += 1;
     record.received_total += 1;
-    record.parts.push_back(out);
+    record.staleness_sum_nanos += out.staleness_sum_nanos;
+    record.staleness_samples += out.staleness_samples;
+    ++record.contributor_count;
+    if (!record.compact) {
+      record.parts.push_back(out);
+      continue;
+    }
+    record.contributor_bits[n / 64] |= uint64_t{1} << (n % 64);
+    if (out.incarnation == 0) continue;  // only restarts are exemplar-worthy
+    if (record.parts.size() < exemplar_cap) {
+      record.parts.push_back(out);
+    } else {
+      ++record.exemplars_dropped;
+    }
   }
   if (max_windows_ != 0 && log_.windows.size() >= max_windows_) {
     ++log_.windows_dropped;
@@ -297,10 +341,10 @@ ProvenanceSummary ComputeProvenanceSummary(const ProvenanceLog& log) {
     summary.partials_received += w.received_total;
     summary.partials_missing += w.missing_total;
     summary.partials_duplicate += w.duplicate_total;
-    for (const PartialProvenance& p : w.parts) {
-      staleness_sum += p.staleness_sum_nanos;
-      staleness_samples += p.staleness_samples;
-    }
+    // Window-level totals, not the parts list: compact records keep only
+    // exemplar parts, but their staleness totals cover every node.
+    staleness_sum += w.staleness_sum_nanos;
+    staleness_samples += w.staleness_samples;
   }
   if (staleness_samples > 0) {
     summary.mean_staleness_nanos =
@@ -356,6 +400,27 @@ std::string ProvenanceJson(const ProvenanceLog& log) {
     JsonAppendU64(&out, w.missing_total);
     out += ", \"duplicates\": ";
     JsonAppendU64(&out, w.duplicate_total);
+    if (w.compact) {
+      // Governed form (DESIGN.md §13): added keys only — full records
+      // render byte-identically to the ungoverned schema.
+      out += ", \"compact\": true, \"contributors\": ";
+      JsonAppendU64(&out, w.contributor_count);
+      out += ", \"contributor_bits\": [";
+      for (size_t b = 0; b < w.contributor_bits.size(); ++b) {
+        if (b > 0) out += ", ";
+        JsonAppendU64(&out, w.contributor_bits[b]);
+      }
+      out += "], \"exemplars_dropped\": ";
+      JsonAppendU64(&out, w.exemplars_dropped);
+      out += ", \"staleness_mean_nanos\": ";
+      JsonAppendDouble(&out,
+                       w.staleness_samples == 0
+                           ? 0.0
+                           : w.staleness_sum_nanos /
+                                 static_cast<double>(w.staleness_samples));
+      out += ", \"staleness_samples\": ";
+      JsonAppendU64(&out, w.staleness_samples);
+    }
     out += ", \"states\": [";
     for (size_t t = 0; t < w.transitions.size(); ++t) {
       const ProvTransition& tr = w.transitions[t];

@@ -7,6 +7,7 @@
 
 #include "metrics/report.h"
 #include "net/fabric.h"
+#include "obs/governance.h"
 
 /// \file provenance.h
 /// \brief Per-window provenance records and live accuracy attribution
@@ -109,8 +110,27 @@ struct WindowProvenance {
   uint64_t received_total = 0;
   uint64_t missing_total = 0;
   uint64_t duplicate_total = 0;
+  /// Window-level staleness totals, summed over every contributing part.
+  /// Filled in both full and compact modes so summaries never need the
+  /// per-part list.
+  double staleness_sum_nanos = 0.0;
+  uint64_t staleness_samples = 0;
+  /// Compact (governed) form, DESIGN.md §13: set when cardinality
+  /// governance collapsed the per-part list. `contributor_bits` is a
+  /// bitmap over node ordinals (word i, bit b ⇒ node 64*i+b had at least
+  /// one accepted region); `parts` then holds only bounded anomaly
+  /// exemplars — nodes with missing, duplicate or discarded regions, or a
+  /// nonzero incarnation — and `exemplars_dropped` counts the anomalous
+  /// parts beyond that bound. The window totals above are still computed
+  /// over ALL nodes, so `expected_total == received_total + missing_total`
+  /// holds regardless of how many exemplars were kept.
+  bool compact = false;
+  uint64_t contributor_count = 0;  ///< nodes with received > 0 (both modes)
+  std::vector<uint64_t> contributor_bits;
+  uint64_t exemplars_dropped = 0;
   /// Contributing locals, node-ordinal order; only nodes with any
-  /// expected/received/discarded activity appear.
+  /// expected/received/discarded activity appear. In compact mode this is
+  /// the bounded exemplar list instead.
   std::vector<PartialProvenance> parts;
   /// State history ending in `kFinal`.
   std::vector<ProvTransition> transitions;
@@ -188,6 +208,15 @@ class ProvenanceTracker {
   /// \brief Caps retained window records; further emissions only bump
   /// `windows_dropped`. 0 = unbounded.
   void set_max_windows(size_t cap) { max_windows_ = cap; }
+
+  /// \brief Cardinality governance (DESIGN.md §13). When the node count
+  /// exceeds the detail limit, emitted records switch to the compact form:
+  /// contributor bitmap + bounded anomaly exemplars instead of one
+  /// `PartialProvenance` per node. Totals stay exact either way.
+  void SetGovernance(const ObsGovernance& governance) {
+    governance_ = governance;
+  }
+  const ObsGovernance& governance() const { return governance_; }
 
   // --- control plane (root node) ---------------------------------------
 
@@ -277,6 +306,7 @@ class ProvenanceTracker {
   uint64_t regions_per_window_;
   TimeNanos now_nanos_ = 0;
   size_t max_windows_ = 0;
+  ObsGovernance governance_;
 
   const NetworkFabric* fabric_ = nullptr;
   std::vector<NodeId> node_ids_;

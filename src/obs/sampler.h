@@ -11,8 +11,10 @@
 #include "common/clock.h"
 #include "net/fabric.h"
 #include "obs/alert.h"
+#include "obs/governance.h"
 #include "obs/metric_registry.h"
 #include "obs/provenance.h"
+#include "obs/quantile_sketch.h"
 #include "obs/trace.h"
 
 /// \file sampler.h
@@ -22,6 +24,17 @@
 /// exporters serialize. One guaranteed snapshot is taken at `Start` and one
 /// at `Stop`, so even runs shorter than the interval yield a two-point
 /// series (enough to derive rates).
+///
+/// Cardinality governance (DESIGN.md §13): every tick runs a cheap
+/// constant-work-per-node scalar pass that fills fleet aggregates
+/// (totals + min/max/p50/p99 quantile sketches) for the whole fleet.
+/// Above `ObsGovernance::node_detail_limit` the expensive per-node detail
+/// (name strings, per-type breakdowns) is recorded only for a strided
+/// subset — each node is visited once every `Stride` ticks — plus the
+/// current top-k offenders (deepest queues, most bytes sent, stalest
+/// egress), so per-tick detail cost is bounded by the limit, not the
+/// fleet size. At or below the limit the sample is byte-identical to the
+/// ungoverned output.
 
 namespace deco {
 
@@ -39,12 +52,51 @@ struct NodeSample {
   std::array<uint64_t, kNumMessageTypes> bytes_sent_by_type{};
 };
 
+/// \brief Fleet-wide aggregate of one per-node scalar at one tick,
+/// distilled from a quantile sketch over the live fleet.
+struct FleetMetricSummary {
+  uint64_t sum = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+/// \brief Bounded-size fleet aggregates recorded with every sample; the
+/// authoritative totals when `nodes` holds only a governed subset.
+struct FleetSample {
+  bool collapsed = false;      ///< per-node detail was governed this tick
+  uint64_t node_count = 0;     ///< fleet size (nodes.size() when detailed)
+  uint64_t detail_nodes = 0;   ///< entries recorded in `nodes`
+  uint64_t nodes_down = 0;
+  uint64_t total_messages_sent = 0;
+  uint64_t total_bytes_sent = 0;
+  uint64_t total_messages_received = 0;
+  uint64_t total_bytes_received = 0;
+  FleetMetricSummary queue_depth;
+  FleetMetricSummary messages_sent;
+  FleetMetricSummary bytes_sent;
+};
+
 /// \brief One point of the telemetry time series.
 struct TelemetrySample {
   TimeNanos t_nanos = 0;
   uint64_t total_dropped = 0;   ///< fabric-wide dropped messages so far
   std::vector<NodeSample> nodes;
+  FleetSample fleet;
   MetricsSnapshot metrics;
+};
+
+/// \brief The sampler's own cost, measured on the wall clock even under
+/// `--sim` (virtual time stands still inside a tick, so the sim clock
+/// cannot see the plane's cost — which is exactly what we must meter).
+struct SamplerSelfStats {
+  uint64_t ticks = 0;
+  double tick_nanos_mean = 0.0;
+  double tick_nanos_p50 = 0.0;
+  double tick_nanos_p99 = 0.0;
+  double tick_nanos_max = 0.0;
+  uint64_t tracker_bytes = 0;  ///< estimated retained-series footprint
 };
 
 /// \brief Everything one telemetry run collects (samples + spans + message
@@ -62,6 +114,18 @@ struct TelemetryLog {
   /// and disabled when no watchdog ran.
   std::vector<Alert> alerts;
   bool alerts_enabled = false;
+  /// Self-metering of the observability plane itself (schema v7);
+  /// always-present section, zeroed when no sampler ran.
+  struct ObsSelf {
+    bool enabled = false;
+    SamplerSelfStats sampler;
+    uint64_t scrapes = 0;             ///< ops-server requests served
+    double scrape_nanos_mean = 0.0;   ///< render+write wall time
+    double scrape_nanos_p99 = 0.0;
+    uint64_t exposition_bytes = 0;    ///< last /metrics render size
+    uint64_t node_detail_limit = 0;   ///< governance in force (0 = off)
+    uint64_t top_k = 0;
+  } obs_self;
 };
 
 /// \brief Periodic snapshot thread over a fabric and a registry.
@@ -105,6 +169,30 @@ class Sampler {
 
   size_t sample_count() const;
 
+  /// \brief Sets the cardinality-governance policy. Call before `Start`.
+  void SetGovernance(const ObsGovernance& governance) {
+    governance_ = governance;
+  }
+  const ObsGovernance& governance() const { return governance_; }
+
+  /// \brief Nodes whose egress counters have not moved for the longest,
+  /// stalest first, with the silent interval (thread-safe). Empty until
+  /// two samples exist.
+  std::vector<std::pair<NodeId, TimeNanos>> StalestNodes(size_t k) const;
+
+  /// \brief Persistent offender sets accumulated by space-saving trackers
+  /// across governed ticks: how often each node ranked among the per-tick
+  /// top-k, by dimension. Empty when governance never collapsed.
+  struct Offenders {
+    std::vector<SpaceSavingTopK::Entry> queue_depth;
+    std::vector<SpaceSavingTopK::Entry> bytes_sent;
+    std::vector<SpaceSavingTopK::Entry> stale;
+  };
+  Offenders PersistentOffenders(size_t k) const;
+
+  /// \brief Wall-clock cost of the sampler itself (thread-safe).
+  SamplerSelfStats SelfStats() const;
+
  private:
   void Loop();
 
@@ -115,12 +203,26 @@ class Sampler {
   MetricRegistry* registry_;
   TimeNanos interval_nanos_;
   SimScheduler* sim_;
+  ObsGovernance governance_;
 
   std::function<void(const TelemetrySample&)> observer_;
+
+  /// Per-node egress staleness watch, updated by the scalar pass.
+  struct NodeWatch {
+    uint64_t last_sent = 0;
+    TimeNanos last_change_nanos = 0;
+  };
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<TelemetrySample> samples_;
+  std::vector<NodeWatch> watch_;
+  SpaceSavingTopK queue_offenders_{32};
+  SpaceSavingTopK bytes_offenders_{32};
+  SpaceSavingTopK stale_offenders_{32};
+  QuantileSketch tick_wall_nanos_;
+  uint64_t tick_count_ = 0;
+  uint64_t tracker_bytes_ = 0;
   std::thread thread_;
   bool running_ = false;
   bool stop_ = false;

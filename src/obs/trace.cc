@@ -28,13 +28,13 @@ TraceSink::TraceSink(Clock* clock, size_t capacity)
     : clock_(clock), capacity_(capacity) {}
 
 namespace {
-// Stripe by recording thread so concurrent nodes rarely contend.
-size_t ThreadStripe(size_t num_stripes) {
-  static thread_local const size_t stripe = [] {
-    static std::atomic<size_t> next{0};
-    return next.fetch_add(1, std::memory_order_relaxed);
-  }();
-  return stripe % num_stripes;
+// Stripe by node id so concurrent nodes rarely contend. Node-keyed (not
+// thread-keyed): a process-global thread counter would hand every run in
+// the process a different stripe assignment, and with it a different
+// drain order for simultaneous events — breaking sim replay identity for
+// any binary that runs more than one experiment.
+size_t NodeStripe(NodeId node, size_t num_stripes) {
+  return static_cast<size_t>(node) % num_stripes;
 }
 }  // namespace
 
@@ -48,7 +48,7 @@ void TraceSink::Record(NodeId node, TracePhase phase, uint64_t window_index,
   event.value = value;
   event.msg_id = msg_id;
 
-  Stripe& s = stripes_[ThreadStripe(kStripes)];
+  Stripe& s = stripes_[NodeStripe(node, kStripes)];
   std::lock_guard<std::mutex> lock(s.mu);
   if (capacity_ > 0 && s.events.size() >= capacity_ / kStripes) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -72,7 +72,7 @@ void TraceSink::RecordHop(const Message& msg) {
   hop.dequeue_nanos = msg.hop.dequeue_nanos;
   hop.shaping_delay_nanos = msg.hop.shaping_delay_nanos;
 
-  Stripe& s = stripes_[ThreadStripe(kStripes)];
+  Stripe& s = stripes_[NodeStripe(msg.src, kStripes)];
   std::lock_guard<std::mutex> lock(s.mu);
   if (capacity_ > 0 && s.hops.size() >= capacity_ / kStripes) {
     hops_dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -91,9 +91,17 @@ std::vector<TraceEvent> TraceSink::Drain() {
     all.insert(all.end(), s.events.begin(), s.events.end());
     s.events.clear();
   }
+  // Canonical order, not arrival order: simultaneous events (common
+  // under --sim where whole bursts share a timestamp) tie-break on
+  // stable fields so the drained stream is a pure function of the run.
   std::stable_sort(all.begin(), all.end(),
                    [](const TraceEvent& a, const TraceEvent& b) {
-                     return a.t_nanos < b.t_nanos;
+                     if (a.t_nanos != b.t_nanos) return a.t_nanos < b.t_nanos;
+                     if (a.node != b.node) return a.node < b.node;
+                     if (a.window_index != b.window_index) {
+                       return a.window_index < b.window_index;
+                     }
+                     return a.phase < b.phase;
                    });
   return all;
 }
@@ -107,7 +115,10 @@ std::vector<HopRecord> TraceSink::DrainHops() {
   }
   std::stable_sort(all.begin(), all.end(),
                    [](const HopRecord& a, const HopRecord& b) {
-                     return a.enqueue_nanos < b.enqueue_nanos;
+                     if (a.enqueue_nanos != b.enqueue_nanos) {
+                       return a.enqueue_nanos < b.enqueue_nanos;
+                     }
+                     return a.msg_id < b.msg_id;
                    });
   return all;
 }

@@ -64,8 +64,15 @@ void Watchdog::OnSample(const TelemetrySample& sample) {
 
   const int64_t windows = CounterValue(sample.metrics, "root.windows_emitted");
   const int64_t corrections = CounterValue(sample.metrics, "root.corrections");
+  // Fleet-wide egress: the authoritative fleet total when the sampler
+  // recorded one (it covers every node even when `nodes` is a governed
+  // strided subset), else the sum over the recorded nodes.
   uint64_t traffic = 0;
-  for (const NodeSample& node : sample.nodes) traffic += node.messages_sent;
+  if (sample.fleet.node_count > 0) {
+    traffic = sample.fleet.total_messages_sent;
+  } else {
+    for (const NodeSample& node : sample.nodes) traffic += node.messages_sent;
+  }
 
   if (!has_prev_) {
     // First sample seeds the trackers; nothing can breach yet.

@@ -320,7 +320,7 @@ TEST(ExportTest, JsonContainsDerivedRatesAndSpans) {
   report.scheme = "deco-async";
   report.events_processed = 500;
   const std::string json = TelemetryToJson(report, MakeLog());
-  EXPECT_NE(json.find("\"schema_version\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 7"), std::string::npos);
   EXPECT_NE(json.find("\"scheme\": \"deco-async\""), std::string::npos);
   // v4: the provenance sections are always present, empty when the run
   // collected none.

@@ -231,7 +231,7 @@ TEST(TelemetryIntegrationTest, DecoAsyncRunProducesSamplesSpansAndJson) {
   // Exported document: well-formed JSON with the schema's key fields.
   const std::string json = ReadFileOrDie(json_path);
   EXPECT_TRUE(JsonChecker(json).Valid());
-  EXPECT_NE(json.find("\"schema_version\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 7"), std::string::npos);
   // Schema v6: the alerts section is always present, disabled and empty
   // when no watchdog ran.
   EXPECT_NE(json.find("\"alerts\""), std::string::npos);

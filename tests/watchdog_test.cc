@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -276,6 +277,125 @@ TEST(WatchdogTest, FirstFireDumpsFlightRecorderOnce) {
             std::string::npos)
       << content.substr(0, 200);
   std::remove(dump_path.c_str());
+}
+
+// ------------------------------------------- governed fleets (512 nodes)
+
+// Above the governance detail limit the sampler stops visiting every node
+// per tick: each sample carries a strided 1-in-8 subset plus the current
+// top-k offenders, while the fleet totals still cover all 512 nodes.
+// These tests feed the watchdog exactly that shape and prove the detector
+// contract survives it: hysteresis is per node and indifferent to how
+// often the node appears, so a breach episode still fires exactly once
+// and resolves exactly once.
+
+constexpr size_t kFleet = 512;
+constexpr size_t kStride = 8;  // ceil(512 / 64): the default detail limit
+
+// One governed sample: fleet totals from all node counters, detail from
+// the tick's stride phase plus explicit offender ids (the stale top-k the
+// sampler would boost into every tick).
+TelemetrySample MakeGovernedSample(TimeNanos t, int64_t windows,
+                                   const std::vector<uint64_t>& sent,
+                                   uint64_t tick,
+                                   const std::vector<size_t>& offenders) {
+  TelemetrySample sample;
+  sample.t_nanos = t;
+  sample.metrics.counters.emplace_back("root.corrections", 0);
+  sample.metrics.counters.emplace_back("root.windows_emitted", windows);
+  sample.fleet.node_count = sent.size();
+  sample.fleet.collapsed = true;
+  for (uint64_t s : sent) sample.fleet.total_messages_sent += s;
+  std::vector<size_t> ids;
+  for (size_t id = tick % kStride; id < sent.size(); id += kStride) {
+    ids.push_back(id);
+  }
+  ids.insert(ids.end(), offenders.begin(), offenders.end());
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  sample.fleet.detail_nodes = ids.size();
+  for (size_t id : ids) {
+    sample.nodes.push_back(
+        MakeNode("local-" + std::to_string(id), sent[id]));
+  }
+  return sample;
+}
+
+TEST(WatchdogScaleTest, StridedScanTripsSilenceOncePerEpisodeAt512) {
+  WatchdogOptions options = FastOptions();
+  options.stall_nanos = 0;  // isolate the silence detector
+  Watchdog watchdog(options);
+
+  std::vector<uint64_t> sent(kFleet, 10);
+  TimeNanos t = kNanosPerSecond;
+  int64_t windows = 0;
+  uint64_t tick = 0;
+  auto advance = [&](bool freeze_victim,
+                     const std::vector<size_t>& offenders) {
+    for (size_t id = 0; id < kFleet; ++id) {
+      if (freeze_victim && id == 77) continue;
+      ++sent[id];
+    }
+    watchdog.OnSample(
+        MakeGovernedSample(t, ++windows, sent, tick++, offenders));
+    t += kTick;
+  };
+
+  // Healthy warm-up: every node advances, detail rotates through the
+  // stride phases. Nothing may fire even though each node is only seen
+  // on every 8th tick.
+  for (size_t i = 0; i < 2 * kStride; ++i) advance(false, {});
+  EXPECT_EQ(watchdog.fired_count(), 0u);
+
+  // local-77 goes silent. The sampler's staleness top-k boosts it into
+  // every subsequent sample; a long episode still fires exactly once.
+  for (size_t i = 0; i < 3 * kStride; ++i) advance(true, {77});
+  ASSERT_EQ(watchdog.fired_count(), 1u);
+  const Alert fired = watchdog.Alerts()[0];
+  EXPECT_EQ(fired.kind, AlertKind::kHeartbeatSilence);
+  EXPECT_EQ(fired.subject, "local-77");
+  EXPECT_EQ(watchdog.active_count(), 1u);
+
+  // Recovery: once local-77 sends again, the episode resolves and stays
+  // resolved — no second alert from the strided re-appearances.
+  for (size_t i = 0; i < 2 * kStride; ++i) advance(false, {77});
+  EXPECT_EQ(watchdog.fired_count(), 1u);
+  EXPECT_EQ(watchdog.active_count(), 0u);
+  EXPECT_GT(watchdog.Alerts()[0].resolved_at_nanos,
+            watchdog.Alerts()[0].fired_at_nanos);
+}
+
+TEST(WatchdogScaleTest, CollapsedSampleStillTripsStallOnceAt512) {
+  WatchdogOptions options = FastOptions();
+  options.silence_nanos = 0;  // isolate the stall detector
+  Watchdog watchdog(options);
+
+  std::vector<uint64_t> sent(kFleet, 10);
+  TimeNanos t = kNanosPerSecond;
+  int64_t windows = 0;
+  uint64_t tick = 0;
+  auto advance = [&](bool window_progress) {
+    for (size_t id = 0; id < kFleet; ++id) ++sent[id];
+    if (window_progress) ++windows;
+    watchdog.OnSample(MakeGovernedSample(t, windows, sent, tick++, {}));
+    t += kTick;
+  };
+
+  for (int i = 0; i < 4; ++i) advance(true);
+  EXPECT_EQ(watchdog.fired_count(), 0u);
+
+  // Windows freeze while the fleet totals keep advancing. The stall
+  // detector reads the governed fleet aggregate (no per-node series
+  // needed), so the collapsed sample still trips it — once.
+  for (int i = 0; i < 10; ++i) advance(false);
+  ASSERT_EQ(watchdog.fired_count(), 1u);
+  EXPECT_EQ(watchdog.Alerts()[0].kind, AlertKind::kWindowStall);
+  EXPECT_EQ(watchdog.Alerts()[0].subject, "root");
+
+  // Window progress resumes: the episode resolves, total stays one.
+  for (int i = 0; i < 4; ++i) advance(true);
+  EXPECT_EQ(watchdog.fired_count(), 1u);
+  EXPECT_EQ(watchdog.active_count(), 0u);
 }
 
 // ------------------------------------------------------ sim integration

@@ -11,6 +11,10 @@ Used by the CI ops-smoke job on the body scraped from `deco_run
   * every TYPE declared at most once per metric, before its samples;
   * counter sample names end in `_total` (+ finite, non-negative values);
   * summaries expose `_count` and `_sum` alongside quantile samples;
+  * summary quantile labels parse as floats in [0, 1], every label group
+    of a family exposes the same quantile set, and quantile values are
+    monotone non-decreasing in the quantile (the sketch-backed fleet
+    summaries must never report p99 < p50);
   * all sample values parse as floats (NaN allowed only for quantiles).
 
 Exit 0 and a one-line summary when valid; exit 1 with every violation
@@ -20,6 +24,7 @@ Usage:
   check_metrics_exposition.py metrics.txt
   curl -s localhost:9900/metrics | check_metrics_exposition.py -
   check_metrics_exposition.py metrics.txt --require deco_root_windows_emitted_total
+  check_metrics_exposition.py metrics.txt --max_bytes 262144
 """
 
 import argparse
@@ -143,7 +148,8 @@ def check(text):
                 errors.append(
                     f"line {lineno}: NaN only allowed for quantile samples")
 
-    # Cross-line checks: every summary exposes _count and _sum.
+    # Cross-line checks: every summary exposes _count and _sum, and its
+    # quantile series are well-formed.
     for family, metric_type in types.items():
         if metric_type != "summary":
             continue
@@ -151,6 +157,49 @@ def check(text):
         for required in (family + "_count", family + "_sum"):
             if required not in names:
                 errors.append(f"summary '{family}' is missing {required}")
+
+        # Group the family's quantile samples by their non-quantile labels
+        # so multi-series summaries are checked series by series.
+        groups = {}
+        for sample_name, labels, value in samples.get(family, []):
+            if sample_name != family or "quantile" not in labels:
+                continue
+            raw_q = labels["quantile"]
+            try:
+                q = float(raw_q)
+            except ValueError:
+                errors.append(
+                    f"summary '{family}' has non-numeric quantile "
+                    f"'{raw_q}'")
+                continue
+            if not 0.0 <= q <= 1.0:
+                errors.append(
+                    f"summary '{family}' quantile {raw_q} outside [0, 1]")
+            key = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "quantile"))
+            groups.setdefault(key, []).append((q, value))
+
+        quantile_sets = {}
+        for key, series in groups.items():
+            series.sort()
+            qs = tuple(q for q, _ in series)
+            if len(set(qs)) != len(qs):
+                errors.append(
+                    f"summary '{family}' repeats a quantile in series "
+                    f"{dict(key) or '{}'}")
+            quantile_sets[key] = qs
+            finite = [(q, v) for q, v in series if not math.isnan(v)]
+            for (q_lo, v_lo), (q_hi, v_hi) in zip(finite, finite[1:]):
+                if v_hi < v_lo:
+                    errors.append(
+                        f"summary '{family}' is non-monotone: "
+                        f"q={q_hi} value {v_hi} < q={q_lo} value {v_lo}"
+                        f" in series {dict(key) or '{}'}")
+        if len(set(quantile_sets.values())) > 1:
+            errors.append(
+                f"summary '{family}' exposes inconsistent quantile sets "
+                f"across its label groups: "
+                f"{sorted(set(quantile_sets.values()))}")
 
     return errors, types, sample_count
 
@@ -163,6 +212,11 @@ def main():
         "--require", action="append", default=[], metavar="NAME",
         help="fail unless a sample of this metric family is present "
              "(repeatable)")
+    parser.add_argument(
+        "--max_bytes", type=int, default=0, metavar="N",
+        help="fail when the document exceeds N bytes (0 = unlimited); "
+             "the CI scale-smoke job uses this to hold the governed "
+             "exposition to its byte budget")
     args = parser.parse_args()
 
     if args.path == "-":
@@ -183,6 +237,12 @@ def main():
         if name not in present and name not in all_sample_names:
             errors.append(f"required metric '{name}' not found")
 
+    doc_bytes = len(text.encode("utf-8"))
+    if args.max_bytes > 0 and doc_bytes > args.max_bytes:
+        errors.append(
+            f"document is {doc_bytes} bytes, over the --max_bytes budget "
+            f"of {args.max_bytes}")
+
     if errors:
         for e in errors:
             print(f"FAIL: {e}", file=sys.stderr)
@@ -190,7 +250,7 @@ def main():
         return 1
 
     print(f"OK: {sample_count} samples across {len(types)} declared "
-          f"metric families")
+          f"metric families, {doc_bytes} bytes")
     return 0
 
 

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <ctime>
 
@@ -140,6 +141,16 @@ void PrintUsage() {
       "                      /statusz (per-node + query JSON). 0 picks an\n"
       "                      ephemeral port (printed at startup). Implies\n"
       "                      the watchdog and the flight recorder\n"
+      "  --metrics_out=<f>   write the final /metrics Prometheus exposition\n"
+      "                      to <f> after the run (no HTTP port needed)\n"
+      "  --obs_node_detail_limit=<n> cardinality governance (DESIGN.md §13):\n"
+      "                      above <n> locals, per-node observability detail\n"
+      "                      (telemetry samples, /metrics, /statusz,\n"
+      "                      provenance parts, CLI summaries) collapses into\n"
+      "                      fleet aggregates + top-k offenders\n"
+      "                      (default 64; 0 = unlimited detail)\n"
+      "  --obs_top_k=<n>     offender series kept per governed surface\n"
+      "                      (default 8)\n"
       "  --status_interval_ms=<n> print a one-line live progress heartbeat\n"
       "                      (events in, panes, windows, alerts) to stderr\n"
       "                      every <n> ms (0 = off)\n"
@@ -292,6 +303,11 @@ int main(int argc, char** argv) {
       config.ops.flight_recorder || config.ops.ops_port >= 0;
   config.ops.interrupt = &g_interrupted;
   config.ops.alerts = &alerts;
+  config.ops.metrics_out = flags.GetString("metrics_out", "");
+  config.obs_governance.node_detail_limit =
+      static_cast<size_t>(flags.GetInt("obs_node_detail_limit", 64));
+  config.obs_governance.top_k =
+      static_cast<size_t>(flags.GetInt("obs_top_k", 8));
   InstallInterruptHandlers();
 
   auto result = RunExperiment(config);
@@ -362,14 +378,27 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Governed runs cap the per-entry CLI blocks the same way /statusz caps
+  // its node table: top-k entries plus a count of the rest, so a 1000-node
+  // incident never floods the terminal.
+  const bool governed =
+      config.obs_governance.Collapsed(config.num_locals);
+  const size_t print_cap =
+      governed ? config.obs_governance.top_k : SIZE_MAX;
   if (!alerts.empty()) {
     std::printf("alerts (%zu fired):\n", alerts.size());
+    size_t printed = 0;
     for (const Alert& alert : alerts) {
+      if (printed++ >= print_cap) break;
       std::printf("  %s [%s] observed=%.6g threshold=%.6g%s: %s\n",
                   std::string(AlertKindToString(alert.kind)).c_str(),
                   alert.subject.c_str(), alert.observed, alert.threshold,
                   alert.resolved_at_nanos > 0 ? " (resolved)" : " (active)",
                   alert.message.c_str());
+    }
+    if (alerts.size() > print_cap) {
+      std::printf("  ... and %zu more (see /statusz or --telemetry_out)\n",
+                  alerts.size() - print_cap);
     }
   }
   if (report.profile.enabled) {
@@ -395,12 +424,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  for (const MembershipEvent& event : report.membership) {
-    std::printf("membership: local-%zu %s at +%.1fms\n", event.node,
-                event.rejoined ? "rejoined" : "removed",
-                static_cast<double>(event.at_nanos -
-                                    report.start_wall_nanos) /
-                    1e6);
+  {
+    size_t printed = 0;
+    for (const MembershipEvent& event : report.membership) {
+      if (printed++ >= print_cap) break;
+      std::printf("membership: local-%zu %s at +%.1fms\n", event.node,
+                  event.rejoined ? "rejoined" : "removed",
+                  static_cast<double>(event.at_nanos -
+                                      report.start_wall_nanos) /
+                      1e6);
+    }
+    if (report.membership.size() > print_cap) {
+      std::printf("membership: ... and %zu more events\n",
+                  report.membership.size() - print_cap);
+    }
   }
 
   if (flags.GetBool("verbose", false)) {
